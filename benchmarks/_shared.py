@@ -1,0 +1,62 @@
+"""Shared, memoized artifacts for the benchmark harness.
+
+Profiling all 60 workload/server pairs costs tens of seconds; every
+bench that needs the classification table shares one copy through
+these caches.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.hardware import SERVER_TYPES, ServerType
+from repro.models import ModelVariant, RecommendationModel, build_model
+from repro.scheduling import ClassificationTable, OfflineProfiler
+from repro.sim import QueryWorkload, ServerEvaluator
+
+#: Canonical model order used by every bench printout.
+MODEL_ORDER = ("DLRM-RMC1", "DLRM-RMC2", "DLRM-RMC3", "MT-WnD", "DIN", "DIEN")
+
+#: Paper Fig. 15 SLA targets, keyed by model.
+SLA_MS = {
+    "DLRM-RMC1": 20.0,
+    "DLRM-RMC2": 50.0,
+    "DLRM-RMC3": 50.0,
+    "DIN": 50.0,
+    "DIEN": 100.0,
+    "MT-WnD": 100.0,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def model(name: str, variant: ModelVariant = ModelVariant.PROD) -> RecommendationModel:
+    return build_model(name, variant)
+
+
+@functools.lru_cache(maxsize=None)
+def workload(name: str) -> QueryWorkload:
+    return QueryWorkload.for_model(model(name).config.mean_query_size)
+
+
+@functools.lru_cache(maxsize=None)
+def evaluator(server_name: str) -> ServerEvaluator:
+    return ServerEvaluator(SERVER_TYPES[server_name])
+
+
+@functools.lru_cache(maxsize=None)
+def profile_table(server_names: tuple[str, ...], model_names: tuple[str, ...]) -> ClassificationTable:
+    """Efficiency-tuple table for the requested fleet slice (cached)."""
+    profiler = OfflineProfiler()
+    servers: list[ServerType] = [SERVER_TYPES[s] for s in server_names]
+    models = [model(m) for m in model_names]
+    return profiler.profile(servers, models)
+
+
+def full_table() -> ClassificationTable:
+    """The complete 10-server x 6-model classification table."""
+    return profile_table(tuple(SERVER_TYPES), MODEL_ORDER)
+
+
+def small_table() -> ClassificationTable:
+    """The Fig. 8 characterization slice: T2/T3/T7 x RMC1/RMC2."""
+    return profile_table(("T2", "T3", "T7"), ("DLRM-RMC1", "DLRM-RMC2"))

@@ -1,0 +1,76 @@
+"""Ablation: hybrid host + accelerator serving (Fig. 10d extension).
+
+The paper notes the host cores left over by an accelerator mapping can
+serve additional inference threads.  This ablation measures how much
+latency-bounded throughput the hybrid path adds on the CPU+GPU server
+for each model, and its energy-efficiency cost (the host runs hot).
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, evaluator, model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.scheduling import GradientSearch, HybridSearch
+
+
+def _run_ablation():
+    rows = []
+    for name in MODEL_ORDER:
+        ev = evaluator("T7")
+        m = model(name)
+        wl = workload(name)
+        space = GradientSearch(ev, m, wl)
+        gpu_result = space.search_gpu_model_based().merge(space.search_gpu_sd())
+        if not gpu_result.feasible or not gpu_result.plan.placement.uses_gpu:
+            rows.append([name, 0, 0, float("nan"), float("nan"), "no GPU plan"])
+            continue
+        hybrid_plan, hybrid_perf = HybridSearch(ev, m, wl).search(gpu_result.plan)
+        if hybrid_plan is None:
+            rows.append(
+                [
+                    name,
+                    round(gpu_result.perf.qps),
+                    round(gpu_result.perf.qps),
+                    1.0,
+                    1.0,
+                    "no spare cores",
+                ]
+            )
+            continue
+        rows.append(
+            [
+                name,
+                round(gpu_result.perf.qps),
+                round(hybrid_perf.qps),
+                round(hybrid_perf.qps / gpu_result.perf.qps, 2),
+                round(
+                    hybrid_perf.qps_per_watt / gpu_result.perf.qps_per_watt, 2
+                ),
+                hybrid_plan.host.describe(),
+            ]
+        )
+    return rows
+
+
+def test_ablation_hybrid_serving(benchmark, show):
+    rows = run_once(benchmark, _run_ablation)
+    show(
+        format_table(
+            [
+                "model",
+                "GPU-only QPS",
+                "hybrid QPS",
+                "QPS gain",
+                "QPS/W ratio",
+                "host path",
+            ],
+            rows,
+            title="Ablation -- hybrid host+accelerator serving on T7",
+        )
+    )
+    gains = {r[0]: r[3] for r in rows if r[3] == r[3]}
+    # Hybrid never loses throughput and helps at least one model.
+    assert all(g >= 0.99 for g in gains.values())
+    assert any(g > 1.1 for g in gains.values())

@@ -1,0 +1,83 @@
+"""Ablation: provisioning interval and over-provision rate R.
+
+Section IV-C: provisioning runs at coarse intervals (tens of minutes)
+to amortize workload setup, and the over-provision rate R absorbs the
+load growth within an interval.  This ablation sweeps both knobs on
+the Fig. 8 fleet and reports the power/churn trade-off:
+
+- longer intervals need a larger estimated R (steeper intra-interval
+  climbs) and therefore more provisioned power;
+- shorter intervals track the diurnal curve tighter but churn servers
+  more often.
+"""
+
+from __future__ import annotations
+
+from _shared import small_table
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import (
+    ClusterManager,
+    HerculesClusterScheduler,
+    estimate_over_provision,
+    synchronous_traces,
+)
+
+FLEET = {"T2": 70, "T3": 15, "T7": 5}
+PEAKS = {"DLRM-RMC1": 20_000.0, "DLRM-RMC2": 4_000.0}
+INTERVALS_MIN = (15.0, 30.0, 60.0, 120.0)
+
+
+def _run_ablation():
+    table = small_table()
+    traces = synchronous_traces(PEAKS)
+    rows = []
+    for interval in INTERVALS_MIN:
+        rate = estimate_over_provision(traces, interval)
+        manager = ClusterManager(
+            HerculesClusterScheduler(table, dict(FLEET)),
+            interval_minutes=interval,
+            over_provision=rate,
+        )
+        day = manager.run_day(traces)
+        total_churn = sum(sum(r.churn.values()) for r in day.records)
+        rows.append(
+            [
+                interval,
+                round(rate * 100, 1),
+                round(day.peak_power_w / 1e3, 2),
+                round(day.average_power_w / 1e3, 2),
+                total_churn,
+                day.any_shortfall,
+            ]
+        )
+    return rows
+
+
+def test_ablation_provisioning_interval(benchmark, show):
+    rows = run_once(benchmark, _run_ablation)
+    show(
+        format_table(
+            [
+                "interval min",
+                "estimated R %",
+                "peak kW",
+                "avg kW",
+                "day churn (servers)",
+                "shortfall",
+            ],
+            rows,
+            title="Ablation -- provisioning interval vs over-provision rate",
+        )
+    )
+    rates = [r[1] for r in rows]
+    churn = [r[4] for r in rows]
+    avg_power = [r[3] for r in rows]
+    # Longer intervals need a larger R ...
+    assert rates == sorted(rates)
+    # ... and pay more average provisioned power ...
+    assert avg_power[-1] >= avg_power[0]
+    # ... while short intervals churn more servers.
+    assert churn[0] >= churn[-1]
+    assert not any(r[5] for r in rows)

@@ -1,0 +1,86 @@
+"""Ablation: gradient-based search vs exhaustive sweep.
+
+Validates the convexity assumption Algorithm 1 rests on: the
+gradient walk must find (nearly) the exhaustive optimum of the
+Psp(M+D+O) space at a small fraction of its evaluation cost.
+"""
+
+from __future__ import annotations
+
+from _shared import evaluator, model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.models import partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import BATCH_GRID, GradientSearch
+
+MODELS = ("DLRM-RMC1", "DLRM-RMC3", "DIN")
+OP_PARALLELISM = (1, 2, 4)
+
+
+def _exhaustive(ev, m, wl):
+    pm = partition_model(m)
+    cores = ev.server.cpu.cores
+    best_qps = 0.0
+    evaluations = 0
+    for o in OP_PARALLELISM:
+        for threads in range(1, cores // o + 1):
+            for d in BATCH_GRID:
+                plan = ExecutionPlan(
+                    Placement.CPU_MODEL_BASED,
+                    threads=threads,
+                    cores_per_thread=o,
+                    batch_size=d,
+                )
+                perf = ev.latency_bounded(pm, wl, plan, sla_ms=m.sla_ms)
+                evaluations += 1
+                if perf.feasible:
+                    best_qps = max(best_qps, perf.qps)
+    return best_qps, evaluations
+
+
+def _run_ablation():
+    rows = []
+    for name in MODELS:
+        ev = evaluator("T2")
+        m = model(name)
+        wl = workload(name)
+        exhaustive_qps, exhaustive_evals = _exhaustive(ev, m, wl)
+        space = GradientSearch(ev, m, wl)
+        result = space.search_cpu_model_based()
+        rows.append(
+            [
+                name,
+                round(exhaustive_qps),
+                round(result.perf.qps) if result.feasible else 0,
+                round(result.perf.qps / exhaustive_qps, 3)
+                if exhaustive_qps
+                else float("nan"),
+                exhaustive_evals,
+                result.evaluations,
+            ]
+        )
+    return rows
+
+
+def test_ablation_gradient_vs_exhaustive(benchmark, show):
+    rows = run_once(benchmark, _run_ablation)
+    show(
+        format_table(
+            [
+                "model",
+                "exhaustive QPS",
+                "gradient QPS",
+                "quality",
+                "exhaustive evals",
+                "gradient evals",
+            ],
+            rows,
+            title="Ablation -- gradient search vs exhaustive Psp(M+D+O) sweep (CPU-T2)",
+        )
+    )
+    for row in rows:
+        _, exhaustive_qps, gradient_qps, quality, ex_evals, gr_evals = row
+        assert quality >= 0.95  # near-optimal
+        assert gr_evals < ex_evals  # and much cheaper

@@ -1,0 +1,107 @@
+"""Fig. 11: the Psp(M+D) scheduling surfaces are convex.
+
+Sweeps model-based scheduling of DLRM-RMC1 over (threads x batch) on
+the CPU and (co-location x fusion) on the GPU, printing the
+latency-bounded-throughput surface the gradient search walks, and
+checking the convexity property Algorithm 1 relies on: along each axis
+throughput rises to a single peak and then falls (unimodality).
+"""
+
+from __future__ import annotations
+
+from _shared import evaluator, model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.models import ModelVariant, build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+
+CPU_THREADS = (1, 2, 4, 6, 8, 10, 14, 20)
+CPU_BATCHES = (16, 64, 256, 1024)
+GPU_COLOC = (1, 2, 3, 4)
+GPU_FUSION = (256, 1024, 4096)
+
+
+def _unimodal(values, tolerance=0.02):
+    """True when the sequence rises to one peak then falls."""
+    peak = max(range(len(values)), key=lambda i: values[i])
+    rising = all(
+        values[i + 1] >= values[i] * (1 - tolerance) for i in range(peak)
+    )
+    falling = all(
+        values[i + 1] <= values[i] * (1 + tolerance)
+        for i in range(peak, len(values) - 1)
+    )
+    return rising and falling
+
+
+def _run_cpu_surface():
+    ev = evaluator("T2")
+    m = model("DLRM-RMC1")
+    pm = partition_model(m)
+    wl = workload("DLRM-RMC1")
+    surface = {}
+    for threads in CPU_THREADS:
+        for batch in CPU_BATCHES:
+            plan = ExecutionPlan(
+                Placement.CPU_MODEL_BASED,
+                threads=threads,
+                cores_per_thread=1,
+                batch_size=batch,
+            )
+            perf = ev.latency_bounded(pm, wl, plan, sla_ms=m.sla_ms)
+            surface[(threads, batch)] = perf.qps if perf.feasible else 0.0
+    return surface
+
+
+def _run_gpu_surface():
+    ev = evaluator("T7")
+    m = build_model("DLRM-RMC1", ModelVariant.SMALL)
+    wl = workload("DLRM-RMC1")
+    surface = {}
+    for coloc in GPU_COLOC:
+        pm = partition_model(m, device_memory_bytes=16e9, co_location=coloc)
+        for fusion in GPU_FUSION:
+            plan = ExecutionPlan(
+                Placement.GPU_MODEL_BASED, threads=coloc, fusion_limit=fusion
+            )
+            perf = ev.latency_bounded(pm, wl, plan, sla_ms=m.sla_ms)
+            surface[(coloc, fusion)] = perf.qps if perf.feasible else 0.0
+    return surface
+
+
+def test_fig11_cpu_surface_convex(benchmark, show):
+    surface = run_once(benchmark, _run_cpu_surface)
+    rows = [
+        [t] + [round(surface[(t, b)]) for b in CPU_BATCHES] for t in CPU_THREADS
+    ]
+    show(
+        format_table(
+            ["threads"] + [f"d={b}" for b in CPU_BATCHES],
+            rows,
+            title="Fig. 11(a) -- DLRM-RMC1 latency-bounded QPS over Psp(M+D), CPU-T2",
+        )
+    )
+    # Unimodal along the thread axis for every batch size.
+    for b in CPU_BATCHES:
+        series = [surface[(t, b)] for t in CPU_THREADS]
+        assert _unimodal(series), f"thread axis not unimodal at d={b}: {series}"
+    assert max(surface.values()) > 0
+
+
+def test_fig11_gpu_surface_convex(benchmark, show):
+    surface = run_once(benchmark, _run_gpu_surface)
+    rows = [
+        [g] + [round(surface[(g, f)]) for f in GPU_FUSION] for g in GPU_COLOC
+    ]
+    show(
+        format_table(
+            ["co-located"] + [f"fusion={f}" for f in GPU_FUSION],
+            rows,
+            title="Fig. 11(d) -- DLRM-RMC1(small) QPS over Psp(M+D), V100",
+        )
+    )
+    for f in GPU_FUSION:
+        series = [surface[(g, f)] for g in GPU_COLOC]
+        assert _unimodal(series, tolerance=0.05)
+    assert max(surface.values()) > 0

@@ -1,0 +1,89 @@
+"""Fig. 12: balancing the sparse-dense pipeline.
+
+(a) On the CPU: sweep the thread split between SparseNet and DenseNet
+    threads; throughput rises while both stages gain parallelism and
+    falls once the pipeline is unbalanced.
+(b) On CPU+GPU: the gradient search balances host SparseNet threads
+    against accelerator DenseNet fusion; the search trace is printed.
+"""
+
+from __future__ import annotations
+
+from _shared import evaluator, model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.models import partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import GradientSearch
+
+
+def _run_cpu_balance():
+    ev = evaluator("T2")
+    m = model("DLRM-RMC1")
+    pm = partition_model(m)
+    wl = workload("DLRM-RMC1")
+    cores = ev.server.cpu.cores
+    rows = []
+    for sparse_threads in (1, 2, 3, 4, 6, 8):
+        sparse_cores = 2
+        dense_threads = cores - sparse_threads * sparse_cores
+        if dense_threads < 1:
+            continue
+        plan = ExecutionPlan(
+            Placement.CPU_SD_PIPELINE,
+            batch_size=256,
+            sparse_threads=sparse_threads,
+            sparse_cores=sparse_cores,
+            dense_threads=dense_threads,
+        )
+        perf = ev.latency_bounded(pm, wl, plan, sla_ms=m.sla_ms)
+        rows.append(
+            [
+                f"{sparse_threads}x{sparse_cores}::{dense_threads}",
+                round(perf.qps) if perf.feasible else 0,
+            ]
+        )
+    return rows
+
+
+def _run_gpu_search_trace():
+    ev = evaluator("T7")
+    m = model("DLRM-RMC3")
+    space = GradientSearch(ev, m)
+    result = space.search_gpu_sd()
+    trace = [
+        (plan.describe(), round(qps)) for plan, qps in result.visited[:24]
+    ]
+    return result, trace
+
+
+def test_fig12a_cpu_sd_balance(benchmark, show):
+    rows = run_once(benchmark, _run_cpu_balance)
+    show(
+        format_table(
+            ["sparse x cores :: dense", "QPS"],
+            rows,
+            title="Fig. 12(a) -- DLRM-RMC1 S-D pipeline balance on CPU-T2",
+        )
+    )
+    qps = [r[1] for r in rows]
+    # Rises-then-falls: the peak is interior or at least not the first point.
+    peak = qps.index(max(qps))
+    assert max(qps) > 0
+    assert qps[peak] >= qps[0]
+    assert qps[-1] <= max(qps)
+
+
+def test_fig12b_gpu_sd_search(benchmark, show):
+    result, trace = run_once(benchmark, _run_gpu_search_trace)
+    show(
+        format_table(
+            ["candidate", "QPS"],
+            trace,
+            title="Fig. 12(b) -- gradient-search trace, DLRM-RMC3 S-D on CPU+V100",
+        )
+    )
+    assert result.feasible
+    assert result.plan.placement is Placement.GPU_SD
+    assert result.evaluations >= len(trace) // 2

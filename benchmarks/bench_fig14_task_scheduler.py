@@ -1,0 +1,75 @@
+"""Fig. 14: Hercules task scheduler vs the DeepRecSys+Baymax baseline.
+
+For every Table I model on the four headline server types (T2 CPU, T3
+CPU+NMP, T7 CPU+GPU, T8 CPU+NMP+GPU), runs both schedulers at the
+model's SLA target and reports latency-bounded throughput and speedup.
+
+Paper result: 1.03x-9.0x improvement; the largest gains are
+compute-dominated models on GPU servers (RMC3/MT-WnD/DIN/DIEN on T7),
+modest gains for MT-WnD/DIN/DIEN on CPU-only servers where SparseNet
+is <5% of latency.
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, evaluator, model
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.scheduling import BaselineTaskScheduler, HerculesTaskScheduler
+
+SERVERS = ("T2", "T3", "T7", "T8")
+
+
+def _run_fig14():
+    rows = []
+    for server_name in SERVERS:
+        for model_name in MODEL_ORDER:
+            ev = evaluator(server_name)
+            m = model(model_name)
+            hercules = HerculesTaskScheduler(ev, m).search()
+            baseline = BaselineTaskScheduler(ev, m).search()
+            gain = (
+                hercules.perf.qps / baseline.perf.qps
+                if baseline.feasible and hercules.feasible
+                else float("nan")
+            )
+            rows.append(
+                [
+                    server_name,
+                    model_name,
+                    round(baseline.perf.qps) if baseline.feasible else 0,
+                    round(hercules.perf.qps) if hercules.feasible else 0,
+                    round(gain, 2),
+                    hercules.plan.describe() if hercules.plan else "-",
+                ]
+            )
+    return rows
+
+
+def test_fig14_scheduler_comparison(benchmark, show):
+    rows = run_once(benchmark, _run_fig14)
+    show(
+        format_table(
+            ["server", "model", "baseline QPS", "hercules QPS", "gain", "best plan"],
+            rows,
+            title="Fig. 14 -- Hercules vs DeepRecSys/Baymax task scheduling",
+        )
+    )
+    gains = {(r[0], r[1]): r[4] for r in rows}
+    # Hercules never loses to the baseline (superset of its space).
+    for key, gain in gains.items():
+        if gain == gain:  # skip NaN (both infeasible)
+            assert gain >= 0.99, f"hercules lost at {key}: {gain}"
+    # Largest gains: compute-dominated models on the GPU server.
+    assert gains[("T7", "DLRM-RMC3")] > 2.0
+    assert gains[("T7", "MT-WnD")] > 3.0
+    assert gains[("T7", "DIN")] > 3.0
+    assert gains[("T7", "DIEN")] > 3.0
+    # Modest gains for one-hot models on CPU-only servers (<5% sparse).
+    assert gains[("T2", "DIN")] < 1.3
+    assert gains[("T2", "DIEN")] < 1.3
+    assert gains[("T2", "MT-WnD")] < 1.3
+    # Overall range consistent with the paper's 1.03x-9.0x claim.
+    real = [g for g in gains.values() if g == g]
+    assert max(real) < 12.0 and min(real) >= 0.99

@@ -1,0 +1,70 @@
+"""Fig. 15: server-architecture exploration across the full fleet.
+
+Profiles all 6 workloads x 10 server types and prints throughput and
+energy efficiency normalized to CPU-T1, with the paper's SLA targets
+(20/50/50/50/100/100 ms).
+
+Paper result: the optimal architecture is workload-dependent -- NMP
+types win for memory-dominated RMC1/RMC2, GPU types for
+compute-dominated RMC3/MT-WnD/DIN/DIEN, and NMP brings no throughput
+gain (only an idle-power tax) for the one-hot models.
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, full_table
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.hardware import SERVER_TYPES
+
+SERVER_ORDER = tuple(SERVER_TYPES)
+
+
+def _run_fig15():
+    table = full_table()
+    qps_norm = table.normalized(metric="qps", baseline_server="T1")
+    eff_norm = table.normalized(metric="qps_per_watt", baseline_server="T1")
+    return table, qps_norm, eff_norm
+
+
+def _rows(norm):
+    return [
+        [model] + [round(norm[model].get(s, 0.0), 2) for s in SERVER_ORDER]
+        for model in MODEL_ORDER
+    ]
+
+
+def test_fig15_server_architecture_exploration(benchmark, show):
+    table, qps_norm, eff_norm = run_once(benchmark, _run_fig15)
+    show(
+        format_table(
+            ["model"] + list(SERVER_ORDER),
+            _rows(qps_norm),
+            title="Fig. 15(a) -- normalized latency-bounded QPS (T1 = 1.0)",
+        )
+    )
+    show(
+        format_table(
+            ["model"] + list(SERVER_ORDER),
+            _rows(eff_norm),
+            title="Fig. 15(b) -- normalized energy efficiency QPS/W (T1 = 1.0)",
+        )
+    )
+    # Memory-dominated models: NMP beats plain CPU on QPS and QPS/W.
+    for model in ("DLRM-RMC1", "DLRM-RMC2"):
+        assert qps_norm[model]["T3"] > 1.4 * qps_norm[model]["T2"]
+        assert eff_norm[model]["T3"] > eff_norm[model]["T2"]
+    # Compute-dominated models: the V100 server dominates CPU types.
+    for model in ("DLRM-RMC3", "MT-WnD", "DIN", "DIEN"):
+        assert qps_norm[model]["T7"] > 3.0 * qps_norm[model]["T2"]
+    # One-hot models: NMP buys no throughput but costs idle power.
+    for model in ("MT-WnD", "DIN", "DIEN"):
+        assert qps_norm[model]["T3"] <= qps_norm[model]["T2"] * 1.05
+        assert eff_norm[model]["T3"] < eff_norm[model]["T2"]
+    # The best architecture differs across workloads (the Fig. 15 headline).
+    best_by_eff = {
+        model: max(SERVER_ORDER, key=lambda s: eff_norm[model][s])
+        for model in MODEL_ORDER
+    }
+    assert len(set(best_by_eff.values())) >= 2

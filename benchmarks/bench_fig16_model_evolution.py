@@ -1,0 +1,91 @@
+"""Fig. 16: model evolution on CPU-only vs accelerated clusters.
+
+Shifts the workload mix linearly from DLRM-RMC1/2/3 to DIN/DIEN/MT-WnD
+over model-update cycles and provisions a CPU-only cluster (T1+T2) for
+each cycle's diurnal day.
+
+Paper result: on CPU-only hardware the growing share of
+higher-complexity models inflates cluster capacity and provisioned
+power severalfold by the end of the evolution; deploying accelerated
+servers recovers most of it (Fig. 16b).
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, profile_table
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import GreedyScheduler, HerculesClusterScheduler, run_evolution
+
+TOTAL_PEAK_QPS = 4_000.0
+CYCLES = 5
+CPU_FLEET = {"T1": 100, "T2": 100}
+ACCEL_FLEET = {
+    "T1": 100, "T2": 70, "T3": 15, "T4": 10, "T5": 5,
+    "T6": 10, "T7": 5, "T8": 6, "T9": 4, "T10": 2,
+}
+
+
+def _run_fig16():
+    cpu_table = profile_table(("T1", "T2"), MODEL_ORDER)
+    accel_table = profile_table(tuple(ACCEL_FLEET), MODEL_ORDER)
+    cpu_result = run_evolution(
+        GreedyScheduler(cpu_table, dict(CPU_FLEET)),
+        total_peak_qps=TOTAL_PEAK_QPS,
+        cycles=CYCLES,
+    )
+    accel_result = run_evolution(
+        HerculesClusterScheduler(accel_table, dict(ACCEL_FLEET)),
+        total_peak_qps=TOTAL_PEAK_QPS,
+        cycles=CYCLES,
+    )
+    return cpu_table, cpu_result, accel_table, accel_result
+
+
+def test_fig16_model_evolution(benchmark, show):
+    cpu_table, cpu_result, accel_table, accel_result = run_once(
+        benchmark, _run_fig16
+    )
+    rows = []
+    for i, (mix, cpu_day, accel_day) in enumerate(
+        zip(cpu_result.mixes, cpu_result.days, accel_result.days)
+    ):
+        new_share = sum(
+            share
+            for name, share in mix.shares.items()
+            if name in ("DIN", "DIEN", "MT-WnD")
+        )
+        rows.append(
+            [
+                i,
+                round(new_share * 100),
+                round(cpu_day.peak_power_w / 1e3, 2),
+                cpu_day.peak_servers,
+                round(accel_day.peak_power_w / 1e3, 2),
+                accel_day.peak_servers,
+                cpu_day.any_shortfall,
+            ]
+        )
+    show(
+        format_table(
+            [
+                "cycle",
+                "new models %",
+                "CPU-only peak kW",
+                "CPU-only servers",
+                "accel peak kW",
+                "accel servers",
+                "cpu shortfall",
+            ],
+            rows,
+            title="Fig. 16 -- model evolution: CPU-only vs accelerated cluster",
+        )
+    )
+    cpu_power = cpu_result.peak_power_series()
+    # Evolution toward complex models inflates CPU-only cost severalfold.
+    assert cpu_power[-1] > 2.0 * cpu_power[0]
+    assert cpu_result.peak_server_series()[-1] > 2.0 * cpu_result.peak_server_series()[0]
+    # The accelerated cluster absorbs the evolution far more cheaply.
+    accel_power = accel_result.peak_power_series()
+    assert accel_power[-1] < 0.6 * cpu_power[-1]

@@ -1,0 +1,76 @@
+"""Fig. 1 (left): compute/memory-intensity map of the model zoo.
+
+Places every Table I model on the (memory bytes per query, FLOPs per
+query) plane and classifies it into the paper's regions:
+
+- *memory-dominated*: DLRM-RMC1, DLRM-RMC2 (sparse gather-reduce);
+- *compute-dominated*: DLRM-RMC3, MT-WnD, DIN, DIEN (wide FC stacks,
+  attention, GRU).
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, model
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.hardware import CPU_T2, DDR4_T2
+
+#: Roofline balance point of the reference CPU: ops/byte above which a
+#: workload is compute-bound on CPU-T2 with DDR4.
+_BALANCE = (
+    CPU_T2.peak_flops * CPU_T2.gemm_efficiency / DDR4_T2.gather_bw_bytes
+)
+
+
+def _run_fig1():
+    rows = []
+    for name in MODEL_ORDER:
+        m = model(name)
+        query_items = m.config.mean_query_size
+        flops = m.graph.total_flops(query_items)
+        mem = m.graph.total_mem_bytes(query_items)
+        intensity = flops / mem
+        region = "compute" if intensity > _BALANCE else "memory"
+        rows.append(
+            [
+                name,
+                round(flops / 1e9, 2),
+                round(mem / 1e6, 2),
+                round(intensity, 2),
+                region,
+            ]
+        )
+    return rows
+
+
+def test_fig1_intensity_map(benchmark, show):
+    rows = run_once(benchmark, _run_fig1)
+    show(
+        format_table(
+            [
+                "model",
+                "GFLOP/query",
+                "mem MB/query",
+                "FLOP/byte",
+                "region",
+            ],
+            rows,
+            title=(
+                "Fig. 1 -- compute vs memory intensity per query "
+                f"(CPU-T2 balance point {_BALANCE:.1f} FLOP/byte)"
+            ),
+        )
+    )
+    regions = {r[0]: r[4] for r in rows}
+    # The paper's quadrants.
+    assert regions["DLRM-RMC1"] == "memory"
+    assert regions["DLRM-RMC2"] == "memory"
+    for name in ("DLRM-RMC3", "MT-WnD", "DIN", "DIEN"):
+        assert regions[name] == "compute"
+    # DIN/DIEN sit at the top of the compute axis (Fig. 1's layout).
+    flops = {r[0]: r[1] for r in rows}
+    assert flops["DIN"] > flops["MT-WnD"] > flops["DLRM-RMC1"]
+    # RMC2 moves the most memory per query.
+    mem = {r[0]: r[2] for r in rows}
+    assert mem["DLRM-RMC2"] == max(mem.values())

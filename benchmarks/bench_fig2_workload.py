@@ -1,0 +1,102 @@
+"""Fig. 2(b-d): workload characterization.
+
+Regenerates (b) the heavy-tail query-size histogram with p75/p95/p99
+markers, (c) the pooling-factor distribution across 15 embedding tables
+over 500 queries, and (d) the synchronous diurnal load of two services.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis import format_series, format_table
+from repro.cluster import synchronous_traces
+from repro.sim import PoolingFactorDistribution, QuerySizeDistribution
+
+
+def _query_size_histogram():
+    dist = QuerySizeDistribution(mean=120.0, sigma=0.8)
+    rng = np.random.default_rng(0)
+    samples = dist.sample(rng, 100_000)
+    edges = [1, 25, 50, 100, 200, 400, 800, 1600, 2048]
+    hist, _ = np.histogram(samples, bins=edges)
+    return dist, edges, hist / hist.sum()
+
+
+def test_fig2b_query_size_tail(benchmark, show):
+    dist, edges, freq = run_once(benchmark, _query_size_histogram)
+    rows = [
+        [f"{lo}-{hi}", round(float(f), 4)]
+        for lo, hi, f in zip(edges[:-1], edges[1:], freq)
+    ]
+    show(
+        format_table(
+            ["size bin", "frequency"],
+            rows,
+            precision=4,
+            title=(
+                "Fig. 2(b) -- query-size histogram "
+                f"(p50={dist.percentile(50)}, p75={dist.percentile(75)}, "
+                f"p95={dist.percentile(95)}, p99={dist.percentile(99)})"
+            ),
+        )
+    )
+    # Heavy tail: p99 well beyond p75, sizes span 10..1000+.
+    assert dist.percentile(99) > 3 * dist.percentile(75)
+    assert dist.percentile(99) >= 500
+
+
+def _pooling_distribution():
+    dist = PoolingFactorDistribution(mean=80.0, cv=0.6, spread=0.5, num_tables=15)
+    rng = np.random.default_rng(1)
+    samples = dist.sample(rng, queries=500)
+    return samples
+
+
+def test_fig2c_pooling_factors(benchmark, show):
+    samples = run_once(benchmark, _pooling_distribution)
+    rows = []
+    for table_id in range(samples.shape[1]):
+        col = samples[:, table_id]
+        rows.append(
+            [
+                f"emb{table_id}",
+                round(float(col.mean()), 1),
+                round(float(np.percentile(col, 5)), 1),
+                round(float(np.percentile(col, 95)), 1),
+            ]
+        )
+    show(
+        format_table(
+            ["table", "mean pooling", "p5", "p95"],
+            rows,
+            title="Fig. 2(c) -- pooling factors of 15 tables over 500 queries",
+        )
+    )
+    means = samples.mean(axis=0)
+    # Large cross-table variance and per-query spread.
+    assert means.max() / means.min() > 2.0
+    assert samples.shape == (500, 15)
+
+
+def test_fig2d_diurnal_loads(benchmark, show):
+    traces = run_once(
+        benchmark,
+        lambda: synchronous_traces({"service-1": 50_000, "service-2": 30_000}),
+    )
+    series1 = traces["service-1"].series(interval_minutes=60.0)
+    show(
+        format_series(
+            series1,
+            x_label="hour",
+            y_label="load (QPS)",
+            title="Fig. 2(d) -- diurnal load of service-1 (service-2 synchronous)",
+        )
+    )
+    for trace in traces.values():
+        loads = [q for _, q in trace.series(60.0)]
+        assert min(loads) < 0.5 * max(loads)  # >50% fluctuation
+    # Synchronous peaks across services.
+    assert traces["service-1"].peak_hour == traces["service-2"].peak_hour

@@ -1,0 +1,51 @@
+"""Fig. 5: operator-worker idle time from graph dependencies.
+
+Replays the Fig. 5 experiment: execute each Table I model graph at
+batch 256 with 1-4 parallel operator workers and measure the idle
+fraction of worker time.  The paper reports 25-74% idle cycles for 2-4
+workers, caused by dependency stalls (Predict-FC waits on Bottom-FC and
+the SparseNet).
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, model
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.hardware import CPU_T2, DDR4_T2
+from repro.perf import CpuOpModel, list_schedule
+
+BATCH = 256
+
+
+def _run_fig5():
+    cpu = CpuOpModel(CPU_T2, DDR4_T2)
+    rows = []
+    for name in MODEL_ORDER:
+        graph = model(name).graph
+        latencies = {n.name: cpu.op_timing(n.op, BATCH).latency_s for n in graph}
+        idle = [
+            round(list_schedule(graph, latencies, workers).idle_fraction * 100, 1)
+            for workers in (1, 2, 3, 4)
+        ]
+        serial_ms = round(list_schedule(graph, latencies, 1).makespan_s * 1e3, 2)
+        rows.append([name, serial_ms, *idle])
+    return rows
+
+
+def test_fig5_op_worker_idle(benchmark, show):
+    rows = run_once(benchmark, _run_fig5)
+    show(
+        format_table(
+            ["model", "serial_ms", "idle%@1", "idle%@2", "idle%@3", "idle%@4"],
+            rows,
+            title=f"Fig. 5 -- operator-worker idle time (batch {BATCH})",
+        )
+    )
+    for row in rows:
+        name, _, i1, i2, i3, i4 = row
+        assert i1 == 0.0
+        assert i4 >= i2 - 1e-9
+        if name != "MT-WnD":  # independent task towers pack well
+            assert 20.0 < i4 < 80.0  # paper: 25-74%

@@ -1,0 +1,81 @@
+"""Fig. 7: latency breakdown vs query-fusion limit on the GPU.
+
+Sweeps the fusion limit for DLRM-RMC3, MT-WnD and DIN (one inference
+thread on one V100, as in the paper) and reports the queuing /
+data-loading / model-inference latency shares plus GPU utilization.
+
+Paper result: DLRM-RMC3's multi-hot sparse indices make data loading
+dominate (65-83% of latency, ~25% GPU utilization); MT-WnD and DIN
+keep the GPU busy.
+"""
+
+from __future__ import annotations
+
+from _shared import evaluator, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.models import ModelVariant, build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+
+MODELS = ("DLRM-RMC3", "MT-WnD", "DIN")
+FUSION_SWEEP = (0, 500, 1000, 2000, 4000, 6000)
+LOAD_FRACTION = 0.7
+
+
+def _run_fig7():
+    ev = evaluator("T7")
+    rows = []
+    for name in MODELS:
+        m = build_model(name, ModelVariant.SMALL)
+        wl = workload(name)
+        pm = partition_model(m, device_memory_bytes=16e9, co_location=1)
+        for fusion in FUSION_SWEEP:
+            plan = ExecutionPlan(
+                Placement.GPU_MODEL_BASED,
+                threads=1,
+                fusion_limit=fusion,
+                sparse_threads=ev.server.cpu.cores if pm.cold_miss_rate > 0 else 0,
+            )
+            timings = ev.plan_timings(pm, wl, plan)
+            qps = timings.capacity_items_s / wl.mean_size * LOAD_FRACTION
+            perf = ev.perf_at(timings, wl, qps)
+            rows.append(
+                [
+                    name,
+                    fusion if fusion else "none",
+                    round(perf.breakdown["queuing"] * 100, 1),
+                    round(perf.breakdown["loading"] * 100, 1),
+                    round(perf.breakdown["inference"] * 100, 1),
+                    round(perf.gpu_util * 100, 1),
+                ]
+            )
+    return rows
+
+
+def test_fig7_fusion_breakdown(benchmark, show):
+    rows = run_once(benchmark, _run_fig7)
+    show(
+        format_table(
+            ["model", "fusion", "queuing%", "loading%", "inference%", "gpu_util%"],
+            rows,
+            title="Fig. 7 -- latency breakdown vs fusion limit (1 thread, V100, 70% load)",
+        )
+    )
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row[0], []).append(row)
+    # The paper's directional findings:
+    # (1) RMC3's multi-hot sparse indices make data loading a far larger
+    #     share than for the one-hot models;
+    rmc3_loading = max(r[3] for r in by_model["DLRM-RMC3"])
+    assert rmc3_loading > 3 * max(r[3] for r in by_model["MT-WnD"])
+    assert rmc3_loading > 3 * max(r[3] for r in by_model["DIN"])
+    # (2) queuing delay grows with the fusion limit;
+    for series in by_model.values():
+        assert series[-1][2] > series[0][2]
+    # (3) at large fusion the GPU stays less utilized for RMC3 than for
+    #     the compute-heavy models.
+    rmc3_large = by_model["DLRM-RMC3"][-1]
+    assert by_model["DIN"][-1][5] >= rmc3_large[5]
+    assert by_model["MT-WnD"][-1][5] >= rmc3_large[5]

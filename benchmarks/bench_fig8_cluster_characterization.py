@@ -1,0 +1,89 @@
+"""Fig. 8: heterogeneity-aware cluster scheduling characterization.
+
+(a) Latency-bounded energy efficiency of DLRM-RMC1 and RMC2 on the
+    three server types (CPU, CPU+NMP, CPU+GPU) -- establishing the
+    CPU+NMP > CPU+GPU > CPU ranking.
+(b-c) Provisioned power of the heterogeneity-oblivious (NH), greedy,
+    and priority-aware schedulers over a diurnal day with availability
+    70/15/5.
+
+Paper result: greedy saves up to 41.6% provisioned power over NH;
+priority-aware saves a further 11.4% (peak) by routing the contested
+CPU+NMP servers to RMC2, which benefits more.
+"""
+
+from __future__ import annotations
+
+from _shared import small_table
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import (
+    ClusterManager,
+    GreedyScheduler,
+    NHScheduler,
+    PriorityAwareScheduler,
+    synchronous_traces,
+)
+
+FLEET = {"T2": 70, "T3": 15, "T7": 5}
+PEAKS = {"DLRM-RMC1": 20_000.0, "DLRM-RMC2": 5_500.0}
+
+
+def _run_fig8():
+    table = small_table()
+    efficiency_rows = []
+    for model in ("DLRM-RMC1", "DLRM-RMC2"):
+        base = table.get("T2", model).qps_per_watt
+        efficiency_rows.append(
+            [
+                model,
+                round(base, 2),
+                round(table.get("T3", model).qps_per_watt / base, 2),
+                round(table.get("T7", model).qps_per_watt / base, 2),
+            ]
+        )
+    traces = synchronous_traces(PEAKS)
+    power_rows = []
+    for policy in (NHScheduler, GreedyScheduler, PriorityAwareScheduler):
+        manager = ClusterManager(policy(table, dict(FLEET)), over_provision=0.05)
+        day = manager.run_day(traces)
+        power_rows.append(
+            [
+                policy.__name__,
+                round(day.peak_power_w / 1e3, 2),
+                round(day.average_power_w / 1e3, 2),
+                day.any_shortfall,
+            ]
+        )
+    return efficiency_rows, power_rows
+
+
+def test_fig8_characterization(benchmark, show):
+    efficiency_rows, power_rows = run_once(benchmark, _run_fig8)
+    show(
+        format_table(
+            ["model", "T2 QPS/W", "T3 (NMP) gain", "T7 (GPU) gain"],
+            efficiency_rows,
+            title="Fig. 8(a) -- energy efficiency by server type (vs CPU T2)",
+        )
+    )
+    show(
+        format_table(
+            ["scheduler", "peak kW", "avg kW", "shortfall"],
+            power_rows,
+            title="Fig. 8(c) -- provisioned power (T2/T3/T7 avail 70/15/5)",
+        )
+    )
+    # Fig. 8(a): NMP > GPU > CPU on efficiency for both workloads,
+    # with RMC2 benefiting more from NMP than RMC1 (paper: 2.04 vs 1.75).
+    for row in efficiency_rows:
+        _, base, nmp_gain, gpu_gain = row
+        assert nmp_gain > gpu_gain > 0.9
+        assert 1.3 < nmp_gain < 2.8
+    # Fig. 8(c): heterogeneity-awareness saves large provisioned power.
+    nh, greedy, priority = power_rows
+    assert greedy[1] < 0.7 * nh[1]  # paper: up to 41.6% saving
+    assert priority[1] <= greedy[1] * 1.001
+    assert priority[2] <= greedy[2] * 1.001
+    assert not any(row[3] for row in power_rows)

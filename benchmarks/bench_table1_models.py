@@ -1,0 +1,69 @@
+"""Table I: the six production recommendation model configurations.
+
+Regenerates the Table I summary (tables, rows, pooling, footprint,
+per-item compute/memory intensity, SLA) from the model zoo and checks
+the Fig. 1 quadrant structure: DLRM-RMC1/RMC2 memory-dominated,
+RMC3/MT-WnD/DIN/DIEN compute-dominated.
+"""
+
+from __future__ import annotations
+
+from _shared import MODEL_ORDER, model
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.models import ModelVariant, build_model
+
+
+def _build_table1_rows():
+    rows = []
+    for name in MODEL_ORDER:
+        m = model(name)
+        d = m.describe()
+        rows.append(
+            [
+                d["model"],
+                d["service"],
+                d["tables"],
+                d["rows_per_table"],
+                d["pooling"],
+                round(d["weight_gb"], 1),
+                round(d["flops_per_item"] / 1e6, 2),
+                round(d["mem_bytes_per_item"] / 1e3, 1),
+                d["sla_ms"],
+            ]
+        )
+    return rows
+
+
+def test_table1_model_zoo(benchmark, show):
+    rows = run_once(benchmark, _build_table1_rows)
+    show(
+        format_table(
+            [
+                "model",
+                "service",
+                "tables",
+                "rows/table",
+                "pooling",
+                "weights_GB",
+                "MFLOP/item",
+                "mem_KB/item",
+                "SLA_ms",
+            ],
+            rows,
+            title="Table I -- production-scale model configurations",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    # Fig. 1 quadrants: compute intensity (MFLOP/item).
+    assert by_name["MT-WnD"][6] > by_name["DLRM-RMC1"][6]
+    assert by_name["DIN"][6] > by_name["DLRM-RMC1"][6]
+    # Memory intensity (KB/item): RMC2's 100 tables dominate.
+    assert by_name["DLRM-RMC2"][7] == max(r[7] for r in rows)
+
+
+def test_table1_build_cost(benchmark):
+    """Model construction is cheap enough to rebuild per experiment."""
+    result = benchmark(lambda: build_model("DLRM-RMC2", ModelVariant.PROD))
+    assert result.graph is not None

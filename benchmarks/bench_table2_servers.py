@@ -1,0 +1,64 @@
+"""Table II: the ten heterogeneous server configurations.
+
+Regenerates the Table II inventory (composition, cores, memory,
+bandwidth, TDP, availability) and benchmarks evaluator construction,
+which includes building the NMP latency LUT for NMP-equipped types.
+"""
+
+from __future__ import annotations
+
+from _shared import evaluator
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.hardware import SERVER_AVAILABILITY, SERVER_TYPES
+from repro.sim import ServerEvaluator
+
+
+def _build_table2_rows():
+    rows = []
+    for name, server in SERVER_TYPES.items():
+        rows.append(
+            [
+                name,
+                server.label,
+                server.cpu.cores,
+                round(server.memory.capacity_bytes / 1e9),
+                round(server.memory.nmp_gather_reduce_bw_bytes / 1e9, 1),
+                round(server.gpu.peak_flops / 1e12, 1) if server.gpu else 0.0,
+                round(server.tdp_w),
+                SERVER_AVAILABILITY[name],
+            ]
+        )
+    return rows
+
+
+def test_table2_server_types(benchmark, show):
+    rows = run_once(benchmark, _build_table2_rows)
+    show(
+        format_table(
+            [
+                "type",
+                "composition",
+                "cores",
+                "mem_GB",
+                "gather_GB/s",
+                "gpu_TFLOPs",
+                "TDP_W",
+                "avail",
+            ],
+            rows,
+            title="Table II -- heterogeneous server types (N1-N10)",
+        )
+    )
+    assert len(rows) == 10
+    assert sum(r[-1] for r in rows) == 257
+    by_name = {r[0]: r for r in rows}
+    # NMP rank parallelism scales the gather-reduce bandwidth.
+    assert by_name["T5"][4] > 3 * by_name["T3"][4]
+
+
+def test_table2_evaluator_construction(benchmark):
+    """Includes the offline NMP-LUT build for the NMPx8 type."""
+    result = benchmark(lambda: ServerEvaluator(SERVER_TYPES["T5"]))
+    assert result.server.has_nmp

@@ -1,0 +1,53 @@
+"""Benchmark-harness configuration.
+
+Each bench regenerates one paper table or figure: it runs the
+experiment once under pytest-benchmark (wall-clock is informative, not
+statistical) and registers the paper-style rows through the ``show``
+fixture.  Registered tables are (a) written to
+``benchmarks/results/<test>.txt`` and (b) replayed in the terminal
+summary, so they survive pytest's output capture and land in a tee'd
+bench log.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def show(request):
+    """Register a paper-style table/series for this bench."""
+
+    def _show(text: str) -> None:
+        _TABLES.append((request.node.name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{request.node.name}.txt"
+        with path.open("a") as fh:
+            fh.write(text + "\n\n")
+        print(text)
+
+    # Start each test's result file fresh.
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{request.node.name}.txt").write_text("")
+    return _show
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every registered table after the test summary."""
+    if not _TABLES:
+        return
+    terminalreporter.section("regenerated paper tables and figures")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        terminalreporter.write_line(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

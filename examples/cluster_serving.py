@@ -1,0 +1,96 @@
+"""Online cluster serving: a full day on the heterogeneous fleet.
+
+Profiles a three-type fleet offline (the Fig. 8 setup), then replays a
+synchronous diurnal day of DLRM-RMC1 + DLRM-RMC2 traffic through the
+four cluster scheduling policies, printing the provisioned-power series
+and the peak/average summary the paper reports.
+
+Run:  python examples/cluster_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_series, print_table
+from repro.cluster import (
+    ClusterManager,
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    NHScheduler,
+    PriorityAwareScheduler,
+    estimate_over_provision,
+    synchronous_traces,
+)
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model
+from repro.scheduling import OfflineProfiler
+
+FLEET = {"T2": 70, "T3": 15, "T7": 5}
+PEAKS = {"DLRM-RMC1": 20_000.0, "DLRM-RMC2": 5_500.0}
+
+
+def main() -> None:
+    print("Offline profiling T2/T3/T7 for DLRM-RMC1 and DLRM-RMC2 ...")
+    profiler = OfflineProfiler()
+    table = profiler.profile(
+        [SERVER_TYPES[s] for s in FLEET],
+        [build_model("DLRM-RMC1"), build_model("DLRM-RMC2")],
+    )
+    print_table(
+        ["server", "model", "QPS", "power W", "QPS/W", "plan"],
+        [
+            [
+                tup.server_name,
+                tup.model_name,
+                round(tup.qps),
+                round(tup.power_w),
+                round(tup.qps_per_watt, 2),
+                tup.plan.describe() if tup.plan else "-",
+            ]
+            for tup in table.entries.values()
+        ],
+        title="Workload classification (efficiency tuples, Fig. 9b)",
+    )
+
+    traces = synchronous_traces(PEAKS)
+    rate = estimate_over_provision(traces, interval_minutes=30.0)
+    print(f"\nEstimated over-provision rate R = {rate * 100:.1f}%\n")
+
+    summary_rows = []
+    hercules_day = None
+    for policy in (
+        NHScheduler,
+        GreedyScheduler,
+        PriorityAwareScheduler,
+        HerculesClusterScheduler,
+    ):
+        manager = ClusterManager(policy(table, dict(FLEET)), over_provision=rate)
+        day = manager.run_day(traces)
+        if policy is HerculesClusterScheduler:
+            hercules_day = day
+        summary_rows.append(
+            [
+                policy.__name__,
+                round(day.peak_power_w / 1e3, 2),
+                round(day.average_power_w / 1e3, 2),
+                day.peak_servers,
+                day.any_shortfall,
+            ]
+        )
+    print_table(
+        ["scheduler", "peak kW", "avg kW", "peak servers", "shortfall"],
+        summary_rows,
+        title="One-day provisioning summary (cf. Fig. 8c / Fig. 17)",
+    )
+
+    print()
+    print_series(
+        hercules_day.power_series(),
+        x_label="hour",
+        y_label="provisioned kW",
+        title="Hercules provisioned power over the day",
+        precision=0,
+    )
+
+
+if __name__ == "__main__":
+    main()

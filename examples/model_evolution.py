@@ -1,0 +1,95 @@
+"""Model evolution: what newer, heavier models cost the fleet (Fig. 16).
+
+Linearly shifts traffic from the DLRM family to DIN/DIEN/MT-WnD over
+model-update cycles and provisions (a) a CPU-only cluster and (b) the
+accelerated fleet for each cycle, showing how acceleration absorbs the
+complexity growth.
+
+Run:  python examples/model_evolution.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.cluster import (
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    linear_evolution,
+    run_evolution,
+)
+from repro.hardware import SERVER_TYPES
+from repro.models import MODEL_NAMES, build_model
+from repro.scheduling import OfflineProfiler
+
+TOTAL_PEAK_QPS = 4_000.0
+CYCLES = 5
+CPU_FLEET = {"T1": 100, "T2": 100}
+ACCEL_FLEET = {
+    "T1": 100, "T2": 70, "T3": 15, "T4": 10, "T5": 5,
+    "T6": 10, "T7": 5, "T8": 6, "T9": 4, "T10": 2,
+}
+
+
+def main() -> None:
+    models = [build_model(name) for name in MODEL_NAMES]
+    profiler = OfflineProfiler()
+
+    print("Profiling the CPU-only cluster (T1, T2) ...")
+    cpu_table = profiler.profile([SERVER_TYPES[s] for s in CPU_FLEET], models)
+    print("Profiling the accelerated fleet (T1-T10) ...")
+    accel_table = profiler.profile(
+        [SERVER_TYPES[s] for s in ACCEL_FLEET], models
+    )
+
+    cpu = run_evolution(
+        GreedyScheduler(cpu_table, dict(CPU_FLEET)),
+        total_peak_qps=TOTAL_PEAK_QPS,
+        cycles=CYCLES,
+    )
+    accel = run_evolution(
+        HerculesClusterScheduler(accel_table, dict(ACCEL_FLEET)),
+        total_peak_qps=TOTAL_PEAK_QPS,
+        cycles=CYCLES,
+    )
+
+    rows = []
+    for i, mix in enumerate(cpu.mixes):
+        new_share = sum(
+            s for name, s in mix.shares.items() if name in ("DIN", "DIEN", "MT-WnD")
+        )
+        rows.append(
+            [
+                i,
+                f"{new_share * 100:.0f}%",
+                round(cpu.days[i].peak_power_w / 1e3, 2),
+                cpu.days[i].peak_servers,
+                round(accel.days[i].peak_power_w / 1e3, 2),
+                accel.days[i].peak_servers,
+            ]
+        )
+    print()
+    print_table(
+        [
+            "cycle",
+            "new-model traffic",
+            "CPU-only peak kW",
+            "CPU-only peak servers",
+            "accelerated peak kW",
+            "accelerated peak servers",
+        ],
+        rows,
+        title="Fig. 16 -- cost of model evolution, CPU-only vs accelerated",
+    )
+
+    cpu_growth = cpu.peak_power_series()[-1] / cpu.peak_power_series()[0]
+    accel_end = accel.peak_power_series()[-1]
+    cpu_end = cpu.peak_power_series()[-1]
+    print(
+        f"\nCPU-only provisioned power grows {cpu_growth:.1f}x across the "
+        f"evolution; the accelerated fleet ends at "
+        f"{accel_end / cpu_end * 100:.0f}% of the CPU-only cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

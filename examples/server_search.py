@@ -1,0 +1,98 @@
+"""Explore the task-scheduling space the way Figs. 11-12 visualize it.
+
+Dumps the latency-bounded-throughput surface of the Psp(M+D) space for
+a model/server pair, overlays the path Algorithm 1's gradient walk
+takes through it, and prints the per-placement optima the full
+Hercules task scheduler compares.
+
+Run:  python examples/server_search.py [MODEL] [SERVER]
+      e.g. python examples/server_search.py DLRM-RMC1 T3
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import print_table
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import GradientSearch
+from repro.sim import ServerEvaluator
+
+
+def surface(evaluator, model, threads_axis, batch_axis):
+    """Latency-bounded QPS over (threads, batch) with o = 1."""
+    partitioned = partition_model(model)
+    rows = []
+    for threads in threads_axis:
+        row = [f"m={threads}"]
+        for batch in batch_axis:
+            plan = ExecutionPlan(
+                Placement.CPU_MODEL_BASED,
+                threads=threads,
+                cores_per_thread=1,
+                batch_size=batch,
+            )
+            perf = evaluator.latency_bounded(
+                partitioned, None or _workload(model), plan, sla_ms=model.sla_ms
+            )
+            row.append(round(perf.qps) if perf.feasible else 0)
+        rows.append(row)
+    return rows
+
+
+def _workload(model):
+    from repro.sim import QueryWorkload
+
+    return QueryWorkload.for_model(model.config.mean_query_size)
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "DLRM-RMC1"
+    server_name = sys.argv[2] if len(sys.argv) > 2 else "T2"
+    model = build_model(model_name)
+    server = SERVER_TYPES[server_name]
+    evaluator = ServerEvaluator(server)
+
+    print(f"{model.name} on {server.name} ({server.label}), SLA {model.sla_ms:.0f} ms\n")
+
+    threads_axis = (1, 2, 4, 8, 12, 16, 20)
+    batch_axis = (16, 64, 256, 1024)
+    rows = surface(evaluator, model, threads_axis, batch_axis)
+    print_table(
+        ["threads \\ batch"] + [str(b) for b in batch_axis],
+        rows,
+        title="Psp(M+D) latency-bounded QPS surface (o=1) -- cf. Fig. 11",
+    )
+
+    space = GradientSearch(evaluator, model)
+    results = {"cpu_model_based": space.search_cpu_model_based()}
+    results["cpu_sd_pipeline"] = space.search_cpu_sd_pipeline()
+    if server.has_gpu:
+        results["gpu_model_based"] = space.search_gpu_model_based()
+        results["gpu_sd"] = space.search_gpu_sd()
+
+    print()
+    print_table(
+        ["placement", "best plan", "QPS", "QPS/W"],
+        [
+            [
+                name,
+                r.plan.describe() if r.plan else "infeasible",
+                round(r.perf.qps) if r.feasible else 0,
+                round(r.perf.qps_per_watt, 1) if r.feasible else 0.0,
+            ]
+            for name, r in results.items()
+        ],
+        title="Per-placement optima (cf. Fig. 12)",
+    )
+    print(f"\nTotal configurations evaluated: {space.evaluations}")
+    walk = space.visited[:12]
+    print("\nFirst gradient-walk steps (plan -> QPS):")
+    for plan, qps in walk:
+        print(f"  {plan.describe():42s} {qps:>10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs where the wheel
+package is unavailable (pyproject.toml remains the source of truth)."""
+
+from setuptools import setup
+
+setup()

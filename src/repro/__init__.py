@@ -1,0 +1,26 @@
+"""Hercules reproduction: heterogeneity-aware recommendation inference serving.
+
+Reproduction of Ke et al., "Hercules: Heterogeneity-Aware Inference
+Serving for At-Scale Personalized Recommendation" (HPCA 2022).
+
+Quick tour of the public API:
+
+- :mod:`repro.models` -- the six Table I recommendation models as
+  computation graphs, plus HW-aware partitioning.
+- :mod:`repro.hardware` -- the ten Table II heterogeneous server types.
+- :mod:`repro.perf` -- roofline operator timing, the NMP simulator/LUT.
+- :mod:`repro.sim` -- closed-form serving evaluator and discrete-event
+  simulator (queries, load generation, tail latency, power).
+- :mod:`repro.scheduling` -- Algorithm 1 gradient search, DeepRecSys /
+  Baymax baselines, offline profiler (efficiency tuples).
+- :mod:`repro.cluster` -- diurnal loads, LP provisioner, NH / greedy /
+  priority-aware / Hercules cluster schedulers, online manager.
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+from repro.plans import ExecutionPlan, Placement
+
+__version__ = "1.0.0"
+
+__all__ = ["ExecutionPlan", "Placement", "__version__"]

@@ -1,0 +1,10 @@
+"""Output formatting for benchmarks and examples."""
+
+from repro.analysis.tables import (
+    format_series,
+    format_table,
+    print_series,
+    print_table,
+)
+
+__all__ = ["format_series", "format_table", "print_series", "print_table"]

@@ -1,0 +1,91 @@
+"""Plain-text table/series formatting for benchmarks and examples.
+
+The benchmark harness regenerates every paper table/figure as printed
+rows; these helpers keep the output aligned and consistent without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or (0 < magnitude < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; floats are formatted to ``precision``.
+        precision: Decimal places for floats.
+        title: Optional title line above the table.
+    """
+    rendered = [[_render_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    pairs: Iterable[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 2,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series as an ASCII bar strip (figure stand-in)."""
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("empty series")
+    y_max = max(y for _, y in pairs)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>10}  {y_label}")
+    for x, y in pairs:
+        bar = "#" * int(round(width * (y / y_max))) if y_max > 0 else ""
+        lines.append(f"{x:>10.2f}  {y:>14,.{precision}f}  {bar}")
+    return "\n".join(lines)
+
+
+def print_table(*args, **kwargs) -> None:
+    """Format and print a table (see :func:`format_table`)."""
+    print(format_table(*args, **kwargs))
+
+
+def print_series(*args, **kwargs) -> None:
+    """Format and print a series (see :func:`format_series`)."""
+    print(format_series(*args, **kwargs))

@@ -1,0 +1,244 @@
+"""Command-line interface for the Hercules reproduction.
+
+Subcommands:
+
+- ``models``   -- list the Table I model zoo.
+- ``servers``  -- list the Table II server types.
+- ``search``   -- run the task-scheduling search for one pair.
+- ``profile``  -- build the efficiency-tuple classification table.
+- ``serve``    -- provision a diurnal day through a cluster scheduler.
+
+Installed as ``hercules-repro`` (see pyproject) or run with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import format_series, format_table
+from repro.cluster import (
+    ClusterManager,
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    NHScheduler,
+    PriorityAwareScheduler,
+    synchronous_traces,
+)
+from repro.hardware import SERVER_AVAILABILITY, SERVER_TYPES
+from repro.models import MODEL_NAMES, build_model
+from repro.scheduling import (
+    BaselineTaskScheduler,
+    HerculesTaskScheduler,
+    OfflineProfiler,
+)
+from repro.sim import ServerEvaluator
+
+_CLUSTER_POLICIES = {
+    "nh": NHScheduler,
+    "greedy": GreedyScheduler,
+    "priority": PriorityAwareScheduler,
+    "hercules": HerculesClusterScheduler,
+}
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name in MODEL_NAMES:
+        d = build_model(name).describe()
+        rows.append(
+            [
+                d["model"],
+                d["service"],
+                d["tables"],
+                d["pooling"],
+                round(d["weight_gb"], 1),
+                round(d["flops_per_item"] / 1e6, 2),
+                d["sla_ms"],
+            ]
+        )
+    print(
+        format_table(
+            ["model", "service", "tables", "pooling", "GB", "MFLOP/item", "SLA ms"],
+            rows,
+            title="Table I model zoo",
+        )
+    )
+    return 0
+
+
+def _cmd_servers(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            name,
+            server.label,
+            server.cpu.cores,
+            round(server.memory.capacity_bytes / 1e9),
+            round(server.tdp_w),
+            SERVER_AVAILABILITY[name],
+        ]
+        for name, server in SERVER_TYPES.items()
+    ]
+    print(
+        format_table(
+            ["type", "composition", "cores", "mem GB", "TDP W", "avail"],
+            rows,
+            title="Table II server types",
+        )
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    model = build_model(args.model)
+    evaluator = ServerEvaluator(SERVER_TYPES[args.server])
+    sla = args.sla if args.sla is not None else model.sla_ms
+    hercules = HerculesTaskScheduler(evaluator, model, sla_ms=sla).search()
+    rows = [
+        [
+            "Hercules",
+            hercules.plan.describe() if hercules.plan else "infeasible",
+            round(hercules.perf.qps) if hercules.feasible else 0,
+            round(hercules.perf.latency.p99_ms, 1) if hercules.feasible else "-",
+            round(hercules.perf.qps_per_watt, 2) if hercules.feasible else "-",
+            hercules.evaluations,
+        ]
+    ]
+    if args.baseline:
+        baseline = BaselineTaskScheduler(evaluator, model, sla_ms=sla).search()
+        rows.append(
+            [
+                "DeepRecSys+Baymax",
+                baseline.plan.describe() if baseline.plan else "infeasible",
+                round(baseline.perf.qps) if baseline.feasible else 0,
+                round(baseline.perf.latency.p99_ms, 1) if baseline.feasible else "-",
+                round(baseline.perf.qps_per_watt, 2) if baseline.feasible else "-",
+                baseline.evaluations,
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "plan", "QPS", "p99 ms", "QPS/W", "evals"],
+            rows,
+            title=f"{args.model} on {args.server} (SLA {sla:.0f} ms)",
+        )
+    )
+    return 0 if hercules.feasible else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    servers = [SERVER_TYPES[s] for s in args.servers]
+    models = [build_model(m) for m in args.models]
+    table = OfflineProfiler().profile(servers, models)
+    rows = [
+        [
+            tup.server_name,
+            tup.model_name,
+            round(tup.qps),
+            round(tup.power_w),
+            round(tup.qps_per_watt, 2),
+            tup.plan.describe() if tup.plan else "infeasible",
+        ]
+        for tup in table.entries.values()
+    ]
+    print(
+        format_table(
+            ["server", "model", "QPS", "power W", "QPS/W", "plan"],
+            rows,
+            title="Workload classification (efficiency tuples)",
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    servers = [SERVER_TYPES[s] for s in args.servers]
+    models = [build_model(m) for m in args.models]
+    table = OfflineProfiler().profile(servers, models)
+    fleet = {s: SERVER_AVAILABILITY[s] for s in args.servers}
+    peaks = {m.name: args.peak_qps for m in models}
+    traces = synchronous_traces(peaks)
+    policy = _CLUSTER_POLICIES[args.policy]
+    manager = ClusterManager(
+        policy(table, fleet),
+        interval_minutes=args.interval,
+        over_provision=args.over_provision,
+    )
+    day = manager.run_day(traces)
+    print(
+        format_series(
+            day.power_series(),
+            x_label="hour",
+            y_label="provisioned W",
+            title=f"{args.policy} provisioning over one day",
+            precision=0,
+        )
+    )
+    print(
+        f"\npeak {day.peak_power_w / 1e3:.2f} kW / avg "
+        f"{day.average_power_w / 1e3:.2f} kW, peak servers "
+        f"{day.peak_servers}, shortfall: {day.any_shortfall}"
+    )
+    return 1 if day.any_shortfall else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hercules-repro",
+        description="Hercules (HPCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table I model zoo").set_defaults(
+        func=_cmd_models
+    )
+    sub.add_parser("servers", help="list the Table II server types").set_defaults(
+        func=_cmd_servers
+    )
+
+    search = sub.add_parser("search", help="task-scheduling search for one pair")
+    search.add_argument("model", choices=MODEL_NAMES)
+    search.add_argument("server", choices=tuple(SERVER_TYPES))
+    search.add_argument("--sla", type=float, default=None, help="SLA ms override")
+    search.add_argument(
+        "--baseline", action="store_true", help="also run DeepRecSys+Baymax"
+    )
+    search.set_defaults(func=_cmd_search)
+
+    profile = sub.add_parser("profile", help="build the classification table")
+    profile.add_argument(
+        "--servers", nargs="+", default=["T2", "T3", "T7"], choices=tuple(SERVER_TYPES)
+    )
+    profile.add_argument(
+        "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    serve = sub.add_parser("serve", help="provision a diurnal day")
+    serve.add_argument(
+        "--servers", nargs="+", default=["T2", "T3", "T7"], choices=tuple(SERVER_TYPES)
+    )
+    serve.add_argument(
+        "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
+    )
+    serve.add_argument(
+        "--policy", choices=tuple(_CLUSTER_POLICIES), default="hercules"
+    )
+    serve.add_argument("--peak-qps", type=float, default=10_000.0)
+    serve.add_argument("--interval", type=float, default=30.0, help="minutes")
+    serve.add_argument("--over-provision", type=float, default=0.05)
+    serve.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

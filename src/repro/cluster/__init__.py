@@ -1,0 +1,53 @@
+"""Cluster-level scheduling: loads, provisioning LP, policies, manager."""
+
+from repro.cluster.evolution import (
+    EvolutionMix,
+    EvolutionResult,
+    linear_evolution,
+    run_evolution,
+)
+from repro.cluster.loads import DiurnalTrace, synchronous_traces
+from repro.cluster.manager import (
+    ClusterManager,
+    DaySummary,
+    IntervalRecord,
+    estimate_over_provision,
+)
+from repro.cluster.provision import (
+    LpSolution,
+    SimplexSolver,
+    integerize,
+    solve_allocation_lp,
+)
+from repro.cluster.schedulers import (
+    ClusterScheduler,
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    NHScheduler,
+    PriorityAwareScheduler,
+)
+from repro.cluster.state import Allocation, ClusterStateTable
+
+__all__ = [
+    "EvolutionMix",
+    "EvolutionResult",
+    "linear_evolution",
+    "run_evolution",
+    "DiurnalTrace",
+    "synchronous_traces",
+    "ClusterManager",
+    "DaySummary",
+    "IntervalRecord",
+    "estimate_over_provision",
+    "LpSolution",
+    "SimplexSolver",
+    "integerize",
+    "solve_allocation_lp",
+    "ClusterScheduler",
+    "GreedyScheduler",
+    "HerculesClusterScheduler",
+    "NHScheduler",
+    "PriorityAwareScheduler",
+    "Allocation",
+    "ClusterStateTable",
+]

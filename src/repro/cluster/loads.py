@@ -1,0 +1,111 @@
+"""Diurnal load traces for online serving (paper Fig. 2d, Fig. 8b).
+
+Production recommendation services see synchronous diurnal load: every
+datacenter and every service peaks around the same hours, with >50%
+fluctuation between peak and trough.  We synthesize such traces as a
+day-periodic sinusoid with a sharpened peak, optional phase offset, and
+multiplicative noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiurnalTrace", "synchronous_traces"]
+
+_DAY_HOURS = 24.0
+
+
+@dataclass(frozen=True)
+class DiurnalTrace:
+    """A one-day periodic load profile for one workload.
+
+    Attributes:
+        name: Workload (model) name this trace drives.
+        peak_qps: Load at the daily peak.
+        trough_ratio: Trough load as a fraction of peak (<0.5 in
+            production, per the >50% fluctuation of Section II-A).
+        peak_hour: Local hour of the peak.
+        sharpness: >=1; larger values concentrate load around the peak
+            (production evenings are spiky, not sinusoidal).
+        noise: Multiplicative noise amplitude (0 disables).
+        seed: RNG seed for the noise.
+    """
+
+    name: str
+    peak_qps: float
+    trough_ratio: float = 0.4
+    peak_hour: float = 20.0
+    sharpness: float = 2.0
+    noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peak_qps <= 0:
+            raise ValueError("peak_qps must be positive")
+        if not 0.0 < self.trough_ratio <= 1.0:
+            raise ValueError("trough_ratio must be in (0, 1]")
+        if not 0.0 <= self.peak_hour < _DAY_HOURS:
+            raise ValueError("peak_hour must be in [0, 24)")
+        if self.sharpness < 1.0:
+            raise ValueError("sharpness must be >= 1")
+        if self.noise < 0.0:
+            raise ValueError("noise must be >= 0")
+
+    def load_at(self, hour: float) -> float:
+        """Load in QPS at a (possibly fractional) hour of the day."""
+        phase = (hour - self.peak_hour) / _DAY_HOURS * 2.0 * math.pi
+        base = (1.0 + math.cos(phase)) / 2.0  # 1 at peak, 0 at trough
+        shaped = base**self.sharpness
+        level = self.trough_ratio + (1.0 - self.trough_ratio) * shaped
+        if self.noise > 0.0:
+            rng = np.random.default_rng(
+                self.seed + int(round(hour * 3600.0))
+            )
+            level *= 1.0 + self.noise * float(rng.standard_normal())
+        return max(0.0, self.peak_qps * level)
+
+    def series(self, interval_minutes: float = 30.0) -> list[tuple[float, float]]:
+        """(hour, qps) samples covering one day at the given interval."""
+        if interval_minutes <= 0:
+            raise ValueError("interval must be positive")
+        steps = int(round(_DAY_HOURS * 60.0 / interval_minutes))
+        return [
+            (i * interval_minutes / 60.0, self.load_at(i * interval_minutes / 60.0))
+            for i in range(steps)
+        ]
+
+    def peak_load(self, interval_minutes: float = 30.0) -> float:
+        return max(q for _, q in self.series(interval_minutes))
+
+    def average_load(self, interval_minutes: float = 30.0) -> float:
+        series = self.series(interval_minutes)
+        return sum(q for _, q in series) / len(series)
+
+
+def synchronous_traces(
+    peaks: dict[str, float],
+    trough_ratio: float = 0.4,
+    peak_hour: float = 20.0,
+    noise: float = 0.0,
+) -> dict[str, DiurnalTrace]:
+    """Build synchronized diurnal traces for several workloads.
+
+    All traces share the peak hour -- the synchronous pattern of
+    Fig. 2d that prevents load-shifting between services and drives
+    over-provisioning.
+    """
+    return {
+        name: DiurnalTrace(
+            name=name,
+            peak_qps=peak,
+            trough_ratio=trough_ratio,
+            peak_hour=peak_hour,
+            noise=noise,
+            seed=i,
+        )
+        for i, (name, peak) in enumerate(peaks.items())
+    }

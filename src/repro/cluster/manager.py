@@ -1,0 +1,191 @@
+"""Online serving: the cluster manager's provisioning loop (Fig. 13).
+
+Every provisioning interval (tens of minutes, amortizing the tens of
+seconds of workload setup) the manager reads the current loads, asks
+its scheduling policy for an allocation, applies it to the cluster
+state table, and records capacity/power.  The over-provision rate ``R``
+absorbs load growth within the interval and is estimated from the
+trace's own history, as Section IV-C prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.loads import DiurnalTrace
+from repro.cluster.schedulers import ClusterScheduler
+from repro.cluster.state import Allocation, ClusterStateTable
+
+__all__ = ["IntervalRecord", "DaySummary", "ClusterManager", "estimate_over_provision"]
+
+
+def estimate_over_provision(
+    traces: dict[str, DiurnalTrace], interval_minutes: float
+) -> float:
+    """Estimate ``R`` from the largest load increase over one interval.
+
+    Profiles the day's history per Section IV-C: the rate must cover
+    the steepest climb any workload makes within a provisioning
+    interval.
+    """
+    if interval_minutes <= 0:
+        raise ValueError("interval must be positive")
+    worst = 0.0
+    for trace in traces.values():
+        series = trace.series(interval_minutes)
+        for (_, now), (_, nxt) in zip(series, series[1:] + series[:1]):
+            if now > 0:
+                worst = max(worst, (nxt - now) / now)
+    return worst
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """Cluster state for one provisioning interval.
+
+    Attributes:
+        hour: Interval start (hour of day).
+        loads: Per-model arrival rate.
+        allocation: The scheduler's decision.
+        provisioned_power_w: Power budget of the activated servers.
+        activated_servers: Total activated servers.
+        churn: Servers activated/released/switched since the last
+            interval, per type.
+        coverage_margin: Minimum over models and intra-interval sample
+            points of ``allocated capacity / instantaneous load``.  A
+            value below 1.0 means the load outgrew the allocation
+            before the next provisioning decision -- the failure mode
+            the over-provision rate R exists to prevent.
+    """
+
+    hour: float
+    loads: dict[str, float]
+    allocation: Allocation
+    provisioned_power_w: float
+    activated_servers: int
+    churn: dict[str, int] = field(default_factory=dict)
+    coverage_margin: float = float("inf")
+
+
+@dataclass(frozen=True)
+class DaySummary:
+    """Aggregates of one simulated day (the paper's peak/average rows)."""
+
+    records: tuple[IntervalRecord, ...]
+
+    @property
+    def peak_power_w(self) -> float:
+        return max(r.provisioned_power_w for r in self.records)
+
+    @property
+    def average_power_w(self) -> float:
+        return sum(r.provisioned_power_w for r in self.records) / len(self.records)
+
+    @property
+    def peak_servers(self) -> int:
+        return max(r.activated_servers for r in self.records)
+
+    @property
+    def average_servers(self) -> float:
+        return sum(r.activated_servers for r in self.records) / len(self.records)
+
+    @property
+    def any_shortfall(self) -> bool:
+        return any(r.allocation.has_shortfall for r in self.records)
+
+    @property
+    def worst_coverage_margin(self) -> float:
+        """Smallest intra-interval capacity/load ratio of the day."""
+        return min(r.coverage_margin for r in self.records)
+
+    @property
+    def intervals_underwater(self) -> int:
+        """Intervals whose load outgrew the allocation before the next
+        provisioning decision (margin < 1)."""
+        return sum(1 for r in self.records if r.coverage_margin < 1.0)
+
+    def power_series(self) -> list[tuple[float, float]]:
+        return [(r.hour, r.provisioned_power_w) for r in self.records]
+
+    def server_series(self) -> list[tuple[float, int]]:
+        return [(r.hour, r.activated_servers) for r in self.records]
+
+
+class ClusterManager:
+    """Drives one scheduling policy through a diurnal day.
+
+    Args:
+        scheduler: The cluster scheduling policy.
+        interval_minutes: Provisioning interval.
+        over_provision: Rate ``R``; ``None`` estimates it from the
+            traces' own history.
+    """
+
+    def __init__(
+        self,
+        scheduler: ClusterScheduler,
+        interval_minutes: float = 30.0,
+        over_provision: float | None = None,
+        validate_minutes: float = 5.0,
+    ) -> None:
+        if interval_minutes <= 0:
+            raise ValueError("interval must be positive")
+        if validate_minutes <= 0:
+            raise ValueError("validate_minutes must be positive")
+        self.scheduler = scheduler
+        self.interval_minutes = interval_minutes
+        self.over_provision = over_provision
+        self.validate_minutes = validate_minutes
+
+    def _coverage_margin(
+        self,
+        allocation,
+        traces: dict[str, DiurnalTrace],
+        start_hour: float,
+    ) -> float:
+        """Min capacity/load ratio at fine sample points of one interval."""
+        margin = float("inf")
+        steps = max(1, int(round(self.interval_minutes / self.validate_minutes)))
+        for i in range(steps):
+            hour = (start_hour + i * self.validate_minutes / 60.0) % 24.0
+            for name, trace in traces.items():
+                load = trace.load_at(hour)
+                if load <= 0:
+                    continue
+                capacity = allocation.capacity_qps(self.scheduler.table, name)
+                margin = min(margin, capacity / load)
+        return margin
+
+    def run_day(self, traces: dict[str, DiurnalTrace]) -> DaySummary:
+        """Simulate one day of provisioning decisions."""
+        if not traces:
+            raise ValueError("need at least one workload trace")
+        rate = (
+            self.over_provision
+            if self.over_provision is not None
+            else estimate_over_provision(traces, self.interval_minutes)
+        )
+        state = ClusterStateTable(fleet=dict(self.scheduler.fleet))
+        records = []
+        steps = int(round(24.0 * 60.0 / self.interval_minutes))
+        for step in range(steps):
+            hour = step * self.interval_minutes / 60.0
+            loads = {name: t.load_at(hour) for name, t in traces.items()}
+            allocation = self.scheduler.allocate(loads, over_provision=rate)
+            churn = state.transition_to(allocation)
+            records.append(
+                IntervalRecord(
+                    hour=hour,
+                    loads=loads,
+                    allocation=allocation,
+                    provisioned_power_w=allocation.provisioned_power_w(
+                        self.scheduler.table
+                    ),
+                    activated_servers=allocation.total_servers,
+                    churn=churn,
+                    coverage_margin=self._coverage_margin(
+                        allocation, traces, hour
+                    ),
+                )
+            )
+        return DaySummary(records=tuple(records))

@@ -1,0 +1,267 @@
+"""Constrained-optimization provisioner (paper Section IV-C).
+
+Hercules formulates cluster provisioning as a linear program:
+
+    minimize    sum_{h,m} N_{h,m} * Power_{h,m}                  (1)
+    subject to  sum_h N_{h,m} * QPS_{h,m} >= load_m * (1 + R)    (2)
+                sum_m N_{h,m} <= N_h                             (3)
+                N_{h,m} >= 0
+
+The paper solves it with a standard interior-point/simplex solver; we
+provide both a SciPy (HiGHS) backend and a self-contained Big-M primal
+simplex so the substrate has no required external dependency.  The
+fractional optimum is then integerized: floor, then greedily repair any
+residual coverage deficit with the most power-efficient available
+servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import Allocation
+from repro.scheduling.profiler import ClassificationTable
+
+__all__ = ["LpSolution", "SimplexSolver", "solve_allocation_lp", "integerize"]
+
+
+@dataclass(frozen=True)
+class LpSolution:
+    """Fractional solution of the provisioning LP.
+
+    Attributes:
+        values: ``(server_name, model_name) -> fractional server count``.
+        objective_w: Provisioned power of the fractional optimum.
+        feasible: False when the fleet cannot cover the loads even
+            fractionally.
+    """
+
+    values: dict[tuple[str, str], float]
+    objective_w: float
+    feasible: bool
+
+
+class SimplexSolver:
+    """Dense Big-M primal simplex for ``min c@x s.t. A x <= b, x >= 0``.
+
+    Small and dependency-free: the provisioning LPs have at most a few
+    dozen variables (|server types| x |models|) and |types| + |models|
+    constraints.  Rows with negative ``b`` (the >= coverage rows after
+    negation) receive artificial variables priced at Big-M.
+    """
+
+    def __init__(self, big_m: float = 1e9, max_iterations: int = 10_000) -> None:
+        self.big_m = big_m
+        self.max_iterations = max_iterations
+
+    def solve(
+        self, c: np.ndarray, a_ub: np.ndarray, b_ub: np.ndarray
+    ) -> tuple[np.ndarray | None, float]:
+        """Return (x, objective) or (None, inf) when infeasible."""
+        c = np.asarray(c, dtype=float)
+        a = np.asarray(a_ub, dtype=float)
+        b = np.asarray(b_ub, dtype=float)
+        rows, cols = a.shape
+        if b.shape != (rows,) or c.shape != (cols,):
+            raise ValueError("inconsistent LP dimensions")
+
+        # Normalize to b >= 0, tracking which rows need artificials.
+        a = a.copy()
+        b = b.copy()
+        flipped = b < 0
+        a[flipped] *= -1.0
+        b[flipped] *= -1.0
+        # Flipped rows became >=: slack enters with -1 and an artificial
+        # basis column is required; plain rows take a +1 slack.
+        num_art = int(flipped.sum())
+        tableau_cols = cols + rows + num_art
+        tab = np.zeros((rows, tableau_cols))
+        tab[:, :cols] = a
+        cost = np.zeros(tableau_cols)
+        cost[:cols] = c
+        basis = np.empty(rows, dtype=int)
+
+        art_idx = cols + rows
+        for i in range(rows):
+            slack_col = cols + i
+            if flipped[i]:
+                tab[i, slack_col] = -1.0
+                tab[i, art_idx] = 1.0
+                cost[art_idx] = self.big_m
+                basis[i] = art_idx
+                art_idx += 1
+            else:
+                tab[i, slack_col] = 1.0
+                basis[i] = slack_col
+
+        rhs = b.copy()
+        for _ in range(self.max_iterations):
+            cb = cost[basis]
+            # Reduced costs via the current basis rows (tab kept in
+            # basis-canonical form by the pivots below).
+            reduced = cost - cb @ tab
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -1e-9:
+                break  # optimal
+            column = tab[:, entering]
+            positive = column > 1e-12
+            if not positive.any():
+                return None, math.inf  # unbounded (cannot happen here)
+            ratios = np.full(rows, np.inf)
+            ratios[positive] = rhs[positive] / column[positive]
+            leaving = int(np.argmin(ratios))
+            pivot = tab[leaving, entering]
+            tab[leaving] /= pivot
+            rhs[leaving] /= pivot
+            for i in range(rows):
+                if i != leaving and abs(tab[i, entering]) > 1e-12:
+                    factor = tab[i, entering]
+                    tab[i] -= factor * tab[leaving]
+                    rhs[i] -= factor * rhs[leaving]
+            basis[leaving] = entering
+        else:
+            raise RuntimeError("simplex iteration limit exceeded")
+
+        x = np.zeros(tableau_cols)
+        x[basis] = rhs
+        if (x[cols + rows :] > 1e-6).any():
+            return None, math.inf  # artificials in basis -> infeasible
+        solution = x[:cols]
+        return solution, float(c @ solution)
+
+
+def _lp_matrices(
+    table: ClassificationTable,
+    loads: dict[str, float],
+    fleet: dict[str, int],
+    over_provision: float,
+) -> tuple[list[tuple[str, str]], np.ndarray, np.ndarray, np.ndarray]:
+    """Build (variables, c, A_ub, b_ub) for the provisioning LP."""
+    servers = [s for s in fleet if fleet[s] > 0]
+    models = list(loads)
+    variables = [
+        (srv, model)
+        for srv in servers
+        for model in models
+        if table.get(srv, model).feasible
+    ]
+    if not variables:
+        raise ValueError("no feasible (server, model) pairs in the table")
+    c = np.array([table.power(srv, model) for srv, model in variables])
+    rows = []
+    b = []
+    for model in models:  # coverage: -sum qps x <= -load(1+R)
+        row = np.array(
+            [
+                -table.qps(srv, m) if m == model else 0.0
+                for srv, m in variables
+            ]
+        )
+        rows.append(row)
+        b.append(-loads[model] * (1.0 + over_provision))
+    for srv in servers:  # availability: sum_m x <= N_h
+        row = np.array([1.0 if s == srv else 0.0 for s, _ in variables])
+        rows.append(row)
+        b.append(float(fleet[srv]))
+    return variables, c, np.vstack(rows), np.array(b)
+
+
+def solve_allocation_lp(
+    table: ClassificationTable,
+    loads: dict[str, float],
+    fleet: dict[str, int],
+    over_provision: float = 0.0,
+    solver: str = "auto",
+) -> LpSolution:
+    """Solve the fractional provisioning LP.
+
+    Args:
+        table: Offline-profiled efficiency tuples.
+        loads: Current per-model load (QPS).
+        fleet: Per-type availability ``N_h``.
+        over_provision: Over-provision rate ``R`` (e.g. 0.1 for 10%).
+        solver: ``"scipy"``, ``"simplex"`` (built-in), or ``"auto"``
+            (scipy with built-in fallback).
+    """
+    if solver not in ("auto", "scipy", "simplex"):
+        raise ValueError(f"unknown solver {solver!r}")
+    active_loads = {m: q for m, q in loads.items() if q > 0}
+    if not active_loads:
+        return LpSolution(values={}, objective_w=0.0, feasible=True)
+    variables, c, a_ub, b_ub = _lp_matrices(
+        table, active_loads, fleet, over_provision
+    )
+
+    x: np.ndarray | None = None
+    objective = math.inf
+    if solver in ("auto", "scipy"):
+        try:
+            from scipy.optimize import linprog
+
+            res = linprog(c, A_ub=a_ub, b_ub=b_ub, method="highs")
+            if res.status == 0:
+                x, objective = res.x, float(res.fun)
+        except ImportError:
+            if solver == "scipy":
+                raise
+    if x is None and solver in ("auto", "simplex"):
+        x, objective = SimplexSolver().solve(c, a_ub, b_ub)
+    if x is None:
+        return LpSolution(values={}, objective_w=math.inf, feasible=False)
+    values = {
+        var: float(val) for var, val in zip(variables, x) if val > 1e-9
+    }
+    return LpSolution(values=values, objective_w=objective, feasible=True)
+
+
+def integerize(
+    solution: LpSolution,
+    table: ClassificationTable,
+    loads: dict[str, float],
+    fleet: dict[str, int],
+    over_provision: float = 0.0,
+) -> Allocation:
+    """Round the fractional LP solution to whole servers.
+
+    Floors every fractional count, then repairs residual coverage per
+    model by adding the available server with the lowest power per unit
+    of *useful* coverage -- the same marginal criterion the LP
+    optimizes.  Records an explicit shortfall when the fleet runs out.
+    """
+    allocation = Allocation()
+    used: dict[str, int] = {srv: 0 for srv in fleet}
+    for (srv, model), value in solution.values.items():
+        count = int(math.floor(value + 1e-9))
+        count = min(count, fleet[srv] - used[srv])
+        if count > 0:
+            allocation.add(srv, model, count)
+            used[srv] += count
+
+    for model, load in loads.items():
+        target = load * (1.0 + over_provision)
+        deficit = target - allocation.capacity_qps(table, model)
+        while deficit > 1e-6:
+            best: tuple[float, str] | None = None
+            for srv, available in fleet.items():
+                if used.get(srv, 0) >= available:
+                    continue
+                tup = table.entries.get((srv, model))
+                if tup is None or not tup.feasible:
+                    continue
+                useful = min(tup.qps, deficit)
+                if useful <= 0:
+                    continue
+                marginal = tup.power_w / useful
+                if best is None or marginal < best[0]:
+                    best = (marginal, srv)
+            if best is None:
+                allocation.shortfall[model] = deficit
+                break
+            _, srv = best
+            allocation.add(srv, model, 1)
+            used[srv] = used.get(srv, 0) + 1
+            deficit = target - allocation.capacity_qps(table, model)
+    return allocation

@@ -1,0 +1,133 @@
+"""Cluster state: allocations, capacity accounting, provisioned power.
+
+The cluster manager (Fig. 13) keeps a state table of every server --
+which type it is, whether it is activated, and which workload it runs.
+An :class:`Allocation` is the scheduler's decision for one provisioning
+interval: how many servers of each type run each workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduling.profiler import ClassificationTable
+
+__all__ = ["Allocation", "ClusterStateTable"]
+
+
+@dataclass
+class Allocation:
+    """Server counts per (server type, workload) for one interval.
+
+    Attributes:
+        counts: ``(server_name, model_name) -> number of servers``.
+        shortfall: Unserved load in QPS per model (0 when the fleet
+            covers everything).
+    """
+
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    shortfall: dict[str, float] = field(default_factory=dict)
+
+    def add(self, server_name: str, model_name: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return
+        key = (server_name, model_name)
+        self.counts[key] = self.counts.get(key, 0) + count
+
+    def servers_of_type(self, server_name: str) -> int:
+        """Total activated servers of one type across all workloads."""
+        return sum(
+            count for (srv, _), count in self.counts.items() if srv == server_name
+        )
+
+    def servers_for_model(self, model_name: str) -> int:
+        return sum(
+            count for (_, model), count in self.counts.items() if model == model_name
+        )
+
+    @property
+    def total_servers(self) -> int:
+        return sum(self.counts.values())
+
+    def capacity_qps(self, table: ClassificationTable, model_name: str) -> float:
+        """Aggregate latency-bounded throughput assigned to one model."""
+        total = 0.0
+        for (srv, model), count in self.counts.items():
+            if model == model_name:
+                total += count * table.qps(srv, model)
+        return total
+
+    def provisioned_power_w(self, table: ClassificationTable) -> float:
+        """Total provisioned power: per-pair profiled peak power x count.
+
+        The offline-measured peak power ``Power_{h,m}`` is the budget
+        reserved for each activated server (Section IV-A).
+        """
+        return sum(
+            count * table.power(srv, model)
+            for (srv, model), count in self.counts.items()
+        )
+
+    def respects_fleet(self, fleet: dict[str, int]) -> bool:
+        """Check the availability constraint (Equation 3)."""
+        return all(
+            self.servers_of_type(srv) <= fleet.get(srv, 0)
+            for srv in {s for s, _ in self.counts}
+        )
+
+    def covers(
+        self,
+        table: ClassificationTable,
+        loads: dict[str, float],
+        over_provision: float = 0.0,
+    ) -> bool:
+        """Check the coverage constraint (Equation 2)."""
+        return all(
+            self.capacity_qps(table, model) >= load * (1.0 + over_provision) - 1e-6
+            for model, load in loads.items()
+        )
+
+    @property
+    def has_shortfall(self) -> bool:
+        return any(v > 1e-6 for v in self.shortfall.values())
+
+
+@dataclass
+class ClusterStateTable:
+    """Tracks per-type activation against fleet availability.
+
+    Mirrors the cluster state table of Fig. 13: the manager consults it
+    to decide which physical servers to activate or release when moving
+    between consecutive allocations.
+    """
+
+    fleet: dict[str, int]
+
+    def __post_init__(self) -> None:
+        if any(n < 0 for n in self.fleet.values()):
+            raise ValueError("fleet availabilities must be >= 0")
+        self._active: dict[tuple[str, str], int] = {}
+
+    @property
+    def active_counts(self) -> dict[tuple[str, str], int]:
+        return dict(self._active)
+
+    def transition_to(self, allocation: Allocation) -> dict[str, int]:
+        """Apply a new allocation; return the churn per server type.
+
+        Churn (activations + releases + workload switches) is what the
+        provisioning interval amortizes: workload setup takes tens of
+        seconds, so provisioning runs every tens of minutes.
+        """
+        if not allocation.respects_fleet(self.fleet):
+            raise ValueError("allocation exceeds fleet availability")
+        churn: dict[str, int] = {}
+        keys = set(self._active) | set(allocation.counts)
+        for key in keys:
+            delta = abs(allocation.counts.get(key, 0) - self._active.get(key, 0))
+            if delta:
+                churn[key[0]] = churn.get(key[0], 0) + delta
+        self._active = dict(allocation.counts)
+        return churn

@@ -1,0 +1,47 @@
+"""Heterogeneous server-architecture substrate (paper Table II)."""
+
+from repro.hardware.cpu import CPU_T1, CPU_T2, CpuSpec
+from repro.hardware.gpu import GPU_P100, GPU_V100, GpuSpec
+from repro.hardware.memory import (
+    DDR4_T1,
+    DDR4_T2,
+    MemorySpec,
+    NMP_X2,
+    NMP_X4,
+    NMP_X8,
+)
+from repro.hardware.power import (
+    ComponentUtilization,
+    linear_power,
+    server_power_w,
+)
+from repro.hardware.server import (
+    SERVER_AVAILABILITY,
+    SERVER_TYPES,
+    ServerType,
+    get_server_type,
+    standard_fleet,
+)
+
+__all__ = [
+    "CpuSpec",
+    "CPU_T1",
+    "CPU_T2",
+    "GpuSpec",
+    "GPU_P100",
+    "GPU_V100",
+    "MemorySpec",
+    "DDR4_T1",
+    "DDR4_T2",
+    "NMP_X2",
+    "NMP_X4",
+    "NMP_X8",
+    "ComponentUtilization",
+    "linear_power",
+    "server_power_w",
+    "ServerType",
+    "SERVER_TYPES",
+    "SERVER_AVAILABILITY",
+    "get_server_type",
+    "standard_fleet",
+]

@@ -1,0 +1,94 @@
+"""CPU specifications (paper Table II).
+
+Two Intel Xeon generations represent the CPU heterogeneity of the
+fleet: CPU-T1 (Xeon D-2191) and CPU-T2 (Xeon Gold 6138).  Beyond the
+published core counts/frequencies we carry the microarchitectural
+throughput numbers the perf models need (peak FLOPs per core, gather
+efficiency) with values representative of Skylake-era parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuSpec", "CPU_T1", "CPU_T2"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A server-grade CPU.
+
+    Attributes:
+        name: Marketing name (Table II).
+        cores: Physical core count (inference threads pin to physical
+            cores without hyperthreading, Section II-B).
+        frequency_hz: Sustained all-core frequency.
+        flops_per_cycle_per_core: Peak fp32 FLOPs per cycle per core
+            (AVX-512 FMA on both parts).
+        llc_bytes: Last-level cache size.
+        tdp_w: Thermal design power.
+        idle_w: Package idle power (measured Xeons idle at roughly a
+            third of TDP).
+        gemm_efficiency: Achievable fraction of peak FLOPs for the
+            small/medium GEMMs of recommendation DenseNets.
+    """
+
+    name: str
+    cores: int
+    frequency_hz: float
+    flops_per_cycle_per_core: float
+    llc_bytes: float
+    tdp_w: float
+    idle_w: float
+    gemm_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.frequency_hz <= 0 or self.flops_per_cycle_per_core <= 0:
+            raise ValueError("frequency and FLOPs/cycle must be positive")
+        if not 0 < self.gemm_efficiency <= 1:
+            raise ValueError("gemm_efficiency must be in (0, 1]")
+        if not 0 <= self.idle_w <= self.tdp_w:
+            raise ValueError("idle power must be within [0, TDP]")
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Peak fp32 FLOP/s of a single physical core."""
+        return self.frequency_hz * self.flops_per_cycle_per_core
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak fp32 FLOP/s of the whole socket."""
+        return self.peak_flops_per_core * self.cores
+
+    def effective_flops(self, cores: int) -> float:
+        """Achievable GEMM FLOP/s on ``cores`` cores."""
+        if not 1 <= cores <= self.cores:
+            raise ValueError(
+                f"{self.name} has {self.cores} cores, requested {cores}"
+            )
+        return self.peak_flops_per_core * cores * self.gemm_efficiency
+
+
+#: Intel Xeon D-2191 -- 18 cores @ 1.6 GHz (Table II).
+CPU_T1 = CpuSpec(
+    name="Intel Xeon D-2191",
+    cores=18,
+    frequency_hz=1.6e9,
+    flops_per_cycle_per_core=32.0,
+    llc_bytes=24.75e6,
+    tdp_w=86.0,
+    idle_w=28.0,
+)
+
+#: Intel Xeon Gold 6138 -- 20 cores @ 2.0 GHz (Table II).
+CPU_T2 = CpuSpec(
+    name="Intel Xeon Gold 6138",
+    cores=20,
+    frequency_hz=2.0e9,
+    flops_per_cycle_per_core=32.0,
+    llc_bytes=27.5e6,
+    tdp_w=125.0,
+    idle_w=40.0,
+)

@@ -1,0 +1,101 @@
+"""GPU accelerator specifications: NVIDIA P100 and V100 (Table II).
+
+The perf model needs, beyond the published peak numbers, a batch-
+efficiency curve (small inference batches badly under-utilize a GPU --
+the root of the query-fusion win in Fig. 6) and a kernel-launch
+overhead (what query fusion amortizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "GPU_P100", "GPU_V100"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A PCIe-attached DL accelerator.
+
+    Attributes:
+        name: Marketing name.
+        sms: Streaming multiprocessors (Table II).
+        peak_flops: Peak fp32 FLOP/s.
+        hbm_bw_bytes: HBM bandwidth (900 GB/s on both per Table II).
+        memory_bytes: Device memory (16 GB on both).
+        pcie_bw_bytes: Host link bandwidth (PCIe Gen3 x16 ~ 16 GB/s).
+        tdp_w: Board power.
+        idle_w: Serving-idle power (MPS contexts resident, clocks
+            pinned) -- the paper notes GPU energy efficiency "is
+            constrained by GPUs' high leakage power".
+        kernel_launch_s: Fixed host+device overhead per operator launch.
+        batch_half_saturation: Batch size (items) at which the device
+            reaches half of peak utilization; the efficiency curve is
+            ``b / (b + batch_half_saturation)``.
+        gather_efficiency: Fraction of HBM bandwidth achieved by
+            embedding gathers on-device.
+    """
+
+    name: str
+    sms: int
+    peak_flops: float
+    hbm_bw_bytes: float
+    memory_bytes: float
+    pcie_bw_bytes: float
+    tdp_w: float
+    idle_w: float
+    kernel_launch_s: float = 12e-6
+    batch_half_saturation: float = 512.0
+    gather_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sms < 1:
+            raise ValueError("sms must be >= 1")
+        if min(self.peak_flops, self.hbm_bw_bytes, self.memory_bytes) <= 0:
+            raise ValueError("peak numbers must be positive")
+        if self.pcie_bw_bytes <= 0:
+            raise ValueError("pcie bandwidth must be positive")
+        if not 0 <= self.idle_w <= self.tdp_w:
+            raise ValueError("idle power must be within [0, TDP]")
+        if self.batch_half_saturation <= 0:
+            raise ValueError("batch_half_saturation must be positive")
+
+    def utilization(self, batch_items: float) -> float:
+        """Fraction of peak compute achieved at a given batch size.
+
+        A saturating curve: tiny inference batches keep most SMs idle
+        (the ~25% GPU utilization of Fig. 7a), large fused batches
+        approach peak.
+        """
+        if batch_items <= 0:
+            return 0.0
+        return batch_items / (batch_items + self.batch_half_saturation)
+
+    def effective_flops(self, batch_items: float) -> float:
+        """Achievable FLOP/s at a given batch size."""
+        return self.peak_flops * self.utilization(batch_items)
+
+
+#: NVIDIA P100 (Table II: 56 SMs, 1480 MHz, 16 GB HBM).
+GPU_P100 = GpuSpec(
+    name="NVIDIA P100",
+    sms=56,
+    peak_flops=9.5e12,
+    hbm_bw_bytes=732e9,
+    memory_bytes=16e9,
+    pcie_bw_bytes=16e9,
+    tdp_w=300.0,
+    idle_w=90.0,
+)
+
+#: NVIDIA V100 (Table II: 80 SMs, 1530 MHz, 16 GB HBM @ 900 GB/s).
+GPU_V100 = GpuSpec(
+    name="NVIDIA V100",
+    sms=80,
+    peak_flops=14.8e12,
+    hbm_bw_bytes=900e9,
+    memory_bytes=16e9,
+    pcie_bw_bytes=16e9,
+    tdp_w=300.0,
+    idle_w=95.0,
+)

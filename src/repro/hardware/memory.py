@@ -1,0 +1,156 @@
+"""Memory subsystem specifications: DDR4 DIMMs and NMP DIMMs (Table II).
+
+The NMP configurations model a RecNMP-style DIMM in which each rank has
+a near-memory processing unit performing the gather-and-reduce locally:
+``NMPxN`` exposes N-way rank-level parallelism for pooled embedding
+reads and returns only the pooled vector over the channel.  For one-hot
+(non-pooled) lookups the NMP DIMM behaves exactly like regular DRAM --
+the property behind the paper's Fig. 15 observation that DIN/DIEN/
+MT-WnD gain nothing from NMP while paying its idle power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MemorySpec",
+    "DDR4_T1",
+    "DDR4_T2",
+    "NMP_X2",
+    "NMP_X4",
+    "NMP_X8",
+]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A channel-attached memory configuration.
+
+    Attributes:
+        name: Label as used in Table II (``DDR4``, ``NMPx2``...).
+        channels: Memory channels populated.
+        dimms_per_channel: DIMMs per channel.
+        ranks_per_dimm: Ranks per DIMM.
+        capacity_bytes: Total capacity.
+        channel_bw_bytes: Peak bandwidth of a single channel
+            (DDR4-2666: ~21.3 GB/s).
+        tdp_w: Power budget of the memory subsystem (Table II).
+        idle_w: Idle (background + NMP-unit leakage) power.  NMP DIMMs
+            pay extra idle power for their processing units.
+        nmp_ranks: Rank-level NMP parallelism; 0 means plain DDR4.
+        gather_efficiency: Fraction of peak bandwidth achieved by
+            random-row gathers (row-buffer misses dominate).
+    """
+
+    name: str
+    channels: int
+    dimms_per_channel: int
+    ranks_per_dimm: int
+    capacity_bytes: float
+    channel_bw_bytes: float
+    tdp_w: float
+    idle_w: float
+    nmp_ranks: int = 0
+    gather_efficiency: float = 0.4
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.dimms_per_channel, self.ranks_per_dimm) < 1:
+            raise ValueError("channel/DIMM/rank counts must be >= 1")
+        if self.capacity_bytes <= 0 or self.channel_bw_bytes <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        if self.nmp_ranks < 0:
+            raise ValueError("nmp_ranks must be >= 0")
+        if not 0 < self.gather_efficiency <= 1:
+            raise ValueError("gather_efficiency must be in (0, 1]")
+        if not 0 <= self.idle_w <= self.tdp_w:
+            raise ValueError("idle power must be within [0, TDP]")
+
+    @property
+    def is_nmp(self) -> bool:
+        return self.nmp_ranks > 0
+
+    @property
+    def peak_bw_bytes(self) -> float:
+        """Peak host-visible bandwidth across all channels."""
+        return self.channels * self.channel_bw_bytes
+
+    @property
+    def gather_bw_bytes(self) -> float:
+        """Achievable bandwidth for host-side random gathers."""
+        return self.peak_bw_bytes * self.gather_efficiency
+
+    @property
+    def nmp_gather_reduce_bw_bytes(self) -> float:
+        """Effective gather-reduce bandwidth with rank-level NMP.
+
+        Rank-parallel near-memory reduction multiplies the internal
+        gather bandwidth by the rank parallelism; only pooled outputs
+        cross the channel, so the channel ceases to be the bottleneck.
+        For plain DDR4 this equals :attr:`gather_bw_bytes`.
+        """
+        if not self.is_nmp:
+            return self.gather_bw_bytes
+        return self.gather_bw_bytes * self.nmp_ranks
+
+
+#: 64 GB single-rank DDR4 paired with CPU-T1 (Table II).
+DDR4_T1 = MemorySpec(
+    name="DDR4",
+    channels=4,
+    dimms_per_channel=1,
+    ranks_per_dimm=1,
+    capacity_bytes=64e9,
+    channel_bw_bytes=19.2e9,  # DDR4-2400 per channel
+    tdp_w=28.0,
+    idle_w=8.0,
+)
+
+#: 128 GB dual-rank DDR4 paired with CPU-T2 (Table II).
+DDR4_T2 = MemorySpec(
+    name="DDR4",
+    channels=4,
+    dimms_per_channel=1,
+    ranks_per_dimm=2,
+    capacity_bytes=128e9,
+    channel_bw_bytes=21.3e9,  # DDR4-2666 per channel
+    tdp_w=50.0,
+    idle_w=14.0,
+)
+
+#: RecNMP-style DIMMs: x2 / x4 / x8 rank-level parallelism (Table II).
+NMP_X2 = MemorySpec(
+    name="NMPx2",
+    channels=4,
+    dimms_per_channel=1,
+    ranks_per_dimm=2,
+    capacity_bytes=128e9,
+    channel_bw_bytes=21.3e9,
+    tdp_w=50.0,
+    idle_w=20.0,
+    nmp_ranks=2,
+)
+
+NMP_X4 = MemorySpec(
+    name="NMPx4",
+    channels=4,
+    dimms_per_channel=2,
+    ranks_per_dimm=2,
+    capacity_bytes=256e9,
+    channel_bw_bytes=21.3e9,
+    tdp_w=100.0,
+    idle_w=40.0,
+    nmp_ranks=4,
+)
+
+NMP_X8 = MemorySpec(
+    name="NMPx8",
+    channels=4,
+    dimms_per_channel=4,
+    ranks_per_dimm=2,
+    capacity_bytes=512e9,
+    channel_bw_bytes=21.3e9,
+    tdp_w=200.0,
+    idle_w=80.0,
+    nmp_ranks=8,
+)

@@ -1,0 +1,60 @@
+"""Component-level power models (substitute for RAPL / nvidia-smi).
+
+The paper measures wall power with Intel RAPL (CPU+DRAM) and nvidia-smi
+(GPU).  We model each component as ``idle + (tdp - idle) * utilization``
+-- the standard linear power proxy -- and sum per-server.  What matters
+for reproducing the scheduler decisions is that the *relative* power of
+server types tracks Table II TDPs: NMP DIMMs tax idle power, GPUs have
+high leakage, busy CPUs approach TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.memory import MemorySpec
+
+__all__ = ["ComponentUtilization", "linear_power", "server_power_w"]
+
+
+@dataclass(frozen=True)
+class ComponentUtilization:
+    """Utilization of each server component in [0, 1].
+
+    Attributes:
+        cpu: Average busy fraction across all cores.
+        memory: Memory-bandwidth demand as a fraction of peak.
+        gpu: GPU busy fraction (0 when no GPU present).
+    """
+
+    cpu: float = 0.0
+    memory: float = 0.0
+    gpu: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (("cpu", self.cpu), ("memory", self.memory), ("gpu", self.gpu)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} utilization must be in [0, 1], got {value}")
+
+
+def linear_power(idle_w: float, tdp_w: float, utilization: float) -> float:
+    """The linear idle-to-TDP power proxy for one component."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    return idle_w + (tdp_w - idle_w) * utilization
+
+
+def server_power_w(
+    cpu: CpuSpec,
+    memory: MemorySpec,
+    gpu: GpuSpec | None,
+    util: ComponentUtilization,
+) -> float:
+    """Total server power for the given component utilizations."""
+    total = linear_power(cpu.idle_w, cpu.tdp_w, util.cpu)
+    total += linear_power(memory.idle_w, memory.tdp_w, util.memory)
+    if gpu is not None:
+        total += linear_power(gpu.idle_w, gpu.tdp_w, util.gpu)
+    return total

@@ -1,0 +1,129 @@
+"""Server types T1-T10 and the heterogeneous fleet (paper Table II).
+
+Each :class:`ServerType` is a permutation of CPU + memory (+ GPU); the
+standard fleet carries the paper's availability vector N1-N10
+(100, 100, 15, 10, 5, 10, 5, 6, 4, 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CPU_T1, CPU_T2, CpuSpec
+from repro.hardware.gpu import GPU_P100, GPU_V100, GpuSpec
+from repro.hardware.memory import (
+    DDR4_T1,
+    DDR4_T2,
+    MemorySpec,
+    NMP_X2,
+    NMP_X4,
+    NMP_X8,
+)
+from repro.hardware.power import ComponentUtilization, server_power_w
+
+__all__ = [
+    "ServerType",
+    "SERVER_TYPES",
+    "SERVER_AVAILABILITY",
+    "get_server_type",
+    "standard_fleet",
+]
+
+
+@dataclass(frozen=True)
+class ServerType:
+    """One of the heterogeneous server architectures of Table II.
+
+    Attributes:
+        name: ``"T1"`` ... ``"T10"``.
+        cpu: Host CPU.
+        memory: Channel memory (plain DDR4 or NMP).
+        gpu: Optional PCIe accelerator.
+    """
+
+    name: str
+    cpu: CpuSpec
+    memory: MemorySpec
+    gpu: GpuSpec | None = None
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def has_nmp(self) -> bool:
+        return self.memory.is_nmp
+
+    @property
+    def label(self) -> str:
+        """Human-readable composition, e.g. ``CPU-T2+NMPx2+V100``."""
+        cpu_label = "CPU-T1" if self.cpu is CPU_T1 else "CPU-T2"
+        parts = [cpu_label]
+        if self.has_nmp:
+            parts.append(self.memory.name)
+        if self.gpu is not None:
+            parts.append(self.gpu.name.split()[-1])
+        return "+".join(parts)
+
+    @property
+    def tdp_w(self) -> float:
+        """Aggregate TDP -- the worst-case provisioned power of the box."""
+        total = self.cpu.tdp_w + self.memory.tdp_w
+        if self.gpu is not None:
+            total += self.gpu.tdp_w
+        return total
+
+    @property
+    def idle_w(self) -> float:
+        total = self.cpu.idle_w + self.memory.idle_w
+        if self.gpu is not None:
+            total += self.gpu.idle_w
+        return total
+
+    def power_w(self, util: ComponentUtilization) -> float:
+        """Wall power at the given component utilizations."""
+        return server_power_w(self.cpu, self.memory, self.gpu, util)
+
+
+#: The ten Table II server types, keyed by name.
+SERVER_TYPES: dict[str, ServerType] = {
+    "T1": ServerType("T1", CPU_T1, DDR4_T1),
+    "T2": ServerType("T2", CPU_T2, DDR4_T2),
+    "T3": ServerType("T3", CPU_T2, NMP_X2),
+    "T4": ServerType("T4", CPU_T2, NMP_X4),
+    "T5": ServerType("T5", CPU_T2, NMP_X8),
+    "T6": ServerType("T6", CPU_T1, DDR4_T1, GPU_P100),
+    "T7": ServerType("T7", CPU_T2, DDR4_T2, GPU_V100),
+    "T8": ServerType("T8", CPU_T2, NMP_X2, GPU_V100),
+    "T9": ServerType("T9", CPU_T2, NMP_X4, GPU_V100),
+    "T10": ServerType("T10", CPU_T2, NMP_X8, GPU_V100),
+}
+
+#: Availability N1-N10 of each type in the prototype cluster (Table II).
+SERVER_AVAILABILITY: dict[str, int] = {
+    "T1": 100,
+    "T2": 100,
+    "T3": 15,
+    "T4": 10,
+    "T5": 5,
+    "T6": 10,
+    "T7": 5,
+    "T8": 6,
+    "T9": 4,
+    "T10": 2,
+}
+
+
+def get_server_type(name: str) -> ServerType:
+    """Look up a Table II server type by name (``"T1"`` ... ``"T10"``)."""
+    try:
+        return SERVER_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown server type {name!r}; available: {', '.join(SERVER_TYPES)}"
+        ) from None
+
+
+def standard_fleet() -> list[tuple[ServerType, int]]:
+    """The full heterogeneous fleet with Table II availabilities."""
+    return [(SERVER_TYPES[name], SERVER_AVAILABILITY[name]) for name in SERVER_TYPES]

@@ -1,0 +1,59 @@
+"""Recommendation-model substrate: operators, graphs, Table I zoo, partitioning."""
+
+from repro.models.config import AttentionKind, ModelConfig, ModelVariant
+from repro.models.graph import Graph, GraphError, Node
+from repro.models.ops import (
+    Activation,
+    Attention,
+    Concat,
+    EmbeddingLookup,
+    FeatureInteraction,
+    FullyConnected,
+    GRUCell,
+    MLP,
+    Operator,
+    OpKind,
+)
+from repro.models.partition import (
+    PartitionedModel,
+    ZipfAccessProfile,
+    fuse_elementwise,
+    partition_model,
+)
+from repro.models.zoo import (
+    MODEL_CONFIGS,
+    MODEL_NAMES,
+    RecommendationModel,
+    all_models,
+    build_model,
+    get_config,
+)
+
+__all__ = [
+    "AttentionKind",
+    "ModelConfig",
+    "ModelVariant",
+    "Graph",
+    "GraphError",
+    "Node",
+    "Operator",
+    "OpKind",
+    "Activation",
+    "Attention",
+    "Concat",
+    "EmbeddingLookup",
+    "FeatureInteraction",
+    "FullyConnected",
+    "GRUCell",
+    "MLP",
+    "PartitionedModel",
+    "ZipfAccessProfile",
+    "fuse_elementwise",
+    "partition_model",
+    "MODEL_CONFIGS",
+    "MODEL_NAMES",
+    "RecommendationModel",
+    "all_models",
+    "build_model",
+    "get_config",
+]

@@ -1,0 +1,111 @@
+"""Declarative configuration for recommendation models (paper Table I).
+
+A :class:`ModelConfig` captures everything Table I specifies about a
+production model -- embedding-table population, lookup/pooling behaviour,
+attention flavour, and MLP stacks -- plus the per-model SLA latency
+target used throughout the paper's evaluation (Fig. 15 caption).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["AttentionKind", "ModelVariant", "ModelConfig"]
+
+
+class AttentionKind(enum.Enum):
+    """The attention unit a model uses, if any (Table I column)."""
+
+    NONE = "none"
+    FC = "fc"  # DIN-style local activation unit
+    GRU = "gru"  # DIEN-style interest evolution
+
+
+class ModelVariant(enum.Enum):
+    """Production-scale vs. the small variant that fits accelerator memory.
+
+    Table I gives two embedding sizes per model: ``Prod`` and ``Small``.
+    The paper's characterization (Section III-B) uses the small variants
+    on GPUs; the evaluation (Section VI) uses production sizes with
+    locality-aware partitioning.
+    """
+
+    PROD = "prod"
+    SMALL = "small"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Static description of one recommendation model family.
+
+    Attributes:
+        name: Model name as in Table I (e.g. ``"DLRM-RMC1"``).
+        service: The service category from Table I.
+        num_tables: Number of embedding tables.
+        prod_rows: Rows per table at production scale.
+        small_rows: Rows per table for the small (accelerator-friendly)
+            variant.
+        embedding_dim: Width of each embedding row.
+        pooling_factor: Average multi-hot lookups pooled per table per
+            item (1 means one-hot).
+        pooled: Whether lookups are gather-and-reduce (True) or plain
+            gather (False).  Only pooled lookups benefit from NMP.
+        dense_in: Width of the dense (continuous) feature vector.
+        bottom_mlp: Hidden widths of the Bottom-FC stack, or () if the
+            model has none (MT-WnD, DIN, DIEN).
+        predict_mlp: Hidden widths of the Predict-FC stack, excluding
+            the final task output.
+        num_tasks: Number of prediction tasks (MT-WnD is multi-task).
+        attention: Attention unit flavour.
+        attention_seq_len: Behaviour-sequence length attended over.
+        attention_hidden: Hidden width of the per-position attention MLP
+            (what makes DIN/DIEN the most compute-intense models of
+            Fig. 1).
+        sla_ms: SLA tail-latency target used in the evaluation.
+        mean_query_size: Mean number of items ranked per query
+            (query-size distribution is heavy-tailed around this).
+    """
+
+    name: str
+    service: str
+    num_tables: int
+    prod_rows: int
+    small_rows: int
+    embedding_dim: int
+    pooling_factor: float
+    pooled: bool
+    dense_in: int
+    bottom_mlp: tuple[int, ...]
+    predict_mlp: tuple[int, ...]
+    num_tasks: int = 1
+    attention: AttentionKind = AttentionKind.NONE
+    attention_seq_len: int = 0
+    attention_hidden: int = 64
+    sla_ms: float = 50.0
+    mean_query_size: int = 120
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if self.prod_rows < self.small_rows:
+            raise ValueError("prod variant must be at least as large as small")
+        if self.pooling_factor < 1:
+            raise ValueError("pooling_factor must be >= 1")
+        if self.attention is not AttentionKind.NONE and self.attention_seq_len < 1:
+            raise ValueError("attention models need a positive sequence length")
+        if self.sla_ms <= 0:
+            raise ValueError("sla_ms must be positive")
+        if self.mean_query_size < 1:
+            raise ValueError("mean_query_size must be >= 1")
+
+    def rows(self, variant: ModelVariant) -> int:
+        """Rows per table for the requested variant."""
+        if variant is ModelVariant.PROD:
+            return self.prod_rows
+        return self.small_rows
+
+    @property
+    def is_multi_hot(self) -> bool:
+        """True when SparseNet performs gather-and-reduce pooling."""
+        return self.pooled and self.pooling_factor > 1

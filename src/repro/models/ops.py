@@ -1,0 +1,475 @@
+"""Operator taxonomy for recommendation-model computation graphs.
+
+The paper (Fig. 2a) decomposes every recommendation model into a
+*SparseNet* -- embedding lookup (gather) and lookup-and-pooling
+(gather-and-reduce) operators -- and a *DenseNet* -- fully-connected
+stacks, feature interaction, attention units and recurrent cells.
+
+Each operator here is a pure cost descriptor: it knows how many
+floating-point operations it performs, how many bytes it moves through
+main memory, and how large its inputs/outputs are, all as a function of
+the number of *items* being ranked (the batch dimension).  Device timing
+lives in :mod:`repro.perf`; operators never know what hardware they run
+on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OpKind",
+    "Operator",
+    "EmbeddingLookup",
+    "FullyConnected",
+    "MLP",
+    "FeatureInteraction",
+    "Attention",
+    "GRUCell",
+    "Concat",
+    "Activation",
+    "FLOAT_BYTES",
+    "INDEX_BYTES",
+]
+
+FLOAT_BYTES = 4
+"""Bytes per dense element (fp32 everywhere, as in the paper's Caffe2 setup)."""
+
+INDEX_BYTES = 8
+"""Bytes per sparse embedding index (int64, the PyTorch/Caffe2 default)."""
+
+
+class OpKind(enum.Enum):
+    """Classification of operators used by partitioners and perf models."""
+
+    EMBEDDING_GATHER = "embedding_gather"
+    EMBEDDING_GATHER_REDUCE = "embedding_gather_reduce"
+    FC = "fc"
+    MLP = "mlp"
+    INTERACTION = "interaction"
+    ATTENTION = "attention"
+    GRU = "gru"
+    CONCAT = "concat"
+    ACTIVATION = "activation"
+
+    @property
+    def is_sparse(self) -> bool:
+        """True for SparseNet (memory-dominated embedding) operators."""
+        return self in (OpKind.EMBEDDING_GATHER, OpKind.EMBEDDING_GATHER_REDUCE)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for all graph operators.
+
+    Subclasses override the cost accessors.  All costs are *per batch*
+    where ``items`` is the number of user-item pairs being scored.
+
+    Attributes:
+        name: Unique name within the model graph.
+        parallel_fraction: Fraction of this operator's work that can be
+            executed by parallel operator workers (Amdahl).  Embedding
+            tables are fully independent (1.0); a GRU is sequential in
+            time (near 0.0).
+    """
+
+    name: str
+    parallel_fraction: float = 1.0
+
+    @property
+    def kind(self) -> OpKind:
+        raise NotImplementedError
+
+    def flops(self, items: int) -> float:
+        """Floating-point operations for a batch of ``items``."""
+        raise NotImplementedError
+
+    def mem_bytes(self, items: int) -> float:
+        """Bytes touched in main memory (weights + activations)."""
+        raise NotImplementedError
+
+    def input_bytes(self, items: int) -> float:
+        """Bytes of input the operator consumes (for device transfer cost)."""
+        raise NotImplementedError
+
+    def output_bytes(self, items: int) -> float:
+        """Bytes of output the operator produces."""
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> float:
+        """Resident parameter footprint in bytes (0 for stateless ops)."""
+        return 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError(
+                f"parallel_fraction must be in [0, 1], got {self.parallel_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class EmbeddingLookup(Operator):
+    """One-hot gather or multi-hot gather-and-reduce over embedding tables.
+
+    Models a *group* of ``num_tables`` identical tables (the common case:
+    Table I describes tables in aggregate).  For each item, each table is
+    queried with ``pooling_factor`` indices; with ``pooled=True`` the
+    gathered rows are summed into a single vector per table
+    (SparseLengthsSum), otherwise the raw rows are emitted.
+
+    The paper's key distinction: gather-*reduce* is what NMP hardware
+    accelerates; plain gathers see no NMP benefit (Section VI-B).
+    """
+
+    num_tables: int = 1
+    rows_per_table: int = 1_000_000
+    embedding_dim: int = 32
+    pooling_factor: float = 1.0
+    pooled: bool = True
+    weight_shared: bool = False
+    """True when this lookup reads a table owned by another operator
+    (e.g. DIN's behaviour history reads the item-embedding table), so
+    its weights must not be double-counted in the model footprint."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if self.rows_per_table < 1:
+            raise ValueError("rows_per_table must be >= 1")
+        if self.embedding_dim < 1:
+            raise ValueError("embedding_dim must be >= 1")
+        if self.pooling_factor < 1:
+            raise ValueError("pooling_factor must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        if self.pooled and self.pooling_factor > 1:
+            return OpKind.EMBEDDING_GATHER_REDUCE
+        return OpKind.EMBEDDING_GATHER
+
+    @property
+    def weight_bytes(self) -> float:
+        if self.weight_shared:
+            return 0.0
+        return (
+            float(self.num_tables)
+            * self.rows_per_table
+            * self.embedding_dim
+            * FLOAT_BYTES
+        )
+
+    def lookups(self, items: int) -> float:
+        """Total number of embedding-row reads for a batch."""
+        return float(items) * self.num_tables * self.pooling_factor
+
+    def flops(self, items: int) -> float:
+        # Pooling is one add per gathered element beyond the first row.
+        if not self.pooled or self.pooling_factor <= 1:
+            return 0.0
+        adds_per_item = (self.pooling_factor - 1) * self.embedding_dim
+        return float(items) * self.num_tables * adds_per_item
+
+    def mem_bytes(self, items: int) -> float:
+        # Random gathers: every looked-up row is a distinct cache-missing read.
+        return self.lookups(items) * self.embedding_dim * FLOAT_BYTES
+
+    def input_bytes(self, items: int) -> float:
+        # Sparse indices: this is the data-loading traffic that dominates
+        # PCIe for multi-hot models like DLRM-RMC3 (Fig. 7a).
+        return self.lookups(items) * INDEX_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        vectors_per_item = self.num_tables * (
+            1.0 if self.pooled else self.pooling_factor
+        )
+        return float(items) * vectors_per_item * self.embedding_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class FullyConnected(Operator):
+    """A single dense layer ``in_dim -> out_dim`` (GEMM + bias)."""
+
+    in_dim: int = 1
+    out_dim: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.in_dim < 1 or self.out_dim < 1:
+            raise ValueError("FC dimensions must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.FC
+
+    @property
+    def weight_bytes(self) -> float:
+        return float(self.in_dim * self.out_dim + self.out_dim) * FLOAT_BYTES
+
+    def flops(self, items: int) -> float:
+        return 2.0 * items * self.in_dim * self.out_dim
+
+    def mem_bytes(self, items: int) -> float:
+        activations = float(items) * (self.in_dim + self.out_dim) * FLOAT_BYTES
+        return self.weight_bytes + activations
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.in_dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.out_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class MLP(Operator):
+    """A stack of FC layers with elementwise activations (fused).
+
+    ``layer_dims`` lists the widths including input, e.g. the DLRM-RMC1
+    Bottom-FC ``(input, 256, 128, 32)``.  The stack is inherently
+    sequential across layers, but each GEMM parallelizes internally, so
+    the default ``parallel_fraction`` stays high within a layer while
+    the graph expresses the cross-layer dependency.
+    """
+
+    layer_dims: tuple[int, ...] = (1, 1)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.layer_dims) < 2:
+            raise ValueError("MLP needs at least input and one output dim")
+        if any(d < 1 for d in self.layer_dims):
+            raise ValueError("MLP dims must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.MLP
+
+    @property
+    def in_dim(self) -> int:
+        return self.layer_dims[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.layer_dims[-1]
+
+    def _layer_pairs(self) -> list[tuple[int, int]]:
+        return list(zip(self.layer_dims[:-1], self.layer_dims[1:]))
+
+    @property
+    def weight_bytes(self) -> float:
+        return sum(
+            float(i * o + o) * FLOAT_BYTES for i, o in self._layer_pairs()
+        )
+
+    def flops(self, items: int) -> float:
+        return sum(2.0 * items * i * o for i, o in self._layer_pairs())
+
+    def mem_bytes(self, items: int) -> float:
+        act = sum(
+            float(items) * (i + o) * FLOAT_BYTES for i, o in self._layer_pairs()
+        )
+        return self.weight_bytes + act
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.in_dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.out_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class FeatureInteraction(Operator):
+    """Pairwise dot-product interaction between feature vectors (DLRM).
+
+    ``num_vectors`` feature vectors of width ``dim`` per item interact
+    pairwise; the output is the concatenation of the upper triangle with
+    the dense feature vector.
+    """
+
+    num_vectors: int = 2
+    dim: int = 32
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_vectors < 2:
+            raise ValueError("interaction needs >= 2 vectors")
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.INTERACTION
+
+    @property
+    def num_pairs(self) -> int:
+        return self.num_vectors * (self.num_vectors - 1) // 2
+
+    @property
+    def out_dim(self) -> int:
+        return self.num_pairs + self.dim
+
+    def flops(self, items: int) -> float:
+        return 2.0 * items * self.num_pairs * self.dim
+
+    def mem_bytes(self, items: int) -> float:
+        in_elems = self.num_vectors * self.dim
+        return float(items) * (in_elems + self.out_dim) * FLOAT_BYTES
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.num_vectors * self.dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.out_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class Attention(Operator):
+    """DIN-style attention unit over a user-behaviour sequence.
+
+    Each item attends over ``seq_len`` history embeddings of width
+    ``dim`` through a small per-position MLP (``hidden`` units), then a
+    weighted sum.  Compute-intensive, which is what makes DIN
+    compute-dominated despite tiny FC stacks (Fig. 1).
+    """
+
+    seq_len: int = 100
+    dim: int = 32
+    hidden: int = 36
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.seq_len < 1 or self.dim < 1 or self.hidden < 1:
+            raise ValueError("attention dims must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.ATTENTION
+
+    @property
+    def weight_bytes(self) -> float:
+        # Per-position MLP: (4*dim -> hidden -> 1); weights shared over seq.
+        per_pos = 4 * self.dim * self.hidden + self.hidden
+        return float(per_pos) * FLOAT_BYTES
+
+    def flops(self, items: int) -> float:
+        per_pos = 2.0 * (4 * self.dim * self.hidden + self.hidden)
+        weighted_sum = 2.0 * self.dim
+        return float(items) * self.seq_len * (per_pos + weighted_sum)
+
+    def mem_bytes(self, items: int) -> float:
+        # Every item of a query attends over the *same* user history, so
+        # the sequence is read from DRAM once per batch and stays
+        # cache-resident; only outputs scale with items.  This is what
+        # keeps DIN compute-dominated (Fig. 1) despite long histories.
+        seq_bytes = float(self.seq_len) * self.dim * FLOAT_BYTES
+        return self.weight_bytes + seq_bytes + self.output_bytes(items)
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * (self.seq_len + 1) * self.dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class GRUCell(Operator):
+    """DIEN's interest-evolution GRU over a behaviour sequence.
+
+    Sequential over ``seq_len`` timesteps -- ``parallel_fraction``
+    defaults low because timestep ``t`` depends on ``t-1``.
+    """
+
+    seq_len: int = 100
+    hidden: int = 32
+    parallel_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.seq_len < 1 or self.hidden < 1:
+            raise ValueError("GRU dims must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.GRU
+
+    @property
+    def weight_bytes(self) -> float:
+        # Three gates, each (hidden x hidden) x 2 matrices + bias.
+        per_gate = 2 * self.hidden * self.hidden + self.hidden
+        return 3.0 * per_gate * FLOAT_BYTES
+
+    def flops(self, items: int) -> float:
+        per_step = 3.0 * 2.0 * (2 * self.hidden * self.hidden)
+        return float(items) * self.seq_len * per_step
+
+    def mem_bytes(self, items: int) -> float:
+        # As with attention, the history sequence is shared across the
+        # query's items and read once per batch.
+        seq_bytes = float(self.seq_len) * self.hidden * FLOAT_BYTES
+        return self.weight_bytes + seq_bytes + self.output_bytes(items)
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.seq_len * self.hidden * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.hidden * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class Concat(Operator):
+    """Concatenation of feature vectors (pure data movement)."""
+
+    total_dim: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.total_dim < 1:
+            raise ValueError("total_dim must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.CONCAT
+
+    def flops(self, items: int) -> float:
+        return 0.0
+
+    def mem_bytes(self, items: int) -> float:
+        return 2.0 * items * self.total_dim * FLOAT_BYTES
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.total_dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.total_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class Activation(Operator):
+    """Elementwise activation (ReLU/sigmoid); candidate for operator fusion."""
+
+    dim: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+
+    @property
+    def kind(self) -> OpKind:
+        return OpKind.ACTIVATION
+
+    def flops(self, items: int) -> float:
+        return float(items) * self.dim
+
+    def mem_bytes(self, items: int) -> float:
+        return 2.0 * items * self.dim * FLOAT_BYTES
+
+    def input_bytes(self, items: int) -> float:
+        return float(items) * self.dim * FLOAT_BYTES
+
+    def output_bytes(self, items: int) -> float:
+        return float(items) * self.dim * FLOAT_BYTES

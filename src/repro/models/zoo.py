@@ -1,0 +1,355 @@
+"""The six industry-representative models of paper Table I.
+
+Configurations follow Table I: DLRM-RMC1/RMC2/RMC3 (Facebook, social
+media), MT-WnD (Google, video), DIN and DIEN (Alibaba, e-commerce).
+Where Table I gives a range (rows per table, pooling factor) we take a
+representative midpoint; SLA targets follow the Fig. 15 caption
+(20/50/50/50/100/100 ms for RMC1/RMC2/RMC3/DIN/DIEN/MT-WnD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import AttentionKind, ModelConfig, ModelVariant
+from repro.models.graph import Graph, Node
+from repro.models.ops import (
+    Attention,
+    Concat,
+    EmbeddingLookup,
+    FeatureInteraction,
+    GRUCell,
+    MLP,
+    Operator,
+)
+
+__all__ = [
+    "RecommendationModel",
+    "MODEL_CONFIGS",
+    "MODEL_NAMES",
+    "build_model",
+    "all_models",
+    "get_config",
+]
+
+#: Maximum independent embedding-group nodes per graph.  Grouping keeps
+#: graphs small while still exposing SparseNet op-parallelism (tables
+#: within a group execute as one fused gather, as DL frameworks do).
+_MAX_EMBEDDING_GROUPS = 8
+
+
+@dataclass(frozen=True)
+class RecommendationModel:
+    """A concrete, runnable model: config + variant + computation graph.
+
+    Attributes:
+        config: The Table I configuration this model was built from.
+        variant: Production-scale or small.
+        graph: The end-to-end computation graph ``Gm``.
+    """
+
+    config: ModelConfig
+    variant: ModelVariant
+    graph: Graph
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def sla_ms(self) -> float:
+        return self.config.sla_ms
+
+    @property
+    def sparse_fraction_of_memory(self) -> float:
+        """Fraction of resident bytes held by SparseNet (>95% in prod)."""
+        total = self.graph.total_weight_bytes()
+        if total == 0:
+            return 0.0
+        sparse = sum(n.op.weight_bytes for n in self.graph.sparse_nodes)
+        return sparse / total
+
+    def describe(self) -> dict[str, float | str | int]:
+        """Summary row used by the Table I benchmark."""
+        items = self.config.mean_query_size
+        return {
+            "model": self.name,
+            "variant": self.variant.value,
+            "service": self.config.service,
+            "tables": self.config.num_tables,
+            "rows_per_table": self.config.rows(self.variant),
+            "pooling": self.config.pooling_factor,
+            "weight_gb": self.graph.total_weight_bytes() / 1e9,
+            "flops_per_item": self.graph.total_flops(items) / items,
+            "mem_bytes_per_item": self.graph.total_mem_bytes(items) / items,
+            "sla_ms": self.config.sla_ms,
+        }
+
+
+MODEL_CONFIGS: dict[str, ModelConfig] = {
+    "DLRM-RMC1": ModelConfig(
+        name="DLRM-RMC1",
+        service="social media",
+        num_tables=10,
+        prod_rows=3_000_000,
+        small_rows=1_000_000,
+        embedding_dim=32,
+        pooling_factor=80,  # Table I: 20-160 multi-hot lookups
+        pooled=True,
+        dense_in=128,
+        bottom_mlp=(256, 128, 32),
+        predict_mlp=(256, 64),
+        sla_ms=20.0,
+        mean_query_size=150,
+    ),
+    "DLRM-RMC2": ModelConfig(
+        name="DLRM-RMC2",
+        service="social media",
+        num_tables=100,
+        prod_rows=3_000_000,
+        small_rows=1_000_000,
+        embedding_dim=32,
+        pooling_factor=80,
+        pooled=True,
+        dense_in=128,
+        bottom_mlp=(256, 128, 32),
+        predict_mlp=(512, 128),
+        sla_ms=50.0,
+        mean_query_size=150,
+    ),
+    "DLRM-RMC3": ModelConfig(
+        name="DLRM-RMC3",
+        service="social media",
+        num_tables=10,
+        prod_rows=15_000_000,
+        small_rows=1_000_000,
+        embedding_dim=64,
+        pooling_factor=35,  # Table I: 20-50
+        pooled=True,
+        dense_in=512,
+        bottom_mlp=(2560, 512, 32),
+        predict_mlp=(512, 128),
+        sla_ms=50.0,
+        mean_query_size=120,
+    ),
+    "MT-WnD": ModelConfig(
+        name="MT-WnD",
+        service="video",
+        num_tables=26,
+        prod_rows=15_000_000,  # Table I: 3-40M; sized to fit host DRAM
+        small_rows=1_000_000,
+        embedding_dim=32,
+        pooling_factor=1,  # one-hot, no pooling
+        pooled=False,
+        dense_in=256,
+        bottom_mlp=(),
+        predict_mlp=(1024, 512, 256),
+        num_tasks=4,  # N parallel task towers
+        sla_ms=100.0,
+        mean_query_size=100,
+    ),
+    "DIN": ModelConfig(
+        name="DIN",
+        service="e-commerce",
+        num_tables=3,
+        prod_rows=150_000_000,  # Table I: 0.1M-600M; sized to fit host DRAM
+        small_rows=1_000_000,
+        embedding_dim=32,
+        pooling_factor=1,  # one-hot lookup, attention over history
+        pooled=False,
+        dense_in=64,
+        bottom_mlp=(),
+        predict_mlp=(200, 80),
+        attention=AttentionKind.FC,
+        attention_seq_len=800,  # Table I: 100-1000 behaviour entries
+        attention_hidden=128,  # Fig. 1: DIN tops compute intensity
+        sla_ms=50.0,
+        mean_query_size=100,
+    ),
+    "DIEN": ModelConfig(
+        name="DIEN",
+        service="e-commerce",
+        num_tables=3,
+        prod_rows=150_000_000,
+        small_rows=1_000_000,
+        embedding_dim=32,
+        pooling_factor=1,
+        pooled=False,
+        dense_in=64,
+        bottom_mlp=(),
+        predict_mlp=(200, 80),
+        attention=AttentionKind.GRU,
+        attention_seq_len=800,
+        attention_hidden=128,
+        sla_ms=100.0,
+        mean_query_size=100,
+    ),
+}
+
+MODEL_NAMES: tuple[str, ...] = tuple(MODEL_CONFIGS)
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a Table I configuration by model name."""
+    try:
+        return MODEL_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+
+
+def _embedding_groups(config: ModelConfig, rows: int) -> list[EmbeddingLookup]:
+    """Split the table population into independent gather nodes.
+
+    Grouping bounds graph size for wide models (RMC2 has ~100 tables)
+    while preserving the independence that SparseNet op-parallelism
+    exploits (Fig. 10b: parallel workers on sparse threads).
+    """
+    num_groups = min(config.num_tables, _MAX_EMBEDDING_GROUPS)
+    base, extra = divmod(config.num_tables, num_groups)
+    groups = []
+    for g in range(num_groups):
+        tables = base + (1 if g < extra else 0)
+        groups.append(
+            EmbeddingLookup(
+                name=f"emb_g{g}",
+                num_tables=tables,
+                rows_per_table=rows,
+                embedding_dim=config.embedding_dim,
+                pooling_factor=config.pooling_factor,
+                pooled=config.pooled,
+            )
+        )
+    return groups
+
+
+def _build_dlrm_graph(config: ModelConfig, rows: int) -> Graph:
+    """DLRM: Bottom-FC || embeddings -> interaction -> Predict-FC."""
+    graph = Graph(config.name)
+    bottom = MLP(
+        name="bottom_fc", layer_dims=(config.dense_in, *config.bottom_mlp)
+    )
+    graph.add(Node(op=bottom))
+    emb_groups = _embedding_groups(config, rows)
+    for emb in emb_groups:
+        graph.add(Node(op=emb))
+    interaction = FeatureInteraction(
+        name="interaction",
+        num_vectors=config.num_tables + 1,  # per-table vectors + dense
+        dim=config.embedding_dim,
+    )
+    graph.add(
+        Node(op=interaction, deps=("bottom_fc", *(e.name for e in emb_groups)))
+    )
+    predict = MLP(
+        name="predict_fc",
+        layer_dims=(interaction.out_dim, *config.predict_mlp, 1),
+    )
+    graph.add(Node(op=predict, deps=("interaction",)))
+    return graph
+
+
+def _build_mtwnd_graph(config: ModelConfig, rows: int) -> Graph:
+    """MT-WnD: one-hot embeddings -> concat -> N independent task towers."""
+    graph = Graph(config.name)
+    emb_groups = _embedding_groups(config, rows)
+    for emb in emb_groups:
+        graph.add(Node(op=emb))
+    concat_dim = config.num_tables * config.embedding_dim + config.dense_in
+    graph.add(
+        Node(
+            op=Concat(name="concat", total_dim=concat_dim),
+            deps=tuple(e.name for e in emb_groups),
+        )
+    )
+    for task in range(config.num_tasks):
+        tower = MLP(
+            name=f"predict_task{task}",
+            layer_dims=(concat_dim, *config.predict_mlp, 1),
+        )
+        graph.add(Node(op=tower, deps=("concat",)))
+    return graph
+
+
+def _build_attention_graph(config: ModelConfig, rows: int) -> Graph:
+    """DIN/DIEN: one-hot embeddings -> [GRU] -> attention -> Predict-FC."""
+    graph = Graph(config.name)
+    emb_groups = _embedding_groups(config, rows)
+    for emb in emb_groups:
+        graph.add(Node(op=emb))
+    # The behaviour-history sequence belongs to the *user*, so one
+    # query's items share it: its gather (and the DIEN GRU pass over
+    # it) amortize over the query.  Costs are expressed per item by
+    # dividing the sequence length by the mean query size.
+    amortized_seq = max(1, round(config.attention_seq_len / config.mean_query_size))
+    seq_emb = EmbeddingLookup(
+        name="emb_history",
+        num_tables=1,
+        rows_per_table=rows,
+        embedding_dim=config.embedding_dim,
+        pooling_factor=amortized_seq,
+        pooled=False,
+        weight_shared=True,  # history reads the item-embedding table
+    )
+    graph.add(Node(op=seq_emb))
+    attention_dep: tuple[str, ...] = ("emb_history",)
+    if config.attention is AttentionKind.GRU:
+        gru = GRUCell(
+            name="interest_gru",
+            seq_len=amortized_seq,
+            hidden=config.embedding_dim,
+        )
+        graph.add(Node(op=gru, deps=("emb_history",)))
+        attention_dep = ("interest_gru",)
+    attn = Attention(
+        name="attention",
+        seq_len=config.attention_seq_len,
+        dim=config.embedding_dim,
+        hidden=config.attention_hidden,
+    )
+    graph.add(
+        Node(op=attn, deps=attention_dep + tuple(e.name for e in emb_groups))
+    )
+    concat_dim = (
+        config.num_tables * config.embedding_dim
+        + config.embedding_dim
+        + config.dense_in
+    )
+    graph.add(Node(op=Concat(name="concat", total_dim=concat_dim), deps=("attention",)))
+    predict = MLP(
+        name="predict_fc", layer_dims=(concat_dim, *config.predict_mlp, 1)
+    )
+    graph.add(Node(op=predict, deps=("concat",)))
+    return graph
+
+
+def build_model(
+    name: str, variant: ModelVariant = ModelVariant.PROD
+) -> RecommendationModel:
+    """Instantiate one of the six Table I models.
+
+    Args:
+        name: One of :data:`MODEL_NAMES`.
+        variant: ``PROD`` for production scale, ``SMALL`` for the
+            accelerator-friendly variant.
+
+    Returns:
+        The model with its full computation graph ``Gm``.
+    """
+    config = get_config(name)
+    rows = config.rows(variant)
+    if config.attention is not AttentionKind.NONE:
+        graph = _build_attention_graph(config, rows)
+    elif config.num_tasks > 1:
+        graph = _build_mtwnd_graph(config, rows)
+    else:
+        graph = _build_dlrm_graph(config, rows)
+    return RecommendationModel(config=config, variant=variant, graph=graph)
+
+
+def all_models(
+    variant: ModelVariant = ModelVariant.PROD,
+) -> list[RecommendationModel]:
+    """All six Table I models at the requested scale."""
+    return [build_model(name, variant) for name in MODEL_NAMES]

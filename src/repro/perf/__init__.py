@@ -1,0 +1,31 @@
+"""Analytical performance models: rooflines, NMP LUT, PCIe, interference."""
+
+from repro.perf.interference import InterferenceModel
+from repro.perf.nmp import (
+    DEFAULT_BATCH_GRID,
+    DramTiming,
+    NmpLut,
+    NmpResult,
+    build_lut,
+    simulate_gather_reduce,
+)
+from repro.perf.opmodel import CpuOpModel, GpuOpModel, OpTiming
+from repro.perf.pcie import PcieLink
+from repro.perf.schedule import NodeSchedule, ScheduleResult, list_schedule
+
+__all__ = [
+    "InterferenceModel",
+    "DramTiming",
+    "NmpLut",
+    "NmpResult",
+    "DEFAULT_BATCH_GRID",
+    "build_lut",
+    "simulate_gather_reduce",
+    "CpuOpModel",
+    "GpuOpModel",
+    "OpTiming",
+    "PcieLink",
+    "NodeSchedule",
+    "ScheduleResult",
+    "list_schedule",
+]

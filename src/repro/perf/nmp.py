@@ -1,0 +1,227 @@
+"""Near-memory-processing simulator and latency/energy LUT.
+
+The paper evaluates NMP servers with the emulation methodology of
+RecNMP: a cycle-level simulation of the DIMM-side gather-and-reduce is
+run *offline* over sampled queries, its per-batch embedding-operator
+latency and energy recorded in a lookup table (LUT), and the real-time
+serving run consults the LUT instead of simulating (Section V, Fig. 13
+"dummy SLS-NMP operator").
+
+We reproduce exactly that structure: :func:`simulate_gather_reduce` is
+a DRAM-timing-level model of rank-parallel pooling, :func:`build_lut`
+sweeps it over batch sizes, and :class:`NmpLut` serves interpolated
+lookups during serving and search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.memory import MemorySpec
+from repro.models.ops import EmbeddingLookup, FLOAT_BYTES, Operator
+
+__all__ = [
+    "DramTiming",
+    "NmpResult",
+    "simulate_gather_reduce",
+    "NmpLut",
+    "build_lut",
+    "DEFAULT_BATCH_GRID",
+]
+
+#: Batch sizes (items) the offline simulation sweeps.
+DEFAULT_BATCH_GRID: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DDR4-grade DRAM timing parameters used by the NMP simulation.
+
+    With bank-level parallelism a single rank sustains random-gather
+    throughput close to what the host could pull through the channel;
+    rank-level NMP parallelism multiplies that (RecNMP's key result).
+
+    Attributes:
+        t_startup_ns: Fixed command/launch latency before the first
+            row read streams out (tRP + tRCD + tCAS scale).
+        burst_bytes: Bytes delivered per column burst (64 B line).
+        pj_per_byte_read: DRAM read energy.
+        pj_per_byte_reduce: Near-memory add energy per byte.
+        pj_per_byte_channel: Channel transfer energy per byte.
+    """
+
+    t_startup_ns: float = 90.0
+    burst_bytes: float = 64.0
+    pj_per_byte_read: float = 15.0
+    pj_per_byte_reduce: float = 1.0
+    pj_per_byte_channel: float = 20.0
+
+
+@dataclass(frozen=True)
+class NmpResult:
+    """Output of one cycle-level gather-reduce simulation.
+
+    Attributes:
+        latency_s: Time for the NMP units to finish the batch and ship
+            the pooled outputs over the channel.
+        energy_j: DIMM-side energy (reads + reduces + channel traffic).
+        rank_reads: Row reads performed by the busiest rank.
+        channel_bytes: Bytes that actually crossed the channel.
+    """
+
+    latency_s: float
+    energy_j: float
+    rank_reads: int
+    channel_bytes: float
+
+
+def simulate_gather_reduce(
+    op: EmbeddingLookup,
+    items: int,
+    memory: MemorySpec,
+    timing: DramTiming | None = None,
+) -> NmpResult:
+    """Cycle-level-style simulation of one pooled embedding op on NMP DIMMs.
+
+    Each of the ``memory.nmp_ranks`` rank-attached units gathers its
+    share of the rows (embedding rows stripe uniformly across ranks),
+    reduces locally, and only the pooled vectors transit the channel.
+    Latency is the max of (a) the busiest rank's row-access time and
+    (b) the channel time for pooled outputs -- rank work and channel
+    transfer pipeline against each other.
+
+    Args:
+        op: A pooled embedding-lookup operator.
+        items: Batch size.
+        memory: An NMP memory spec (``nmp_ranks > 0``).
+        timing: DRAM timing parameters.
+
+    Raises:
+        ValueError: For non-pooled ops or non-NMP memory.
+    """
+    if not memory.is_nmp:
+        raise ValueError(f"{memory.name} has no NMP ranks")
+    if not (op.pooled and op.pooling_factor > 1):
+        raise ValueError(
+            "NMP accelerates gather-and-reduce only; "
+            f"{op.name} is a plain gather"
+        )
+    if items < 1:
+        raise ValueError("items must be >= 1")
+    timing = timing or DramTiming()
+
+    total_lookups = int(math.ceil(op.lookups(items)))
+    ranks = memory.nmp_ranks * memory.channels
+    # Uniform row striping: the busiest rank gets the ceiling share.
+    rank_reads = int(math.ceil(total_lookups / ranks))
+    row_bytes = op.embedding_dim * FLOAT_BYTES
+    # Bank-level parallelism lets one rank internally sustain the
+    # random-gather bandwidth the host would see through its channel;
+    # the NMP win is that all ranks gather concurrently.
+    rank_gather_bw = memory.channel_bw_bytes * memory.gather_efficiency
+    rank_time_s = (
+        timing.t_startup_ns * 1e-9 + rank_reads * row_bytes / rank_gather_bw
+    )
+
+    channel_bytes = op.output_bytes(items)
+    channel_time_s = channel_bytes / memory.peak_bw_bytes
+
+    read_bytes = total_lookups * row_bytes
+    energy_j = (
+        read_bytes * timing.pj_per_byte_read
+        + read_bytes * timing.pj_per_byte_reduce
+        + channel_bytes * timing.pj_per_byte_channel
+    ) * 1e-12
+
+    return NmpResult(
+        latency_s=max(rank_time_s, channel_time_s),
+        energy_j=energy_j,
+        rank_reads=rank_reads,
+        channel_bytes=channel_bytes,
+    )
+
+
+class NmpLut:
+    """Interpolating latency/energy LUT for NMP embedding operators.
+
+    Keys are ``(embedding op identity, batch size)``; queries between
+    grid points interpolate linearly (latency is near-linear in batch),
+    and queries beyond the grid extrapolate from the last segment.
+    """
+
+    def __init__(self, memory: MemorySpec, timing: DramTiming | None = None) -> None:
+        if not memory.is_nmp:
+            raise ValueError(f"{memory.name} has no NMP ranks")
+        self.memory = memory
+        self.timing = timing or DramTiming()
+        self._entries: dict[tuple, list[tuple[int, float, float]]] = {}
+
+    @staticmethod
+    def _op_key(op: EmbeddingLookup) -> tuple:
+        return (
+            op.num_tables,
+            op.rows_per_table,
+            op.embedding_dim,
+            round(op.pooling_factor, 6),
+        )
+
+    def populate(
+        self, op: EmbeddingLookup, batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID
+    ) -> None:
+        """Run the offline simulation over the batch grid for one op."""
+        rows = []
+        for batch in sorted(set(batch_grid)):
+            result = simulate_gather_reduce(op, batch, self.memory, self.timing)
+            rows.append((batch, result.latency_s, result.energy_j))
+        self._entries[self._op_key(op)] = rows
+
+    def _interpolate(
+        self, rows: list[tuple[int, float, float]], items: int, column: int
+    ) -> float:
+        if items <= rows[0][0]:
+            # Below the grid: scale down from the smallest entry.
+            return rows[0][column] * items / rows[0][0]
+        for (b0, *v0), (b1, *v1) in zip(rows, rows[1:]):
+            if b0 <= items <= b1:
+                frac = (items - b0) / (b1 - b0)
+                return v0[column - 1] + frac * (v1[column - 1] - v0[column - 1])
+        # Beyond the grid: extrapolate from the last segment slope.
+        (b0, *v0), (b1, *v1) = rows[-2], rows[-1]
+        slope = (v1[column - 1] - v0[column - 1]) / (b1 - b0)
+        return v1[column - 1] + slope * (items - b1)
+
+    def _rows_for(self, op: Operator) -> list[tuple[int, float, float]]:
+        if not isinstance(op, EmbeddingLookup):
+            raise TypeError(f"NMP LUT only serves embedding ops, got {op!r}")
+        key = self._op_key(op)
+        if key not in self._entries:
+            # Lazily populate -- equivalent to running the offline
+            # simulation on first encounter of a new operator shape.
+            self.populate(op)
+        return self._entries[key]
+
+    def latency_s(self, op: Operator, items: int) -> float:
+        """LUT latency for ``op`` at batch ``items`` (the dummy SLS-NMP op)."""
+        return self._interpolate(self._rows_for(op), items, 1)
+
+    def energy_j(self, op: Operator, items: int) -> float:
+        """LUT DIMM-side energy for ``op`` at batch ``items``."""
+        return self._interpolate(self._rows_for(op), items, 2)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_lut(
+    memory: MemorySpec,
+    ops: list[EmbeddingLookup] = (),
+    batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
+    timing: DramTiming | None = None,
+) -> NmpLut:
+    """Build an NMP LUT, pre-populating it for the given operators."""
+    lut = NmpLut(memory, timing)
+    for op in ops:
+        if op.pooled and op.pooling_factor > 1:
+            lut.populate(op, batch_grid)
+    return lut

@@ -1,0 +1,176 @@
+"""Roofline operator timing on CPUs and GPUs.
+
+This is the substitute for the paper's real-system measurement: each
+operator's latency on a device is the max of its compute time and its
+memory time (they overlap on modern hardware), plus a fixed framework
+dispatch / kernel-launch overhead.  The overhead term is what batching
+amortizes; the memory term is what NMP attacks; the compute term is
+what GPUs attack.  These three effects produce the paper's
+characterization shapes (Figs. 4-7, 11).
+
+Operator workers: per Section II-B one physical core hosts one operator
+worker, and one operator executes on one worker.  CPU op timing is
+therefore single-core; parallelism across *independent* operators is
+modelled by list scheduling in :mod:`repro.perf.schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.memory import MemorySpec
+from repro.models.ops import Operator, OpKind
+from repro.perf.nmp import NmpLut
+
+__all__ = ["OpTiming", "CpuOpModel", "GpuOpModel"]
+
+#: Framework dispatch overhead per operator on the host (Caffe2-like).
+CPU_DISPATCH_OVERHEAD_S = 15e-6
+
+#: Sequential-timestep overhead of recurrent cells per element of
+#: sequence, reflecting that a GRU cannot use wide GEMMs.
+_GRU_STEP_PENALTY = 2.0
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Latency decomposition of one operator execution.
+
+    Attributes:
+        compute_s: Time limited by arithmetic throughput.
+        memory_s: Time limited by memory bandwidth.
+        overhead_s: Fixed dispatch/launch overhead.
+    """
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Roofline latency: overhead plus the binding resource."""
+        return self.overhead_s + max(self.compute_s, self.memory_s)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_s > self.compute_s
+
+
+class CpuOpModel:
+    """Single-core operator timing on a host CPU with channel memory.
+
+    Args:
+        cpu: Host CPU spec.
+        memory: Attached memory spec (DDR4 or NMP DIMMs).
+        nmp_lut: Pre-built NMP latency LUT.  Required when ``memory``
+            is an NMP configuration (mirrors the paper's emulation
+            methodology: the cycle-level simulation runs offline and
+            serving consults the LUT).
+    """
+
+    def __init__(
+        self,
+        cpu: CpuSpec,
+        memory: MemorySpec,
+        nmp_lut: NmpLut | None = None,
+    ) -> None:
+        if memory.is_nmp and nmp_lut is None:
+            raise ValueError(
+                f"{memory.name} requires an NMP LUT (build one with "
+                "repro.perf.nmp.build_lut)"
+            )
+        self.cpu = cpu
+        self.memory = memory
+        self.nmp_lut = nmp_lut
+
+    def op_timing(
+        self, op: Operator, items: int, bw_fraction: float = 1.0
+    ) -> OpTiming:
+        """Latency of ``op`` on one operator worker (one physical core).
+
+        Args:
+            op: The operator.
+            items: Batch size in items.
+            bw_fraction: Share of the memory system this thread gets
+                under co-location (see :mod:`repro.perf.interference`).
+        """
+        if items < 1:
+            raise ValueError("items must be >= 1")
+        if not 0.0 < bw_fraction <= 1.0:
+            raise ValueError("bw_fraction must be in (0, 1]")
+
+        if op.kind.is_sparse and self.memory.is_nmp and self._nmp_eligible(op):
+            assert self.nmp_lut is not None
+            # Gather-and-reduce executes near-memory; the host only
+            # receives pooled vectors.  Latency comes from the LUT.
+            memory_s = self.nmp_lut.latency_s(op, items) / bw_fraction
+            return OpTiming(
+                compute_s=0.0,
+                memory_s=memory_s,
+                overhead_s=CPU_DISPATCH_OVERHEAD_S,
+            )
+
+        flops = op.flops(items)
+        compute_s = flops / self.cpu.effective_flops(1) if flops else 0.0
+        if op.kind is OpKind.GRU:
+            compute_s *= _GRU_STEP_PENALTY
+
+        if op.kind.is_sparse:
+            bw = self.memory.gather_bw_bytes * bw_fraction
+        else:
+            # Dense streaming accesses achieve close to peak bandwidth.
+            bw = self.memory.peak_bw_bytes * bw_fraction
+        memory_s = op.mem_bytes(items) / bw
+
+        return OpTiming(
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=CPU_DISPATCH_OVERHEAD_S,
+        )
+
+    def _nmp_eligible(self, op: Operator) -> bool:
+        """NMP accelerates only gather-and-reduce (pooled) lookups."""
+        return op.kind is OpKind.EMBEDDING_GATHER_REDUCE
+
+
+class GpuOpModel:
+    """Operator timing on a PCIe accelerator.
+
+    Co-location (MPS-style sharing, Section II-B) divides the device:
+    each of ``co_located`` threads sees ``1 / co_located`` of compute
+    and HBM bandwidth.  Kernels within one thread run sequentially, so
+    graph latency is just the sum of op latencies (handled by callers).
+    """
+
+    def __init__(self, gpu: GpuSpec) -> None:
+        self.gpu = gpu
+
+    def op_timing(
+        self, op: Operator, items: int, co_located: int = 1
+    ) -> OpTiming:
+        """Latency of ``op`` for a batch of ``items`` under co-location."""
+        if items < 1:
+            raise ValueError("items must be >= 1")
+        if co_located < 1:
+            raise ValueError("co_located must be >= 1")
+
+        share = 1.0 / co_located
+        flops = op.flops(items)
+        eff = self.gpu.effective_flops(items) * share
+        compute_s = flops / eff if flops else 0.0
+        if op.kind is OpKind.GRU:
+            compute_s *= _GRU_STEP_PENALTY
+
+        if op.kind.is_sparse:
+            bw = self.gpu.hbm_bw_bytes * self.gpu.gather_efficiency * share
+        else:
+            bw = self.gpu.hbm_bw_bytes * share
+        memory_s = op.mem_bytes(items) / bw
+
+        return OpTiming(
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=self.gpu.kernel_launch_s,
+        )

@@ -1,0 +1,141 @@
+"""The task-scheduling parallelism space (paper Sections II-B, IV-B).
+
+An :class:`ExecutionPlan` fixes one point in the scheduling space:
+
+- *Placement* -- which model-partition mapping of Fig. 10 is used.
+- *Model-parallelism* ``m`` -- co-located inference threads (CPU) or
+  co-located models (accelerator).
+- *Op-parallelism* ``o`` -- operator workers (= physical cores) per
+  CPU inference thread.
+- *Data-parallelism* ``d`` -- the CPU batch size used when splitting
+  queries into sub-queries, or the accelerator query-fusion limit.
+
+The baselines are restrictions of this space: DeepRecSys fixes
+``m = cores, o = 1`` and sweeps ``d`` (CPU) with per-query batches on
+the GPU; Baymax adds GPU co-location but no fusion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.hardware.server import ServerType
+
+__all__ = ["Placement", "ExecutionPlan"]
+
+
+class Placement(enum.Enum):
+    """Model-partition mapping strategies (Fig. 10b-d)."""
+
+    CPU_MODEL_BASED = "cpu_model_based"
+    """The whole graph ``Gm`` on host inference threads."""
+
+    CPU_SD_PIPELINE = "cpu_sd_pipeline"
+    """SparseNet threads and DenseNet threads pipelined on the host."""
+
+    GPU_SD = "gpu_sd"
+    """SparseNet on the host, DenseNet on the accelerator (Fig. 10c)."""
+
+    GPU_MODEL_BASED = "gpu_model_based"
+    """Hot-SparseNet + DenseNet on the accelerator; the host serves
+    cold lookups and forwards partial sums (Fig. 10d)."""
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self in (Placement.GPU_SD, Placement.GPU_MODEL_BASED)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One point in the task-scheduling space.
+
+    Attributes:
+        placement: Partition mapping strategy.
+        threads: Inference threads on the primary device -- CPU model
+            threads for CPU placements, co-located model threads for
+            GPU placements.
+        cores_per_thread: Operator workers per CPU model thread
+            (CPU_MODEL_BASED only).
+        batch_size: Sub-query batch size ``d`` for host-side execution.
+        fusion_limit: Query-fusion limit in items on the accelerator;
+            0 means no fusion (each query is its own batch).
+        sparse_threads: Host SparseNet threads (pipeline placements).
+        sparse_cores: Operator workers per sparse thread.
+        dense_threads: Host DenseNet threads (CPU_SD_PIPELINE; one
+            operator worker each, per Fig. 10b).
+    """
+
+    placement: Placement
+    threads: int = 1
+    cores_per_thread: int = 1
+    batch_size: int = 64
+    fusion_limit: int = 0
+    sparse_threads: int = 0
+    sparse_cores: int = 1
+    dense_threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads < 0:
+            raise ValueError("threads must be >= 0")
+        if self.cores_per_thread < 1 or self.sparse_cores < 1:
+            raise ValueError("cores per thread must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.fusion_limit < 0:
+            raise ValueError("fusion_limit must be >= 0 (0 = no fusion)")
+        if self.sparse_threads < 0 or self.dense_threads < 0:
+            raise ValueError("thread counts must be >= 0")
+        if self.placement is Placement.CPU_MODEL_BASED and self.threads < 1:
+            raise ValueError("CPU model-based needs >= 1 thread")
+        if self.placement is Placement.CPU_SD_PIPELINE:
+            if self.sparse_threads < 1 or self.dense_threads < 1:
+                raise ValueError("S-D pipeline needs sparse and dense threads")
+        if self.placement.uses_gpu and self.threads < 1:
+            raise ValueError("GPU placements need >= 1 co-located thread")
+        if self.placement is Placement.GPU_SD and self.sparse_threads < 1:
+            raise ValueError("GPU_SD needs host sparse threads")
+
+    @property
+    def cpu_cores_used(self) -> int:
+        """Physical cores the plan pins (threads x op workers)."""
+        if self.placement is Placement.CPU_MODEL_BASED:
+            return self.threads * self.cores_per_thread
+        if self.placement is Placement.CPU_SD_PIPELINE:
+            return self.sparse_threads * self.sparse_cores + self.dense_threads
+        if self.placement is Placement.GPU_SD:
+            return self.sparse_threads * self.sparse_cores
+        if self.placement is Placement.GPU_MODEL_BASED:
+            # Host cores running the cold SparseNet path.
+            return self.sparse_threads * self.sparse_cores
+        raise AssertionError(f"unhandled placement {self.placement}")
+
+    def fits(self, server: ServerType) -> bool:
+        """Hardware-resource constraint check."""
+        if self.cpu_cores_used > server.cpu.cores:
+            return False
+        if self.placement.uses_gpu and not server.has_gpu:
+            return False
+        return True
+
+    def with_(self, **changes) -> "ExecutionPlan":
+        """A modified copy (the search's move operator)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact label, e.g. ``cpu_model_based 10x2 d=256``."""
+        if self.placement is Placement.CPU_MODEL_BASED:
+            return (
+                f"{self.placement.value} {self.threads}x{self.cores_per_thread} "
+                f"d={self.batch_size}"
+            )
+        if self.placement is Placement.CPU_SD_PIPELINE:
+            return (
+                f"{self.placement.value} s={self.sparse_threads}x{self.sparse_cores} "
+                f"dns={self.dense_threads} d={self.batch_size}"
+            )
+        fusion = self.fusion_limit if self.fusion_limit else "none"
+        return (
+            f"{self.placement.value} g={self.threads} fusion={fusion} "
+            f"s={self.sparse_threads}x{self.sparse_cores}"
+        )

@@ -1,0 +1,43 @@
+"""Task scheduling: parallelism space, Algorithm 1 search, baselines, profiler."""
+
+from repro.scheduling.hybrid import HybridPlan, HybridSearch, evaluate_hybrid
+from repro.scheduling.online import CalibrationResult, OnlineCalibrator
+from repro.scheduling.baselines import (
+    BaselineTaskScheduler,
+    BaymaxScheduler,
+    DeepRecSysScheduler,
+)
+from repro.scheduling.parallelism import ExecutionPlan, Placement
+from repro.scheduling.profiler import (
+    ClassificationTable,
+    EfficiencyTuple,
+    OfflineProfiler,
+)
+from repro.scheduling.search import (
+    BATCH_GRID,
+    FUSION_GRID,
+    GradientSearch,
+    HerculesTaskScheduler,
+    SearchResult,
+)
+
+__all__ = [
+    "HybridPlan",
+    "HybridSearch",
+    "evaluate_hybrid",
+    "CalibrationResult",
+    "OnlineCalibrator",
+    "BaselineTaskScheduler",
+    "BaymaxScheduler",
+    "DeepRecSysScheduler",
+    "ExecutionPlan",
+    "Placement",
+    "ClassificationTable",
+    "EfficiencyTuple",
+    "OfflineProfiler",
+    "BATCH_GRID",
+    "FUSION_GRID",
+    "GradientSearch",
+    "HerculesTaskScheduler",
+    "SearchResult",
+]

@@ -1,0 +1,169 @@
+"""Baseline task schedulers: DeepRecSys [37] and Baymax [32].
+
+The paper's characterization and Fig. 14 use these as the
+state-of-the-art reference:
+
+- **DeepRecSys** explores data-parallelism only on multi-core CPUs: one
+  inference thread per physical core (``m = cores, o = 1``), hill-climb
+  over the batch size ``d``.  On accelerators it runs one model with no
+  co-location and no query fusion.
+- **Baymax** adds accelerator model co-location (more concurrent model
+  threads on one GPU) but still no query fusion.
+
+Both are restrictions of the same :class:`ExecutionPlan` space, so the
+improvement Hercules reports is purely from exploring the rest of it.
+"""
+
+from __future__ import annotations
+
+from repro.models.zoo import RecommendationModel
+from repro.scheduling.parallelism import ExecutionPlan, Placement
+from repro.scheduling.search import BATCH_GRID, GradientSearch, SearchResult
+from repro.sim.evaluator import ServerEvaluator
+from repro.sim.queries import QueryWorkload
+
+__all__ = [
+    "DeepRecSysScheduler",
+    "BaymaxScheduler",
+    "BaselineTaskScheduler",
+]
+
+
+class DeepRecSysScheduler:
+    """Hill-climbing over batch size with fixed one-core threads."""
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        self.space = GradientSearch(evaluator, model, workload, sla_ms, power_budget_w)
+
+    def search_cpu(self) -> SearchResult:
+        """Psp(D): sweep ``d`` with ``m = cores, o = 1`` fixed."""
+        space = self.space
+        cores = space.evaluator.server.cpu.cores
+        partitioned = space.host_partition()
+        best_plan, best = None, None
+        previous_qps = -1.0
+        for d in BATCH_GRID:
+            plan = ExecutionPlan(
+                Placement.CPU_MODEL_BASED,
+                threads=cores,
+                cores_per_thread=1,
+                batch_size=d,
+            )
+            perf = space.score(plan, partitioned)
+            if perf.feasible and (best is None or perf.qps > best.qps):
+                best_plan, best = plan, perf
+            if perf.feasible and perf.qps < previous_qps:
+                break  # hill-climb termination
+            previous_qps = perf.qps if perf.feasible else previous_qps
+        return space._result(best_plan, best)
+
+    def search_gpu(self) -> SearchResult:
+        """Accelerator side: one model thread, no co-location, no fusion."""
+        space = self.space
+        if not space.evaluator.server.has_gpu:
+            return space._result(None, None)
+        partitioned = space.gpu_partition(1)
+        if partitioned is None:
+            return space._result(None, None)
+        st = space.evaluator.server.cpu.cores if partitioned.cold_miss_rate > 0 else 0
+        plan = ExecutionPlan(
+            Placement.GPU_MODEL_BASED,
+            threads=1,
+            fusion_limit=0,
+            sparse_threads=st,
+            sparse_cores=1,
+            batch_size=256,
+        )
+        perf = space.score(plan, partitioned)
+        if not perf.feasible:
+            return space._result(None, None)
+        return space._result(plan, perf)
+
+    def search(self) -> SearchResult:
+        result = self.search_cpu()
+        if self.space.evaluator.server.has_gpu:
+            result = result.merge(self.search_gpu())
+        return result
+
+
+class BaymaxScheduler:
+    """Accelerator model co-location without query fusion."""
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+        max_co_location: int = 8,
+    ) -> None:
+        self.space = GradientSearch(evaluator, model, workload, sla_ms, power_budget_w)
+        self.max_co_location = max_co_location
+
+    def search(self) -> SearchResult:
+        """Climb the number of co-located model threads (fusion stays off)."""
+        space = self.space
+        if not space.evaluator.server.has_gpu:
+            return space._result(None, None)
+        best_plan, best = None, None
+        previous_qps = -1.0
+        for g in range(1, self.max_co_location + 1):
+            partitioned = space.gpu_partition(g)
+            if partitioned is None:
+                break
+            st = (
+                space.evaluator.server.cpu.cores
+                if partitioned.cold_miss_rate > 0
+                else 0
+            )
+            plan = ExecutionPlan(
+                Placement.GPU_MODEL_BASED,
+                threads=g,
+                fusion_limit=0,
+                sparse_threads=st,
+                sparse_cores=1,
+                batch_size=256,
+            )
+            perf = space.score(plan, partitioned)
+            if perf.feasible and (best is None or perf.qps > best.qps):
+                best_plan, best = plan, perf
+            if perf.feasible and perf.qps < previous_qps:
+                break
+            previous_qps = perf.qps if perf.feasible else previous_qps
+        return space._result(best_plan, best)
+
+
+class BaselineTaskScheduler:
+    """The paper's combined baseline: DeepRecSys on CPU, Baymax on GPU."""
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        self._deeprecsys = DeepRecSysScheduler(
+            evaluator, model, workload, sla_ms, power_budget_w
+        )
+        self._baymax = BaymaxScheduler(
+            evaluator, model, workload, sla_ms, power_budget_w
+        )
+
+    def search(self) -> SearchResult:
+        """Best of DeepRecSys (host) and Baymax (accelerator)."""
+        result = self._deeprecsys.search_cpu()
+        baymax = self._baymax.search()
+        merged = result.merge(baymax)
+        # The two schedulers own separate evaluation counters.
+        merged.evaluations = result.evaluations + baymax.evaluations
+        return merged

@@ -1,0 +1,190 @@
+"""Hybrid host + accelerator serving (paper Section IV-B, Fig. 10d).
+
+"To fully utilize the host-side resources, the cores that remain
+available can perform either S-D pipeline scheduling or model-based
+scheduling."  A :class:`HybridPlan` therefore runs two independent
+serving paths on one physical server:
+
+- the *accelerator path* (GPU model-based or GPU S-D), and
+- the *host path* (CPU model-based on the cores the accelerator path
+  does not pin).
+
+The query dispatcher splits traffic between the paths, so their
+latency-bounded throughputs add while their component utilizations
+share the same power envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.power import ComponentUtilization
+from repro.models.partition import PartitionedModel, partition_model
+from repro.models.zoo import RecommendationModel
+from repro.plans import ExecutionPlan, Placement
+from repro.sim.evaluator import ServerEvaluator
+from repro.sim.metrics import LatencyStats, ServerPerformance
+from repro.sim.queries import QueryWorkload
+
+__all__ = ["HybridPlan", "evaluate_hybrid", "HybridSearch"]
+
+
+@dataclass(frozen=True)
+class HybridPlan:
+    """Two independent serving paths sharing one server.
+
+    Attributes:
+        accelerator: A GPU placement plan.
+        host: A CPU placement plan running on the remaining cores.
+    """
+
+    accelerator: ExecutionPlan
+    host: ExecutionPlan
+
+    def __post_init__(self) -> None:
+        if not self.accelerator.placement.uses_gpu:
+            raise ValueError("accelerator path must use a GPU placement")
+        if self.host.placement.uses_gpu:
+            raise ValueError("host path must be CPU-only")
+
+    @property
+    def cpu_cores_used(self) -> int:
+        return self.accelerator.cpu_cores_used + self.host.cpu_cores_used
+
+    def fits(self, server) -> bool:
+        if not server.has_gpu:
+            return False
+        return self.cpu_cores_used <= server.cpu.cores
+
+    def describe(self) -> str:
+        return f"hybrid[{self.accelerator.describe()} | {self.host.describe()}]"
+
+
+def evaluate_hybrid(
+    evaluator: ServerEvaluator,
+    accel_partitioned: PartitionedModel,
+    host_partitioned: PartitionedModel,
+    workload: QueryWorkload,
+    plan: HybridPlan,
+    sla_ms: float,
+    power_budget_w: float | None = None,
+) -> ServerPerformance:
+    """Latency-bounded throughput of a hybrid plan.
+
+    The two paths serve disjoint query streams, so the combined
+    latency-bounded throughput is the sum of the per-path optima; the
+    p99 latency is the worse of the two, and power comes from the
+    summed component utilizations (idle power counted once).
+    """
+    if not plan.fits(evaluator.server):
+        return ServerPerformance.infeasible(
+            f"hybrid plan needs {plan.cpu_cores_used} cores, server has "
+            f"{evaluator.server.cpu.cores}"
+        )
+    accel = evaluator.latency_bounded(
+        accel_partitioned, workload, plan.accelerator, sla_ms
+    )
+    host = evaluator.latency_bounded(host_partitioned, workload, plan.host, sla_ms)
+    if not accel.feasible and not host.feasible:
+        return ServerPerformance.infeasible("both hybrid paths infeasible")
+    parts = [p for p in (accel, host) if p.feasible]
+
+    qps = sum(p.qps for p in parts)
+    cpu_util = min(1.0, sum(p.cpu_util for p in parts))
+    gpu_util = min(1.0, sum(p.gpu_util for p in parts))
+    mem_util = min(1.0, sum(p.mem_util for p in parts))
+    power = evaluator.server.power_w(
+        ComponentUtilization(cpu=cpu_util, memory=mem_util, gpu=gpu_util)
+    )
+    if power_budget_w is not None and power > power_budget_w:
+        return ServerPerformance.infeasible(
+            f"hybrid power {power:.0f} W exceeds budget {power_budget_w:.0f} W",
+            power_w=power,
+        )
+    latency = LatencyStats(
+        p50_ms=max(p.latency.p50_ms for p in parts),
+        p95_ms=max(p.latency.p95_ms for p in parts),
+        p99_ms=max(p.latency.p99_ms for p in parts),
+        mean_ms=max(p.latency.mean_ms for p in parts),
+    )
+    return ServerPerformance(
+        qps=qps,
+        latency=latency,
+        power_w=power,
+        cpu_util=cpu_util,
+        gpu_util=gpu_util,
+        mem_util=mem_util,
+    )
+
+
+class HybridSearch:
+    """Find the best hybrid plan given an already-optimized GPU plan.
+
+    Keeps the accelerator path fixed (the optimum the gradient search
+    found) and hill-climbs a host-side model-based configuration over
+    the leftover cores.
+    """
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.model = model
+        self.workload = workload or QueryWorkload.for_model(
+            model.config.mean_query_size
+        )
+        self.sla_ms = sla_ms if sla_ms is not None else model.sla_ms
+        self.power_budget_w = power_budget_w
+
+    def search(
+        self, accelerator_plan: ExecutionPlan
+    ) -> tuple[HybridPlan | None, ServerPerformance | None]:
+        """Best hybrid extension of ``accelerator_plan`` (None if no cores left)."""
+        server = self.evaluator.server
+        if not server.has_gpu or not accelerator_plan.placement.uses_gpu:
+            return None, None
+        free_cores = server.cpu.cores - accelerator_plan.cpu_cores_used
+        if free_cores < 1:
+            return None, None
+        if self.model.graph.total_weight_bytes() > server.memory.capacity_bytes:
+            return None, None  # host path cannot hold the model
+
+        gpu = server.gpu
+        assert gpu is not None
+        accel_partitioned = partition_model(
+            self.model, gpu.memory_bytes, max(1, accelerator_plan.threads)
+        )
+        host_partitioned = partition_model(self.model)
+
+        best: tuple[HybridPlan, ServerPerformance] | None = None
+        for cores_per_thread in (1, 2):
+            threads = free_cores // cores_per_thread
+            if threads < 1:
+                continue
+            for batch in (32, 64, 128, 256):
+                host_plan = ExecutionPlan(
+                    Placement.CPU_MODEL_BASED,
+                    threads=threads,
+                    cores_per_thread=cores_per_thread,
+                    batch_size=batch,
+                )
+                hybrid = HybridPlan(accelerator=accelerator_plan, host=host_plan)
+                perf = evaluate_hybrid(
+                    self.evaluator,
+                    accel_partitioned,
+                    host_partitioned,
+                    self.workload,
+                    hybrid,
+                    self.sla_ms,
+                    self.power_budget_w,
+                )
+                if perf.feasible and (best is None or perf.qps > best[1].qps):
+                    best = (hybrid, perf)
+        if best is None:
+            return None, None
+        return best

@@ -1,0 +1,158 @@
+"""Online serving setup: re-profile plans against real-time queries.
+
+Paper Section IV-A: "During online serving, initial setup is first
+performed by running the SLA- and power-aware task scheduling
+exploration to ensure accurate profiling with the real-time queries ...
+The efficiency tuple is also updated in real-time to reflect the
+measured performance with real-time query loads."
+
+The offline tuples come from the closed-form evaluator; this module
+replays each tuple's plan in the discrete-event simulator with real
+sampled traffic, backs the operating point off until both the SLA and
+the offline-provisioned power budget hold, and writes the *measured*
+tuple back into the classification table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.server import SERVER_TYPES
+from repro.models.partition import partition_model
+from repro.models.zoo import RecommendationModel, build_model
+from repro.scheduling.profiler import ClassificationTable, EfficiencyTuple
+from repro.sim.evaluator import ServerEvaluator
+from repro.sim.metrics import ServerPerformance
+from repro.sim.queries import QueryWorkload
+from repro.sim.server_sim import simulate
+
+__all__ = ["CalibrationResult", "OnlineCalibrator"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of calibrating one efficiency tuple online.
+
+    Attributes:
+        original: The offline-profiled tuple.
+        calibrated: The tuple after online measurement.
+        measured: The DES measurement at the calibrated rate.
+        backoff: Fraction of the offline QPS that survived calibration
+            (1.0 means the offline profile held exactly).
+    """
+
+    original: EfficiencyTuple
+    calibrated: EfficiencyTuple
+    measured: ServerPerformance
+    backoff: float
+
+
+class OnlineCalibrator:
+    """Replays profiled plans in the DES and adjusts their tuples.
+
+    Args:
+        duration_s: Simulated seconds per measurement.
+        sla_slack: Multiplier on the SLA during calibration; production
+            setups leave headroom (1.0 enforces the SLA exactly).
+        seed: Trace seed, for reproducible calibration.
+        max_backoff_steps: Resolution of the backoff search.
+    """
+
+    def __init__(
+        self,
+        duration_s: float = 10.0,
+        sla_slack: float = 1.0,
+        seed: int = 0,
+        max_backoff_steps: int = 5,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if sla_slack <= 0:
+            raise ValueError("sla_slack must be positive")
+        if max_backoff_steps < 1:
+            raise ValueError("need at least one backoff step")
+        self.duration_s = duration_s
+        self.sla_slack = sla_slack
+        self.seed = seed
+        self.max_backoff_steps = max_backoff_steps
+
+    def _partition_for(self, model: RecommendationModel, tup: EfficiencyTuple):
+        server = SERVER_TYPES[tup.server_name]
+        if tup.plan is not None and tup.plan.placement.uses_gpu:
+            assert server.gpu is not None
+            return partition_model(
+                model, server.gpu.memory_bytes, max(1, tup.plan.threads)
+            )
+        return partition_model(model)
+
+    def calibrate_pair(
+        self,
+        tup: EfficiencyTuple,
+        model: RecommendationModel | None = None,
+        workload: QueryWorkload | None = None,
+    ) -> CalibrationResult:
+        """Measure one tuple's operating point with real queries.
+
+        The offline QPS is replayed in the DES; if the measured p99
+        violates the SLA or the power exceeds the offline-provisioned
+        budget, the rate backs off geometrically until both hold.
+        """
+        if not tup.feasible:
+            raise ValueError(f"cannot calibrate infeasible tuple {tup}")
+        model = model or build_model(tup.model_name)
+        workload = workload or QueryWorkload.for_model(model.config.mean_query_size)
+        server = SERVER_TYPES[tup.server_name]
+        evaluator = ServerEvaluator(server)
+        partitioned = self._partition_for(model, tup)
+        sla_ms = model.sla_ms * self.sla_slack
+
+        fraction = 1.0
+        measured: ServerPerformance | None = None
+        for step in range(self.max_backoff_steps):
+            rate = tup.qps * fraction
+            measured = simulate(
+                evaluator,
+                partitioned,
+                workload,
+                tup.plan,
+                arrival_qps=rate,
+                duration_s=self.duration_s,
+                seed=self.seed + step,
+            )
+            if (
+                measured.latency.p99_ms <= sla_ms
+                and measured.power_w <= tup.power_w * 1.02
+            ):
+                break
+            fraction *= 0.85
+        assert measured is not None
+        calibrated = EfficiencyTuple(
+            server_name=tup.server_name,
+            model_name=tup.model_name,
+            qps=measured.qps,
+            power_w=max(measured.power_w, tup.power_w * fraction),
+            plan=tup.plan,
+            evaluations=tup.evaluations,
+        )
+        return CalibrationResult(
+            original=tup,
+            calibrated=calibrated,
+            measured=measured,
+            backoff=fraction,
+        )
+
+    def calibrate(
+        self,
+        table: ClassificationTable,
+        models: dict[str, RecommendationModel] | None = None,
+    ) -> ClassificationTable:
+        """Calibrate every feasible tuple, returning the measured table."""
+        models = models or {}
+        out = ClassificationTable()
+        for tup in table.entries.values():
+            if not tup.feasible:
+                out.add(tup)
+                continue
+            result = self.calibrate_pair(tup, models.get(tup.model_name))
+            out.add(result.calibrated)
+        return out

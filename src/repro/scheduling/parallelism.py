@@ -1,0 +1,10 @@
+"""Re-export of the parallelism-space types.
+
+The plan types live in :mod:`repro.plans` so that :mod:`repro.sim` can
+depend on them without importing the scheduling package (which itself
+depends on the simulator).
+"""
+
+from repro.plans import ExecutionPlan, Placement
+
+__all__ = ["ExecutionPlan", "Placement"]

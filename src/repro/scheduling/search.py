@@ -1,0 +1,460 @@
+"""Gradient-guided task-scheduling exploration (paper Algorithm 1).
+
+The scheduling space ``Psp(M+D+O)`` is the product of model-parallelism
+(co-located threads ``m``), data-parallelism (batch size / fusion limit
+``d``), and op-parallelism (cores per thread ``o``).  The paper observes
+that throughput/latency/power are convex over ``Psp(M+D)`` (Fig. 11),
+so a gradient walk finds the global optimum of each slice:
+
+1. start at minimal co-location and minimal batch;
+2. evaluate the three forward candidates -- grow ``d``, grow ``m``,
+   grow both -- keeping only candidates that meet the SLA latency and
+   provisioned-power constraints;
+3. move to the candidate with the largest throughput gradient;
+   terminate when none improves;
+4. the outer loop sweeps ``Psp(O)`` and stops when the per-``o`` peak
+   starts decreasing.
+
+Every candidate is scored by its *latency-bounded throughput* from the
+closed-form evaluator -- the same measurement the paper's prototype
+takes with its load generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.models.partition import PartitionedModel, partition_model
+from repro.models.zoo import RecommendationModel
+from repro.scheduling.parallelism import ExecutionPlan, Placement
+from repro.sim.evaluator import ServerEvaluator
+from repro.sim.metrics import ServerPerformance
+from repro.sim.queries import QueryWorkload
+
+__all__ = [
+    "BATCH_GRID",
+    "FUSION_GRID",
+    "SearchResult",
+    "GradientSearch",
+    "HerculesTaskScheduler",
+]
+
+#: Host-side sub-query batch sizes swept by data-parallelism.
+BATCH_GRID: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Accelerator query-fusion limits (items per fused batch).
+FUSION_GRID: tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one scheduling-space exploration.
+
+    Attributes:
+        plan: Best feasible plan found (None if the space is infeasible).
+        perf: Performance at the best plan.
+        evaluations: Number of candidate configurations scored -- the
+            search-cost metric the convexity ablation compares against
+            exhaustive sweeps.
+        visited: Every (plan, qps) scored, in visit order.
+    """
+
+    plan: ExecutionPlan | None
+    perf: ServerPerformance
+    evaluations: int = 0
+    visited: list[tuple[ExecutionPlan, float]] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.plan is not None and self.perf.feasible
+
+    def merge(self, other: "SearchResult") -> "SearchResult":
+        """Combine two placement searches, keeping the better optimum.
+
+        Evaluation counts take the max because placement searches share
+        one :class:`GradientSearch`, whose counter is cumulative.
+        """
+        best = self if self.better_than(other) else other
+        return SearchResult(
+            plan=best.plan,
+            perf=best.perf,
+            evaluations=max(self.evaluations, other.evaluations),
+            visited=other.visited if len(other.visited) >= len(self.visited) else self.visited,
+        )
+
+    def better_than(self, other: "SearchResult") -> bool:
+        if not other.feasible:
+            return True
+        if not self.feasible:
+            return False
+        return self.perf.qps >= other.perf.qps
+
+
+class GradientSearch:
+    """Algorithm 1 over one placement's parallelism space.
+
+    Args:
+        evaluator: Server evaluator for the target architecture.
+        model: The recommendation model (production or small variant).
+        workload: Query-size statistics.
+        sla_ms: SLA latency target ``L`` (defaults to the model's).
+        power_budget_w: Provisioned power budget ``P`` (None during
+            offline profiling, where peak power is *recorded* not
+            constrained).
+    """
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.model = model
+        self.workload = workload or QueryWorkload.for_model(
+            model.config.mean_query_size
+        )
+        self.sla_ms = sla_ms if sla_ms is not None else model.sla_ms
+        self.power_budget_w = power_budget_w
+        self._host_partition: PartitionedModel | None = None
+        self._gpu_partitions: dict[int, PartitionedModel | None] = {}
+        self._cache: dict[ExecutionPlan, ServerPerformance] = {}
+        self.evaluations = 0
+        self.visited: list[tuple[ExecutionPlan, float]] = []
+
+    # -- partitions ------------------------------------------------------
+
+    def host_partition(self) -> PartitionedModel:
+        if self._host_partition is None:
+            self._host_partition = partition_model(self.model)
+        return self._host_partition
+
+    def gpu_partition(self, co_location: int) -> PartitionedModel | None:
+        """HW-aware partition for ``co_location`` accelerator threads."""
+        if co_location not in self._gpu_partitions:
+            gpu = self.evaluator.server.gpu
+            if gpu is None:
+                self._gpu_partitions[co_location] = None
+            else:
+                try:
+                    self._gpu_partitions[co_location] = partition_model(
+                        self.model, gpu.memory_bytes, co_location
+                    )
+                except ValueError:
+                    self._gpu_partitions[co_location] = None
+        return self._gpu_partitions[co_location]
+
+    # -- scoring ---------------------------------------------------------
+
+    def score(self, plan: ExecutionPlan, partitioned: PartitionedModel) -> ServerPerformance:
+        """Latency-bounded throughput of one candidate (cached)."""
+        if plan in self._cache:
+            return self._cache[plan]
+        perf = self.evaluator.latency_bounded(
+            partitioned, self.workload, plan, self.sla_ms, self.power_budget_w
+        )
+        self._cache[plan] = perf
+        self.evaluations += 1
+        self.visited.append((plan, perf.qps if perf.feasible else 0.0))
+        return perf
+
+    def _result(
+        self, plan: ExecutionPlan | None, perf: ServerPerformance | None
+    ) -> SearchResult:
+        if plan is None or perf is None or not perf.feasible:
+            return SearchResult(
+                plan=None,
+                perf=ServerPerformance.infeasible("no feasible configuration"),
+                evaluations=self.evaluations,
+                visited=list(self.visited),
+            )
+        return SearchResult(
+            plan=plan,
+            perf=perf,
+            evaluations=self.evaluations,
+            visited=list(self.visited),
+        )
+
+    # -- Psp(M+D) gradient core -------------------------------------------
+
+    def _pmd_gradient(
+        self,
+        make_plan,
+        partition_for,
+        m_max: int,
+        d_grid: tuple[int, ...],
+    ) -> tuple[ExecutionPlan | None, ServerPerformance | None]:
+        """Gradient walk over (threads, batch) from the (1, min) origin.
+
+        Args:
+            make_plan: ``(m, d) -> ExecutionPlan | None`` (None when the
+                combination is structurally invalid).
+            partition_for: ``m -> PartitionedModel | None``.
+            m_max: Upper bound on co-located threads.
+            d_grid: Data-parallelism grid.
+        """
+        def attempt(m: int, di: int) -> ServerPerformance | None:
+            if not 1 <= m <= m_max or not 0 <= di < len(d_grid):
+                return None
+            partitioned = partition_for(m)
+            if partitioned is None:
+                return None
+            plan = make_plan(m, d_grid[di])
+            if plan is None:
+                return None
+            perf = self.score(plan, partitioned)
+            return perf if perf.feasible else None
+
+        m, di = 1, 0
+        current = attempt(m, di)
+        best_plan = make_plan(m, d_grid[di]) if current else None
+        best = current
+        if current is None:
+            # The origin violates the SLA (e.g. a single thread cannot
+            # drain a tail query in time).  Scan outward for the first
+            # feasible start so the walk never concedes a space the
+            # restricted baselines can reach.
+            for m_probe in range(1, m_max + 1):
+                for di_probe in range(len(d_grid)):
+                    if m_probe == 1 and di_probe == 0:
+                        continue
+                    current = attempt(m_probe, di_probe)
+                    if current is not None:
+                        m, di = m_probe, di_probe
+                        best_plan, best = make_plan(m, d_grid[di]), current
+                        break
+                if current is not None:
+                    break
+            else:
+                return None, None
+
+        while True:
+            candidates = ((m, di + 1), (m + 1, di), (m + 1, di + 1))
+            step_best: tuple[int, int, ServerPerformance] | None = None
+            for cm, cdi in candidates:
+                perf = attempt(cm, cdi)
+                if perf is None:
+                    continue
+                if step_best is None or perf.qps > step_best[2].qps:
+                    step_best = (cm, cdi, perf)
+            if step_best is None or step_best[2].qps <= current.qps:
+                break  # all gradients negative -> convex peak reached
+            m, di, current = step_best
+            if best is None or current.qps > best.qps:
+                best, best_plan = current, make_plan(m, d_grid[di])
+        return best_plan, best
+
+    # -- placement searches ------------------------------------------------
+
+    def search_cpu_model_based(self) -> SearchResult:
+        """Psp(M+D+O) over whole-model host threads (Fig. 11a-c)."""
+        cores = self.evaluator.server.cpu.cores
+        partitioned = self.host_partition()
+        best_plan: ExecutionPlan | None = None
+        best: ServerPerformance | None = None
+        # Seed with the DeepRecSys diagonal (m = cores, o = 1, sweep d):
+        # Hercules explores a strict superset of the baseline space, so
+        # its optimum must never fall below that row even when the
+        # convex walk terminates elsewhere.
+        for d in BATCH_GRID:
+            plan = ExecutionPlan(
+                Placement.CPU_MODEL_BASED,
+                threads=cores,
+                cores_per_thread=1,
+                batch_size=d,
+            )
+            perf = self.score(plan, partitioned)
+            if perf.feasible and (best is None or perf.qps > best.qps):
+                best_plan, best = plan, perf
+        prev_peak = -math.inf
+        for o in range(1, cores + 1):  # Psp(O) outer loop
+            m_max = cores // o
+            if m_max < 1:
+                break
+            plan_o, perf_o = self._pmd_gradient(
+                make_plan=lambda m, d, o=o: ExecutionPlan(
+                    Placement.CPU_MODEL_BASED,
+                    threads=m,
+                    cores_per_thread=o,
+                    batch_size=d,
+                ),
+                partition_for=lambda m: partitioned,
+                m_max=m_max,
+                d_grid=BATCH_GRID,
+            )
+            peak = perf_o.qps if perf_o else -math.inf
+            if perf_o and (best is None or perf_o.qps > best.qps):
+                best_plan, best = plan_o, perf_o
+            if peak < prev_peak:
+                break  # Psp(O) termination: per-o peak is decreasing
+            prev_peak = peak
+        return self._result(best_plan, best)
+
+    def search_cpu_sd_pipeline(self) -> SearchResult:
+        """Balanced SparseNet/DenseNet pipelining on the host (Fig. 12a)."""
+        cores = self.evaluator.server.cpu.cores
+        partitioned = self.host_partition()
+        best_plan: ExecutionPlan | None = None
+        best: ServerPerformance | None = None
+        prev_peak = -math.inf
+        for sc in range(1, min(4, cores) + 1):  # op-parallelism of sparse threads
+            plan_o, perf_o = self._pmd_gradient(
+                make_plan=lambda pair, d, sc=sc: self._sd_plan(pair, d, sc, cores),
+                partition_for=lambda pair: partitioned,
+                m_max=cores - 1,  # pair index enumerates (st, dt) splits
+                d_grid=BATCH_GRID,
+            )
+            peak = perf_o.qps if perf_o else -math.inf
+            if perf_o and (best is None or perf_o.qps > best.qps):
+                best_plan, best = plan_o, perf_o
+            if peak < prev_peak:
+                break
+            prev_peak = peak
+        return self._result(best_plan, best)
+
+    def _sd_plan(
+        self, scale: int, d: int, sparse_cores: int, cores: int
+    ) -> ExecutionPlan | None:
+        """Map a 1-D co-location scale to a balanced (st, dt) split.
+
+        The scale grows total parallelism; sparse and dense threads are
+        apportioned by their single-thread service-time ratio so the
+        pipeline stays balanced as it grows (the equilibrium the paper's
+        Fig. 12a search walks toward).
+        """
+        ratio = self._sd_ratio(sparse_cores)
+        sparse_threads = max(1, round(scale * ratio))
+        dense_threads = max(1, scale - sparse_threads + 1)
+        if sparse_threads * sparse_cores + dense_threads > cores:
+            return None
+        return ExecutionPlan(
+            Placement.CPU_SD_PIPELINE,
+            batch_size=d,
+            sparse_threads=sparse_threads,
+            sparse_cores=sparse_cores,
+            dense_threads=dense_threads,
+        )
+
+    def _sd_ratio(self, sparse_cores: int) -> float:
+        """Fraction of threads the sparse stage needs for balance."""
+        partitioned = self.host_partition()
+        probe = 128
+        sparse_s, _, _ = self.evaluator._cpu_graph_timing(
+            partitioned.sparse, probe, sparse_cores, 2
+        )
+        dense_s, _, _ = self.evaluator._cpu_graph_timing(
+            partitioned.dense, probe, 1, 2
+        )
+        total = sparse_s + dense_s
+        if total <= 0:
+            return 0.5
+        return min(0.9, max(0.1, sparse_s / total))
+
+    def _host_sparse_threads(self, miss_rate: float) -> tuple[int, int]:
+        """Host cold-path allotment for GPU model-based plans."""
+        if miss_rate <= 0:
+            return 0, 1
+        return self.evaluator.server.cpu.cores, 1
+
+    def search_gpu_model_based(self) -> SearchResult:
+        """Co-location x query fusion on the accelerator (Fig. 11d-f)."""
+        if not self.evaluator.server.has_gpu:
+            return self._result(None, None)
+
+        def make_plan(g: int, fusion: int) -> ExecutionPlan | None:
+            partitioned = self.gpu_partition(g)
+            if partitioned is None:
+                return None
+            st, sc = self._host_sparse_threads(partitioned.cold_miss_rate)
+            return ExecutionPlan(
+                Placement.GPU_MODEL_BASED,
+                threads=g,
+                fusion_limit=fusion,
+                sparse_threads=st,
+                sparse_cores=sc,
+                batch_size=256,
+            )
+
+        plan, perf = self._pmd_gradient(
+            make_plan=make_plan,
+            partition_for=self.gpu_partition,
+            m_max=8,
+            d_grid=FUSION_GRID,
+        )
+        return self._result(plan, perf)
+
+    def search_gpu_sd(self) -> SearchResult:
+        """SparseNet on host, DenseNet on accelerator (Fig. 12b)."""
+        if not self.evaluator.server.has_gpu:
+            return self._result(None, None)
+        cores = self.evaluator.server.cpu.cores
+        partitioned = self.host_partition()
+        best_plan: ExecutionPlan | None = None
+        best: ServerPerformance | None = None
+        prev_peak = -math.inf
+        for sc in (1, 2, 4):
+            if sc > cores:
+                break
+
+            def make_plan(scale: int, fusion: int, sc=sc) -> ExecutionPlan | None:
+                sparse_threads = scale
+                if sparse_threads * sc > cores:
+                    return None
+                gpu_threads = min(4, 1 + scale // 4)
+                return ExecutionPlan(
+                    Placement.GPU_SD,
+                    threads=gpu_threads,
+                    fusion_limit=fusion,
+                    sparse_threads=sparse_threads,
+                    sparse_cores=sc,
+                    batch_size=256,
+                )
+
+            plan_o, perf_o = self._pmd_gradient(
+                make_plan=make_plan,
+                partition_for=lambda scale: partitioned,
+                m_max=cores,
+                d_grid=FUSION_GRID,
+            )
+            peak = perf_o.qps if perf_o else -math.inf
+            if perf_o and (best is None or perf_o.qps > best.qps):
+                best_plan, best = plan_o, perf_o
+            if peak < prev_peak:
+                break
+            prev_peak = peak
+        return self._result(best_plan, best)
+
+
+class HerculesTaskScheduler:
+    """The full Hercules task scheduler: all partition strategies.
+
+    For a CPU-only server it explores model-based scheduling over
+    ``Psp(M+D+O)`` and S-D pipeline scheduling; for accelerated servers
+    it additionally explores both CPU-accelerator mappings of Fig. 10.
+    The best feasible configuration across strategies wins.
+    """
+
+    def __init__(
+        self,
+        evaluator: ServerEvaluator,
+        model: RecommendationModel,
+        workload: QueryWorkload | None = None,
+        sla_ms: float | None = None,
+        power_budget_w: float | None = None,
+    ) -> None:
+        self.search_space = GradientSearch(
+            evaluator, model, workload, sla_ms, power_budget_w
+        )
+
+    def search(self) -> SearchResult:
+        """Explore every applicable placement and return the best plan."""
+        space = self.search_space
+        result = space.search_cpu_model_based()
+        result = result.merge(space.search_cpu_sd_pipeline())
+        if space.evaluator.server.has_gpu:
+            result = result.merge(space.search_gpu_model_based())
+            result = result.merge(space.search_gpu_sd())
+        return result

@@ -1,0 +1,40 @@
+"""Serving simulation: queries, load generation, evaluator, DES."""
+
+from repro.sim.evaluator import PlanTimings, ServerEvaluator, Stage
+from repro.sim.loadgen import PoissonLoadGenerator, generate_trace
+from repro.sim.metrics import LatencyStats, ServerPerformance, percentile
+from repro.sim.queries import (
+    PoolingFactorDistribution,
+    Query,
+    QuerySizeDistribution,
+    QueryWorkload,
+)
+from repro.sim.server_sim import (
+    DiscreteEventServerSim,
+    SimResult,
+    SimStage,
+    StageMode,
+    build_stages,
+    simulate,
+)
+
+__all__ = [
+    "PlanTimings",
+    "ServerEvaluator",
+    "Stage",
+    "PoissonLoadGenerator",
+    "generate_trace",
+    "LatencyStats",
+    "ServerPerformance",
+    "percentile",
+    "PoolingFactorDistribution",
+    "Query",
+    "QuerySizeDistribution",
+    "QueryWorkload",
+    "DiscreteEventServerSim",
+    "SimResult",
+    "SimStage",
+    "StageMode",
+    "build_stages",
+    "simulate",
+]

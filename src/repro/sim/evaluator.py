@@ -1,0 +1,621 @@
+"""Closed-form steady-state evaluator for one (model, server, plan) point.
+
+The gradient-based search (Algorithm 1) evaluates hundreds of candidate
+scheduling configurations per workload/server pair; re-simulating each
+with the discrete-event engine would be needlessly slow.  This module
+computes the same quantities analytically:
+
+- per-batch stage timings from the roofline op models, with co-location
+  interference applied;
+- steady-state capacity, queueing delay (M[X]/D/m approximation with
+  bulk arrivals from query splitting), and p99 tail latency;
+- component utilizations and wall power;
+- the *latency-bounded throughput*: the largest arrival rate whose p99
+  latency meets the SLA and whose power fits the provisioned budget.
+
+The discrete-event simulator (:mod:`repro.sim.server_sim`) validates
+these formulas; the integration tests compare the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hardware.server import ServerType
+from repro.hardware.power import ComponentUtilization
+from repro.models.graph import Graph
+from repro.models.partition import PartitionedModel
+from repro.perf.interference import InterferenceModel
+from repro.perf.nmp import NmpLut
+from repro.perf.opmodel import CpuOpModel, GpuOpModel
+from repro.perf.pcie import PcieLink
+from repro.perf.schedule import list_schedule
+from repro.plans import ExecutionPlan, Placement
+from repro.sim.metrics import LatencyStats, ServerPerformance
+from repro.sim.queries import QueryWorkload
+
+__all__ = ["ServerEvaluator", "PlanTimings", "Stage"]
+
+#: Exponential-tail multiplier turning a mean queueing delay into p99.
+_P99_WAIT_FACTOR = 4.6
+#: p95 multiplier under the same exponential approximation (ln 20).
+_P95_WAIT_FACTOR = 3.0
+
+#: Scattered sparse-index tensors achieve only a fraction of PCIe peak
+#: (many small pinned-memory copies) -- this is what makes data loading
+#: dominate for multi-hot models on GPUs (Fig. 7a).
+SPARSE_TRANSFER_EFFICIENCY = 0.30
+
+#: Utilization ceiling for the queueing model; beyond it the system is
+#: considered overloaded.
+_MAX_RHO = 0.995
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipelined execution stage of a plan.
+
+    Attributes:
+        name: ``"sparse"``, ``"dense"``, ``"loading"``, ``"inference"``.
+        batch_s: Service time of one batch at this stage.
+        units: Parallel service units (threads) at this stage.
+        items_per_batch: Items one batch carries.
+    """
+
+    name: str
+    batch_s: float
+    units: int
+    items_per_batch: float
+
+    @property
+    def capacity_items_s(self) -> float:
+        if self.batch_s <= 0:
+            return math.inf
+        return self.units * self.items_per_batch / self.batch_s
+
+    def span_s(self, query_size: int) -> float:
+        """Time for this stage to process one whole query of given size."""
+        batches = math.ceil(query_size / self.items_per_batch)
+        rounds = math.ceil(batches / self.units)
+        return rounds * self.batch_s
+
+
+@dataclass(frozen=True)
+class PlanTimings:
+    """Load-independent timing/cost profile of one execution plan.
+
+    Attributes:
+        stages: Pipeline stages in traversal order.
+        bulk_mean: Mean sub-batches per query (bulk-arrival factor).
+        fill_items: Items that must accumulate before a batch launches
+            (query fusion); 0 when batches form by splitting.
+        cpu_core_s_per_item: Physical-core-seconds consumed per item.
+        gpu_busy_s_per_item: GPU-seconds consumed per item.
+        mem_bytes_per_item: Host memory traffic per item.
+        gpu_power_util_scale: Scales GPU busy time into power-relevant
+            utilization (small batches keep SMs idle but draw less).
+    """
+
+    stages: tuple[Stage, ...]
+    bulk_mean: float
+    fill_items: float
+    cpu_core_s_per_item: float
+    gpu_busy_s_per_item: float
+    mem_bytes_per_item: float
+    gpu_power_util_scale: float = 1.0
+
+    @property
+    def capacity_items_s(self) -> float:
+        return min(s.capacity_items_s for s in self.stages)
+
+    @property
+    def bottleneck(self) -> Stage:
+        return min(self.stages, key=lambda s: s.capacity_items_s)
+
+    def service_span_s(self, query_size: int) -> float:
+        """End-to-end service time of one query (no queueing)."""
+        return sum(s.span_s(query_size) for s in self.stages)
+
+
+class ServerEvaluator:
+    """Evaluates execution plans for one server type.
+
+    Args:
+        server: The Table II server type.
+        interference: Co-location interference model.
+        nmp_lut: Pre-built NMP LUT; built automatically for NMP servers
+            when omitted (mirrors the offline-profiling methodology).
+        sparse_transfer_efficiency: Effective PCIe efficiency for
+            scattered sparse-index payloads.
+    """
+
+    def __init__(
+        self,
+        server: ServerType,
+        interference: InterferenceModel | None = None,
+        nmp_lut: NmpLut | None = None,
+        sparse_transfer_efficiency: float = SPARSE_TRANSFER_EFFICIENCY,
+    ) -> None:
+        if not 0 < sparse_transfer_efficiency <= 1:
+            raise ValueError("sparse_transfer_efficiency must be in (0, 1]")
+        self.server = server
+        self.interference = interference or InterferenceModel()
+        if server.has_nmp and nmp_lut is None:
+            nmp_lut = NmpLut(server.memory)
+        self.cpu_model = CpuOpModel(server.cpu, server.memory, nmp_lut)
+        self.gpu_model = GpuOpModel(server.gpu) if server.has_gpu else None
+        self.pcie = (
+            PcieLink(bandwidth_bytes=server.gpu.pcie_bw_bytes)
+            if server.has_gpu
+            else None
+        )
+        self.sparse_transfer_efficiency = sparse_transfer_efficiency
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def plan_timings(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
+        """Load-independent timing profile of ``plan`` (cache-friendly)."""
+        if not plan.fits(self.server):
+            raise ValueError(
+                f"plan {plan.describe()} does not fit server {self.server.name}"
+            )
+        if not plan.placement.uses_gpu:
+            weights = partitioned.model.graph.total_weight_bytes()
+            if weights > self.server.memory.capacity_bytes:
+                raise ValueError(
+                    f"{partitioned.name} needs {weights / 1e9:.0f} GB, host has "
+                    f"{self.server.memory.capacity_bytes / 1e9:.0f} GB"
+                )
+        if plan.placement is Placement.CPU_MODEL_BASED:
+            return self._cpu_model_based(partitioned, workload, plan)
+        if plan.placement is Placement.CPU_SD_PIPELINE:
+            return self._cpu_sd_pipeline(partitioned, workload, plan)
+        if plan.placement is Placement.GPU_SD:
+            return self._gpu_sd(partitioned, workload, plan)
+        if plan.placement is Placement.GPU_MODEL_BASED:
+            return self._gpu_model_based(partitioned, workload, plan)
+        raise AssertionError(f"unhandled placement {plan.placement}")
+
+    def evaluate(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+        arrival_qps: float,
+        power_budget_w: float | None = None,
+    ) -> ServerPerformance:
+        """Steady-state performance at a fixed arrival rate."""
+        try:
+            timings = self.plan_timings(partitioned, workload, plan)
+        except ValueError as exc:
+            return ServerPerformance.infeasible(str(exc))
+        return self.perf_at(timings, workload, arrival_qps, power_budget_w)
+
+    def latency_bounded(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+        sla_ms: float,
+        power_budget_w: float | None = None,
+    ) -> ServerPerformance:
+        """Latency-bounded throughput: max QPS meeting SLA and power budget.
+
+        This is the offline-profiling measurement the efficiency tuple
+        records (Section IV-A).
+        """
+        try:
+            timings = self.plan_timings(partitioned, workload, plan)
+        except ValueError as exc:
+            return ServerPerformance.infeasible(str(exc))
+
+        capacity_qps = timings.capacity_items_s / workload.mean_size
+        if not math.isfinite(capacity_qps) or capacity_qps <= 0:
+            return ServerPerformance.infeasible("plan has no capacity")
+
+        def feasible(qps: float) -> ServerPerformance | None:
+            perf = self.perf_at(timings, workload, qps, power_budget_w)
+            if perf.feasible and perf.latency.p99_ms <= sla_ms:
+                return perf
+            return None
+
+        # Find a feasible anchor scanning down from capacity, then
+        # bisect between it and the lowest infeasible rate above it.
+        fractions = (0.98, 0.95, 0.9, 0.8, 0.65, 0.5, 0.35, 0.2, 0.1, 0.05, 0.02)
+        best: ServerPerformance | None = None
+        hi = capacity_qps
+        for frac in fractions:
+            qps = capacity_qps * frac
+            perf = feasible(qps)
+            if perf is not None:
+                best = perf
+                break
+            hi = qps
+        if best is None:
+            return ServerPerformance.infeasible(
+                f"SLA {sla_ms} ms unreachable at any load"
+            )
+        lo = best.qps
+        for _ in range(24):
+            mid = (lo + hi) / 2.0
+            perf = feasible(mid)
+            if perf is not None:
+                best, lo = perf, mid
+            else:
+                hi = mid
+        return best
+
+    # ------------------------------------------------------------------
+    # queueing + power
+    # ------------------------------------------------------------------
+
+    def perf_at(
+        self,
+        timings: PlanTimings,
+        workload: QueryWorkload,
+        arrival_qps: float,
+        power_budget_w: float | None = None,
+    ) -> ServerPerformance:
+        """Queueing-model performance at a given arrival rate."""
+        if arrival_qps <= 0:
+            raise ValueError("arrival rate must be positive")
+        arrival_items = arrival_qps * workload.mean_size
+        rho = arrival_items / timings.capacity_items_s
+        if rho >= _MAX_RHO:
+            return ServerPerformance.infeasible(
+                f"overloaded: rho={rho:.3f} at {arrival_qps:.1f} qps"
+            )
+
+        bottleneck = timings.bottleneck
+        wait_mean = (
+            (timings.bulk_mean / 2.0)
+            * rho
+            / (bottleneck.units * (1.0 - rho))
+            * bottleneck.batch_s
+        )
+        fill_s = (
+            timings.fill_items / arrival_items if timings.fill_items > 0 else 0.0
+        )
+
+        def latency_at(p: float, wait_factor: float) -> float:
+            size = workload.tail_size(p)
+            return wait_factor * wait_mean + fill_s + timings.service_span_s(size)
+
+        latency = LatencyStats(
+            p50_ms=latency_at(50.0, 1.0) * 1e3,
+            p95_ms=latency_at(95.0, _P95_WAIT_FACTOR) * 1e3,
+            p99_ms=latency_at(99.0, _P99_WAIT_FACTOR) * 1e3,
+            mean_ms=(wait_mean + fill_s + timings.service_span_s(int(workload.mean_size)))
+            * 1e3,
+        )
+
+        cpu_util = min(
+            1.0, arrival_items * timings.cpu_core_s_per_item / self.server.cpu.cores
+        )
+        gpu_util = min(1.0, arrival_items * timings.gpu_busy_s_per_item)
+        mem_util = min(
+            1.0,
+            arrival_items
+            * timings.mem_bytes_per_item
+            / self.server.memory.peak_bw_bytes,
+        )
+        power = self.server.power_w(
+            ComponentUtilization(
+                cpu=cpu_util,
+                memory=mem_util,
+                gpu=gpu_util * timings.gpu_power_util_scale,
+            )
+        )
+        if power_budget_w is not None and power > power_budget_w:
+            return ServerPerformance.infeasible(
+                f"power {power:.0f} W exceeds budget {power_budget_w:.0f} W",
+                power_w=power,
+            )
+
+        # Stage breakdown of *mean* latency, the quantity Fig. 7 plots:
+        # queuing (wait + fusion fill), data loading, model inference.
+        mean_size = int(workload.mean_size)
+        total = latency.mean_ms / 1e3
+        queuing = wait_mean + fill_s
+        loading = sum(
+            s.span_s(mean_size) for s in timings.stages if s.name == "loading"
+        )
+        breakdown = {
+            "queuing": queuing / total if total else 0.0,
+            "loading": loading / total if total else 0.0,
+            "inference": max(0.0, 1.0 - (queuing + loading) / total) if total else 0.0,
+        }
+        return ServerPerformance(
+            qps=arrival_qps,
+            latency=latency,
+            power_w=power,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            mem_util=mem_util,
+            breakdown=breakdown,
+        )
+
+    # ------------------------------------------------------------------
+    # placement-specific timing models
+    # ------------------------------------------------------------------
+
+    def _cpu_graph_timing(
+        self,
+        graph: Graph,
+        items: int,
+        workers: int,
+        co_located_threads: int,
+        mem_scale: float = 1.0,
+    ) -> tuple[float, float, float]:
+        """(makespan_s, busy_core_s, mem_bytes) for one batch on the host.
+
+        Applies a two-pass interference fixpoint: timings are computed
+        contention-free, aggregate bandwidth demand is derived, and the
+        memory components are rescaled by the resulting share.
+        """
+        def timings(bw_fraction: float) -> dict[str, float]:
+            out = {}
+            for node in graph:
+                t = self.cpu_model.op_timing(node.op, items, bw_fraction)
+                scaled_mem = t.memory_s * mem_scale
+                scaled_compute = t.compute_s * mem_scale if node.op.kind.is_sparse else t.compute_s
+                out[node.name] = t.overhead_s + max(scaled_compute, scaled_mem)
+            return out
+
+        mem_bytes = graph.total_mem_bytes(items) * mem_scale
+        nmp_bytes = 0.0
+        if self.server.memory.is_nmp:
+            nmp_bytes = (
+                sum(
+                    n.op.mem_bytes(items)
+                    for n in graph
+                    if self.cpu_model._nmp_eligible(n.op)
+                )
+                * mem_scale
+            )
+        host_bytes = mem_bytes - nmp_bytes
+        inflation = self.interference.llc_inflation(co_located_threads)
+
+        def span_at(f: float) -> float:
+            return list_schedule(graph, timings(f), workers).makespan_s
+
+        def saturating_share(pool_bytes: float, peak: float, f_max: float) -> float:
+            """The share at which this pool's achieved bandwidth hits peak.
+
+            Achieved aggregate bandwidth is ``threads * pool_bytes /
+            span(f)`` and increases with ``f``; if even ``f_max`` keeps
+            it under the peak there is no contention, otherwise bisect
+            for the share where achieved == peak.
+
+            Co-location degrades the *achievable* peak itself (more
+            threads -> more row-buffer conflicts and LLC thrashing) --
+            the effect that makes 10x2 beat 20x1 on memory-dominated
+            models (Fig. 4).
+            """
+            if pool_bytes <= 0:
+                return f_max
+            peak_eff = peak / inflation
+            if co_located_threads * pool_bytes / span_at(f_max) <= peak_eff:
+                return f_max
+            lo, hi = 1e-3, f_max
+            for _ in range(24):
+                mid = (lo + hi) / 2.0
+                if co_located_threads * pool_bytes / span_at(mid) <= peak_eff:
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+
+        # Rank-side NMP traffic contends against the rank-parallel
+        # gather-reduce bandwidth; everything else against the host
+        # gather bandwidth.  One share throttles all memory ops, so the
+        # binding pool wins.
+        f_max = 1.0 / inflation
+        effective = min(
+            saturating_share(
+                host_bytes, self.server.memory.gather_bw_bytes, f_max
+            ),
+            saturating_share(
+                nmp_bytes, self.server.memory.nmp_gather_reduce_bw_bytes, f_max
+            ),
+        )
+        result = list_schedule(graph, timings(effective), workers)
+        return result.makespan_s, result.busy_s, mem_bytes
+
+    def _cpu_model_based(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
+        """Whole-graph execution on co-located host threads (Fig. 10, base)."""
+        d = plan.batch_size
+        m = plan.threads
+        makespan, busy, mem_bytes = self._cpu_graph_timing(
+            partitioned.model.graph, d, plan.cores_per_thread, m
+        )
+        stage = Stage(name="inference", batch_s=makespan, units=m, items_per_batch=d)
+        bulk = max(1.0, workload.mean_size / d)
+        return PlanTimings(
+            stages=(stage,),
+            bulk_mean=bulk,
+            fill_items=0.0,
+            cpu_core_s_per_item=busy / d,
+            gpu_busy_s_per_item=0.0,
+            mem_bytes_per_item=mem_bytes / d,
+        )
+
+    def _cpu_sd_pipeline(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
+        """SparseNet and DenseNet threads pipelined on the host (Fig. 10b)."""
+        d = plan.batch_size
+        total_threads = plan.sparse_threads + plan.dense_threads
+        sparse_span, sparse_busy, sparse_bytes = self._cpu_graph_timing(
+            partitioned.sparse, d, plan.sparse_cores, total_threads
+        )
+        dense_span, dense_busy, dense_bytes = self._cpu_graph_timing(
+            partitioned.dense, d, 1, total_threads
+        )
+        # Pooled sparse output crosses a host-side queue.
+        queue_bytes = partitioned.sparse.total_output_bytes(d)
+        queue_s = queue_bytes / self.server.memory.peak_bw_bytes
+        stages = (
+            Stage("sparse", sparse_span, plan.sparse_threads, d),
+            Stage("dense", dense_span + queue_s, plan.dense_threads, d),
+        )
+        bulk = max(1.0, workload.mean_size / d)
+        return PlanTimings(
+            stages=stages,
+            bulk_mean=bulk,
+            fill_items=0.0,
+            cpu_core_s_per_item=(sparse_busy + dense_busy) / d,
+            gpu_busy_s_per_item=0.0,
+            mem_bytes_per_item=(sparse_bytes + dense_bytes + queue_bytes) / d,
+        )
+
+    def _fused_batch_items(
+        self, workload: QueryWorkload, plan: ExecutionPlan
+    ) -> float:
+        """Items per accelerator batch: fusion limit or one mean query."""
+        if plan.fusion_limit > 0:
+            return float(plan.fusion_limit)
+        return float(workload.mean_size)
+
+    def _gpu_graph_time(self, graph: Graph, items: int, co_located: int) -> float:
+        """Sequential kernel execution of a (sub-)graph on the GPU."""
+        assert self.gpu_model is not None
+        return sum(
+            self.gpu_model.op_timing(node.op, items, co_located).latency_s
+            for node in graph
+        )
+
+    def _gpu_sd(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
+        """SparseNet on host, DenseNet on the accelerator (Fig. 10c)."""
+        assert self.pcie is not None and self.gpu_model is not None
+        d = plan.batch_size
+        g = plan.threads
+        sparse_span, sparse_busy, sparse_bytes = self._cpu_graph_timing(
+            partitioned.sparse, d, plan.sparse_cores, plan.sparse_threads
+        )
+        b = int(self._fused_batch_items(workload, plan))
+        # Pooled sparse vectors + dense features transit PCIe.
+        payload = partitioned.sparse.total_output_bytes(b)
+        payload += b * partitioned.model.config.dense_in * 4.0
+        load_s = self.pcie.transfer_s(payload, sharers=g)
+        infer_s = self._gpu_graph_time(partitioned.dense, b, g)
+        stages = (
+            Stage("sparse", sparse_span, plan.sparse_threads, d),
+            Stage("loading", load_s, g, b),
+            Stage("inference", infer_s, g, b),
+        )
+        # infer_s already includes the 1/g device share, so whole-device
+        # busy seconds per item divide back by g.
+        gpu_busy = infer_s / (b * g)
+        return PlanTimings(
+            stages=stages,
+            bulk_mean=max(1.0, workload.mean_size / d),
+            fill_items=float(plan.fusion_limit),
+            cpu_core_s_per_item=sparse_busy / d,
+            gpu_busy_s_per_item=gpu_busy,
+            mem_bytes_per_item=sparse_bytes / d,
+            gpu_power_util_scale=self.gpu_model.gpu.utilization(b),
+        )
+
+    def _gpu_model_based(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
+        """Hot-SparseNet + DenseNet on the accelerator (Fig. 10d).
+
+        The host serves the cold fraction of lookups and forwards the
+        partial sums; sparse indices for hot lookups cross PCIe as
+        scattered tensors at reduced efficiency.
+        """
+        assert self.pcie is not None and self.gpu_model is not None
+        if partitioned.hot_sparse is None:
+            raise ValueError(
+                "GPU model-based placement requires a hot-sparse partition "
+                "(partition the model with the device memory budget)"
+            )
+        g = plan.threads
+        b = int(self._fused_batch_items(workload, plan))
+        hit = partitioned.hot_hit_rate
+        miss = partitioned.cold_miss_rate
+
+        weights = (
+            partitioned.hot_sparse.total_weight_bytes()
+            + partitioned.dense.total_weight_bytes()
+        )
+        gpu_mem = self.gpu_model.gpu.memory_bytes
+        if weights * g > gpu_mem * 1.05:
+            raise ValueError(
+                f"{g} co-located threads need {weights * g / 1e9:.1f} GB "
+                f"> {gpu_mem / 1e9:.0f} GB device memory"
+            )
+
+        # Data loading: hot indices (scattered), cold partial sums,
+        # dense features.
+        index_bytes = partitioned.sparse.total_input_bytes(b) * hit
+        payload = index_bytes / self.sparse_transfer_efficiency
+        if miss > 0:
+            payload += partitioned.sparse.total_output_bytes(b)
+        payload += b * partitioned.model.config.dense_in * 4.0
+        load_s = self.pcie.transfer_s(payload, sharers=g)
+
+        infer_s = self._gpu_graph_time(partitioned.hot_sparse, b, g)
+        infer_s += self._gpu_graph_time(partitioned.dense, b, g)
+
+        stages = [
+            Stage("loading", load_s, g, b),
+            Stage("inference", infer_s, g, b),
+        ]
+        cpu_core_s_per_item = 0.0
+        mem_bytes_per_item = 0.0
+        if miss > 0:
+            if plan.sparse_threads < 1:
+                raise ValueError(
+                    f"{partitioned.name}: cold miss rate {miss:.2f} needs host "
+                    "sparse threads (plan.sparse_threads = 0)"
+                )
+            d = plan.batch_size
+            cold_span, cold_busy, cold_bytes = self._cpu_graph_timing(
+                partitioned.sparse,
+                d,
+                plan.sparse_cores,
+                plan.sparse_threads,
+                mem_scale=miss,
+            )
+            stages.insert(0, Stage("sparse", cold_span, plan.sparse_threads, d))
+            cpu_core_s_per_item = cold_busy / d
+            mem_bytes_per_item = cold_bytes / d
+
+        gpu_busy = infer_s / (b * g)
+        return PlanTimings(
+            stages=tuple(stages),
+            bulk_mean=1.0,
+            fill_items=float(plan.fusion_limit),
+            cpu_core_s_per_item=cpu_core_s_per_item,
+            gpu_busy_s_per_item=gpu_busy,
+            mem_bytes_per_item=mem_bytes_per_item,
+            gpu_power_util_scale=self.gpu_model.gpu.utilization(b),
+        )

@@ -1,0 +1,352 @@
+"""Discrete-event simulation of a single serving node.
+
+The analytical evaluator answers "what QPS can this plan sustain?" in
+closed form; this module answers the same question by actually playing
+a query trace through the plan's stage pipeline:
+
+- arrivals follow the trace (Poisson with heavy-tail sizes);
+- *split* stages chop queries into sub-batches of ``d`` items served by
+  ``units`` parallel threads (the CPU query dispatcher of Fig. 3);
+- *fuse* stages accumulate whole queries up to the fusion limit and
+  serve them as one accelerator batch (query fusion, Section II-B);
+- a query completes when its last work unit leaves the last stage.
+
+Integration tests check the DES against the closed-form evaluator; the
+examples use it to show live tail-latency behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.hardware.power import ComponentUtilization
+from repro.models.partition import PartitionedModel
+from repro.plans import ExecutionPlan
+from repro.sim.evaluator import PlanTimings, ServerEvaluator
+from repro.sim.loadgen import generate_trace
+from repro.sim.metrics import LatencyStats, ServerPerformance
+from repro.sim.queries import Query, QueryWorkload
+
+__all__ = ["StageMode", "SimStage", "SimResult", "DiscreteEventServerSim", "simulate"]
+
+
+class StageMode(enum.Enum):
+    """How a stage forms batches from incoming queries."""
+
+    SPLIT = "split"
+    """Chop each query into sub-batches of at most ``chunk_items``."""
+
+    FUSE = "fuse"
+    """Merge whole queued queries into one batch up to ``fuse_items``."""
+
+
+@dataclass(frozen=True)
+class SimStage:
+    """One pipeline stage of the simulated server.
+
+    Attributes:
+        name: Stage label (matches the evaluator's stage names).
+        units: Parallel service threads.
+        mode: Batch-formation mode.
+        chunk_items: Sub-batch size for SPLIT stages.
+        fuse_items: Fusion limit for FUSE stages (0 = one query/batch).
+        latency_fn: Batch service time as a function of items.
+        pooling_sensitivity: Fraction of this stage's service time that
+            scales with the batch's pooling factor.  Sparse (embedding)
+            stages are pooling-bound, so the per-query pooling variance
+            of Fig. 2(c) lengthens their service; dense stages are
+            insensitive.
+    """
+
+    name: str
+    units: int
+    mode: StageMode
+    chunk_items: int
+    fuse_items: int
+    latency_fn: Callable[[int], float]
+    pooling_sensitivity: float = 0.0
+
+    def service_s(self, items: int, pooling_scale: float) -> float:
+        """Batch service time including the pooling-variance component."""
+        base = self.latency_fn(items)
+        if self.pooling_sensitivity <= 0.0:
+            return base
+        scale = (
+            1.0 - self.pooling_sensitivity
+            + self.pooling_sensitivity * pooling_scale
+        )
+        return base * scale
+
+
+@dataclass
+class _QueryState:
+    query: Query
+    stage_idx: int = 0
+    pending_units: int = 0
+    finish_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Raw outcome of one DES run.
+
+    Attributes:
+        latencies_s: Per-completed-query end-to-end latency.
+        completed: Number of completed queries in the measured window.
+        duration_s: Measured window length.
+        stage_busy_s: Busy thread-seconds per stage.
+        items_served: Total items completed.
+    """
+
+    latencies_s: np.ndarray
+    completed: int
+    duration_s: float
+    stage_busy_s: dict[str, float]
+    items_served: int
+
+    @property
+    def qps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+
+class DiscreteEventServerSim:
+    """Event-driven execution of a stage pipeline over a query trace."""
+
+    def __init__(self, stages: list[SimStage]) -> None:
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages = stages
+
+    def run(self, queries: list[Query], warmup_s: float = 0.0) -> SimResult:
+        """Play a trace through the pipeline.
+
+        Args:
+            queries: Arrival-sorted trace.
+            warmup_s: Initial window excluded from the statistics.
+
+        Returns:
+            Latency samples and per-stage busy accounting for the
+            post-warmup window.
+        """
+        if not queries:
+            raise ValueError("empty trace")
+        counter = itertools.count()
+        events: list[tuple[float, int, tuple]] = []
+
+        def push(time_s: float, payload: tuple) -> None:
+            heapq.heappush(events, (time_s, next(counter), payload))
+
+        # Per-stage: FIFO of (state, items) units and free-thread count.
+        queues: list[deque] = [deque() for _ in self.stages]
+        free: list[int] = [s.units for s in self.stages]
+        busy_s: dict[str, float] = {s.name: 0.0 for s in self.stages}
+
+        states = [_QueryState(query=q) for q in queries]
+        for st in states:
+            push(st.query.arrival_s, ("arrive", st))
+
+        done: list[_QueryState] = []
+        now = 0.0
+
+        def enqueue(idx: int, state: _QueryState, time_s: float) -> None:
+            stage = self.stages[idx]
+            state.stage_idx = idx
+            if stage.mode is StageMode.SPLIT:
+                chunks = _split(state.query.size, stage.chunk_items)
+                state.pending_units = len(chunks)
+                for chunk in chunks:
+                    queues[idx].append((state, chunk))
+            else:
+                state.pending_units = 1
+                queues[idx].append((state, state.query.size))
+            dispatch(idx, time_s)
+
+        def dispatch(idx: int, time_s: float) -> None:
+            stage = self.stages[idx]
+            while free[idx] > 0 and queues[idx]:
+                if stage.mode is StageMode.SPLIT:
+                    batch = [queues[idx].popleft()]
+                else:
+                    batch = [queues[idx].popleft()]
+                    limit = stage.fuse_items
+                    if limit > 0:
+                        total = batch[0][1]
+                        while queues[idx] and total + queues[idx][0][1] <= limit:
+                            unit = queues[idx].popleft()
+                            total += unit[1]
+                            batch.append(unit)
+                items = sum(it for _, it in batch)
+                # Batch pooling factor: item-weighted mean of the
+                # constituent queries' pooling scales.
+                pooling = sum(
+                    st.query.pooling_scale * it for st, it in batch
+                ) / max(items, 1)
+                service = stage.service_s(items, pooling)
+                free[idx] -= 1
+                busy_s[stage.name] += service
+                push(time_s + service, ("finish", idx, batch))
+
+        while events:
+            now, _, payload = heapq.heappop(events)
+            if payload[0] == "arrive":
+                _, state = payload
+                enqueue(0, state, now)
+            else:
+                _, idx, batch = payload
+                free[idx] += 1
+                for state, _items in batch:
+                    state.pending_units -= 1
+                    if state.pending_units == 0:
+                        if idx + 1 < len(self.stages):
+                            enqueue(idx + 1, state, now)
+                        else:
+                            state.finish_s = now
+                            done.append(state)
+                dispatch(idx, now)
+
+        horizon = max(q.arrival_s for q in queries)
+        measured = [
+            st
+            for st in done
+            if st.query.arrival_s >= warmup_s and st.finish_s <= horizon + 1e9
+        ]
+        if not measured:
+            raise RuntimeError("no queries completed in the measured window")
+        latencies = np.array([st.finish_s - st.query.arrival_s for st in measured])
+        duration = horizon - warmup_s
+        items = sum(st.query.size for st in measured)
+        return SimResult(
+            latencies_s=latencies,
+            completed=len(measured),
+            duration_s=max(duration, 1e-9),
+            stage_busy_s=busy_s,
+            items_served=items,
+        )
+
+
+def _split(size: int, chunk: int) -> list[int]:
+    """Sub-batch sizes for one query (last chunk may be partial)."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    full, rem = divmod(size, chunk)
+    return [chunk] * full + ([rem] if rem else [])
+
+
+def _interpolator(t_one: float, t_nominal: float, nominal: float) -> Callable[[int], float]:
+    """Linear batch-latency model through (1, t_one) and (nominal, t_nominal)."""
+    if nominal <= 1:
+        return lambda items: t_nominal
+    slope = (t_nominal - t_one) / (nominal - 1)
+    return lambda items: max(t_one, t_one + slope * (items - 1))
+
+
+def build_stages(
+    evaluator: ServerEvaluator,
+    partitioned: PartitionedModel,
+    workload: QueryWorkload,
+    plan: ExecutionPlan,
+) -> list[SimStage]:
+    """Derive DES stages from the evaluator's timing profile.
+
+    Stage service times interpolate between batch-of-1 and the plan's
+    nominal batch, so partial sub-batches and under-filled fused
+    batches are served faster than full ones.
+    """
+    nominal = evaluator.plan_timings(partitioned, workload, plan)
+    small_plan = plan.with_(
+        batch_size=1, fusion_limit=1 if plan.fusion_limit > 0 else 0
+    )
+    tiny = evaluator.plan_timings(partitioned, workload, small_plan)
+    tiny_by_name = {s.name: s for s in tiny.stages}
+
+    multi_hot = partitioned.model.config.is_multi_hot
+    stages = []
+    for stage in nominal.stages:
+        t_one = tiny_by_name[stage.name].batch_s if stage.name in tiny_by_name else stage.batch_s
+        fn = _interpolator(min(t_one, stage.batch_s), stage.batch_s, stage.items_per_batch)
+        if stage.name in ("loading", "inference") and plan.placement.uses_gpu:
+            mode = StageMode.FUSE
+            fuse = plan.fusion_limit
+            chunk = max(1, int(stage.items_per_batch))
+        else:
+            mode = StageMode.SPLIT
+            fuse = 0
+            chunk = plan.batch_size
+        # Multi-hot models: embedding gathers and index transfers scale
+        # with the query's pooling factor (Fig. 2c variance).
+        if multi_hot and stage.name == "sparse":
+            sensitivity = 0.9
+        elif multi_hot and stage.name == "loading":
+            sensitivity = 0.6
+        elif multi_hot and stage.name == "inference" and not plan.placement.uses_gpu:
+            # Whole-model host execution folds the gathers into the
+            # single inference stage; roughly half its time is sparse.
+            sensitivity = 0.5
+        else:
+            sensitivity = 0.0
+        stages.append(
+            SimStage(
+                name=stage.name,
+                units=stage.units,
+                mode=mode,
+                chunk_items=chunk,
+                fuse_items=fuse,
+                latency_fn=fn,
+                pooling_sensitivity=sensitivity,
+            )
+        )
+    return stages
+
+
+def simulate(
+    evaluator: ServerEvaluator,
+    partitioned: PartitionedModel,
+    workload: QueryWorkload,
+    plan: ExecutionPlan,
+    arrival_qps: float,
+    duration_s: float = 20.0,
+    seed: int = 0,
+) -> ServerPerformance:
+    """Run the DES and summarize it as a :class:`ServerPerformance`.
+
+    Power is derived from the same per-item resource coefficients the
+    closed-form evaluator uses, applied to the *measured* throughput.
+    """
+    timings = evaluator.plan_timings(partitioned, workload, plan)
+    stages = build_stages(evaluator, partitioned, workload, plan)
+    trace = generate_trace(workload, arrival_qps, duration_s, seed=seed)
+    sim = DiscreteEventServerSim(stages)
+    result = sim.run(trace, warmup_s=duration_s * 0.1)
+
+    items_per_s = result.items_served / result.duration_s
+    server = evaluator.server
+    cpu_util = min(1.0, items_per_s * timings.cpu_core_s_per_item / server.cpu.cores)
+    gpu_util = min(1.0, items_per_s * timings.gpu_busy_s_per_item)
+    mem_util = min(
+        1.0, items_per_s * timings.mem_bytes_per_item / server.memory.peak_bw_bytes
+    )
+    power = server.power_w(
+        ComponentUtilization(
+            cpu=cpu_util,
+            memory=mem_util,
+            gpu=gpu_util * timings.gpu_power_util_scale,
+        )
+    )
+    return ServerPerformance(
+        qps=result.qps,
+        latency=LatencyStats.from_samples_s(result.latencies_s),
+        power_w=power,
+        cpu_util=cpu_util,
+        gpu_util=gpu_util,
+        mem_util=mem_util,
+    )

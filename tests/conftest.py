@@ -1,0 +1,68 @@
+"""Shared fixtures: models, evaluators, and a small profiled table.
+
+Expensive artifacts (model graphs, evaluators, efficiency tables) are
+session-scoped so the suite stays fast while every test works against
+real production-scale configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.models import ModelVariant, build_model, partition_model
+from repro.scheduling import OfflineProfiler
+from repro.sim import QueryWorkload, ServerEvaluator
+
+
+@pytest.fixture(scope="session")
+def rmc1():
+    return build_model("DLRM-RMC1")
+
+
+@pytest.fixture(scope="session")
+def rmc3():
+    return build_model("DLRM-RMC3")
+
+
+@pytest.fixture(scope="session")
+def din():
+    return build_model("DIN")
+
+
+@pytest.fixture(scope="session")
+def rmc1_small():
+    return build_model("DLRM-RMC1", ModelVariant.SMALL)
+
+
+@pytest.fixture(scope="session")
+def rmc1_partitioned(rmc1):
+    return partition_model(rmc1)
+
+
+@pytest.fixture(scope="session")
+def rmc1_workload(rmc1):
+    return QueryWorkload.for_model(rmc1.config.mean_query_size)
+
+
+@pytest.fixture(scope="session")
+def t2_evaluator():
+    return ServerEvaluator(SERVER_TYPES["T2"])
+
+
+@pytest.fixture(scope="session")
+def t3_evaluator():
+    return ServerEvaluator(SERVER_TYPES["T3"])
+
+
+@pytest.fixture(scope="session")
+def t7_evaluator():
+    return ServerEvaluator(SERVER_TYPES["T7"])
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """Efficiency table for a T2/T3/T7 cluster serving RMC1 + RMC2."""
+    servers = [SERVER_TYPES[s] for s in ("T2", "T3", "T7")]
+    models = [build_model("DLRM-RMC1"), build_model("DLRM-RMC2")]
+    return OfflineProfiler().profile(servers, models)

@@ -1,0 +1,47 @@
+"""Tests for table/series formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(
+            ["name", "qps"], [["T2", 1234.5], ["T10", 9.87]], precision=1
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1,234.5" in out
+        assert "9.9" in out
+
+    def test_title_and_bools(self):
+        out = format_table(["ok"], [[True], [False]], title="Check")
+        assert out.splitlines()[0] == "Check"
+        assert "yes" in out and "no" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["v"], [[1.5e9]])
+        assert "e+" in out
+
+
+class TestFormatSeries:
+    def test_bars_scale_with_value(self):
+        out = format_series([(0, 10.0), (1, 20.0)], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([])

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_arguments(self):
+        args = build_parser().parse_args(["search", "DLRM-RMC1", "T3", "--sla", "30"])
+        args_defaults = build_parser().parse_args(["search", "DLRM-RMC1", "T3"])
+        assert args.sla == 30.0
+        assert args_defaults.sla is None
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "DLRM-RMC9", "T3"])
+
+    def test_rejects_unknown_server(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "DLRM-RMC1", "T99"])
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DLRM-RMC1", "DIEN", "MT-WnD"):
+            assert name in out
+
+    def test_servers_lists_fleet(self, capsys):
+        assert main(["servers"]) == 0
+        out = capsys.readouterr().out
+        assert "T10" in out and "CPU-T2+NMPx8+V100" in out
+
+    def test_search_prints_plan(self, capsys):
+        assert main(["search", "DLRM-RMC1", "T2"]) == 0
+        out = capsys.readouterr().out
+        assert "Hercules" in out and "QPS" in out
+
+    def test_search_with_baseline(self, capsys):
+        assert main(["search", "DLRM-RMC1", "T2", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "DeepRecSys+Baymax" in out
+
+    def test_search_impossible_sla_fails(self, capsys):
+        assert main(["search", "DLRM-RMC1", "T2", "--sla", "0.001"]) == 1
+
+    def test_profile_small_slice(self, capsys):
+        code = main(
+            ["profile", "--servers", "T2", "--models", "DLRM-RMC1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "efficiency tuples" in out
+
+    def test_serve_day(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--servers", "T2", "T3",
+                "--models", "DLRM-RMC1",
+                "--policy", "greedy",
+                "--peak-qps", "3000",
+                "--interval", "120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak" in out and "shortfall: no" in out.lower().replace(
+            "false", "no"
+        )

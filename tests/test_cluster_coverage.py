@@ -1,0 +1,59 @@
+"""Tests for intra-interval coverage validation in the cluster manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterManager,
+    GreedyScheduler,
+    estimate_over_provision,
+    synchronous_traces,
+)
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import ClassificationTable, EfficiencyTuple
+
+_PLAN = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=1)
+
+
+def _table() -> ClassificationTable:
+    table = ClassificationTable()
+    table.add(EfficiencyTuple("T2", "A", qps=1000, power_w=100, plan=_PLAN))
+    table.add(EfficiencyTuple("T3", "A", qps=2500, power_w=140, plan=_PLAN))
+    return table
+
+
+def _manager(over_provision, interval=60.0):
+    return ClusterManager(
+        GreedyScheduler(_table(), {"T2": 80, "T3": 15}),
+        interval_minutes=interval,
+        over_provision=over_provision,
+    )
+
+
+class TestCoverageMargin:
+    def test_adequate_r_keeps_margin_above_one(self):
+        traces = synchronous_traces({"A": 20_000})
+        rate = estimate_over_provision(traces, 60.0)
+        day = _manager(over_provision=rate).run_day(traces)
+        assert day.worst_coverage_margin >= 1.0
+        assert day.intervals_underwater == 0
+
+    def test_zero_r_goes_underwater_on_the_climb(self):
+        """Without over-provisioning, the load outgrows the allocation
+        inside climbing intervals -- exactly what R exists to absorb."""
+        traces = synchronous_traces({"A": 20_000})
+        day = _manager(over_provision=0.0, interval=120.0).run_day(traces)
+        assert day.worst_coverage_margin < 1.0
+        assert day.intervals_underwater > 0
+
+    def test_margin_recorded_per_interval(self):
+        traces = synchronous_traces({"A": 10_000})
+        day = _manager(over_provision=0.1).run_day(traces)
+        assert all(r.coverage_margin > 0 for r in day.records)
+
+    def test_validate_minutes_validation(self):
+        with pytest.raises(ValueError):
+            ClusterManager(
+                GreedyScheduler(_table(), {"T2": 1}), validate_minutes=0
+            )

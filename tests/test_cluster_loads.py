@@ -1,0 +1,71 @@
+"""Tests for diurnal load traces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import DiurnalTrace, synchronous_traces
+
+
+class TestDiurnalTrace:
+    def test_peak_occurs_at_peak_hour(self):
+        trace = DiurnalTrace(name="a", peak_qps=1000, peak_hour=20.0)
+        assert trace.load_at(20.0) == pytest.approx(1000)
+        assert trace.load_at(8.0) < trace.load_at(20.0)
+
+    def test_fluctuation_exceeds_half(self):
+        """Section II-A: >50% fluctuation between peak and off-peak."""
+        trace = DiurnalTrace(name="a", peak_qps=1000, trough_ratio=0.4)
+        series = [q for _, q in trace.series(30.0)]
+        assert min(series) < 0.5 * max(series)
+
+    @given(hour=st.floats(0.0, 23.99))
+    def test_load_positive_and_bounded(self, hour):
+        trace = DiurnalTrace(name="a", peak_qps=500, trough_ratio=0.3)
+        load = trace.load_at(hour)
+        assert 0 < load <= 500 + 1e-9
+
+    def test_series_covers_one_day(self):
+        trace = DiurnalTrace(name="a", peak_qps=100)
+        series = trace.series(interval_minutes=30.0)
+        assert len(series) == 48
+        assert series[0][0] == 0.0
+        assert series[-1][0] == pytest.approx(23.5)
+
+    def test_peak_and_average(self):
+        trace = DiurnalTrace(name="a", peak_qps=100, trough_ratio=0.4)
+        assert trace.peak_load() <= 100 + 1e-9
+        assert trace.average_load() < trace.peak_load()
+
+    def test_noise_is_reproducible(self):
+        a = DiurnalTrace(name="a", peak_qps=100, noise=0.1, seed=1)
+        b = DiurnalTrace(name="a", peak_qps=100, noise=0.1, seed=1)
+        assert a.load_at(10.3) == b.load_at(10.3)
+
+    def test_sharpness_concentrates_peak(self):
+        mild = DiurnalTrace(name="a", peak_qps=100, sharpness=1.0)
+        sharp = DiurnalTrace(name="a", peak_qps=100, sharpness=4.0)
+        assert sharp.average_load() < mild.average_load()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTrace(name="a", peak_qps=0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(name="a", peak_qps=10, trough_ratio=0.0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(name="a", peak_qps=10, peak_hour=24.0)
+        with pytest.raises(ValueError):
+            DiurnalTrace(name="a", peak_qps=10, sharpness=0.5)
+
+
+class TestSynchronousTraces:
+    def test_all_peaks_align(self):
+        """Fig. 2(d): services peak at the same hour."""
+        traces = synchronous_traces({"a": 1000, "b": 2000})
+        assert traces["a"].peak_hour == traces["b"].peak_hour
+        assert traces["b"].peak_qps == 2000
+
+    def test_names_preserved(self):
+        traces = synchronous_traces({"x": 10})
+        assert traces["x"].name == "x"

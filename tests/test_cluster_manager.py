@@ -1,0 +1,110 @@
+"""Tests for the online serving loop and model evolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterManager,
+    DiurnalTrace,
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    estimate_over_provision,
+    linear_evolution,
+    run_evolution,
+    synchronous_traces,
+)
+from repro.cluster.evolution import NEW_MODELS, OLD_MODELS
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import ClassificationTable, EfficiencyTuple
+
+_PLAN = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=1)
+
+
+def _table(models=("A", "B")) -> ClassificationTable:
+    table = ClassificationTable()
+    for model, (q2, q3) in zip(models, [(1800, 2400), (110, 330)] * 3):
+        table.add(EfficiencyTuple("T2", model, qps=q2, power_w=104, plan=_PLAN))
+        table.add(EfficiencyTuple("T3", model, qps=q3, power_w=130, plan=_PLAN))
+    return table
+
+
+class TestEstimateOverProvision:
+    def test_tracks_steepest_climb(self):
+        traces = synchronous_traces({"a": 1000})
+        rate = estimate_over_provision(traces, interval_minutes=30.0)
+        assert 0.0 < rate < 1.0
+        coarser = estimate_over_provision(traces, interval_minutes=120.0)
+        assert coarser > rate  # longer interval, bigger climb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_over_provision({}, interval_minutes=0)
+
+
+class TestClusterManager:
+    def test_day_has_expected_intervals(self):
+        table = _table()
+        manager = ClusterManager(
+            GreedyScheduler(table, {"T2": 50, "T3": 15}),
+            interval_minutes=60.0,
+            over_provision=0.05,
+        )
+        day = manager.run_day(synchronous_traces({"A": 10_000, "B": 800}))
+        assert len(day.records) == 24
+        assert day.peak_power_w >= day.average_power_w
+        assert day.peak_servers >= 1
+
+    def test_power_tracks_diurnal_load(self):
+        table = _table()
+        manager = ClusterManager(
+            GreedyScheduler(table, {"T2": 60, "T3": 15}),
+            interval_minutes=30.0,
+            over_provision=0.05,
+        )
+        day = manager.run_day(synchronous_traces({"A": 30_000, "B": 2_000}))
+        series = dict(day.power_series())
+        assert series[20.0] > series[8.0]  # peak hour vs trough
+
+    def test_churn_recorded(self):
+        table = _table()
+        manager = ClusterManager(
+            GreedyScheduler(table, {"T2": 60, "T3": 15}),
+            interval_minutes=30.0,
+            over_provision=0.05,
+        )
+        day = manager.run_day(synchronous_traces({"A": 30_000}))
+        assert day.records[0].churn  # first interval activates servers
+        total_churn = sum(sum(r.churn.values()) for r in day.records[1:])
+        assert total_churn > 0  # diurnal swing forces changes
+
+    def test_empty_traces_rejected(self):
+        manager = ClusterManager(GreedyScheduler(_table(), {"T2": 1}))
+        with pytest.raises(ValueError):
+            manager.run_day({})
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterManager(GreedyScheduler(_table(), {"T2": 1}), interval_minutes=0)
+
+
+class TestEvolution:
+    def test_linear_mix_endpoints(self):
+        mixes = linear_evolution(cycles=5)
+        assert set(mixes[0].shares) == set(OLD_MODELS)
+        assert set(mixes[-1].shares) == set(NEW_MODELS)
+        for mix in mixes:
+            assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_too_few_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            linear_evolution(cycles=1)
+
+    def test_run_evolution_produces_day_per_cycle(self):
+        names = list(OLD_MODELS) + list(NEW_MODELS)
+        table = _table(models=names)
+        scheduler = GreedyScheduler(table, {"T2": 200, "T3": 50})
+        result = run_evolution(scheduler, total_peak_qps=20_000, cycles=3)
+        assert len(result.days) == 3
+        assert len(result.peak_power_series()) == 3
+        assert all(p > 0 for p in result.peak_power_series())

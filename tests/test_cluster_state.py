@@ -1,0 +1,93 @@
+"""Tests for cluster allocations and the state table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Allocation, ClusterStateTable
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import ClassificationTable, EfficiencyTuple
+
+_PLAN = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=1)
+
+
+def _table() -> ClassificationTable:
+    table = ClassificationTable()
+    table.add(EfficiencyTuple("T2", "A", qps=1000, power_w=100, plan=_PLAN))
+    table.add(EfficiencyTuple("T3", "A", qps=2000, power_w=150, plan=_PLAN))
+    table.add(EfficiencyTuple("T2", "B", qps=100, power_w=90, plan=_PLAN))
+    return table
+
+
+class TestAllocation:
+    def test_add_and_counts(self):
+        alloc = Allocation()
+        alloc.add("T2", "A", 3)
+        alloc.add("T2", "B", 2)
+        alloc.add("T3", "A", 1)
+        alloc.add("T2", "A", 1)  # accumulates
+        assert alloc.counts[("T2", "A")] == 4
+        assert alloc.servers_of_type("T2") == 6
+        assert alloc.servers_for_model("A") == 5
+        assert alloc.total_servers == 7
+
+    def test_zero_add_is_noop(self):
+        alloc = Allocation()
+        alloc.add("T2", "A", 0)
+        assert alloc.counts == {}
+        with pytest.raises(ValueError):
+            alloc.add("T2", "A", -1)
+
+    def test_capacity_and_power(self):
+        table = _table()
+        alloc = Allocation()
+        alloc.add("T2", "A", 2)
+        alloc.add("T3", "A", 1)
+        assert alloc.capacity_qps(table, "A") == pytest.approx(4000)
+        assert alloc.provisioned_power_w(table) == pytest.approx(350)
+
+    def test_coverage_check(self):
+        table = _table()
+        alloc = Allocation()
+        alloc.add("T2", "A", 2)
+        assert alloc.covers(table, {"A": 2000})
+        assert not alloc.covers(table, {"A": 2000}, over_provision=0.1)
+        assert not alloc.covers(table, {"A": 2000, "B": 50})
+
+    def test_fleet_check(self):
+        alloc = Allocation()
+        alloc.add("T2", "A", 5)
+        assert alloc.respects_fleet({"T2": 5})
+        assert not alloc.respects_fleet({"T2": 4})
+
+    def test_shortfall_flag(self):
+        alloc = Allocation()
+        assert not alloc.has_shortfall
+        alloc.shortfall["A"] = 100.0
+        assert alloc.has_shortfall
+
+
+class TestClusterStateTable:
+    def test_transition_churn(self):
+        state = ClusterStateTable(fleet={"T2": 10, "T3": 5})
+        first = Allocation()
+        first.add("T2", "A", 4)
+        churn = state.transition_to(first)
+        assert churn == {"T2": 4}
+        second = Allocation()
+        second.add("T2", "A", 2)
+        second.add("T3", "A", 1)
+        churn = state.transition_to(second)
+        assert churn == {"T2": 2, "T3": 1}
+        assert state.active_counts == {("T2", "A"): 2, ("T3", "A"): 1}
+
+    def test_rejects_overallocation(self):
+        state = ClusterStateTable(fleet={"T2": 2})
+        alloc = Allocation()
+        alloc.add("T2", "A", 3)
+        with pytest.raises(ValueError, match="exceeds fleet"):
+            state.transition_to(alloc)
+
+    def test_rejects_negative_fleet(self):
+        with pytest.raises(ValueError):
+            ClusterStateTable(fleet={"T2": -1})

@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples.
+
+The quickstart runs end-to-end (it is fast); the heavier examples are
+compiled and checked for a main() entry so they cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "server_search.py",
+        "cluster_serving.py",
+        "model_evolution.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "server_search.py", "cluster_serving.py", "model_evolution.py"],
+)
+def test_examples_compile(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Hercules improvement" in result.stdout
+    assert "SLA holds" in result.stdout
+
+
+def test_server_search_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "server_search.py"), "DLRM-RMC3", "T2"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Per-placement optima" in result.stdout

@@ -1,0 +1,170 @@
+"""Tests for the Table II hardware substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    CPU_T1,
+    CPU_T2,
+    ComponentUtilization,
+    CpuSpec,
+    DDR4_T2,
+    GPU_P100,
+    GPU_V100,
+    GpuSpec,
+    MemorySpec,
+    NMP_X2,
+    NMP_X4,
+    NMP_X8,
+    SERVER_AVAILABILITY,
+    SERVER_TYPES,
+    get_server_type,
+    linear_power,
+    standard_fleet,
+)
+
+
+class TestCpuSpecs:
+    def test_table2_parameters(self):
+        assert CPU_T1.cores == 18 and CPU_T1.frequency_hz == 1.6e9
+        assert CPU_T2.cores == 20 and CPU_T2.frequency_hz == 2.0e9
+        assert CPU_T1.tdp_w == 86.0 and CPU_T2.tdp_w == 125.0
+
+    def test_effective_flops_scale_with_cores(self):
+        assert CPU_T2.effective_flops(10) == pytest.approx(
+            10 * CPU_T2.effective_flops(1)
+        )
+        assert CPU_T2.effective_flops(1) < CPU_T2.peak_flops_per_core
+
+    def test_core_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            CPU_T2.effective_flops(0)
+        with pytest.raises(ValueError):
+            CPU_T2.effective_flops(21)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSpec(
+                name="bad",
+                cores=0,
+                frequency_hz=1e9,
+                flops_per_cycle_per_core=16,
+                llc_bytes=1e6,
+                tdp_w=100,
+                idle_w=10,
+            )
+
+
+class TestMemorySpecs:
+    def test_nmp_bandwidth_scales_with_ranks(self):
+        assert NMP_X2.nmp_gather_reduce_bw_bytes == pytest.approx(
+            2 * NMP_X2.gather_bw_bytes
+        )
+        assert NMP_X8.nmp_gather_reduce_bw_bytes == pytest.approx(
+            8 * NMP_X8.gather_bw_bytes
+        )
+
+    def test_plain_ddr4_has_no_nmp_boost(self):
+        assert not DDR4_T2.is_nmp
+        assert DDR4_T2.nmp_gather_reduce_bw_bytes == pytest.approx(
+            DDR4_T2.gather_bw_bytes
+        )
+
+    def test_nmp_capacity_and_power_grow_with_ranks(self):
+        assert NMP_X2.capacity_bytes < NMP_X4.capacity_bytes < NMP_X8.capacity_bytes
+        assert NMP_X2.tdp_w < NMP_X4.tdp_w < NMP_X8.tdp_w
+        assert NMP_X2.idle_w < NMP_X4.idle_w < NMP_X8.idle_w
+
+    def test_nmp_pays_extra_idle_power_over_ddr4(self):
+        """Fig. 15: NMP idle power is the tax one-hot models pay."""
+        assert NMP_X2.idle_w > DDR4_T2.idle_w
+
+
+class TestGpuSpecs:
+    def test_table2_parameters(self):
+        assert GPU_P100.sms == 56 and GPU_V100.sms == 80
+        assert GPU_V100.hbm_bw_bytes == 900e9
+        assert GPU_V100.memory_bytes == 16e9
+        assert GPU_V100.tdp_w == 300.0
+
+    def test_utilization_saturates(self):
+        assert GPU_V100.utilization(0) == 0.0
+        assert GPU_V100.utilization(16) < 0.2
+        assert GPU_V100.utilization(100_000) > 0.95
+        small = GPU_V100.effective_flops(32)
+        large = GPU_V100.effective_flops(4096)
+        assert large > 5 * small
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSpec(
+                name="bad",
+                sms=0,
+                peak_flops=1e12,
+                hbm_bw_bytes=1e11,
+                memory_bytes=1e9,
+                pcie_bw_bytes=1e10,
+                tdp_w=100,
+                idle_w=10,
+            )
+
+
+class TestServerTypes:
+    def test_all_ten_types_defined(self):
+        assert set(SERVER_TYPES) == {f"T{i}" for i in range(1, 11)}
+
+    def test_availability_vector(self):
+        assert [SERVER_AVAILABILITY[f"T{i}"] for i in range(1, 11)] == [
+            100, 100, 15, 10, 5, 10, 5, 6, 4, 2,
+        ]
+
+    def test_compositions_follow_table2(self):
+        assert not SERVER_TYPES["T1"].has_gpu and not SERVER_TYPES["T1"].has_nmp
+        assert SERVER_TYPES["T3"].has_nmp and not SERVER_TYPES["T3"].has_gpu
+        assert SERVER_TYPES["T7"].has_gpu and not SERVER_TYPES["T7"].has_nmp
+        assert SERVER_TYPES["T10"].has_gpu and SERVER_TYPES["T10"].has_nmp
+        assert SERVER_TYPES["T6"].gpu is GPU_P100
+        assert SERVER_TYPES["T7"].gpu is GPU_V100
+
+    def test_labels_are_descriptive(self):
+        assert SERVER_TYPES["T8"].label == "CPU-T2+NMPx2+V100"
+        assert SERVER_TYPES["T1"].label == "CPU-T1"
+
+    def test_tdp_sums_components(self):
+        t8 = SERVER_TYPES["T8"]
+        assert t8.tdp_w == pytest.approx(
+            t8.cpu.tdp_w + t8.memory.tdp_w + t8.gpu.tdp_w
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError, match="unknown server type"):
+            get_server_type("T11")
+
+    def test_standard_fleet_complete(self):
+        fleet = standard_fleet()
+        assert len(fleet) == 10
+        assert sum(n for _, n in fleet) == 257
+
+
+class TestPowerModel:
+    def test_linear_power_endpoints(self):
+        assert linear_power(10, 100, 0.0) == 10
+        assert linear_power(10, 100, 1.0) == 100
+        assert linear_power(10, 100, 0.5) == pytest.approx(55)
+
+    def test_utilization_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            linear_power(10, 100, 1.5)
+        with pytest.raises(ValueError):
+            ComponentUtilization(cpu=-0.1)
+
+    def test_server_power_between_idle_and_tdp(self):
+        for server in SERVER_TYPES.values():
+            idle = server.power_w(ComponentUtilization())
+            busy = server.power_w(
+                ComponentUtilization(cpu=1.0, memory=1.0, gpu=1.0 if server.has_gpu else 0.0)
+            )
+            assert idle == pytest.approx(server.idle_w)
+            assert busy == pytest.approx(server.tdp_w)
+            assert idle < busy

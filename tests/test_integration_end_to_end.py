@@ -1,0 +1,83 @@
+"""End-to-end integration: offline profiling -> online cluster serving.
+
+Exercises the full Hercules pipeline of Fig. 9 on a reduced fleet:
+build models, profile every (server, model) pair with the gradient
+search, classify, then drive a diurnal day through all four cluster
+schedulers and check the paper's qualitative orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterManager,
+    GreedyScheduler,
+    HerculesClusterScheduler,
+    NHScheduler,
+    synchronous_traces,
+)
+from repro.models import build_model, partition_model
+from repro.plans import Placement
+from repro.sim import QueryWorkload, ServerEvaluator, simulate
+from repro.hardware import SERVER_TYPES
+
+
+@pytest.fixture(scope="module")
+def day_results(small_table):
+    fleet = {"T2": 70, "T3": 15, "T7": 5}
+    traces = synchronous_traces({"DLRM-RMC1": 20_000, "DLRM-RMC2": 3_000})
+    results = {}
+    for policy in (NHScheduler, GreedyScheduler, HerculesClusterScheduler):
+        manager = ClusterManager(
+            policy(small_table, fleet), interval_minutes=60.0, over_provision=0.05
+        )
+        results[policy.__name__] = manager.run_day(traces)
+    return results
+
+
+class TestOfflineOnlinePipeline:
+    def test_no_scheduler_drops_load(self, day_results):
+        for day in day_results.values():
+            assert not day.any_shortfall
+
+    def test_power_ordering_matches_paper(self, day_results):
+        """NH >= greedy >= Hercules on provisioned power (Fig. 17d)."""
+        nh = day_results["NHScheduler"]
+        greedy = day_results["GreedyScheduler"]
+        hercules = day_results["HerculesClusterScheduler"]
+        assert greedy.peak_power_w < nh.peak_power_w
+        assert hercules.average_power_w <= greedy.average_power_w * 1.01
+        # Heterogeneity-awareness buys a substantial peak saving.
+        assert greedy.peak_power_w < 0.8 * nh.peak_power_w
+
+    def test_diurnal_power_swing(self, day_results):
+        day = day_results["HerculesClusterScheduler"]
+        assert day.average_power_w < day.peak_power_w
+
+
+class TestSearchOptimumSurvivesDes:
+    def test_profiled_plan_meets_sla_in_simulation(self, small_table):
+        """The efficiency tuple's operating point must hold up when the
+        discrete-event simulator replays it with real queries."""
+        tup = small_table.get("T2", "DLRM-RMC1")
+        model = build_model("DLRM-RMC1")
+        needs_device = tup.plan.placement.uses_gpu
+        partitioned = partition_model(
+            model,
+            device_memory_bytes=16e9 if needs_device else None,
+            co_location=tup.plan.threads if needs_device else 1,
+        )
+        workload = QueryWorkload.for_model(model.config.mean_query_size)
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        perf = simulate(
+            evaluator,
+            partitioned,
+            workload,
+            tup.plan,
+            arrival_qps=tup.qps * 0.85,
+            duration_s=12.0,
+            seed=3,
+        )
+        assert perf.qps == pytest.approx(tup.qps * 0.85, rel=0.1)
+        assert perf.latency.p99_ms <= model.sla_ms * 1.5

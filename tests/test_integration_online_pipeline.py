@@ -1,0 +1,64 @@
+"""Integration: offline profile -> online calibration -> provisioning.
+
+Exercises the complete Fig. 9 flow including the online stage this
+repo implements beyond the characterization benches: the efficiency
+table is profiled offline (closed form), re-measured online against
+sampled traffic (DES), and the calibrated table drives the LP
+provisioner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HerculesClusterScheduler, ClusterManager, synchronous_traces
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model
+from repro.scheduling import OfflineProfiler, OnlineCalibrator
+
+
+@pytest.fixture(scope="module")
+def offline_table():
+    profiler = OfflineProfiler()
+    return profiler.profile(
+        [SERVER_TYPES["T2"], SERVER_TYPES["T3"]], [build_model("DLRM-RMC1")]
+    )
+
+
+class TestOnlinePipeline:
+    def test_calibrated_table_remains_usable(self, offline_table):
+        calibrator = OnlineCalibrator(duration_s=6.0, sla_slack=1.2, seed=11)
+        online_table = calibrator.calibrate(offline_table)
+        assert set(online_table.entries) == set(offline_table.entries)
+        for key, tup in online_table.entries.items():
+            assert tup.feasible
+            offline = offline_table.entries[key]
+            # Calibration can only back the rate off, never inflate it
+            # beyond measurement noise.
+            assert tup.qps <= offline.qps * 1.1
+
+    def test_provisioning_with_calibrated_table(self, offline_table):
+        calibrator = OnlineCalibrator(duration_s=6.0, sla_slack=1.2, seed=13)
+        online_table = calibrator.calibrate(offline_table)
+        fleet = {"T2": 70, "T3": 15}
+        traces = synchronous_traces({"DLRM-RMC1": 15_000.0})
+        manager = ClusterManager(
+            HerculesClusterScheduler(online_table, fleet),
+            interval_minutes=60.0,
+            over_provision=None,  # estimate R from the trace history
+        )
+        day = manager.run_day(traces)
+        assert not day.any_shortfall
+        assert day.worst_coverage_margin >= 1.0
+
+    def test_calibration_preserves_ranking(self, offline_table):
+        """Online measurement must not flip the NMP-over-CPU ranking."""
+        calibrator = OnlineCalibrator(duration_s=6.0, sla_slack=1.2, seed=17)
+        online_table = calibrator.calibrate(offline_table)
+        offline_rank = [
+            t.server_name for t in offline_table.rank_servers("DLRM-RMC1")
+        ]
+        online_rank = [
+            t.server_name for t in online_table.rank_servers("DLRM-RMC1")
+        ]
+        assert offline_rank == online_rank == ["T3", "T2"]

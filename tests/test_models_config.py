@@ -1,0 +1,58 @@
+"""Validation tests for ModelConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import AttentionKind, ModelConfig, ModelVariant
+
+
+def _config(**overrides):
+    base = dict(
+        name="toy",
+        service="test",
+        num_tables=4,
+        prod_rows=1_000_000,
+        small_rows=100_000,
+        embedding_dim=16,
+        pooling_factor=10,
+        pooled=True,
+        dense_in=32,
+        bottom_mlp=(64, 16),
+        predict_mlp=(64,),
+    )
+    base.update(overrides)
+    return ModelConfig(**base)
+
+
+def test_valid_config_builds():
+    cfg = _config()
+    assert cfg.is_multi_hot
+    assert cfg.rows(ModelVariant.PROD) == 1_000_000
+    assert cfg.rows(ModelVariant.SMALL) == 100_000
+
+
+def test_one_hot_is_not_multi_hot():
+    assert not _config(pooling_factor=1, pooled=False).is_multi_hot
+    assert not _config(pooling_factor=10, pooled=False).is_multi_hot
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"num_tables": 0},
+        {"prod_rows": 10, "small_rows": 100},  # prod smaller than small
+        {"pooling_factor": 0},
+        {"sla_ms": 0},
+        {"mean_query_size": 0},
+        {"attention": AttentionKind.FC, "attention_seq_len": 0},
+    ],
+)
+def test_invalid_configs_rejected(overrides):
+    with pytest.raises(ValueError):
+        _config(**overrides)
+
+
+def test_attention_config_needs_sequence():
+    cfg = _config(attention=AttentionKind.GRU, attention_seq_len=100)
+    assert cfg.attention is AttentionKind.GRU

@@ -1,0 +1,145 @@
+"""Unit tests for the operator taxonomy (cost functions and validation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.ops import (
+    Activation,
+    Attention,
+    Concat,
+    EmbeddingLookup,
+    FeatureInteraction,
+    FullyConnected,
+    GRUCell,
+    MLP,
+    OpKind,
+)
+
+ALL_OPS = [
+    EmbeddingLookup(name="emb", num_tables=4, rows_per_table=1000, pooling_factor=20),
+    EmbeddingLookup(name="one_hot", pooling_factor=1, pooled=False),
+    FullyConnected(name="fc", in_dim=64, out_dim=32),
+    MLP(name="mlp", layer_dims=(64, 128, 32)),
+    FeatureInteraction(name="inter", num_vectors=5, dim=16),
+    Attention(name="attn", seq_len=50, dim=16),
+    GRUCell(name="gru", seq_len=10, hidden=16),
+    Concat(name="cat", total_dim=96),
+    Activation(name="relu", dim=32),
+]
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.name)
+def test_costs_are_non_negative(op):
+    for items in (1, 7, 256):
+        assert op.flops(items) >= 0.0
+        assert op.mem_bytes(items) > 0.0
+        assert op.input_bytes(items) >= 0.0
+        assert op.output_bytes(items) > 0.0
+        assert op.weight_bytes >= 0.0
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.name)
+@given(small=st.integers(1, 500), factor=st.integers(2, 8))
+def test_costs_monotone_in_items(op, small, factor):
+    large = small * factor
+    assert op.flops(large) >= op.flops(small)
+    assert op.mem_bytes(large) >= op.mem_bytes(small)
+    assert op.input_bytes(large) >= op.input_bytes(small)
+    assert op.output_bytes(large) > op.output_bytes(small)
+
+
+def test_embedding_kinds():
+    pooled = EmbeddingLookup(name="e", pooling_factor=40, pooled=True)
+    assert pooled.kind is OpKind.EMBEDDING_GATHER_REDUCE
+    one_hot = EmbeddingLookup(name="e", pooling_factor=1, pooled=False)
+    assert one_hot.kind is OpKind.EMBEDDING_GATHER
+    # Pooling factor 1 with pooled=True is still effectively a gather.
+    trivial = EmbeddingLookup(name="e", pooling_factor=1, pooled=True)
+    assert trivial.kind is OpKind.EMBEDDING_GATHER
+    assert pooled.kind.is_sparse and one_hot.kind.is_sparse
+    assert not FullyConnected(name="f").kind.is_sparse
+
+
+def test_embedding_lookup_counts_scale_with_pooling():
+    base = EmbeddingLookup(name="e", num_tables=2, pooling_factor=10)
+    double = EmbeddingLookup(name="e", num_tables=2, pooling_factor=20)
+    assert double.lookups(8) == pytest.approx(2 * base.lookups(8))
+    assert double.mem_bytes(8) == pytest.approx(2 * base.mem_bytes(8))
+
+
+def test_pooled_embedding_output_independent_of_pooling():
+    narrow = EmbeddingLookup(name="e", pooling_factor=10, pooled=True)
+    wide = EmbeddingLookup(name="e", pooling_factor=100, pooled=True)
+    assert narrow.output_bytes(16) == pytest.approx(wide.output_bytes(16))
+
+
+def test_unpooled_embedding_output_scales_with_pooling():
+    narrow = EmbeddingLookup(name="e", pooling_factor=10, pooled=False)
+    wide = EmbeddingLookup(name="e", pooling_factor=100, pooled=False)
+    assert wide.output_bytes(16) == pytest.approx(10 * narrow.output_bytes(16))
+
+
+def test_weight_shared_embedding_has_no_footprint():
+    op = EmbeddingLookup(name="hist", rows_per_table=10_000, weight_shared=True)
+    assert op.weight_bytes == 0.0
+    assert op.mem_bytes(4) > 0.0  # still moves bytes when read
+
+
+def test_fc_flops_formula():
+    fc = FullyConnected(name="fc", in_dim=10, out_dim=20)
+    assert fc.flops(3) == pytest.approx(2 * 3 * 10 * 20)
+    assert fc.weight_bytes == pytest.approx((10 * 20 + 20) * 4)
+
+
+def test_mlp_equals_stacked_fcs():
+    mlp = MLP(name="m", layer_dims=(8, 16, 4))
+    fc1 = FullyConnected(name="a", in_dim=8, out_dim=16)
+    fc2 = FullyConnected(name="b", in_dim=16, out_dim=4)
+    assert mlp.flops(5) == pytest.approx(fc1.flops(5) + fc2.flops(5))
+    assert mlp.weight_bytes == pytest.approx(fc1.weight_bytes + fc2.weight_bytes)
+    assert mlp.in_dim == 8 and mlp.out_dim == 4
+
+
+def test_interaction_pair_count():
+    op = FeatureInteraction(name="i", num_vectors=11, dim=32)
+    assert op.num_pairs == 55
+    assert op.out_dim == 55 + 32
+
+
+def test_attention_history_is_read_once_per_batch():
+    """The user history is shared by a query's items (cache-resident)."""
+    op = Attention(name="a", seq_len=400, dim=32)
+    per_item_small = op.mem_bytes(1)
+    per_item_large = op.mem_bytes(1000) / 1000
+    # Amortization: per-item memory cost shrinks with batch size.
+    assert per_item_large < per_item_small
+
+
+def test_gru_is_mostly_sequential():
+    op = GRUCell(name="g", seq_len=10, hidden=8)
+    assert op.parallel_fraction < 0.5
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: EmbeddingLookup(name="", num_tables=1),
+        lambda: EmbeddingLookup(name="e", num_tables=0),
+        lambda: EmbeddingLookup(name="e", pooling_factor=0.5),
+        lambda: EmbeddingLookup(name="e", embedding_dim=0),
+        lambda: FullyConnected(name="f", in_dim=0),
+        lambda: MLP(name="m", layer_dims=(8,)),
+        lambda: MLP(name="m", layer_dims=(8, 0)),
+        lambda: FeatureInteraction(name="i", num_vectors=1),
+        lambda: Attention(name="a", seq_len=0),
+        lambda: GRUCell(name="g", hidden=0),
+        lambda: Concat(name="c", total_dim=0),
+        lambda: Activation(name="r", dim=0),
+        lambda: FullyConnected(name="f", parallel_fraction=1.5),
+    ],
+)
+def test_invalid_operators_rejected(bad):
+    with pytest.raises(ValueError):
+        bad()

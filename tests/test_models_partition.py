@@ -1,0 +1,137 @@
+"""Tests for HW-aware partitioning and the Zipf locality model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import build_model, fuse_elementwise, partition_model
+from repro.models.graph import Graph, Node
+from repro.models.ops import Activation, FullyConnected
+from repro.models.partition import ZipfAccessProfile
+
+GPU_MEMORY = 16e9
+
+
+class TestZipfAccessProfile:
+    def test_boundary_hit_rates(self):
+        profile = ZipfAccessProfile(alpha=0.95)
+        assert profile.hit_rate(0, 1000) == 0.0
+        assert profile.hit_rate(1000, 1000) == 1.0
+        assert profile.hit_rate(2000, 1000) == 1.0  # clipped
+
+    @given(
+        alpha=st.floats(0.3, 2.0),
+        total=st.integers(100, 10_000_000),
+        split=st.floats(0.01, 0.99),
+    )
+    def test_hit_rate_monotone_in_hot_rows(self, alpha, total, split):
+        profile = ZipfAccessProfile(alpha=alpha)
+        smaller = int(total * split * 0.5) + 1
+        larger = int(total * split) + 1
+        assert profile.hit_rate(smaller, total) <= profile.hit_rate(
+            larger, total
+        ) + 1e-9
+
+    def test_skew_concentrates_mass(self):
+        """10% of rows should capture far more than 10% of accesses."""
+        profile = ZipfAccessProfile(alpha=0.95)
+        assert profile.hit_rate(100_000, 1_000_000) > 0.4
+
+    def test_higher_alpha_more_locality(self):
+        mild = ZipfAccessProfile(alpha=0.5)
+        steep = ZipfAccessProfile(alpha=1.2)
+        assert steep.hit_rate(10_000, 1_000_000) > mild.hit_rate(
+            10_000, 1_000_000
+        )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfAccessProfile(alpha=0.0)
+
+
+class TestPartitionModel:
+    def test_host_partition_has_no_hot_set(self, rmc1):
+        pm = partition_model(rmc1)
+        assert not pm.has_hot_partition
+        assert pm.cold_miss_rate == 1.0
+        assert math.isinf(pm.capacity_budget_bytes)
+        assert len(pm.sparse) + len(pm.dense) == len(rmc1.graph)
+
+    def test_sparse_dense_split_is_clean(self, rmc1):
+        pm = partition_model(rmc1)
+        assert all(n.op.kind.is_sparse for n in pm.sparse)
+        assert not any(n.op.kind.is_sparse for n in pm.dense)
+
+    def test_small_model_fits_entirely(self, rmc1):
+        # RMC1 production is 3.8 GB < 16 GB: the hot set is everything.
+        pm = partition_model(rmc1, device_memory_bytes=GPU_MEMORY)
+        assert pm.has_hot_partition
+        assert pm.hot_hit_rate == pytest.approx(1.0)
+        assert pm.cold_miss_rate == pytest.approx(0.0)
+
+    def test_co_location_shrinks_budget_and_hit_rate(self):
+        model = build_model("DLRM-RMC2")  # 38 GB, never fits
+        hits = []
+        for co_location in (1, 2, 4):
+            pm = partition_model(
+                model, device_memory_bytes=GPU_MEMORY, co_location=co_location
+            )
+            assert pm.capacity_budget_bytes == pytest.approx(
+                GPU_MEMORY / co_location
+            )
+            hits.append(pm.hot_hit_rate)
+        assert hits[0] > hits[1] > hits[2]
+        assert all(0.0 < h < 1.0 for h in hits)
+
+    def test_hot_graph_mirrors_sparse_structure(self):
+        model = build_model("DLRM-RMC2")
+        pm = partition_model(model, device_memory_bytes=GPU_MEMORY)
+        assert pm.hot_sparse is not None
+        assert len(pm.hot_sparse) == len(pm.sparse)
+        hot_weights = pm.hot_sparse.total_weight_bytes()
+        assert hot_weights + pm.dense.total_weight_bytes() <= pm.capacity_budget_bytes
+
+    def test_impossible_budget_rejected(self):
+        model = build_model("DLRM-RMC3")
+        with pytest.raises(ValueError):
+            partition_model(model, device_memory_bytes=1e6)
+
+    def test_invalid_co_location(self, rmc1):
+        with pytest.raises(ValueError):
+            partition_model(rmc1, device_memory_bytes=GPU_MEMORY, co_location=0)
+
+
+class TestOperatorFusion:
+    def test_activation_folded_into_producer(self):
+        g = Graph("g")
+        g.add(Node(op=FullyConnected(name="fc", in_dim=4, out_dim=4)))
+        g.add(Node(op=Activation(name="relu", dim=4), deps=("fc",)))
+        g.add(Node(op=FullyConnected(name="out", in_dim=4, out_dim=1), deps=("relu",)))
+        fused = fuse_elementwise(g)
+        assert len(fused) == 2
+        assert fused.node("out").deps == ("fc",)
+
+    def test_chained_activations_fold_transitively(self):
+        g = Graph("g")
+        g.add(Node(op=FullyConnected(name="fc", in_dim=4, out_dim=4)))
+        g.add(Node(op=Activation(name="a1", dim=4), deps=("fc",)))
+        g.add(Node(op=Activation(name="a2", dim=4), deps=("a1",)))
+        g.add(Node(op=FullyConnected(name="out", in_dim=4, out_dim=1), deps=("a2",)))
+        fused = fuse_elementwise(g)
+        assert len(fused) == 2
+        assert fused.node("out").deps == ("fc",)
+
+    def test_multi_input_activation_not_folded(self):
+        g = Graph("g")
+        g.add(Node(op=FullyConnected(name="a", in_dim=4, out_dim=4)))
+        g.add(Node(op=FullyConnected(name="b", in_dim=4, out_dim=4)))
+        g.add(Node(op=Activation(name="add", dim=4), deps=("a", "b")))
+        fused = fuse_elementwise(g)
+        assert len(fused) == 3
+
+    def test_fusion_preserves_flops_modulo_elementwise(self, rmc1):
+        fused = fuse_elementwise(rmc1.graph)
+        assert fused.total_flops(64) <= rmc1.graph.total_flops(64)

@@ -1,0 +1,137 @@
+"""Tests for the Table I model zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    AttentionKind,
+    MODEL_NAMES,
+    ModelVariant,
+    OpKind,
+    all_models,
+    build_model,
+    get_config,
+)
+
+
+def test_all_six_table1_models_exist():
+    assert set(MODEL_NAMES) == {
+        "DLRM-RMC1",
+        "DLRM-RMC2",
+        "DLRM-RMC3",
+        "MT-WnD",
+        "DIN",
+        "DIEN",
+    }
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+@pytest.mark.parametrize("variant", list(ModelVariant))
+def test_models_build_with_valid_graphs(name, variant):
+    model = build_model(name, variant)
+    graph = model.graph
+    assert len(graph) > 0
+    order = [n.name for n in graph.topological_order()]
+    for node in graph:
+        for dep in node.deps:
+            assert order.index(dep) < order.index(node.name)
+    assert graph.total_flops(64) > 0
+    assert graph.total_weight_bytes() > 0
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError, match="unknown model"):
+        get_config("DLRM-RMC9")
+
+
+def test_dlrm_memory_is_embedding_dominated():
+    """Section IV-B: >95% of production footprint is SparseNet."""
+    for name in ("DLRM-RMC1", "DLRM-RMC2", "DLRM-RMC3"):
+        model = build_model(name)
+        assert model.sparse_fraction_of_memory > 0.95
+
+
+def test_small_variant_is_smaller():
+    for name in MODEL_NAMES:
+        prod = build_model(name, ModelVariant.PROD)
+        small = build_model(name, ModelVariant.SMALL)
+        assert (
+            small.graph.total_weight_bytes() < prod.graph.total_weight_bytes()
+        )
+
+
+def test_compute_and_memory_intensity_ordering():
+    """Fig. 1: MT-WnD/DIN/DIEN are compute-dominated, RMC1/2 memory-
+    dominated; RMC2 moves the most memory per item (100 tables)."""
+    items = 128
+    per_item = {
+        name: (
+            build_model(name).graph.total_flops(items) / items,
+            build_model(name).graph.total_mem_bytes(items) / items,
+        )
+        for name in MODEL_NAMES
+    }
+    assert per_item["MT-WnD"][0] > per_item["DLRM-RMC1"][0]
+    assert per_item["DIN"][0] > per_item["DLRM-RMC1"][0]
+    assert per_item["DLRM-RMC2"][1] > per_item["DIN"][1]
+    assert per_item["DLRM-RMC2"][1] > per_item["MT-WnD"][1]
+
+
+def test_multi_hot_models_have_gather_reduce_ops():
+    for name, expect_pooled in (
+        ("DLRM-RMC1", True),
+        ("DLRM-RMC2", True),
+        ("DLRM-RMC3", True),
+        ("MT-WnD", False),
+        ("DIN", False),
+        ("DIEN", False),
+    ):
+        graph = build_model(name).graph
+        pooled_ops = graph.nodes_of_kind(OpKind.EMBEDDING_GATHER_REDUCE)
+        assert bool(pooled_ops) == expect_pooled
+
+
+def test_attention_models():
+    din = build_model("DIN")
+    dien = build_model("DIEN")
+    assert din.config.attention is AttentionKind.FC
+    assert dien.config.attention is AttentionKind.GRU
+    assert not din.graph.nodes_of_kind(OpKind.GRU)
+    assert dien.graph.nodes_of_kind(OpKind.GRU)
+    # DIEN pays for the GRU pass on top of DIN-like attention.
+    assert dien.graph.total_flops(100) > din.graph.total_flops(100)
+
+
+def test_mtwnd_has_parallel_task_towers():
+    graph = build_model("MT-WnD").graph
+    towers = [n for n in graph if n.name.startswith("predict_task")]
+    assert len(towers) == build_model("MT-WnD").config.num_tasks
+    # Towers are mutually independent (op-parallelism across tasks).
+    for tower in towers:
+        assert tower.deps == ("concat",)
+
+
+def test_sla_targets_follow_fig15():
+    expected = {
+        "DLRM-RMC1": 20.0,
+        "DLRM-RMC2": 50.0,
+        "DLRM-RMC3": 50.0,
+        "DIN": 50.0,
+        "DIEN": 100.0,
+        "MT-WnD": 100.0,
+    }
+    for name, sla in expected.items():
+        assert build_model(name).sla_ms == sla
+
+
+def test_all_models_fit_largest_host_memory():
+    """Production sizes are chosen to fit the 128 GB CPU-T2 hosts."""
+    for model in all_models():
+        assert model.graph.total_weight_bytes() <= 128e9
+
+
+def test_describe_contains_table1_columns():
+    row = build_model("DLRM-RMC1").describe()
+    for key in ("model", "tables", "pooling", "weight_gb", "sla_ms"):
+        assert key in row

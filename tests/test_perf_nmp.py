@@ -1,0 +1,88 @@
+"""Tests for the NMP simulator and its latency/energy LUT."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import DDR4_T2, NMP_X2, NMP_X4, NMP_X8
+from repro.models.ops import EmbeddingLookup, FullyConnected
+from repro.perf import NmpLut, build_lut, simulate_gather_reduce
+
+EMB = EmbeddingLookup(
+    name="emb", num_tables=8, rows_per_table=3_000_000, pooling_factor=80
+)
+ONE_HOT = EmbeddingLookup(name="oh", pooling_factor=1, pooled=False)
+
+
+class TestSimulateGatherReduce:
+    def test_rank_parallelism_scales_latency(self):
+        x2 = simulate_gather_reduce(EMB, 256, NMP_X2)
+        x8 = simulate_gather_reduce(EMB, 256, NMP_X8)
+        assert x8.latency_s < x2.latency_s
+        assert x2.latency_s / x8.latency_s == pytest.approx(4.0, rel=0.2)
+
+    def test_channel_traffic_is_pooled_outputs_only(self):
+        result = simulate_gather_reduce(EMB, 64, NMP_X2)
+        assert result.channel_bytes == pytest.approx(EMB.output_bytes(64))
+        gathered = EMB.mem_bytes(64)
+        assert result.channel_bytes < gathered / 10  # pooling 80 compresses
+
+    def test_energy_scales_with_batch(self):
+        small = simulate_gather_reduce(EMB, 32, NMP_X2)
+        large = simulate_gather_reduce(EMB, 320, NMP_X2)
+        assert large.energy_j == pytest.approx(10 * small.energy_j, rel=0.05)
+
+    def test_rejects_plain_memory(self):
+        with pytest.raises(ValueError, match="no NMP ranks"):
+            simulate_gather_reduce(EMB, 32, DDR4_T2)
+
+    def test_rejects_one_hot_lookup(self):
+        with pytest.raises(ValueError, match="gather-and-reduce"):
+            simulate_gather_reduce(ONE_HOT, 32, NMP_X2)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            simulate_gather_reduce(EMB, 0, NMP_X2)
+
+
+class TestNmpLut:
+    def test_lut_matches_simulation_on_grid(self):
+        lut = build_lut(NMP_X4, [EMB])
+        for batch in (1, 16, 256, 2048):
+            direct = simulate_gather_reduce(EMB, batch, NMP_X4)
+            assert lut.latency_s(EMB, batch) == pytest.approx(
+                direct.latency_s, rel=1e-6
+            )
+            assert lut.energy_j(EMB, batch) == pytest.approx(
+                direct.energy_j, rel=1e-6
+            )
+
+    @given(batch=st.integers(1, 6000))
+    def test_interpolation_close_to_simulation(self, batch):
+        lut = build_lut(NMP_X2, [EMB])
+        direct = simulate_gather_reduce(EMB, batch, NMP_X2)
+        assert lut.latency_s(EMB, batch) == pytest.approx(
+            direct.latency_s, rel=0.2
+        )
+
+    @given(small=st.integers(1, 2000), factor=st.integers(2, 4))
+    def test_latency_monotone_in_batch(self, small, factor):
+        lut = build_lut(NMP_X2, [EMB])
+        assert lut.latency_s(EMB, small * factor) >= lut.latency_s(EMB, small) - 1e-12
+
+    def test_lazy_population_on_unknown_op(self):
+        lut = NmpLut(NMP_X2)
+        assert len(lut) == 0
+        other = EmbeddingLookup(name="x", num_tables=2, pooling_factor=20)
+        assert lut.latency_s(other, 128) > 0
+        assert len(lut) == 1
+
+    def test_rejects_non_embedding_ops(self):
+        lut = NmpLut(NMP_X2)
+        with pytest.raises(TypeError):
+            lut.latency_s(FullyConnected(name="fc"), 8)
+
+    def test_rejects_plain_memory(self):
+        with pytest.raises(ValueError):
+            NmpLut(DDR4_T2)

@@ -1,0 +1,96 @@
+"""Tests for the roofline operator timing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import CPU_T2, DDR4_T2, GPU_V100, NMP_X2
+from repro.models.ops import EmbeddingLookup, FullyConnected, GRUCell, MLP
+from repro.perf import CpuOpModel, GpuOpModel, NmpLut
+from repro.perf.opmodel import CPU_DISPATCH_OVERHEAD_S
+
+EMB = EmbeddingLookup(name="emb", num_tables=4, pooling_factor=40, embedding_dim=32)
+ONE_HOT = EmbeddingLookup(name="oh", num_tables=4, pooling_factor=1, pooled=False)
+FC = FullyConnected(name="fc", in_dim=512, out_dim=512)
+GRU = GRUCell(name="gru", seq_len=8, hidden=64)
+
+
+@pytest.fixture(scope="module")
+def cpu_ddr4():
+    return CpuOpModel(CPU_T2, DDR4_T2)
+
+
+@pytest.fixture(scope="module")
+def cpu_nmp():
+    return CpuOpModel(CPU_T2, NMP_X2, NmpLut(NMP_X2))
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GpuOpModel(GPU_V100)
+
+
+class TestCpuOpModel:
+    def test_nmp_memory_requires_lut(self):
+        with pytest.raises(ValueError, match="requires an NMP LUT"):
+            CpuOpModel(CPU_T2, NMP_X2)
+
+    def test_embedding_is_memory_bound(self, cpu_ddr4):
+        timing = cpu_ddr4.op_timing(EMB, 256)
+        assert timing.memory_bound
+        assert timing.latency_s >= timing.memory_s
+
+    def test_fc_is_compute_bound_at_large_batch(self, cpu_ddr4):
+        timing = cpu_ddr4.op_timing(FC, 1024)
+        assert not timing.memory_bound
+
+    def test_overhead_amortizes_with_batch(self, cpu_ddr4):
+        small = cpu_ddr4.op_timing(FC, 1).latency_s
+        large = cpu_ddr4.op_timing(FC, 512).latency_s / 512
+        assert large < small
+        assert small >= CPU_DISPATCH_OVERHEAD_S
+
+    def test_bandwidth_share_slows_memory_ops(self, cpu_ddr4):
+        full = cpu_ddr4.op_timing(EMB, 256, bw_fraction=1.0)
+        half = cpu_ddr4.op_timing(EMB, 256, bw_fraction=0.5)
+        assert half.memory_s == pytest.approx(2 * full.memory_s)
+
+    def test_nmp_accelerates_pooled_lookups_only(self, cpu_ddr4, cpu_nmp):
+        pooled_host = cpu_ddr4.op_timing(EMB, 512).latency_s
+        pooled_nmp = cpu_nmp.op_timing(EMB, 512).latency_s
+        assert pooled_nmp < pooled_host
+        one_hot_host = cpu_ddr4.op_timing(ONE_HOT, 512).latency_s
+        one_hot_nmp = cpu_nmp.op_timing(ONE_HOT, 512).latency_s
+        # One-hot gathers behave like plain DRAM (paper Section VI-B).
+        assert one_hot_nmp == pytest.approx(one_hot_host, rel=0.05)
+
+    def test_gru_pays_sequential_penalty(self, cpu_ddr4):
+        equivalent_mlp = MLP(name="m", layer_dims=(64, 384, 64))
+        gru_time = cpu_ddr4.op_timing(GRU, 64).compute_s
+        assert gru_time > 0
+
+    def test_invalid_arguments(self, cpu_ddr4):
+        with pytest.raises(ValueError):
+            cpu_ddr4.op_timing(FC, 0)
+        with pytest.raises(ValueError):
+            cpu_ddr4.op_timing(FC, 8, bw_fraction=0.0)
+
+
+class TestGpuOpModel:
+    def test_colocation_divides_throughput(self, gpu):
+        alone = gpu.op_timing(FC, 2048, co_located=1)
+        shared = gpu.op_timing(FC, 2048, co_located=4)
+        assert shared.compute_s == pytest.approx(4 * alone.compute_s)
+
+    def test_batch_efficiency_improves_per_item_time(self, gpu):
+        tiny = gpu.op_timing(FC, 8).latency_s / 8
+        big = gpu.op_timing(FC, 8192).latency_s / 8192
+        assert big < tiny / 4
+
+    def test_kernel_launch_floor(self, gpu):
+        timing = gpu.op_timing(FC, 1)
+        assert timing.latency_s >= GPU_V100.kernel_launch_s
+
+    def test_invalid_arguments(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.op_timing(FC, 8, co_located=0)

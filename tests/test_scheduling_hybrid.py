@@ -1,0 +1,140 @@
+"""Tests for hybrid host + accelerator serving (Fig. 10d)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.models import ModelVariant, build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.scheduling import (
+    GradientSearch,
+    HybridPlan,
+    HybridSearch,
+    evaluate_hybrid,
+)
+from repro.sim import QueryWorkload, ServerEvaluator
+
+GPU_PLAN = ExecutionPlan(Placement.GPU_MODEL_BASED, threads=2, fusion_limit=512)
+CPU_PLAN = ExecutionPlan(
+    Placement.CPU_MODEL_BASED, threads=8, cores_per_thread=2, batch_size=128
+)
+
+
+class TestHybridPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="GPU placement"):
+            HybridPlan(accelerator=CPU_PLAN, host=CPU_PLAN)
+        with pytest.raises(ValueError, match="CPU-only"):
+            HybridPlan(accelerator=GPU_PLAN, host=GPU_PLAN)
+
+    def test_cores_sum_both_paths(self):
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        assert plan.cpu_cores_used == 16
+
+    def test_fits_requires_gpu_and_core_budget(self):
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        assert plan.fits(SERVER_TYPES["T7"])
+        assert not plan.fits(SERVER_TYPES["T2"])  # no GPU
+        busy_accel = GPU_PLAN.with_(sparse_threads=8, sparse_cores=1)
+        fat_host = CPU_PLAN.with_(threads=16, cores_per_thread=1)
+        assert not HybridPlan(accelerator=busy_accel, host=fat_host).fits(
+            SERVER_TYPES["T7"]
+        )
+
+    def test_describe(self):
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        assert plan.describe().startswith("hybrid[")
+
+
+class TestEvaluateHybrid:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        model = build_model("DLRM-RMC1")
+        evaluator = ServerEvaluator(SERVER_TYPES["T7"])
+        wl = QueryWorkload.for_model(model.config.mean_query_size)
+        accel_pm = partition_model(model, device_memory_bytes=16e9, co_location=2)
+        host_pm = partition_model(model)
+        return model, evaluator, wl, accel_pm, host_pm
+
+    def test_throughputs_add(self, setup):
+        model, evaluator, wl, accel_pm, host_pm = setup
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        accel_only = evaluator.latency_bounded(
+            accel_pm, wl, GPU_PLAN, model.sla_ms
+        )
+        host_only = evaluator.latency_bounded(host_pm, wl, CPU_PLAN, model.sla_ms)
+        hybrid = evaluate_hybrid(
+            evaluator, accel_pm, host_pm, wl, plan, model.sla_ms
+        )
+        assert hybrid.feasible
+        assert hybrid.qps == pytest.approx(accel_only.qps + host_only.qps, rel=1e-6)
+        assert hybrid.latency.p99_ms <= model.sla_ms + 1e-6
+
+    def test_power_counts_idle_once(self, setup):
+        model, evaluator, wl, accel_pm, host_pm = setup
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        accel_only = evaluator.latency_bounded(accel_pm, wl, GPU_PLAN, model.sla_ms)
+        host_only = evaluator.latency_bounded(host_pm, wl, CPU_PLAN, model.sla_ms)
+        hybrid = evaluate_hybrid(evaluator, accel_pm, host_pm, wl, plan, model.sla_ms)
+        # Strictly less than the naive sum (which double counts idle).
+        assert hybrid.power_w < accel_only.power_w + host_only.power_w
+        assert hybrid.power_w > max(accel_only.power_w, host_only.power_w)
+
+    def test_power_budget_enforced(self, setup):
+        model, evaluator, wl, accel_pm, host_pm = setup
+        plan = HybridPlan(accelerator=GPU_PLAN, host=CPU_PLAN)
+        free = evaluate_hybrid(evaluator, accel_pm, host_pm, wl, plan, model.sla_ms)
+        capped = evaluate_hybrid(
+            evaluator,
+            accel_pm,
+            host_pm,
+            wl,
+            plan,
+            model.sla_ms,
+            power_budget_w=free.power_w * 0.5,
+        )
+        assert not capped.feasible
+
+    def test_oversubscribed_cores_rejected(self, setup):
+        model, evaluator, wl, accel_pm, host_pm = setup
+        fat = HybridPlan(
+            accelerator=GPU_PLAN.with_(sparse_threads=10, sparse_cores=2),
+            host=CPU_PLAN,
+        )
+        perf = evaluate_hybrid(evaluator, accel_pm, host_pm, wl, fat, model.sla_ms)
+        assert not perf.feasible
+
+
+class TestHybridSearch:
+    def test_extends_gpu_plan_with_leftover_cores(self):
+        model = build_model("DLRM-RMC1")
+        evaluator = ServerEvaluator(SERVER_TYPES["T7"])
+        gpu_result = GradientSearch(evaluator, model).search_gpu_model_based()
+        assert gpu_result.feasible
+        hybrid_plan, hybrid_perf = HybridSearch(evaluator, model).search(
+            gpu_result.plan
+        )
+        if gpu_result.plan.cpu_cores_used < evaluator.server.cpu.cores:
+            assert hybrid_plan is not None
+            assert hybrid_perf.qps > gpu_result.perf.qps
+        else:
+            assert hybrid_plan is None
+
+    def test_no_gpu_returns_none(self):
+        model = build_model("DLRM-RMC1")
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        plan, perf = HybridSearch(evaluator, model).search(CPU_PLAN)
+        assert plan is None and perf is None
+
+    def test_no_leftover_cores_returns_none(self):
+        model = build_model("DLRM-RMC2")  # cold path pins all 20 cores
+        evaluator = ServerEvaluator(SERVER_TYPES["T7"])
+        busy_gpu = ExecutionPlan(
+            Placement.GPU_MODEL_BASED,
+            threads=1,
+            sparse_threads=20,
+            sparse_cores=1,
+        )
+        plan, perf = HybridSearch(evaluator, model).search(busy_gpu)
+        assert plan is None and perf is None

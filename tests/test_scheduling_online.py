@@ -1,0 +1,78 @@
+"""Tests for the online calibration stage (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model
+from repro.scheduling import (
+    ClassificationTable,
+    EfficiencyTuple,
+    OfflineProfiler,
+    OnlineCalibrator,
+)
+
+
+@pytest.fixture(scope="module")
+def rmc1_tuple():
+    return OfflineProfiler().profile_pair(
+        SERVER_TYPES["T2"], build_model("DLRM-RMC1")
+    )
+
+
+class TestOnlineCalibrator:
+    def test_calibration_produces_consistent_tuple(self, rmc1_tuple):
+        calibrator = OnlineCalibrator(duration_s=8.0, seed=1)
+        result = calibrator.calibrate_pair(rmc1_tuple)
+        assert result.calibrated.server_name == rmc1_tuple.server_name
+        assert result.calibrated.model_name == rmc1_tuple.model_name
+        assert result.calibrated.plan == rmc1_tuple.plan
+        assert 0.0 < result.backoff <= 1.0
+        # Measured throughput within the offline profile's ballpark.
+        assert result.calibrated.qps == pytest.approx(
+            rmc1_tuple.qps * result.backoff, rel=0.15
+        )
+
+    def test_measured_point_respects_constraints(self, rmc1_tuple):
+        calibrator = OnlineCalibrator(duration_s=8.0, sla_slack=1.2, seed=2)
+        result = calibrator.calibrate_pair(rmc1_tuple)
+        model = build_model("DLRM-RMC1")
+        if result.backoff < 1.0:
+            # Backoff only happens when the original point violated.
+            assert result.measured.latency.p99_ms <= model.sla_ms * 1.2 * 1.05
+        assert result.measured.power_w <= rmc1_tuple.power_w * 1.1
+
+    def test_infeasible_tuple_rejected(self):
+        calibrator = OnlineCalibrator()
+        bad = EfficiencyTuple(
+            server_name="T2", model_name="DLRM-RMC1", qps=0.0, power_w=1.0, plan=None
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            calibrator.calibrate_pair(bad)
+
+    def test_calibrate_table_passes_through_infeasible(self, rmc1_tuple):
+        table = ClassificationTable()
+        table.add(rmc1_tuple)
+        table.add(
+            EfficiencyTuple(
+                server_name="T3",
+                model_name="DLRM-RMC1",
+                qps=0.0,
+                power_w=1.0,
+                plan=None,
+            )
+        )
+        calibrator = OnlineCalibrator(duration_s=5.0, sla_slack=1.2)
+        out = calibrator.calibrate(table)
+        assert len(out.entries) == 2
+        assert not out.get("T3", "DLRM-RMC1").feasible
+        assert out.get("T2", "DLRM-RMC1").qps > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineCalibrator(duration_s=0)
+        with pytest.raises(ValueError):
+            OnlineCalibrator(sla_slack=0)
+        with pytest.raises(ValueError):
+            OnlineCalibrator(max_backoff_steps=0)

@@ -1,0 +1,91 @@
+"""Tests for the ExecutionPlan parallelism-space types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.plans import ExecutionPlan, Placement
+
+
+class TestValidation:
+    def test_cpu_model_based_needs_thread(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.CPU_MODEL_BASED, threads=0)
+
+    def test_sd_pipeline_needs_both_sides(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.CPU_SD_PIPELINE, sparse_threads=2, dense_threads=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.CPU_SD_PIPELINE, sparse_threads=0, dense_threads=2)
+
+    def test_gpu_sd_needs_host_sparse(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.GPU_SD, threads=1, sparse_threads=0)
+
+    def test_negative_fusion_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.GPU_MODEL_BASED, threads=1, fusion_limit=-1)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(Placement.CPU_MODEL_BASED, threads=1, batch_size=0)
+
+
+class TestCoresUsed:
+    def test_model_based(self):
+        plan = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=5, cores_per_thread=4)
+        assert plan.cpu_cores_used == 20
+
+    def test_sd_pipeline(self):
+        plan = ExecutionPlan(
+            Placement.CPU_SD_PIPELINE,
+            sparse_threads=4,
+            sparse_cores=3,
+            dense_threads=6,
+        )
+        assert plan.cpu_cores_used == 18
+
+    def test_gpu_placements_count_host_side(self):
+        plan = ExecutionPlan(
+            Placement.GPU_MODEL_BASED, threads=2, sparse_threads=10, sparse_cores=2
+        )
+        assert plan.cpu_cores_used == 20
+
+
+class TestFits:
+    def test_core_budget(self):
+        t2 = SERVER_TYPES["T2"]  # 20 cores
+        assert ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=10, cores_per_thread=2
+        ).fits(t2)
+        assert not ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=10, cores_per_thread=3
+        ).fits(t2)
+
+    def test_gpu_requirement(self):
+        plan = ExecutionPlan(Placement.GPU_MODEL_BASED, threads=1)
+        assert plan.fits(SERVER_TYPES["T7"])
+        assert not plan.fits(SERVER_TYPES["T2"])
+
+
+class TestUtilities:
+    def test_with_creates_modified_copy(self):
+        plan = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=4, batch_size=64)
+        bigger = plan.with_(batch_size=128)
+        assert bigger.batch_size == 128 and bigger.threads == 4
+        assert plan.batch_size == 64  # original untouched
+
+    def test_describe_is_compact(self):
+        plan = ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=10, cores_per_thread=2, batch_size=256
+        )
+        assert plan.describe() == "cpu_model_based 10x2 d=256"
+        gpu = ExecutionPlan(Placement.GPU_MODEL_BASED, threads=3, fusion_limit=0)
+        assert "fusion=none" in gpu.describe()
+
+    def test_plans_are_hashable(self):
+        a = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=4)
+        b = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=4)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1

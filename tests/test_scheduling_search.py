@@ -1,0 +1,129 @@
+"""Tests for the gradient-based search and the baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model
+from repro.plans import Placement
+from repro.scheduling import (
+    BaselineTaskScheduler,
+    BaymaxScheduler,
+    DeepRecSysScheduler,
+    GradientSearch,
+    HerculesTaskScheduler,
+    SearchResult,
+)
+from repro.sim import ServerEvaluator, ServerPerformance
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return ServerEvaluator(SERVER_TYPES["T2"])
+
+
+@pytest.fixture(scope="module")
+def t7():
+    return ServerEvaluator(SERVER_TYPES["T7"])
+
+
+class TestGradientSearch:
+    def test_cpu_search_finds_feasible_plan(self, t2, rmc1):
+        result = GradientSearch(t2, rmc1).search_cpu_model_based()
+        assert result.feasible
+        assert result.plan.placement is Placement.CPU_MODEL_BASED
+        assert result.perf.latency.p99_ms <= rmc1.sla_ms
+        assert result.evaluations > 0
+        assert len(result.visited) == result.evaluations
+
+    def test_search_never_below_deeprecsys(self, t2, rmc1, rmc3):
+        """Hercules explores a superset of the DeepRecSys space."""
+        for model in (rmc1, rmc3):
+            hercules = HerculesTaskScheduler(
+                ServerEvaluator(SERVER_TYPES["T2"]), model
+            ).search()
+            baseline = DeepRecSysScheduler(
+                ServerEvaluator(SERVER_TYPES["T2"]), model
+            ).search_cpu()
+            assert hercules.perf.qps >= baseline.perf.qps * 0.999
+
+    def test_gradient_cheaper_than_exhaustive(self, t2, rmc1):
+        """The convexity ablation: far fewer evaluations than the full
+        Psp(M+D+O) grid (20 threads x 8 batches x 20 core counts)."""
+        result = GradientSearch(t2, rmc1).search_cpu_model_based()
+        assert result.evaluations < 400
+
+    def test_gpu_search_uses_fusion(self, t7, rmc3):
+        result = GradientSearch(t7, rmc3).search_gpu_model_based()
+        assert result.feasible
+        assert result.plan.placement is Placement.GPU_MODEL_BASED
+        assert result.plan.fusion_limit > 0
+
+    def test_gpu_search_skipped_without_gpu(self, t2, rmc1):
+        result = GradientSearch(t2, rmc1).search_gpu_model_based()
+        assert not result.feasible
+
+    def test_impossible_sla_returns_infeasible(self, t2, rmc1):
+        result = GradientSearch(t2, rmc1, sla_ms=0.001).search_cpu_model_based()
+        assert not result.feasible
+        assert result.plan is None
+
+
+class TestSearchResult:
+    def _result(self, qps, feasible=True):
+        if not feasible:
+            return SearchResult(
+                plan=None, perf=ServerPerformance.infeasible("x"), evaluations=1
+            )
+        from repro.plans import ExecutionPlan
+
+        from repro.sim import LatencyStats
+
+        perf = ServerPerformance(
+            qps=qps,
+            latency=LatencyStats(1, 2, 3, 1.5),
+            power_w=100.0,
+        )
+        plan = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=1)
+        return SearchResult(plan=plan, perf=perf, evaluations=1)
+
+    def test_merge_keeps_better(self):
+        merged = self._result(100).merge(self._result(200))
+        assert merged.perf.qps == 200
+
+    def test_merge_handles_infeasible(self):
+        good = self._result(100)
+        bad = self._result(0, feasible=False)
+        assert good.merge(bad).perf.qps == 100
+        assert bad.merge(good).perf.qps == 100
+
+
+class TestHerculesVsBaselines:
+    def test_fig14_gpu_gains(self, t7):
+        """Fig. 14: compute-dominated models gain most on CPU+GPU."""
+        for name, min_gain in (("DLRM-RMC3", 2.0), ("MT-WnD", 3.0), ("DIN", 3.0)):
+            model = build_model(name)
+            evaluator = ServerEvaluator(SERVER_TYPES["T7"])
+            hercules = HerculesTaskScheduler(evaluator, model).search()
+            baseline = BaselineTaskScheduler(evaluator, model).search()
+            assert hercules.feasible and baseline.feasible
+            assert hercules.perf.qps > min_gain * baseline.perf.qps
+
+    def test_baymax_beats_deeprecsys_on_gpu(self, t7, rmc3):
+        evaluator = ServerEvaluator(SERVER_TYPES["T7"])
+        baymax = BaymaxScheduler(evaluator, rmc3).search()
+        deeprecsys = DeepRecSysScheduler(evaluator, rmc3).search_gpu()
+        assert baymax.feasible and deeprecsys.feasible
+        assert baymax.perf.qps >= deeprecsys.perf.qps
+        assert baymax.plan.fusion_limit == 0  # never fuses
+
+    def test_baymax_requires_gpu(self, t2, rmc1):
+        result = BaymaxScheduler(t2, rmc1).search()
+        assert not result.feasible
+
+    def test_deeprecsys_fixes_one_core_per_thread(self, t2, rmc1):
+        result = DeepRecSysScheduler(t2, rmc1).search_cpu()
+        assert result.feasible
+        assert result.plan.cores_per_thread == 1
+        assert result.plan.threads == SERVER_TYPES["T2"].cpu.cores

@@ -1,0 +1,102 @@
+"""Tests for per-query pooling variance in the DES (Fig. 2c effect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.sim import (
+    DiscreteEventServerSim,
+    Query,
+    QueryWorkload,
+    QuerySizeDistribution,
+    SimStage,
+    StageMode,
+    build_stages,
+)
+
+
+def _stage(sensitivity: float) -> SimStage:
+    return SimStage(
+        name="sparse",
+        units=1,
+        mode=StageMode.SPLIT,
+        chunk_items=100,
+        fuse_items=0,
+        latency_fn=lambda items: 0.01,
+        pooling_sensitivity=sensitivity,
+    )
+
+
+class TestPoolingSensitivity:
+    def test_insensitive_stage_ignores_pooling(self):
+        stage = _stage(0.0)
+        assert stage.service_s(50, pooling_scale=3.0) == pytest.approx(0.01)
+
+    def test_fully_sensitive_stage_scales_linearly(self):
+        stage = _stage(1.0)
+        assert stage.service_s(50, pooling_scale=2.0) == pytest.approx(0.02)
+        assert stage.service_s(50, pooling_scale=0.5) == pytest.approx(0.005)
+
+    def test_partial_sensitivity_interpolates(self):
+        stage = _stage(0.5)
+        assert stage.service_s(50, pooling_scale=3.0) == pytest.approx(0.02)
+
+    def test_unit_pooling_is_identity(self):
+        for sensitivity in (0.0, 0.4, 1.0):
+            stage = _stage(sensitivity)
+            assert stage.service_s(50, pooling_scale=1.0) == pytest.approx(0.01)
+
+
+class TestDesWithPoolingVariance:
+    def test_heavy_pooling_query_served_slower(self):
+        sim = DiscreteEventServerSim([_stage(1.0)])
+        light = Query(query_id=0, arrival_s=0.0, size=50, pooling_scale=0.5)
+        heavy = Query(query_id=1, arrival_s=10.0, size=50, pooling_scale=4.0)
+        result = sim.run([light, heavy])
+        assert result.latencies_s[1] == pytest.approx(8 * result.latencies_s[0])
+
+    def test_pooling_variance_widens_the_tail(self):
+        """More pooling variance means a longer p99 at the same load."""
+        from repro.hardware import SERVER_TYPES
+        from repro.sim import ServerEvaluator, simulate
+
+        model = build_model("DLRM-RMC1")
+        pm = partition_model(model)
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        plan = ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=10, cores_per_thread=2, batch_size=256
+        )
+        size_dist = QuerySizeDistribution(mean=150.0)
+        calm = QueryWorkload(size_dist=size_dist, pooling_cv=0.0)
+        wild = QueryWorkload(size_dist=size_dist, pooling_cv=0.8)
+        rate = 600.0
+        p_calm = simulate(evaluator, pm, calm, plan, rate, duration_s=12.0, seed=7)
+        p_wild = simulate(evaluator, pm, wild, plan, rate, duration_s=12.0, seed=7)
+        assert p_wild.latency.p99_ms > p_calm.latency.p99_ms
+
+    def test_multi_hot_stages_are_sensitized(self, t2_evaluator, rmc1_workload):
+        model = build_model("DLRM-RMC1")
+        pm = partition_model(model)
+        plan = ExecutionPlan(
+            Placement.CPU_SD_PIPELINE,
+            batch_size=256,
+            sparse_threads=4,
+            sparse_cores=2,
+            dense_threads=8,
+        )
+        stages = build_stages(t2_evaluator, pm, rmc1_workload, plan)
+        by_name = {s.name: s for s in stages}
+        assert by_name["sparse"].pooling_sensitivity > 0
+        assert by_name["dense"].pooling_sensitivity == 0
+
+    def test_one_hot_models_are_insensitive(self, t2_evaluator):
+        model = build_model("DIN")
+        pm = partition_model(model)
+        wl = QueryWorkload.for_model(model.config.mean_query_size)
+        plan = ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=10, cores_per_thread=2, batch_size=32
+        )
+        stages = build_stages(t2_evaluator, pm, wl, plan)
+        assert all(s.pooling_sensitivity == 0 for s in stages)

@@ -1,0 +1,104 @@
+"""Tests for query-size / pooling distributions and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    PoolingFactorDistribution,
+    Query,
+    QuerySizeDistribution,
+    QueryWorkload,
+)
+
+
+class TestQuerySizeDistribution:
+    def test_sample_mean_close_to_target(self):
+        dist = QuerySizeDistribution(mean=120.0, sigma=0.8)
+        rng = np.random.default_rng(7)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(120.0, rel=0.05)
+
+    def test_samples_respect_clipping(self):
+        dist = QuerySizeDistribution(mean=100.0, min_size=10, max_size=500)
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, 10_000)
+        assert samples.min() >= 10 and samples.max() <= 500
+
+    def test_heavy_tail_shape(self):
+        """Fig. 2(b): p99 far above the median."""
+        dist = QuerySizeDistribution(mean=120.0, sigma=0.8)
+        assert dist.percentile(99) > 4 * dist.percentile(50)
+        assert dist.percentile(75) > dist.percentile(50)
+
+    @given(p_low=st.floats(1, 50), p_high=st.floats(51, 99))
+    def test_percentiles_monotone(self, p_low, p_high):
+        dist = QuerySizeDistribution()
+        assert dist.percentile(p_low) <= dist.percentile(p_high)
+
+    def test_percentile_matches_empirical(self):
+        dist = QuerySizeDistribution(mean=150.0, sigma=0.7)
+        rng = np.random.default_rng(3)
+        samples = dist.sample(rng, 300_000)
+        for p in (50, 95, 99):
+            assert dist.percentile(p) == pytest.approx(
+                float(np.percentile(samples, p)), rel=0.08
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuerySizeDistribution(mean=0)
+        with pytest.raises(ValueError):
+            QuerySizeDistribution(min_size=10, max_size=5)
+        with pytest.raises(ValueError):
+            QuerySizeDistribution().percentile(0)
+
+
+class TestPoolingFactorDistribution:
+    def test_shape_and_bounds(self):
+        dist = PoolingFactorDistribution(mean=80.0, num_tables=15)
+        rng = np.random.default_rng(11)
+        samples = dist.sample(rng, queries=500)
+        assert samples.shape == (500, 15)
+        assert (samples >= 1.0).all()
+
+    def test_table_means_vary(self):
+        """Fig. 2(c): per-table pooling means spread widely."""
+        dist = PoolingFactorDistribution(mean=80.0, spread=0.5, num_tables=15)
+        rng = np.random.default_rng(5)
+        means = dist.table_means(rng)
+        assert means.max() / means.min() > 2.0
+
+    def test_zero_variance_degenerates(self):
+        dist = PoolingFactorDistribution(mean=40.0, cv=0.0, spread=0.0, num_tables=4)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, queries=3)
+        assert np.allclose(samples, 40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolingFactorDistribution(mean=0.5)
+        with pytest.raises(ValueError):
+            PoolingFactorDistribution(num_tables=0)
+
+
+class TestQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_s=0.0, size=0)
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_s=-1.0, size=5)
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_s=0.0, size=5, pooling_scale=0.0)
+
+
+class TestQueryWorkload:
+    def test_for_model_matches_mean(self):
+        wl = QueryWorkload.for_model(150)
+        assert wl.mean_size == 150.0
+
+    def test_tail_size_uses_distribution(self):
+        wl = QueryWorkload.for_model(100)
+        assert wl.tail_size(99) > wl.tail_size(50) >= 1
