@@ -1,0 +1,140 @@
+"""Request-level fleet serving: routing, autoscaling, measured SLAs.
+
+The `cluster_serving` example evaluates provisioning with closed-form
+capacity margins; this walkthrough replays the same kind of diurnal day
+*query by query*:
+
+1. profile a small heterogeneous fleet offline (efficiency tuples);
+2. provision it with the Hercules LP at the diurnal peak;
+3. replay a compressed day through two routing policies and compare
+   measured p99 / SLA-violation rates;
+4. re-run provisioned at the trough with the reactive autoscaler
+   activating standby servers as the peak builds.
+
+Run:  python examples/fleet_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import print_table
+from repro.cluster import HerculesClusterScheduler, allocation_drawn_power_w, synchronous_traces
+from repro.fleet import (
+    FleetSimulator,
+    ReactiveAutoscaler,
+    build_fleet,
+    build_fleet_trace,
+    diurnal_segments,
+)
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model
+from repro.scheduling import OfflineProfiler
+from repro.sim import QueryWorkload
+
+FLEET = {"T2": 12, "T3": 5, "T7": 3}
+MODELS = ("DLRM-RMC1", "DLRM-RMC2")
+DURATION_S = 6.0  # one diurnal day, time-compressed
+SEED = 11
+
+
+def main() -> None:
+    models = {name: build_model(name) for name in MODELS}
+    workloads = {
+        name: QueryWorkload.for_model(m.config.mean_query_size)
+        for name, m in models.items()
+    }
+    sla = {name: m.sla_ms for name, m in models.items()}
+
+    print("Offline profiling the fleet ...")
+    table = OfflineProfiler().profile(
+        [SERVER_TYPES[s] for s in FLEET], list(models.values())
+    )
+
+    # Diurnal peaks at ~60% of what the fleet can serve per model.
+    peaks = {
+        name: 0.6
+        * sum(count * table.qps(srv, name) for srv, count in FLEET.items())
+        / len(MODELS)
+        for name in MODELS
+    }
+    traces = synchronous_traces(peaks)
+    scheduler = HerculesClusterScheduler(table, FLEET)
+    peak_alloc = scheduler.allocate(
+        {m: t.peak_qps for m, t in traces.items()}, over_provision=0.05
+    )
+    print(
+        f"LP provisioned {peak_alloc.total_servers} servers for peaks "
+        + ", ".join(f"{m}={q:.0f} qps" for m, q in peaks.items())
+    )
+
+    segments = {
+        name: diurnal_segments(trace, DURATION_S) for name, trace in traces.items()
+    }
+    trace = build_fleet_trace(workloads, segments, seed=SEED)
+    print(f"Compressed diurnal trace: {len(trace)} queries over {DURATION_S:.0f}s\n")
+
+    # -- static fleet, two routing policies -----------------------------
+    rows = []
+    for policy in ("rr", "p2c"):
+        servers = build_fleet(peak_alloc, table, models, workloads)
+        sim = FleetSimulator(servers, policy=policy, sla_ms=sla, seed=SEED)
+        result = sim.run(trace, warmup_s=DURATION_S * 0.05)
+        for name, stats in sorted(result.per_model.items()):
+            rows.append(
+                [
+                    policy,
+                    name,
+                    round(stats.p50_ms, 1),
+                    round(stats.p99_ms, 1),
+                    f"{stats.violation_rate * 100:.2f}%",
+                    round(result.avg_power_w / 1e3, 2),
+                ]
+            )
+    print_table(
+        ["policy", "model", "p50 ms", "p99 ms", "SLA viol", "fleet kW"],
+        rows,
+        title="Static peak-provisioned fleet: routing policy comparison",
+    )
+
+    # -- trough-provisioned fleet with reactive autoscaling -------------
+    trough_alloc = scheduler.allocate(
+        {m: t.peak_qps * t.trough_ratio for m, t in traces.items()},
+        over_provision=0.05,
+    )
+    standby = peak_alloc.minus(trough_alloc)
+    window = DURATION_S / 48.0
+    autoscaler = ReactiveAutoscaler(sla, window_s=window, cooldown_s=2 * window)
+    servers = build_fleet(trough_alloc, table, models, workloads, standby=standby)
+    sim = FleetSimulator(servers, policy="p2c", sla_ms=sla, autoscaler=autoscaler, seed=SEED)
+    result = sim.run(trace, warmup_s=DURATION_S * 0.05)
+    print()
+    print(
+        result.format(
+            title=(
+                f"Autoscaled fleet: {trough_alloc.total_servers} at trough "
+                f"+ {standby.total_servers} standby"
+            )
+        )
+    )
+    if result.scale_events:
+        print("\nscaling timeline:")
+        for event in result.scale_events:
+            print(
+                f"  t={event.time_s:5.2f}s  {event.action:8s} "
+                f"{event.server.server_type.name} for {event.model} ({event.reason})"
+            )
+
+    drawn = allocation_drawn_power_w(
+        peak_alloc,
+        table,
+        {m: t.average_load() for m, t in traces.items()},
+        models,
+        workloads,
+    )
+    print(
+        f"\nanalytic cross-check: peak provisioning {peak_alloc.provisioned_power_w(table) / 1e3:.2f} kW, "
+        f"drawn at average load {drawn / 1e3:.2f} kW"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,8 @@ Subcommands:
 - ``search``   -- run the task-scheduling search for one pair.
 - ``profile``  -- build the efficiency-tuple classification table.
 - ``serve``    -- provision a diurnal day through a cluster scheduler.
+- ``fleet``    -- request-level fleet replay of a diurnal day (routing,
+  optional autoscaling, measured SLA/power report).
 
 Installed as ``hercules-repro`` (see pyproject) or run with
 ``python -m repro.cli``.
@@ -20,12 +22,22 @@ from collections.abc import Sequence
 
 from repro.analysis import format_series, format_table
 from repro.cluster import (
+    Allocation,
     ClusterManager,
     GreedyScheduler,
     HerculesClusterScheduler,
     NHScheduler,
     PriorityAwareScheduler,
+    allocation_drawn_power_w,
     synchronous_traces,
+)
+from repro.fleet import (
+    ROUTING_POLICIES,
+    FleetSimulator,
+    ReactiveAutoscaler,
+    build_fleet,
+    build_fleet_trace,
+    diurnal_segments,
 )
 from repro.hardware import SERVER_AVAILABILITY, SERVER_TYPES
 from repro.models import MODEL_NAMES, build_model
@@ -34,7 +46,7 @@ from repro.scheduling import (
     HerculesTaskScheduler,
     OfflineProfiler,
 )
-from repro.sim import ServerEvaluator
+from repro.sim import QueryWorkload, ServerEvaluator
 
 _CLUSTER_POLICIES = {
     "nh": NHScheduler,
@@ -184,6 +196,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if day.any_shortfall else 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _distribute_fleet(total: int, types: list[str]) -> dict[str, int]:
+    """Split ``total`` servers over types proportional to availability."""
+    weights = {t: SERVER_AVAILABILITY[t] for t in types}
+    scale = sum(weights.values())
+    counts = {t: int(total * w / scale) for t, w in weights.items()}
+    remainders = sorted(
+        types, key=lambda t: total * weights[t] / scale - counts[t], reverse=True
+    )
+    for t in remainders:
+        if sum(counts.values()) >= total:
+            break
+        counts[t] += 1
+    return {t: n for t, n in counts.items() if n > 0}
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    server_types = [SERVER_TYPES[s] for s in args.server_types]
+    models = {name: build_model(name) for name in args.models}
+    print(
+        f"Profiling {len(server_types)} server types x {len(models)} models ...",
+        flush=True,
+    )
+    table = OfflineProfiler().profile(server_types, list(models.values()))
+    fleet_counts = _distribute_fleet(args.servers, list(args.server_types))
+
+    # Peak loads: explicit, or sized so the fleet peaks around 60%
+    # aggregate utilization (the regime where routing quality shows).
+    if args.peak_qps is not None:
+        peaks = {name: args.peak_qps for name in models}
+    else:
+        peaks = {}
+        for name in models:
+            capacity = sum(
+                count * table.qps(t, name) for t, count in fleet_counts.items()
+            )
+            peaks[name] = 0.6 * capacity / len(models)
+    traces = synchronous_traces(peaks)
+    scheduler = HerculesClusterScheduler(table, fleet_counts)
+
+    peak_loads = {m: t.peak_qps for m, t in traces.items()}
+    allocation = scheduler.allocate(peak_loads, over_provision=args.over_provision)
+    peak_allocation = allocation
+    autoscaler = None
+    standby = None
+    if args.autoscale:
+        trough_loads = {
+            m: t.peak_qps * t.trough_ratio for m, t in traces.items()
+        }
+        base = scheduler.allocate(trough_loads, over_provision=args.over_provision)
+        standby = allocation.minus(base)
+        allocation = base
+        window = max(args.duration / 48.0, 0.02)
+        autoscaler = ReactiveAutoscaler(
+            {name: m.sla_ms for name, m in models.items()},
+            window_s=window,
+            cooldown_s=2.0 * window,
+        )
+    if peak_allocation.has_shortfall:
+        print("warning: fleet cannot cover the requested peak load")
+
+    servers = build_fleet(allocation, table, models, standby=standby)
+    segments = {
+        name: diurnal_segments(trace, args.duration, steps=args.segments)
+        for name, trace in traces.items()
+    }
+    workloads = {
+        name: QueryWorkload.for_model(m.config.mean_query_size)
+        for name, m in models.items()
+    }
+    trace = build_fleet_trace(workloads, segments, seed=args.seed)
+    sim = FleetSimulator(
+        servers,
+        policy=args.policy,
+        sla_ms={name: m.sla_ms for name, m in models.items()},
+        autoscaler=autoscaler,
+        seed=args.seed,
+    )
+    result = sim.run(trace, warmup_s=args.duration * 0.05)
+    print()
+    print(
+        result.format(
+            title=(
+                f"{args.policy} routing, {len(servers)} provisioned of "
+                f"{args.servers} fleet servers "
+                f"({args.duration:.0f}s compressed diurnal day)"
+            )
+        )
+    )
+    avg_loads = {m: t.average_load() for m, t in traces.items()}
+    drawn = allocation_drawn_power_w(peak_allocation, table, avg_loads, models)
+    provisioned = peak_allocation.provisioned_power_w(table)
+    print(
+        f"analytic check: provisioned {provisioned / 1e3:.2f} kW, "
+        f"drawn at average load {drawn / 1e3:.2f} kW"
+    )
+    return 1 if result.total_dropped and not args.autoscale else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hercules-repro",
@@ -230,6 +354,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--interval", type=float, default=30.0, help="minutes")
     serve.add_argument("--over-provision", type=float, default=0.05)
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="request-level fleet replay of a diurnal day",
+        description=(
+            "Provision a fleet with the Hercules LP, then replay a "
+            "compressed diurnal multi-model day query-by-query through a "
+            "routing policy, reporting measured p50/p99, SLA-violation "
+            "rate, fleet power, and queries served."
+        ),
+    )
+    fleet.add_argument(
+        "--servers", type=_positive_int, default=20, help="fleet size in servers"
+    )
+    fleet.add_argument(
+        "--server-types",
+        nargs="+",
+        default=["T2", "T3", "T7"],
+        choices=tuple(SERVER_TYPES),
+        help="server types the fleet draws from (availability-weighted)",
+    )
+    fleet.add_argument(
+        "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=tuple(ROUTING_POLICIES),
+        default="p2c",
+        help="load-balancing policy routing each model's query stream",
+    )
+    fleet.add_argument(
+        "--peak-qps",
+        type=_positive_float,
+        default=None,
+        help="per-model diurnal peak QPS (default: ~60%% of fleet capacity)",
+    )
+    fleet.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=8.0,
+        help="simulated seconds the compressed day spans",
+    )
+    fleet.add_argument(
+        "--segments", type=_positive_int, default=24, help="diurnal segments per day"
+    )
+    fleet.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="provision at trough and let the reactive autoscaler track load",
+    )
+    fleet.add_argument("--over-provision", type=float, default=0.05)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -16,6 +16,7 @@ from repro.cluster.manager import (
 from repro.cluster.provision import (
     LpSolution,
     SimplexSolver,
+    allocation_drawn_power_w,
     integerize,
     solve_allocation_lp,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "estimate_over_provision",
     "LpSolution",
     "SimplexSolver",
+    "allocation_drawn_power_w",
     "integerize",
     "solve_allocation_lp",
     "ClusterScheduler",

@@ -11,10 +11,16 @@ trace's own history, as Section IV-C prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster.loads import DiurnalTrace
 from repro.cluster.schedulers import ClusterScheduler
 from repro.cluster.state import Allocation, ClusterStateTable
+
+if TYPE_CHECKING:
+    from repro.fleet.report import FleetResult
+    from repro.models.zoo import RecommendationModel
+    from repro.sim.queries import QueryWorkload
 
 __all__ = ["IntervalRecord", "DaySummary", "ClusterManager", "estimate_over_provision"]
 
@@ -189,3 +195,75 @@ class ClusterManager:
                 )
             )
         return DaySummary(records=tuple(records))
+
+    def replay_request_level(
+        self,
+        traces: dict[str, DiurnalTrace],
+        models: "dict[str, RecommendationModel]",
+        workloads: "dict[str, QueryWorkload] | None" = None,
+        policy: str = "p2c",
+        sim_seconds_per_interval: float = 2.0,
+        load_scale: float = 1.0,
+        stride: int = 1,
+        seed: int = 0,
+    ) -> "list[tuple[float, FleetResult]]":
+        """Replay the day's allocations at request granularity.
+
+        For every ``stride``-th provisioning interval, the interval's
+        allocation is instantiated as a fleet of discrete-event server
+        pipelines and the interval's load is replayed as a Poisson
+        query stream through the given routing policy -- turning the
+        closed-form coverage margins of :meth:`run_day` into measured
+        p99/SLA-violation numbers (any :class:`ClusterScheduler` works).
+
+        Args:
+            traces: The diurnal day to provision and replay.
+            models: Model objects per name (for stage pipelines/SLAs).
+            workloads: Query-size distributions (defaults per model).
+            policy: Routing-policy registry name.
+            sim_seconds_per_interval: Simulated seconds of traffic per
+                replayed interval (intervals are time-compressed).
+            load_scale: Scales arrival rates (and nothing else) to keep
+                large clusters affordable to replay.
+            stride: Replay every ``stride``-th interval.
+            seed: Trace/policy RNG seed.
+
+        Returns:
+            ``(hour, FleetResult)`` pairs for the replayed intervals.
+        """
+        from repro.fleet import FleetSimulator, build_fleet, build_fleet_trace
+        from repro.sim.queries import QueryWorkload
+
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if sim_seconds_per_interval <= 0:
+            raise ValueError("sim_seconds_per_interval must be positive")
+        day = self.run_day(traces)
+        sla_ms = {name: model.sla_ms for name, model in models.items()}
+        resolved = {
+            name: (workloads or {}).get(name)
+            or QueryWorkload.for_model(model.config.mean_query_size)
+            for name, model in models.items()
+        }
+        results: list[tuple[float, "FleetResult"]] = []
+        for i, record in enumerate(day.records):
+            if i % stride:
+                continue
+            if not record.allocation.counts:
+                continue
+            segments = {
+                name: [(load * load_scale, sim_seconds_per_interval)]
+                for name, load in record.loads.items()
+                if load > 0
+            }
+            if not segments:
+                continue
+            servers = build_fleet(record.allocation, self.scheduler.table, models, resolved)
+            trace = build_fleet_trace(resolved, segments, seed=seed + i)
+            if not trace:
+                continue
+            sim = FleetSimulator(servers, policy=policy, sla_ms=sla_ms, seed=seed + i)
+            results.append(
+                (record.hour, sim.run(trace, warmup_s=sim_seconds_per_interval * 0.1))
+            )
+        return results

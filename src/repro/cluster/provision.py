@@ -19,13 +19,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.state import Allocation
 from repro.scheduling.profiler import ClassificationTable
+from repro.sim import plan_cache
+from repro.sim.queries import QueryWorkload
 
-__all__ = ["LpSolution", "SimplexSolver", "solve_allocation_lp", "integerize"]
+if TYPE_CHECKING:
+    from repro.models.zoo import RecommendationModel
+
+__all__ = [
+    "LpSolution",
+    "SimplexSolver",
+    "solve_allocation_lp",
+    "integerize",
+    "allocation_drawn_power_w",
+]
 
 
 @dataclass(frozen=True)
@@ -265,3 +277,44 @@ def integerize(
             used[srv] = used.get(srv, 0) + 1
             deficit = target - allocation.capacity_qps(table, model)
     return allocation
+
+
+def allocation_drawn_power_w(
+    allocation: Allocation,
+    table: ClassificationTable,
+    loads: dict[str, float],
+    models: "dict[str, RecommendationModel]",
+    workloads: dict[str, QueryWorkload] | None = None,
+) -> float:
+    """Analytic wall power an allocation draws at the *actual* loads.
+
+    The LP objective charges each activated server its profiled peak
+    power ``Power_{h,m}`` (the provisioned budget); off-peak, servers
+    run below their latency-bounded operating point and draw less.
+    This estimates the drawn power by splitting each model's load over
+    its servers in proportion to their profiled throughput and pricing
+    each share through the closed-form queueing model -- every timings
+    lookup comes from the shared :mod:`repro.sim.plan_cache`, so a
+    48-interval day re-prices plans instead of re-deriving them.
+    """
+    from repro.hardware.server import get_server_type
+
+    total = 0.0
+    for (srv_name, model_name), count in allocation.counts.items():
+        tup = table.get(srv_name, model_name)
+        server = get_server_type(srv_name)
+        load = loads.get(model_name, 0.0)
+        capacity = allocation.capacity_qps(table, model_name)
+        share_qps = load * tup.qps / capacity if capacity > 0 else 0.0
+        if share_qps <= 0 or tup.plan is None:
+            total += count * server.idle_w
+            continue
+        model = models[model_name]
+        workload = (workloads or {}).get(
+            model_name
+        ) or QueryWorkload.for_model(model.config.mean_query_size)
+        timings = plan_cache.timings_for(server, model, workload, tup.plan)
+        evaluator = plan_cache.shared_evaluator(server)
+        perf = evaluator.perf_at(timings, workload, min(share_qps, tup.qps))
+        total += count * (perf.power_w if perf.feasible else tup.power_w)
+    return total

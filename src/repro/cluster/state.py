@@ -36,6 +36,20 @@ class Allocation:
         key = (server_name, model_name)
         self.counts[key] = self.counts.get(key, 0) + count
 
+    def minus(self, other: "Allocation") -> "Allocation":
+        """Positive per-cell surplus of this allocation over ``other``.
+
+        The canonical way to build an autoscaler standby pool: peak
+        allocation minus trough allocation leaves the replicas worth
+        keeping warm.  Cells present only in ``other`` are ignored.
+        """
+        surplus = Allocation()
+        for (srv, model), count in self.counts.items():
+            delta = count - other.counts.get((srv, model), 0)
+            if delta > 0:
+                surplus.add(srv, model, delta)
+        return surplus
+
     def servers_of_type(self, server_name: str) -> int:
         """Total activated servers of one type across all workloads."""
         return sum(

@@ -1,0 +1,48 @@
+"""Request-level fleet serving simulation (routing, autoscaling, SLA).
+
+The cluster layer (:mod:`repro.cluster`) decides *how many* servers of
+each type run each model; this package replays those decisions at query
+granularity: one discrete-event stage pipeline per provisioned replica,
+a pluggable per-model routing policy, an optional reactive autoscaler,
+and measured p50/p99/SLA-violation/power accounting -- the repo's
+equivalent of the paper's load-generator evaluation (Fig. 13).
+"""
+
+from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent
+from repro.fleet.engine import (
+    FleetServer,
+    FleetSimulator,
+    build_fleet,
+    build_fleet_trace,
+    diurnal_segments,
+)
+from repro.fleet.report import FleetResult, ModelStats, ServerStats
+from repro.fleet.routing import (
+    ROUTING_POLICIES,
+    LeastOutstandingPolicy,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    WeightedPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "ReactiveAutoscaler",
+    "ScaleEvent",
+    "FleetServer",
+    "FleetSimulator",
+    "build_fleet",
+    "build_fleet_trace",
+    "diurnal_segments",
+    "FleetResult",
+    "ModelStats",
+    "ServerStats",
+    "ROUTING_POLICIES",
+    "LeastOutstandingPolicy",
+    "PowerOfTwoPolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "WeightedPolicy",
+    "make_policy",
+]

@@ -1,0 +1,145 @@
+"""Reactive autoscaling between provisioning intervals.
+
+The cluster manager re-provisions every tens of minutes; within an
+interval the paper's over-provision rate ``R`` is the only headroom
+against load growth.  This module adds the request-level complement: a
+reactive scaler that watches each model's windowed SLA-violation rate
+and activates standby replicas when the tail degrades, or drains
+lightly-loaded replicas when demand recedes -- letting experiments
+quantify what ``R`` buys in tail latency versus what reaction buys in
+power.
+
+Scale-up triggers on violation rate (the symptom the SLA cares about);
+scale-down triggers on low offered utilization *and* a clean window, so
+a draining fleet never oscillates against its own tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ScaleEvent", "ReactiveAutoscaler"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action.
+
+    Attributes:
+        time_s: Simulation time of the decision.
+        model: Model stream that triggered it.
+        action: ``"activate"`` or ``"drain"``.
+        server: The replica acted on (``FleetServer``).
+        reason: Human-readable trigger, e.g. ``"viol=12.0%"``.
+    """
+
+    time_s: float
+    model: str
+    action: str
+    server: object
+    reason: str = ""
+
+
+class ReactiveAutoscaler:
+    """Windowed p99/SLA-violation watcher with activate/drain actions.
+
+    Args:
+        sla_ms: Per-model p99 targets.
+        window_s: Observation window; decisions fire at window ends.
+        violation_up: Window violation rate above which one standby
+            replica is activated for the model.
+        violation_clear: Ceiling the window must stay under before any
+            scale-down is considered.
+        utilization_down: Offered load over active profiled capacity
+            below which one replica is drained.
+        cooldown_s: Minimum time between actions on the same model.
+        min_active: Never drain below this many replicas per model.
+    """
+
+    def __init__(
+        self,
+        sla_ms: dict[str, float],
+        window_s: float = 1.0,
+        violation_up: float = 0.05,
+        violation_clear: float = 0.005,
+        utilization_down: float = 0.35,
+        cooldown_s: float = 2.0,
+        min_active: int = 1,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0.0 <= violation_clear <= violation_up <= 1.0:
+            raise ValueError("need 0 <= violation_clear <= violation_up <= 1")
+        if min_active < 1:
+            raise ValueError("min_active must be >= 1")
+        self.sla_ms = dict(sla_ms)
+        self.window_s = window_s
+        self.violation_up = violation_up
+        self.violation_clear = violation_clear
+        self.utilization_down = utilization_down
+        self.cooldown_s = cooldown_s
+        self.min_active = min_active
+        self._last_action: dict[str, float] = {}
+
+    def tick(
+        self,
+        now: float,
+        window_lat_ms: dict[str, list[float]],
+        window_arrivals: dict[str, int],
+        routable: dict[str, list],
+        standby_for: Callable[[str], list],
+        window_drops: dict[str, int] | None = None,
+    ) -> list[ScaleEvent]:
+        """Evaluate one window; return the actions to apply.
+
+        Args:
+            now: Current simulation time.
+            window_lat_ms: Completed-query latencies (ms) per model
+                observed since the last tick.
+            window_arrivals: Arrivals per model since the last tick.
+            routable: Currently routable replicas per model.
+            standby_for: Callback returning a model's standby replicas.
+            window_drops: Queries per model that found no routable
+                replica since the last tick; counted as violations so a
+                model whose replicas are all standby can still trigger
+                its own activation.
+        """
+        events: list[ScaleEvent] = []
+        for model, sla in self.sla_ms.items():
+            if now - self._last_action.get(model, -1e18) < self.cooldown_s:
+                continue
+            latencies = window_lat_ms.get(model, [])
+            active = routable.get(model, [])
+            drops = (window_drops or {}).get(model, 0)
+            observed = len(latencies) + drops
+            violations = sum(1 for lat in latencies if lat > sla) + drops
+            rate = violations / observed if observed else 0.0
+
+            if observed and rate > self.violation_up:
+                standby = standby_for(model)
+                if standby:
+                    # Bring the fastest standby replica online first.
+                    pick = max(standby, key=lambda s: s.weight)
+                    events.append(
+                        ScaleEvent(now, model, "activate", pick, f"viol={rate:.1%}")
+                    )
+                    self._last_action[model] = now
+                continue
+
+            if rate <= self.violation_clear and len(active) > self.min_active:
+                capacity = sum(s.weight for s in active)
+                offered = window_arrivals.get(model, 0) / self.window_s
+                if capacity > 0 and offered / capacity < self.utilization_down:
+                    pick = min(active, key=lambda s: s.weight)
+                    events.append(
+                        ScaleEvent(
+                            now,
+                            model,
+                            "drain",
+                            pick,
+                            f"util={offered / capacity:.1%}",
+                        )
+                    )
+                    self._last_action[model] = now
+        return events

@@ -1,0 +1,519 @@
+"""Request-level discrete-event simulation of a whole serving fleet.
+
+The single-node simulator answers "what does one server's tail look
+like"; this engine answers the cluster question the paper's prototype
+measures with its load generator (Fig. 13): given a provisioned
+allocation, a routing policy, and a shared diurnal multi-model trace,
+what p50/p99, SLA-violation rate, and power does the *fleet* deliver?
+
+Design notes (performance matters -- 50 servers x 100k queries must
+stay interactive):
+
+- One global event heap drives every server; each replica keeps only
+  cheap per-stage state (deque + free-unit count), so the cost per
+  event is independent of fleet size.
+- Stage pipelines and closed-form timings are memoized per
+  (server type, model, plan) through :mod:`repro.sim.plan_cache`;
+  fifty replicas of the same triple share one evaluation.
+- Queries are routed at arrival by a per-model
+  :class:`~repro.fleet.routing.RoutingPolicy`; an optional
+  :class:`~repro.fleet.autoscaler.ReactiveAutoscaler` activates or
+  drains replicas between provisioning intervals based on windowed
+  SLA-violation rates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Sequence
+
+from repro.cluster.state import Allocation
+from repro.fleet.report import FleetResult, ModelStats, ServerStats
+from repro.fleet.routing import RoutingPolicy, make_policy
+from repro.hardware.power import ComponentUtilization
+from repro.hardware.server import ServerType, get_server_type
+from repro.models.zoo import RecommendationModel
+from repro.scheduling.profiler import ClassificationTable
+from repro.sim import plan_cache
+from repro.sim.evaluator import PlanTimings
+from repro.sim.loadgen import generate_trace
+from repro.sim.queries import Query, QueryWorkload
+from repro.sim.server_sim import SimStage, enqueue_units, form_batch
+
+__all__ = [
+    "FleetServer",
+    "FleetSimulator",
+    "build_fleet",
+    "build_fleet_trace",
+    "diurnal_segments",
+]
+
+
+class FleetServer:
+    """One provisioned replica: a stage pipeline plus runtime state.
+
+    The stage tuple and timings are shared (read-only) across every
+    replica of the same (server type, model, plan); queues, free-unit
+    counts, and counters are per-replica.
+    """
+
+    __slots__ = (
+        "index",
+        "server_type",
+        "model_name",
+        "plan",
+        "stages",
+        "timings",
+        "weight",
+        "queues",
+        "free",
+        "outstanding",
+        "completed",
+        "completed_in_window",
+        "items_done",
+        "active",
+        "draining",
+        "active_s",
+        "_active_since",
+        "wrr_current",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        server_type: ServerType,
+        model_name: str,
+        plan,
+        stages: Sequence[SimStage],
+        timings: PlanTimings,
+        weight: float,
+        active: bool = True,
+    ) -> None:
+        self.index = index
+        self.server_type = server_type
+        self.model_name = model_name
+        self.plan = plan
+        self.stages = tuple(stages)
+        self.timings = timings
+        self.weight = weight  # profiled latency-bounded QPS
+        self.queues: list[deque] = [deque() for _ in self.stages]
+        self.free: list[int] = [s.units for s in self.stages]
+        self.outstanding = 0
+        self.completed = 0
+        self.completed_in_window = 0
+        self.items_done = 0
+        self.active = active
+        self.draining = False
+        self.active_s = 0.0
+        self._active_since = 0.0 if active else None
+        self.wrr_current = 0.0
+
+    def settle(self, now: float) -> None:
+        """Fold any open activation window into ``active_s``."""
+        if self._active_since is not None:
+            self.active_s += now - self._active_since
+            self._active_since = None
+
+    def power_w(self) -> float:
+        """Wall power over the replica's active window (idle if unused)."""
+        if self.active_s <= 0.0:
+            return 0.0
+        items_per_s = self.items_done / self.active_s
+        server = self.server_type
+        t = self.timings
+        cpu = min(1.0, items_per_s * t.cpu_core_s_per_item / server.cpu.cores)
+        gpu = min(1.0, items_per_s * t.gpu_busy_s_per_item)
+        mem = min(1.0, items_per_s * t.mem_bytes_per_item / server.memory.peak_bw_bytes)
+        return server.power_w(
+            ComponentUtilization(cpu=cpu, memory=mem, gpu=gpu * t.gpu_power_util_scale)
+        )
+
+
+class _QState:
+    __slots__ = ("query", "model", "server", "pending_units")
+
+    def __init__(self, query: Query, model: str) -> None:
+        self.query = query
+        self.model = model
+        self.server: FleetServer | None = None
+        self.pending_units = 0
+
+
+def build_fleet(
+    allocation: Allocation,
+    table: ClassificationTable,
+    models: dict[str, RecommendationModel],
+    workloads: dict[str, QueryWorkload] | None = None,
+    standby: Allocation | None = None,
+) -> list[FleetServer]:
+    """Instantiate replicas for a scheduler's allocation.
+
+    Every (server type, model) cell becomes ``count`` replicas running
+    the plan the offline profiler recorded for that pair; ``standby``
+    adds inactive replicas the autoscaler may bring online.
+    """
+    servers: list[FleetServer] = []
+
+    def instantiate(alloc: Allocation, active: bool) -> None:
+        for (srv_name, model_name), count in sorted(alloc.counts.items()):
+            tup = table.get(srv_name, model_name)
+            if tup.plan is None:
+                raise ValueError(
+                    f"({srv_name}, {model_name}) has no feasible plan to replay"
+                )
+            model = models[model_name]
+            workload = (workloads or {}).get(
+                model_name
+            ) or QueryWorkload.for_model(model.config.mean_query_size)
+            server_type = get_server_type(srv_name)
+            stages = plan_cache.stages_for(server_type, model, workload, tup.plan)
+            timings = plan_cache.timings_for(server_type, model, workload, tup.plan)
+            for _ in range(count):
+                servers.append(
+                    FleetServer(
+                        index=len(servers),
+                        server_type=server_type,
+                        model_name=model_name,
+                        plan=tup.plan,
+                        stages=stages,
+                        timings=timings,
+                        weight=tup.qps,
+                        active=active,
+                    )
+                )
+
+    instantiate(allocation, active=True)
+    if standby is not None:
+        instantiate(standby, active=False)
+    return servers
+
+
+def diurnal_segments(
+    trace, duration_s: float, steps: int = 24, load_scale: float = 1.0
+) -> list[tuple[float, float]]:
+    """Compress a one-day diurnal profile into ``duration_s`` seconds.
+
+    Returns ``(qps, segment_duration)`` pairs: instantaneous rates keep
+    their diurnal shape while the day is replayed in compressed time.
+    """
+    if duration_s <= 0 or steps < 1:
+        raise ValueError("need positive duration and at least one segment")
+    seg = duration_s / steps
+    return [
+        (max(trace.load_at(24.0 * i / steps) * load_scale, 1e-9), seg)
+        for i in range(steps)
+    ]
+
+
+def build_fleet_trace(
+    workloads: dict[str, QueryWorkload],
+    segments: dict[str, Sequence[tuple[float, float]]],
+    seed: int = 0,
+) -> list[tuple[str, Query]]:
+    """Merge per-model Poisson segments into one arrival-sorted trace.
+
+    Args:
+        workloads: Query-size/pooling distributions per model.
+        segments: Per-model ``(qps, duration_s)`` chain; segments are
+            laid back to back starting at t=0.
+        seed: Base RNG seed (each model/segment draws independently).
+    """
+    merged: list[tuple[str, Query]] = []
+    for m_idx, (model, segs) in enumerate(sorted(segments.items())):
+        workload = workloads[model]
+        clock = 0.0
+        next_id = 0
+        for s_idx, (qps, dur) in enumerate(segs):
+            if qps > 0 and dur > 0:
+                queries = generate_trace(
+                    workload,
+                    qps,
+                    dur,
+                    seed=seed + 7919 * m_idx + s_idx,
+                    start_s=clock,
+                    first_id=next_id,
+                )
+                merged.extend((model, q) for q in queries)
+                next_id += len(queries)
+            clock += dur
+    merged.sort(key=lambda mq: mq[1].arrival_s)
+    return merged
+
+
+class FleetSimulator:
+    """Event-driven execution of a replica fleet over a multi-model trace.
+
+    Args:
+        servers: Replicas from :func:`build_fleet` (active + standby).
+        policy: Routing-policy registry name; one independent policy
+            instance is created per model stream.
+        sla_ms: Per-model SLA targets for violation accounting (and the
+            autoscaler's trigger).
+        autoscaler: Optional reactive scaler consulted every window.
+        seed: Seed for policy randomness (p2c sampling).
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[FleetServer],
+        policy: str | RoutingPolicy = "p2c",
+        sla_ms: dict[str, float] | None = None,
+        autoscaler=None,
+        seed: int = 0,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one fleet server")
+        self.servers = list(servers)
+        self.sla_ms = dict(sla_ms or {})
+        self.autoscaler = autoscaler
+        self._policy_spec = policy
+        self._seed = seed
+        self._routable: dict[str, list[FleetServer]] = {}
+        self._policies: dict[str, RoutingPolicy] = {}
+        model_names = sorted({s.model_name for s in self.servers})
+        for i, model in enumerate(model_names):
+            self._routable[model] = [
+                s for s in self.servers if s.model_name == model and s.active
+            ]
+            if isinstance(policy, RoutingPolicy):
+                if len(model_names) > 1:
+                    raise ValueError(
+                        "pass a policy name (not an instance) for multi-model "
+                        "fleets; policies hold per-stream state"
+                    )
+                self._policies[model] = policy
+            else:
+                self._policies[model] = make_policy(policy, seed=seed + i)
+
+    @property
+    def policy_name(self) -> str:
+        return next(iter(self._policies.values())).name
+
+    def _standby_for(self, model: str) -> list[FleetServer]:
+        return [
+            s
+            for s in self.servers
+            if s.model_name == model and not s.active and not s.draining
+        ]
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Sequence[tuple[str, Query]], warmup_s: float = 0.0) -> FleetResult:
+        """Play a multi-model trace through the fleet.
+
+        Args:
+            trace: ``(model_name, query)`` pairs (any order; sorted here).
+            warmup_s: Initial window excluded from the statistics.
+        """
+        if not trace:
+            raise ValueError("empty fleet trace")
+        counter = itertools.count()
+        events: list[tuple] = []
+        push = lambda t, payload: heapq.heappush(events, (t, next(counter), payload))
+
+        states = [_QState(q, model) for model, q in trace]
+        for st in states:
+            push(st.query.arrival_s, st)
+        horizon = max(st.query.arrival_s for st in states)
+
+        # Windowed completion/arrival/drop feeds for the autoscaler.
+        window_lat: dict[str, list[float]] = {m: [] for m in self._routable}
+        window_arrivals: dict[str, int] = {m: 0 for m in self._routable}
+        window_drops: dict[str, int] = {m: 0 for m in self._routable}
+        scale_events: list = []
+        if self.autoscaler is not None:
+            w = self.autoscaler.window_s
+            t = w
+            while t < horizon:
+                push(t, ("tick",))
+                t += w
+
+        # Track every model the trace names, so streams with no replica
+        # anywhere in the fleet still surface as dropped/violating.
+        trace_models = {st.model for st in states}
+        completions: dict[str, list[tuple[float, float]]] = {
+            m: [] for m in set(self._routable) | trace_models
+        }
+        dropped: dict[str, int] = {m: 0 for m in completions}
+        scaling = self.autoscaler is not None
+
+        def enqueue(server: FleetServer, idx: int, qs: _QState, now: float) -> None:
+            enqueue_units(server.stages[idx], server.queues[idx], qs, qs.query.size)
+            dispatch(server, idx, now)
+
+        def dispatch(server: FleetServer, idx: int, now: float) -> None:
+            stage = server.stages[idx]
+            queue = server.queues[idx]
+            free = server.free
+            while free[idx] > 0 and queue:
+                batch, items, pooling = form_batch(stage, queue)
+                service = stage.service_s(items, pooling)
+                free[idx] -= 1
+                push(now + service, (server, idx, batch))
+
+        def complete(qs: _QState, now: float) -> None:
+            server = qs.server
+            server.completed += 1
+            if qs.query.arrival_s >= warmup_s and now <= horizon:
+                server.completed_in_window += 1
+            server.items_done += qs.query.size
+            server.outstanding -= 1
+            completions[qs.model].append((now, now - qs.query.arrival_s))
+            if scaling:
+                window_lat[qs.model].append((now - qs.query.arrival_s) * 1e3)
+            if server.draining and server.outstanding == 0:
+                server.settle(now)
+                server.active = False
+                server.draining = False
+
+        while events:
+            now, _, payload = heapq.heappop(events)
+            if isinstance(payload, _QState):
+                qs = payload
+                candidates = self._routable.get(qs.model)
+                if not candidates:
+                    # Warmup drops stay out of the stats (mirroring the
+                    # completion window) but still feed the autoscaler.
+                    if now >= warmup_s:
+                        dropped[qs.model] = dropped.get(qs.model, 0) + 1
+                    if scaling:
+                        window_drops[qs.model] = window_drops.get(qs.model, 0) + 1
+                    continue
+                server = self._policies[qs.model].choose(candidates)
+                qs.server = server
+                server.outstanding += 1
+                if scaling:
+                    window_arrivals[qs.model] += 1
+                enqueue(server, 0, qs, now)
+            elif payload[0] == "tick":
+                decisions = self.autoscaler.tick(
+                    now,
+                    window_lat,
+                    window_arrivals,
+                    self._routable,
+                    self._standby_for,
+                    window_drops=window_drops,
+                )
+                for event in decisions:
+                    scale_events.append(event)
+                    server = event.server
+                    if event.action == "activate":
+                        server.active = True
+                        server.draining = False
+                        server._active_since = now
+                        self._routable[server.model_name].append(server)
+                    else:  # drain
+                        self._routable[server.model_name].remove(server)
+                        server.draining = True
+                        if server.outstanding == 0:
+                            server.settle(now)
+                            server.active = False
+                            server.draining = False
+                for m in window_lat:
+                    window_lat[m] = []
+                    window_arrivals[m] = 0
+                for m in window_drops:
+                    window_drops[m] = 0
+            else:
+                server, idx, batch = payload
+                server.free[idx] += 1
+                last = len(server.stages) - 1
+                for qs, _items in batch:
+                    qs.pending_units -= 1
+                    if qs.pending_units == 0:
+                        if idx < last:
+                            enqueue(server, idx + 1, qs, now)
+                        else:
+                            complete(qs, now)
+                dispatch(server, idx, now)
+
+        for server in self.servers:
+            server.settle(horizon)
+
+        return self._summarize(
+            completions, dropped, warmup_s, horizon, tuple(scale_events)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _summarize(
+        self,
+        completions: dict[str, list[tuple[float, float]]],
+        dropped: dict[str, int],
+        warmup_s: float,
+        horizon: float,
+        scale_events: tuple,
+    ) -> FleetResult:
+        import numpy as np
+
+        duration = max(horizon - warmup_s, 1e-9)
+        per_model: dict[str, ModelStats] = {}
+        for model, samples in completions.items():
+            # Measure the window [warmup, horizon]: arrivals before the
+            # warmup cut are excluded, and so are completions draining
+            # after the last arrival -- otherwise an overloaded fleet
+            # would report more than its sustainable throughput.
+            measured = [
+                lat
+                for finish, lat in samples
+                if finish - lat >= warmup_s and finish <= horizon
+            ]
+            sla = self.sla_ms.get(model, float("inf"))
+            drops = dropped.get(model, 0)
+            if measured:
+                arr = np.asarray(measured) * 1e3
+                violations = int((arr > sla).sum()) + drops
+                per_model[model] = ModelStats(
+                    model=model,
+                    sla_ms=sla,
+                    completed=len(measured),
+                    dropped=drops,
+                    qps=len(measured) / duration,
+                    p50_ms=float(np.percentile(arr, 50)),
+                    p95_ms=float(np.percentile(arr, 95)),
+                    p99_ms=float(np.percentile(arr, 99)),
+                    mean_ms=float(arr.mean()),
+                    violation_rate=violations / max(len(measured) + drops, 1),
+                )
+            else:
+                per_model[model] = ModelStats(
+                    model=model,
+                    sla_ms=sla,
+                    completed=0,
+                    dropped=drops,
+                    qps=0.0,
+                    p50_ms=float("inf"),
+                    p95_ms=float("inf"),
+                    p99_ms=float("inf"),
+                    mean_ms=float("inf"),
+                    violation_rate=1.0 if drops else 0.0,
+                )
+
+        server_stats = []
+        total_energy = 0.0
+        for s in self.servers:
+            power = s.power_w()
+            total_energy += power * s.active_s
+            server_stats.append(
+                ServerStats(
+                    index=s.index,
+                    server_type=s.server_type.name,
+                    model=s.model_name,
+                    plan=s.plan.describe(),
+                    completed=s.completed,
+                    qps=s.completed_in_window / duration if duration > 0 else 0.0,
+                    power_w=power,
+                    active_s=s.active_s,
+                    ever_active=s.active_s > 0,
+                )
+            )
+        return FleetResult(
+            policy=self.policy_name,
+            duration_s=duration,
+            per_model=per_model,
+            servers=tuple(server_stats),
+            avg_power_w=total_energy / max(horizon, 1e-9),
+            scale_events=scale_events,
+        )

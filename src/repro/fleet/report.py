@@ -1,0 +1,131 @@
+"""Fleet-run result types and SLA/power report formatting.
+
+A :class:`FleetResult` is the request-level counterpart of the cluster
+manager's interval records: instead of closed-form capacity margins it
+carries measured per-model latency percentiles, SLA-violation rates,
+per-replica throughput, and active-time-weighted fleet power -- the
+quantities the paper's load-generator evaluation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import format_table
+
+__all__ = ["ModelStats", "ServerStats", "FleetResult"]
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Measured service quality for one model's query stream.
+
+    Attributes:
+        model: Model name.
+        sla_ms: The p99 SLA target the stream is accounted against.
+        completed: Queries completed in the measured window.
+        dropped: Queries that found no routable replica (counted as
+            SLA violations).
+        qps: Completed throughput over the measured window.
+        p50_ms / p95_ms / p99_ms / mean_ms: Latency distribution.
+        violation_rate: Fraction of queries over SLA (dropped included).
+    """
+
+    model: str
+    sla_ms: float
+    completed: int
+    dropped: int
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    violation_rate: float
+
+    @property
+    def meets_sla(self) -> bool:
+        return self.p99_ms <= self.sla_ms
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Per-replica accounting of one fleet run."""
+
+    index: int
+    server_type: str
+    model: str
+    plan: str
+    completed: int
+    qps: float
+    power_w: float
+    active_s: float
+    ever_active: bool
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet simulation.
+
+    Attributes:
+        policy: Routing-policy name the run used.
+        duration_s: Measured (post-warmup) window length.
+        per_model: Service stats per model stream.
+        servers: Per-replica accounting rows.
+        avg_power_w: Active-time-weighted mean fleet power.
+        scale_events: Autoscaler actions, in order (empty when static).
+    """
+
+    policy: str
+    duration_s: float
+    per_model: dict[str, ModelStats]
+    servers: tuple[ServerStats, ...]
+    avg_power_w: float
+    scale_events: tuple = ()
+
+    @property
+    def total_completed(self) -> int:
+        return sum(m.completed for m in self.per_model.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(m.dropped for m in self.per_model.values())
+
+    @property
+    def worst_violation_rate(self) -> float:
+        if not self.per_model:
+            return 0.0
+        return max(m.violation_rate for m in self.per_model.values())
+
+    @property
+    def active_servers(self) -> int:
+        """Replicas that served traffic at any point of the run."""
+        return sum(1 for s in self.servers if s.ever_active)
+
+    def format(self, title: str = "") -> str:
+        """Render the per-model SLA table plus the fleet summary line."""
+        rows = [
+            [
+                m.model,
+                m.completed,
+                m.dropped,
+                round(m.qps),
+                round(m.p50_ms, 1),
+                round(m.p99_ms, 1),
+                round(m.sla_ms),
+                f"{m.violation_rate * 100:.2f}%",
+            ]
+            for m in sorted(self.per_model.values(), key=lambda s: s.model)
+        ]
+        table = format_table(
+            ["model", "served", "dropped", "QPS", "p50 ms", "p99 ms", "SLA ms", "viol"],
+            rows,
+            title=title or f"fleet replay ({self.policy} routing)",
+        )
+        summary = (
+            f"servers active {self.active_servers}/{len(self.servers)}, "
+            f"fleet power {self.avg_power_w / 1e3:.2f} kW, "
+            f"queries served {self.total_completed}"
+        )
+        if self.scale_events:
+            summary += f", scale events {len(self.scale_events)}"
+        return f"{table}\n{summary}"

@@ -1,0 +1,142 @@
+"""Pluggable load-balancing policies for the fleet simulator.
+
+Each model's query stream is routed over the replicas currently serving
+that model.  Policies range from the oblivious (round-robin) through
+the queue-aware (least-outstanding, power-of-two-choices) to the
+heterogeneity-aware (smooth weighted round-robin over each replica's
+profiled latency-bounded throughput) -- the spread lets the fleet
+benches quantify how much routing quality buys in tail latency on a
+heterogeneous cluster, the request-level complement of the paper's
+provisioning comparison.
+
+A policy instance is per-model (its internal state -- cursors, RNG,
+smoothing weights -- must not leak across query streams); build them
+through :func:`make_policy`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.fleet.engine import FleetServer
+
+__all__ = [
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "PowerOfTwoPolicy",
+    "WeightedPolicy",
+    "ROUTING_POLICIES",
+    "make_policy",
+]
+
+
+class RoutingPolicy:
+    """Chooses a replica for each arriving query of one model."""
+
+    name = "base"
+
+    def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through replicas regardless of their speed or backlog."""
+
+    name = "rr"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._cursor = 0
+
+    def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        pick = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return pick
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Send to the replica with the fewest in-flight queries.
+
+    Ties break toward the higher-throughput replica, so a fast and a
+    slow empty server are not treated as equals.
+    """
+
+    name = "least"
+
+    def __init__(self, seed: int = 0) -> None:
+        pass
+
+    def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        return min(candidates, key=lambda s: (s.outstanding, -s.weight))
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Sample two replicas, send to the less-loaded one.
+
+    The classic O(1) approximation of least-outstanding: most of the
+    tail benefit at a fraction of the bookkeeping.
+    """
+
+    name = "p2c"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        a = candidates[self._rng.randrange(n)]
+        b = candidates[self._rng.randrange(n)]
+        if (b.outstanding, -b.weight) < (a.outstanding, -a.weight):
+            return b
+        return a
+
+
+class WeightedPolicy(RoutingPolicy):
+    """Smooth weighted round-robin by profiled throughput.
+
+    Heterogeneity-aware but backlog-oblivious: each replica receives
+    queries in proportion to its latency-bounded throughput (a T7 GPU
+    box absorbs a multiple of a T2's stream).  Uses the nginx smooth
+    WRR scheme, which interleaves picks instead of bursting them.
+    """
+
+    name = "weighted"
+
+    def __init__(self, seed: int = 0) -> None:
+        pass
+
+    def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        total = 0.0
+        best = candidates[0]
+        for server in candidates:
+            weight = max(server.weight, 1e-9)
+            server.wrr_current += weight
+            total += weight
+            if server.wrr_current > best.wrr_current:
+                best = server
+        best.wrr_current -= total
+        return best
+
+
+#: Policy registry: CLI/bench names -> constructor taking a seed.
+ROUTING_POLICIES: dict[str, Callable[[int], RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastOutstandingPolicy.name: LeastOutstandingPolicy,
+    PowerOfTwoPolicy.name: PowerOfTwoPolicy,
+    WeightedPolicy.name: WeightedPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> RoutingPolicy:
+    """Instantiate a routing policy by registry name."""
+    try:
+        factory = ROUTING_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose from {sorted(ROUTING_POLICIES)}"
+        ) from None
+    return factory(seed)

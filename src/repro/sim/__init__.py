@@ -1,7 +1,9 @@
 """Serving simulation: queries, load generation, evaluator, DES."""
 
+from repro.sim import plan_cache
 from repro.sim.evaluator import PlanTimings, ServerEvaluator, Stage
 from repro.sim.loadgen import PoissonLoadGenerator, generate_trace
+from repro.sim.plan_cache import PlanTimingsCache
 from repro.sim.metrics import LatencyStats, ServerPerformance, percentile
 from repro.sim.queries import (
     PoolingFactorDistribution,
@@ -19,7 +21,9 @@ from repro.sim.server_sim import (
 )
 
 __all__ = [
+    "plan_cache",
     "PlanTimings",
+    "PlanTimingsCache",
     "ServerEvaluator",
     "Stage",
     "PoissonLoadGenerator",

@@ -34,6 +34,7 @@ from repro.perf.pcie import PcieLink
 from repro.perf.schedule import list_schedule
 from repro.plans import ExecutionPlan, Placement
 from repro.sim.metrics import LatencyStats, ServerPerformance
+from repro.sim.plan_cache import PlanTimingsCache
 from repro.sim.queries import QueryWorkload
 
 __all__ = ["ServerEvaluator", "PlanTimings", "Stage"]
@@ -152,6 +153,7 @@ class ServerEvaluator:
             else None
         )
         self.sparse_transfer_efficiency = sparse_transfer_efficiency
+        self.timings_cache = PlanTimingsCache()
 
     # ------------------------------------------------------------------
     # public API
@@ -163,7 +165,25 @@ class ServerEvaluator:
         workload: QueryWorkload,
         plan: ExecutionPlan,
     ) -> PlanTimings:
-        """Load-independent timing profile of ``plan`` (cache-friendly)."""
+        """Load-independent timing profile of ``plan`` (memoized).
+
+        Timings are a pure function of the arguments, so each distinct
+        (partitioned model, workload, plan) triple is computed once per
+        evaluator and served from :attr:`timings_cache` afterwards.
+        """
+        cached = self.timings_cache.get(partitioned, workload, plan)
+        if cached is not None:
+            return cached
+        timings = self._compute_plan_timings(partitioned, workload, plan)
+        self.timings_cache.put(partitioned, workload, plan, timings)
+        return timings
+
+    def _compute_plan_timings(
+        self,
+        partitioned: PartitionedModel,
+        workload: QueryWorkload,
+        plan: ExecutionPlan,
+    ) -> PlanTimings:
         if not plan.fits(self.server):
             raise ValueError(
                 f"plan {plan.describe()} does not fit server {self.server.name}"

@@ -1,0 +1,224 @@
+"""Shared memoization of closed-form plan evaluations.
+
+Plan scoring is the repo's hottest analytic path: the gradient search
+re-times hundreds of candidate plans per (model, server) pair, the
+offline profiler runs that search for every pair, and the fleet
+simulator builds one stage pipeline per provisioned server.  All of
+those reduce to :meth:`ServerEvaluator.plan_timings`, which is a pure
+function of ``(partitioned model, workload, plan)`` -- so the results
+can be computed once and shared everywhere.
+
+Two layers live here:
+
+- :class:`PlanTimingsCache` -- a per-evaluator memo table the evaluator
+  itself consults, keyed by object identity of the partitioned model
+  (plus the hashable workload/plan), so differently-parameterized
+  evaluators never alias.
+- A module-level registry keyed by *names* -- ``shared_evaluator``,
+  ``partitioned_for``, ``timings_for`` and ``stages_for`` -- used by
+  the fleet router and the cluster provisioner so that fifty replicas
+  of (T2, DLRM-RMC1, plan) cost one evaluation, not fifty.
+
+``clear_shared_caches()`` resets the registry (tests use it to measure
+hit rates deterministically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from repro.hardware.server import ServerType
+    from repro.models.partition import PartitionedModel
+    from repro.models.zoo import RecommendationModel
+    from repro.plans import ExecutionPlan
+    from repro.sim.evaluator import PlanTimings, ServerEvaluator
+    from repro.sim.queries import QueryWorkload
+
+__all__ = [
+    "CacheStats",
+    "PlanTimingsCache",
+    "shared_evaluator",
+    "partitioned_for",
+    "timings_for",
+    "stages_for",
+    "shared_cache_stats",
+    "clear_shared_caches",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one memo table."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PlanTimingsCache:
+    """Memo table for :meth:`ServerEvaluator.plan_timings`.
+
+    Keys combine ``id(partitioned)`` with the (hashable) workload and
+    plan; a strong reference to each partitioned model is retained so a
+    recycled ``id`` can never alias a different model.  Only successful
+    evaluations are cached -- infeasible plans re-raise their
+    ``ValueError`` so error messages stay exact.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[tuple, Any] = {}
+        self._pinned: dict[int, Any] = {}
+        self.stats = CacheStats()
+
+    def get(
+        self,
+        partitioned: "PartitionedModel",
+        workload: "QueryWorkload",
+        plan: "ExecutionPlan",
+    ) -> "PlanTimings | None":
+        timings = self._data.get((id(partitioned), workload, plan))
+        if timings is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return timings
+
+    def put(
+        self,
+        partitioned: "PartitionedModel",
+        workload: "QueryWorkload",
+        plan: "ExecutionPlan",
+        timings: "PlanTimings",
+    ) -> None:
+        self._pinned[id(partitioned)] = partitioned
+        self._data[(id(partitioned), workload, plan)] = timings
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._pinned.clear()
+        self.stats = CacheStats()
+
+
+# ----------------------------------------------------------------------
+# Name-keyed shared registry (fleet + provisioning)
+# ----------------------------------------------------------------------
+
+_EVALUATORS: dict[str, "ServerEvaluator"] = {}
+_PARTITIONS: dict[tuple, "PartitionedModel"] = {}
+_STAGES: dict[tuple, tuple] = {}
+_STATS = CacheStats()
+
+
+def shared_evaluator(server: "ServerType") -> "ServerEvaluator":
+    """One default-configured evaluator per server type.
+
+    Sharing the evaluator shares its :class:`PlanTimingsCache`, so every
+    consumer of (server type, model, plan) timings hits the same memo.
+    """
+    from repro.sim.evaluator import ServerEvaluator
+
+    evaluator = _EVALUATORS.get(server.name)
+    if evaluator is None:
+        evaluator = ServerEvaluator(server)
+        _EVALUATORS[server.name] = evaluator
+    return evaluator
+
+
+def partitioned_for(
+    server: "ServerType",
+    model: "RecommendationModel",
+    plan: "ExecutionPlan",
+) -> "PartitionedModel":
+    """The partitioned model a plan was searched with (memoized).
+
+    GPU model-based plans partition against the device-memory budget
+    divided by the plan's co-location degree; every other placement
+    uses the unconstrained host split (whose ``Gs``/``Gd`` graphs are
+    identical to the budgeted split's).
+    """
+    from repro.models.partition import partition_model
+    from repro.plans import Placement
+
+    if plan.placement is Placement.GPU_MODEL_BASED:
+        if server.gpu is None:
+            raise ValueError(f"{server.name} has no accelerator for {plan.describe()}")
+        key = (model.name, model.variant, server.name, plan.threads)
+        if key not in _PARTITIONS:
+            _PARTITIONS[key] = partition_model(
+                model, server.gpu.memory_bytes, plan.threads
+            )
+        return _PARTITIONS[key]
+    key = (model.name, model.variant, None, 0)
+    if key not in _PARTITIONS:
+        _PARTITIONS[key] = partition_model(model)
+    return _PARTITIONS[key]
+
+
+def timings_for(
+    server: "ServerType",
+    model: "RecommendationModel",
+    workload: "QueryWorkload",
+    plan: "ExecutionPlan",
+) -> "PlanTimings":
+    """Closed-form timings for a (server type, model, plan) triple."""
+    evaluator = shared_evaluator(server)
+    partitioned = partitioned_for(server, model, plan)
+    return evaluator.plan_timings(partitioned, workload, plan)
+
+
+def stages_for(
+    server: "ServerType",
+    model: "RecommendationModel",
+    workload: "QueryWorkload",
+    plan: "ExecutionPlan",
+) -> tuple:
+    """DES stage pipeline for a triple, memoized across fleet replicas.
+
+    Stages are immutable (per-replica queue state lives in the fleet
+    engine), so one tuple is safely shared by every replica of the same
+    (server type, model, plan).
+    """
+    from repro.sim.server_sim import build_stages
+
+    key = (server.name, model.name, model.variant, workload, plan)
+    stages = _STAGES.get(key)
+    if stages is None:
+        _STATS.misses += 1
+        evaluator = shared_evaluator(server)
+        partitioned = partitioned_for(server, model, plan)
+        stages = tuple(build_stages(evaluator, partitioned, workload, plan))
+        _STAGES[key] = stages
+    else:
+        _STATS.hits += 1
+    return stages
+
+
+def shared_cache_stats() -> dict[str, CacheStats]:
+    """Stats for the stage registry and each shared evaluator's memo."""
+    out = {"stages": _STATS}
+    for name, evaluator in _EVALUATORS.items():
+        out[f"timings:{name}"] = evaluator.timings_cache.stats
+    return out
+
+
+def clear_shared_caches() -> None:
+    """Reset the registry (evaluators, partitions, stages, stats)."""
+    global _STATS
+    _EVALUATORS.clear()
+    _PARTITIONS.clear()
+    _STAGES.clear()
+    _STATS = CacheStats()

@@ -35,7 +35,15 @@ from repro.sim.loadgen import generate_trace
 from repro.sim.metrics import LatencyStats, ServerPerformance
 from repro.sim.queries import Query, QueryWorkload
 
-__all__ = ["StageMode", "SimStage", "SimResult", "DiscreteEventServerSim", "simulate"]
+__all__ = [
+    "StageMode",
+    "SimStage",
+    "SimResult",
+    "DiscreteEventServerSim",
+    "simulate",
+    "enqueue_units",
+    "form_batch",
+]
 
 
 class StageMode(enum.Enum):
@@ -92,6 +100,43 @@ class _QueryState:
     stage_idx: int = 0
     pending_units: int = 0
     finish_s: float = 0.0
+
+
+def enqueue_units(stage: SimStage, queue: deque, state, size: int) -> None:
+    """Append one query's work units for a stage to its FIFO.
+
+    SPLIT stages chop the query into ``chunk_items`` sub-batches; FUSE
+    stages enqueue the whole query as one unit.  Sets the state's
+    ``pending_units`` counter.  Shared by the single-node and fleet
+    simulators so batch-formation semantics cannot drift apart.
+    """
+    if stage.mode is StageMode.SPLIT:
+        chunks = _split(size, stage.chunk_items)
+        state.pending_units = len(chunks)
+        queue.extend((state, chunk) for chunk in chunks)
+    else:
+        state.pending_units = 1
+        queue.append((state, size))
+
+
+def form_batch(stage: SimStage, queue: deque) -> tuple[list, int, float]:
+    """Pop one service batch from a stage FIFO.
+
+    FUSE stages accumulate whole queued queries up to the fusion limit;
+    SPLIT stages serve one sub-batch per dispatch.  Returns the batch
+    units, total items, and the item-weighted mean pooling factor.
+    """
+    batch = [queue.popleft()]
+    if stage.mode is StageMode.FUSE and stage.fuse_items > 0:
+        total = batch[0][1]
+        limit = stage.fuse_items
+        while queue and total + queue[0][1] <= limit:
+            unit = queue.popleft()
+            total += unit[1]
+            batch.append(unit)
+    items = sum(it for _, it in batch)
+    pooling = sum(st.query.pooling_scale * it for st, it in batch) / max(items, 1)
+    return batch, items, pooling
 
 
 @dataclass(frozen=True)
@@ -159,38 +204,14 @@ class DiscreteEventServerSim:
         now = 0.0
 
         def enqueue(idx: int, state: _QueryState, time_s: float) -> None:
-            stage = self.stages[idx]
             state.stage_idx = idx
-            if stage.mode is StageMode.SPLIT:
-                chunks = _split(state.query.size, stage.chunk_items)
-                state.pending_units = len(chunks)
-                for chunk in chunks:
-                    queues[idx].append((state, chunk))
-            else:
-                state.pending_units = 1
-                queues[idx].append((state, state.query.size))
+            enqueue_units(self.stages[idx], queues[idx], state, state.query.size)
             dispatch(idx, time_s)
 
         def dispatch(idx: int, time_s: float) -> None:
             stage = self.stages[idx]
             while free[idx] > 0 and queues[idx]:
-                if stage.mode is StageMode.SPLIT:
-                    batch = [queues[idx].popleft()]
-                else:
-                    batch = [queues[idx].popleft()]
-                    limit = stage.fuse_items
-                    if limit > 0:
-                        total = batch[0][1]
-                        while queues[idx] and total + queues[idx][0][1] <= limit:
-                            unit = queues[idx].popleft()
-                            total += unit[1]
-                            batch.append(unit)
-                items = sum(it for _, it in batch)
-                # Batch pooling factor: item-weighted mean of the
-                # constituent queries' pooling scales.
-                pooling = sum(
-                    st.query.pooling_scale * it for st, it in batch
-                ) / max(items, 1)
+                batch, items, pooling = form_batch(stage, queues[idx])
                 service = stage.service_s(items, pooling)
                 free[idx] -= 1
                 busy_s[stage.name] += service

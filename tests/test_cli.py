@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["search", "DLRM-RMC1", "T99"])
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.servers == 20
+        assert args.policy == "p2c"
+        assert args.peak_qps is None
+        assert not args.autoscale
+
+    def test_fleet_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "fifo"])
+
 
 class TestCommands:
     def test_models_lists_zoo(self, capsys):
@@ -76,3 +87,37 @@ class TestCommands:
         assert "peak" in out and "shortfall: no" in out.lower().replace(
             "false", "no"
         )
+
+    def test_fleet_replay(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--servers", "4",
+                "--server-types", "T2",
+                "--models", "DLRM-RMC1",
+                "--policy", "p2c",
+                "--duration", "2",
+                "--segments", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out and "viol" in out
+        assert "fleet power" in out and "queries served" in out
+        assert "DLRM-RMC1" in out
+
+    def test_fleet_autoscale(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--servers", "4",
+                "--server-types", "T2",
+                "--models", "DLRM-RMC1",
+                "--duration", "2",
+                "--segments", "8",
+                "--autoscale",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet power" in out

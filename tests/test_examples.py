@@ -23,12 +23,19 @@ def test_examples_directory_complete():
         "server_search.py",
         "cluster_serving.py",
         "model_evolution.py",
+        "fleet_serving.py",
     } <= names
 
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart.py", "server_search.py", "cluster_serving.py", "model_evolution.py"],
+    [
+        "quickstart.py",
+        "server_search.py",
+        "cluster_serving.py",
+        "model_evolution.py",
+        "fleet_serving.py",
+    ],
 )
 def test_examples_compile(name):
     py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)

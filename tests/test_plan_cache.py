@@ -1,0 +1,137 @@
+"""Tests for the shared plan-evaluation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import SERVER_TYPES
+from repro.models import build_model, partition_model
+from repro.plans import ExecutionPlan, Placement
+from repro.sim import QueryWorkload, ServerEvaluator
+from repro.sim import plan_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    plan_cache.clear_shared_caches()
+    yield
+    plan_cache.clear_shared_caches()
+
+
+@pytest.fixture(scope="module")
+def rmc1_model():
+    return build_model("DLRM-RMC1")
+
+
+@pytest.fixture(scope="module")
+def workload(rmc1_model):
+    return QueryWorkload.for_model(rmc1_model.config.mean_query_size)
+
+
+PLAN = ExecutionPlan(Placement.CPU_MODEL_BASED, threads=4, cores_per_thread=2, batch_size=64)
+
+
+class TestEvaluatorMemo:
+    def test_plan_timings_served_from_cache(self, rmc1_model, workload):
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        partitioned = partition_model(rmc1_model)
+        first = evaluator.plan_timings(partitioned, workload, PLAN)
+        second = evaluator.plan_timings(partitioned, workload, PLAN)
+        assert second is first
+        assert evaluator.timings_cache.stats.hits == 1
+        assert evaluator.timings_cache.stats.misses == 1
+
+    def test_distinct_plans_miss(self, rmc1_model, workload):
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        partitioned = partition_model(rmc1_model)
+        evaluator.plan_timings(partitioned, workload, PLAN)
+        evaluator.plan_timings(partitioned, workload, PLAN.with_(batch_size=128))
+        assert evaluator.timings_cache.stats.misses == 2
+        assert len(evaluator.timings_cache) == 2
+
+    def test_infeasible_plans_not_cached(self, rmc1_model, workload):
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        partitioned = partition_model(rmc1_model)
+        cores = SERVER_TYPES["T2"].cpu.cores
+        bad = ExecutionPlan(
+            Placement.CPU_MODEL_BASED, threads=cores + 1, cores_per_thread=2
+        )
+        for _ in range(2):
+            with pytest.raises(ValueError, match="does not fit"):
+                evaluator.plan_timings(partitioned, workload, bad)
+        assert len(evaluator.timings_cache) == 0
+
+    def test_identity_keyed_partitions_do_not_alias(self, rmc1_model, workload):
+        """Two structurally equal partitions are still separate keys."""
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        a = partition_model(rmc1_model)
+        b = partition_model(rmc1_model)
+        ta = evaluator.plan_timings(a, workload, PLAN)
+        tb = evaluator.plan_timings(b, workload, PLAN)
+        assert evaluator.timings_cache.stats.hits == 0
+        assert ta.capacity_items_s == pytest.approx(tb.capacity_items_s)
+
+    def test_clear_resets_stats(self, rmc1_model, workload):
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        partitioned = partition_model(rmc1_model)
+        evaluator.plan_timings(partitioned, workload, PLAN)
+        evaluator.timings_cache.clear()
+        assert len(evaluator.timings_cache) == 0
+        assert evaluator.timings_cache.stats.lookups == 0
+
+
+class TestSharedRegistry:
+    def test_shared_evaluator_is_singleton_per_type(self):
+        a = plan_cache.shared_evaluator(SERVER_TYPES["T2"])
+        b = plan_cache.shared_evaluator(SERVER_TYPES["T2"])
+        c = plan_cache.shared_evaluator(SERVER_TYPES["T3"])
+        assert a is b
+        assert a is not c
+
+    def test_stages_memoized_across_calls(self, rmc1_model, workload):
+        server = SERVER_TYPES["T2"]
+        first = plan_cache.stages_for(server, rmc1_model, workload, PLAN)
+        second = plan_cache.stages_for(server, rmc1_model, workload, PLAN)
+        assert second is first
+        stats = plan_cache.shared_cache_stats()["stages"]
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_timings_for_shares_the_evaluator_memo(self, rmc1_model, workload):
+        server = SERVER_TYPES["T2"]
+        first = plan_cache.timings_for(server, rmc1_model, workload, PLAN)
+        second = plan_cache.timings_for(server, rmc1_model, workload, PLAN)
+        assert second is first
+        evaluator = plan_cache.shared_evaluator(server)
+        assert evaluator.timings_cache.stats.hits >= 1
+
+    def test_gpu_model_based_partition_keyed_by_colocation(self, rmc1_model):
+        server = SERVER_TYPES["T7"]
+        plan1 = ExecutionPlan(
+            Placement.GPU_MODEL_BASED, threads=1, fusion_limit=256, sparse_threads=1
+        )
+        plan2 = plan1.with_(threads=2)
+        p1 = plan_cache.partitioned_for(server, rmc1_model, plan1)
+        p2 = plan_cache.partitioned_for(server, rmc1_model, plan2)
+        assert p1 is plan_cache.partitioned_for(server, rmc1_model, plan1)
+        assert p1 is not p2
+        assert p1.hot_sparse is not None
+
+    def test_host_partition_shared_across_placements(self, rmc1_model):
+        cpu_plan = PLAN
+        sd_plan = ExecutionPlan(
+            Placement.CPU_SD_PIPELINE,
+            threads=0,
+            batch_size=64,
+            sparse_threads=2,
+            dense_threads=2,
+        )
+        a = plan_cache.partitioned_for(SERVER_TYPES["T2"], rmc1_model, cpu_plan)
+        b = plan_cache.partitioned_for(SERVER_TYPES["T2"], rmc1_model, sd_plan)
+        assert a is b
+
+    def test_clear_shared_caches(self, rmc1_model, workload):
+        plan_cache.stages_for(SERVER_TYPES["T2"], rmc1_model, workload, PLAN)
+        plan_cache.clear_shared_caches()
+        assert plan_cache.shared_cache_stats()["stages"].lookups == 0
