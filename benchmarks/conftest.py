@@ -4,13 +4,22 @@ Each bench regenerates one paper table or figure: it runs the
 experiment once under pytest-benchmark (wall-clock is informative, not
 statistical) and registers the paper-style rows through the ``show``
 fixture.  Registered tables are (a) written to
-``benchmarks/results/<test>.txt`` and (b) replayed in the terminal
+``benchmarks/results/<test>.txt``, (b) replayed in the terminal
 summary, so they survive pytest's output capture and land in a tee'd
 bench log.
+
+Machine-readable results go through the ``record`` fixture, which
+writes ``benchmarks/results/<test>.json`` -- the same schema family as
+the repo-root ``BENCH_perf.json`` that ``python -m repro.cli bench``
+maintains.  Everything under ``benchmarks/results/`` is a regenerable
+artifact and stays untracked (see ``.gitignore``); only
+``BENCH_perf.json`` at the repo root is committed, as the perf
+baseline each PR defends.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -35,6 +44,29 @@ def show(request):
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{request.node.name}.txt").write_text("")
     return _show
+
+
+@pytest.fixture
+def record(request):
+    """Write machine-readable results to ``results/<test>.json``.
+
+    Call it with any JSON-serializable document (dict of metrics,
+    list of rows, ...); repeated calls merge at the top level so a
+    bench can record several named blocks.
+    """
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"{request.node.name}.json"
+    if path.exists():
+        path.unlink()
+
+    def _record(document: dict) -> None:
+        merged = {}
+        if path.exists():
+            merged = json.loads(path.read_text())
+        merged.update(document)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    return _record
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -9,6 +9,12 @@ Subcommands:
 - ``serve``    -- provision a diurnal day through a cluster scheduler.
 - ``fleet``    -- request-level fleet replay of a diurnal day (routing,
   optional autoscaling, measured SLA/power report).
+- ``bench``    -- perf-regression harness over the hot paths; writes
+  machine-readable ``BENCH_perf.json``.
+
+Subcommands that fan out over (server type, model) pairs accept
+``--jobs`` for process-parallel profiling and thread ``--seed`` through
+every trace generator, so runs are reproducible bit-for-bit.
 
 Installed as ``hercules-repro`` (see pyproject) or run with
 ``python -m repro.cli``.
@@ -143,7 +149,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     servers = [SERVER_TYPES[s] for s in args.servers]
     models = [build_model(m) for m in args.models]
-    table = OfflineProfiler().profile(servers, models)
+    table = OfflineProfiler().profile(servers, models, jobs=args.jobs)
     rows = [
         [
             tup.server_name,
@@ -232,7 +238,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"Profiling {len(server_types)} server types x {len(models)} models ...",
         flush=True,
     )
-    table = OfflineProfiler().profile(server_types, list(models.values()))
+    table = OfflineProfiler().profile(
+        server_types, list(models.values()), jobs=args.jobs
+    )
     fleet_counts = _distribute_fleet(args.servers, list(args.server_types))
 
     # Peak loads: explicit, or sized so the fleet peaks around 60%
@@ -308,6 +316,27 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if result.total_dropped and not args.autoscale else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import perfbench
+
+    doc = perfbench.run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        jobs=args.jobs,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        progress=lambda name: print(f"bench: {name} ...", flush=True),
+    )
+    if args.baseline:
+        import json
+
+        with open(args.baseline) as fh:
+            doc = perfbench.attach_baseline(doc, json.load(fh))
+    perfbench.write_bench_json(args.output, doc)
+    print(perfbench.format_bench(doc))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hercules-repro",
@@ -337,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the pair fan-out (0 = all CPUs)",
     )
     profile.set_defaults(func=_cmd_profile)
 
@@ -406,7 +441,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--over-provision", type=float, default=0.05)
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for offline profiling (0 = all CPUs)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-regression harness",
+        description=(
+            "Times the hot paths (task-scheduling search, classification-"
+            "table build, trace generation, single-node DES, fleet replay) "
+            "on fixed seeds and writes machine-readable BENCH_perf.json "
+            "(wall seconds, queries/sec, events/sec per scenario)."
+        ),
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized scenarios (seconds instead of minutes)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the profiling scenario (0 = all CPUs)",
+    )
+    from repro.perfbench import SCENARIOS
+
+    bench.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=SCENARIOS,
+        metavar="NAME",
+        help=f"subset of scenarios to run (default: all of {', '.join(SCENARIOS)})",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_perf.json",
+        help="output JSON path (default: ./BENCH_perf.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="earlier BENCH_perf.json to embed and compute speedups against",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

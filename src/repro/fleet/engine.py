@@ -9,12 +9,20 @@ what p50/p99, SLA-violation rate, and power does the *fleet* deliver?
 Design notes (performance matters -- 50 servers x 100k queries must
 stay interactive):
 
-- One global event heap drives every server; each replica keeps only
-  cheap per-stage state (deque + free-unit count), so the cost per
-  event is independent of fleet size.
+- One global event heap drives every server, but arrivals never enter
+  it: the engine merges the time-sorted arrival list with the heap
+  (:mod:`repro.sim.event_core`), so heap traffic is proportional to
+  batch completions only.
+- Replicas whose pipeline is a single SPLIT stage -- every CPU
+  placement -- run on the event core's :class:`DirectStage`
+  recurrence: the query's completion time is computed exactly at
+  arrival and one completion event is scheduled, instead of an event
+  per sub-batch.  FUSE-bearing (accelerator) pipelines keep the full
+  event path, since batch formation there depends on queue state.
 - Stage pipelines and closed-form timings are memoized per
   (server type, model, plan) through :mod:`repro.sim.plan_cache`;
-  fifty replicas of the same triple share one evaluation.
+  fifty replicas of the same triple share one evaluation *and* one set
+  of quantized service-time tables.
 - Queries are routed at arrival by a per-model
   :class:`~repro.fleet.routing.RoutingPolicy`; an optional
   :class:`~repro.fleet.autoscaler.ReactiveAutoscaler` activates or
@@ -24,9 +32,7 @@ stay interactive):
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
+from heapq import heappop, heappush
 from typing import Sequence
 
 from repro.cluster.state import Allocation
@@ -38,9 +44,9 @@ from repro.models.zoo import RecommendationModel
 from repro.scheduling.profiler import ClassificationTable
 from repro.sim import plan_cache
 from repro.sim.evaluator import PlanTimings
+from repro.sim.event_core import DirectStage, EventHeap, Pipeline, QueryState
 from repro.sim.loadgen import generate_trace
 from repro.sim.queries import Query, QueryWorkload
-from repro.sim.server_sim import SimStage, enqueue_units, form_batch
 
 __all__ = [
     "FleetServer",
@@ -56,7 +62,8 @@ class FleetServer:
 
     The stage tuple and timings are shared (read-only) across every
     replica of the same (server type, model, plan); queues, free-unit
-    counts, and counters are per-replica.
+    counts, and counters are per-replica.  Single-stage SPLIT pipelines
+    additionally get a :class:`DirectStage` fast path (``direct``).
     """
 
     __slots__ = (
@@ -67,8 +74,8 @@ class FleetServer:
         "stages",
         "timings",
         "weight",
-        "queues",
-        "free",
+        "pipeline",
+        "direct",
         "outstanding",
         "completed",
         "completed_in_window",
@@ -86,7 +93,7 @@ class FleetServer:
         server_type: ServerType,
         model_name: str,
         plan,
-        stages: Sequence[SimStage],
+        stages: Sequence,
         timings: PlanTimings,
         weight: float,
         active: bool = True,
@@ -95,11 +102,15 @@ class FleetServer:
         self.server_type = server_type
         self.model_name = model_name
         self.plan = plan
-        self.stages = tuple(stages)
+        self.pipeline = Pipeline(stages, owner=self)
+        self.stages = self.pipeline.stages
+        self.direct = (
+            DirectStage(self.stages[0])
+            if len(self.stages) == 1 and not self.stages[0].is_fuse
+            else None
+        )
         self.timings = timings
         self.weight = weight  # profiled latency-bounded QPS
-        self.queues: list[deque] = [deque() for _ in self.stages]
-        self.free: list[int] = [s.units for s in self.stages]
         self.outstanding = 0
         self.completed = 0
         self.completed_in_window = 0
@@ -131,16 +142,6 @@ class FleetServer:
         )
 
 
-class _QState:
-    __slots__ = ("query", "model", "server", "pending_units")
-
-    def __init__(self, query: Query, model: str) -> None:
-        self.query = query
-        self.model = model
-        self.server: FleetServer | None = None
-        self.pending_units = 0
-
-
 def build_fleet(
     allocation: Allocation,
     table: ClassificationTable,
@@ -168,7 +169,9 @@ def build_fleet(
                 model_name
             ) or QueryWorkload.for_model(model.config.mean_query_size)
             server_type = get_server_type(srv_name)
-            stages = plan_cache.stages_for(server_type, model, workload, tup.plan)
+            stages = plan_cache.serviced_stages_for(
+                server_type, model, workload, tup.plan
+            )
             timings = plan_cache.timings_for(server_type, model, workload, tup.plan)
             for _ in range(count):
                 servers.append(
@@ -272,6 +275,7 @@ class FleetSimulator:
         self._seed = seed
         self._routable: dict[str, list[FleetServer]] = {}
         self._policies: dict[str, RoutingPolicy] = {}
+        self.last_event_count = 0
         model_names = sorted({s.model_name for s in self.servers})
         for i, model in enumerate(model_names):
             self._routable[model] = [
@@ -309,14 +313,23 @@ class FleetSimulator:
         """
         if not trace:
             raise ValueError("empty fleet trace")
-        counter = itertools.count()
-        events: list[tuple] = []
-        push = lambda t, payload: heapq.heappush(events, (t, next(counter), payload))
+        import numpy as np
 
-        states = [_QState(q, model) for model, q in trace]
-        for st in states:
-            push(st.query.arrival_s, st)
-        horizon = max(st.query.arrival_s for st in states)
+        heap = EventHeap()
+        # Parallel arrays: the merge loop compares plain floats and the
+        # (model, query) pairs ride through the fast path unwrapped --
+        # QueryState records are only built for event-pipeline replicas.
+        trace = list(trace)
+        times = [q.arrival_s for _, q in trace]
+        arr = np.asarray(times)
+        if len(arr) > 1 and bool((np.diff(arr) < 0.0).any()):
+            # Stable order keeps trace position on ties, matching the
+            # event counters the old all-arrivals-on-the-heap scheme
+            # assigned.
+            order = np.argsort(arr, kind="stable").tolist()
+            trace = [trace[k] for k in order]
+            times = [times[k] for k in order]
+        horizon = times[-1]
 
         # Windowed completion/arrival/drop feeds for the autoscaler.
         window_lat: dict[str, list[float]] = {m: [] for m in self._routable}
@@ -324,70 +337,117 @@ class FleetSimulator:
         window_drops: dict[str, int] = {m: 0 for m in self._routable}
         scale_events: list = []
         if self.autoscaler is not None:
+            # Ticks keep their pre-finish sequence numbers so a tick at
+            # exactly a finish timestamp still wins, as before.
             w = self.autoscaler.window_s
             t = w
             while t < horizon:
-                push(t, ("tick",))
+                heap.push(t, None, 0, None)
                 t += w
 
         # Track every model the trace names, so streams with no replica
         # anywhere in the fleet still surface as dropped/violating.
-        trace_models = {st.model for st in states}
         completions: dict[str, list[tuple[float, float]]] = {
-            m: [] for m in set(self._routable) | trace_models
+            m: [] for m in set(self._routable) | {model for model, _ in trace}
         }
         dropped: dict[str, int] = {m: 0 for m in completions}
         scaling = self.autoscaler is not None
 
-        def enqueue(server: FleetServer, idx: int, qs: _QState, now: float) -> None:
-            enqueue_units(server.stages[idx], server.queues[idx], qs, qs.query.size)
-            dispatch(server, idx, now)
+        # One lookup per arrival: model -> (replica list, policy).  The
+        # replica lists are the exact objects the autoscaler mutates.
+        streams = {
+            m: (self._routable[m], self._policies[m]) for m in self._routable
+        }
+        events = heap.items
+        dead = heap.dead
+        finished: list[QueryState] = []
+        i, n = 0, len(trace)
+        arrivals = n
+        # The loop allocates an event tuple per batch and never builds
+        # cycles; keeping the generational GC out of it saves a few
+        # percent on long replays.
+        import gc
 
-        def dispatch(server: FleetServer, idx: int, now: float) -> None:
-            stage = server.stages[idx]
-            queue = server.queues[idx]
-            free = server.free
-            while free[idx] > 0 and queue:
-                batch, items, pooling = form_batch(stage, queue)
-                service = stage.service_s(items, pooling)
-                free[idx] -= 1
-                push(now + service, (server, idx, batch))
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_loop(
+                trace, times, i, n, streams, events, dead, finished, heap,
+                warmup_s, horizon, scaling, completions, dropped,
+                window_lat, window_arrivals, window_drops, scale_events,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
-        def complete(qs: _QState, now: float) -> None:
-            server = qs.server
-            server.completed += 1
-            if qs.query.arrival_s >= warmup_s and now <= horizon:
-                server.completed_in_window += 1
-            server.items_done += qs.query.size
-            server.outstanding -= 1
-            completions[qs.model].append((now, now - qs.query.arrival_s))
-            if scaling:
-                window_lat[qs.model].append((now - qs.query.arrival_s) * 1e3)
-            if server.draining and server.outstanding == 0:
-                server.settle(now)
-                server.active = False
-                server.draining = False
+        for server in self.servers:
+            server.settle(horizon)
+        self.last_event_count = arrivals + heap.seq
 
-        while events:
-            now, _, payload = heapq.heappop(events)
-            if isinstance(payload, _QState):
-                qs = payload
-                candidates = self._routable.get(qs.model)
-                if not candidates:
-                    # Warmup drops stay out of the stats (mirroring the
-                    # completion window) but still feed the autoscaler.
-                    if now >= warmup_s:
-                        dropped[qs.model] = dropped.get(qs.model, 0) + 1
+        return self._summarize(
+            completions, dropped, warmup_s, horizon, tuple(scale_events)
+        )
+
+    def _run_loop(
+        self, trace, times, i, n, streams, events, dead, finished, heap,
+        warmup_s, horizon, scaling, completions, dropped,
+        window_lat, window_arrivals, window_drops, scale_events,
+    ) -> None:
+        """The hot event loop (split out so the GC guard stays simple)."""
+        while True:
+            # -- next event: arrival stream vs heap, arrivals win ties --
+            if i < n:
+                now = times[i]
+                if not events or now <= events[0][0]:
+                    model, query = trace[i]
+                    i += 1
+                    stream = streams.get(model)
+                    if not stream or not stream[0]:
+                        # Warmup drops stay out of the stats (mirroring
+                        # the completion window) but feed the autoscaler.
+                        if now >= warmup_s:
+                            dropped[model] = dropped.get(model, 0) + 1
+                        if scaling:
+                            window_drops[model] = window_drops.get(model, 0) + 1
+                        continue
+                    candidates, policy = stream
+                    server = policy.choose(candidates)
+                    server.outstanding += 1
                     if scaling:
-                        window_drops[qs.model] = window_drops.get(qs.model, 0) + 1
+                        window_arrivals[model] += 1
+                    direct = server.direct
+                    if direct is not None:
+                        # Inlined heap.push; the (model, query) trace
+                        # pair rides along as the completion payload.
+                        seq = heap.seq
+                        heap.seq = seq + 1
+                        heappush(
+                            events,
+                            (
+                                direct.completion_time(
+                                    now, query.size, query.pooling_scale
+                                ),
+                                seq,
+                                server,
+                                -1,
+                                (model, query),
+                            ),
+                        )
+                    else:
+                        qs = QueryState(query, model)
+                        qs.server = server
+                        server.pipeline.enqueue(0, qs, qs.size, now, heap)
                     continue
-                server = self._policies[qs.model].choose(candidates)
-                qs.server = server
-                server.outstanding += 1
-                if scaling:
-                    window_arrivals[qs.model] += 1
-                enqueue(server, 0, qs, now)
-            elif payload[0] == "tick":
+            elif not events:
+                break
+            entry = heappop(events)
+            if dead and entry[1] in dead:
+                dead.discard(entry[1])
+                continue
+            now = entry[0]
+            server = entry[2]
+            if server is None:  # autoscaler tick
                 decisions = self.autoscaler.tick(
                     now,
                     window_lat,
@@ -398,43 +458,61 @@ class FleetSimulator:
                 )
                 for event in decisions:
                     scale_events.append(event)
-                    server = event.server
+                    scaled = event.server
                     if event.action == "activate":
-                        server.active = True
-                        server.draining = False
-                        server._active_since = now
-                        self._routable[server.model_name].append(server)
+                        scaled.active = True
+                        scaled.draining = False
+                        scaled._active_since = now
+                        self._routable[scaled.model_name].append(scaled)
                     else:  # drain
-                        self._routable[server.model_name].remove(server)
-                        server.draining = True
-                        if server.outstanding == 0:
-                            server.settle(now)
-                            server.active = False
-                            server.draining = False
+                        self._routable[scaled.model_name].remove(scaled)
+                        scaled.draining = True
+                        if scaled.outstanding == 0:
+                            scaled.settle(now)
+                            scaled.active = False
+                            scaled.draining = False
                 for m in window_lat:
                     window_lat[m] = []
                     window_arrivals[m] = 0
                 for m in window_drops:
                     window_drops[m] = 0
-            else:
-                server, idx, batch = payload
-                server.free[idx] += 1
-                last = len(server.stages) - 1
-                for qs, _items in batch:
-                    qs.pending_units -= 1
-                    if qs.pending_units == 0:
-                        if idx < last:
-                            enqueue(server, idx + 1, qs, now)
-                        else:
-                            complete(qs, now)
-                dispatch(server, idx, now)
-
-        for server in self.servers:
-            server.settle(horizon)
-
-        return self._summarize(
-            completions, dropped, warmup_s, horizon, tuple(scale_events)
-        )
+                continue
+            idx = entry[3]
+            if idx < 0:  # direct-path completion event, bookkept inline
+                model, query = entry[4]
+                arrival = query.arrival_s
+                server.completed += 1
+                if arrival >= warmup_s and now <= horizon:
+                    server.completed_in_window += 1
+                server.items_done += query.size
+                server.outstanding -= 1
+                latency = now - arrival
+                completions[model].append((now, latency))
+                if scaling:
+                    window_lat[model].append(latency * 1e3)
+                if server.draining and server.outstanding == 0:
+                    server.settle(now)
+                    server.active = False
+                    server.draining = False
+                continue
+            server.pipeline.on_finish(idx, entry[4], now, heap, finished)
+            if finished:
+                for qs in finished:
+                    # Same bookkeeping as the direct path above.
+                    server.completed += 1
+                    if qs.arrival_s >= warmup_s and now <= horizon:
+                        server.completed_in_window += 1
+                    server.items_done += qs.size
+                    server.outstanding -= 1
+                    latency = now - qs.arrival_s
+                    completions[qs.model].append((now, latency))
+                    if scaling:
+                        window_lat[qs.model].append(latency * 1e3)
+                    if server.draining and server.outstanding == 0:
+                        server.settle(now)
+                        server.active = False
+                        server.draining = False
+                finished.clear()
 
     # ------------------------------------------------------------------
 
@@ -516,4 +594,5 @@ class FleetSimulator:
             servers=tuple(server_stats),
             avg_power_w=total_energy / max(horizon, 1e-9),
             scale_events=scale_events,
+            events=self.last_event_count,
         )

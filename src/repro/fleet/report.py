@@ -73,6 +73,9 @@ class FleetResult:
         servers: Per-replica accounting rows.
         avg_power_w: Active-time-weighted mean fleet power.
         scale_events: Autoscaler actions, in order (empty when static).
+        events: Simulation events processed (arrivals, batch
+            completions, autoscaler ticks) -- the perf harness's
+            events/sec denominator.
     """
 
     policy: str
@@ -81,6 +84,7 @@ class FleetResult:
     servers: tuple[ServerStats, ...]
     avg_power_w: float
     scale_events: tuple = ()
+    events: int = 0
 
     @property
     def total_completed(self) -> int:

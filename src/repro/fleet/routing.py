@@ -69,7 +69,19 @@ class LeastOutstandingPolicy(RoutingPolicy):
         pass
 
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
-        return min(candidates, key=lambda s: (s.outstanding, -s.weight))
+        # Manual argmin over (outstanding, -weight): same pick as
+        # min(key=...) -- first minimum wins -- without building a key
+        # tuple per replica on the per-arrival hot path.
+        best = candidates[0]
+        best_out = best.outstanding
+        best_w = best.weight
+        for server in candidates:
+            out = server.outstanding
+            if out < best_out or (out == best_out and server.weight > best_w):
+                best = server
+                best_out = out
+                best_w = server.weight
+        return best
 
 
 class PowerOfTwoPolicy(RoutingPolicy):
@@ -83,14 +95,24 @@ class PowerOfTwoPolicy(RoutingPolicy):
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
+        self._random = self._rng.random
 
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        # Indices come from the C-level ``random()`` instead of
+        # ``randrange`` (which loops in Python): routing is the fleet's
+        # per-arrival hot path.  Still uniform and seed-deterministic;
+        # the guard covers the half-ulp case where ``r * n`` rounds up.
         n = len(candidates)
         if n == 1:
             return candidates[0]
-        a = candidates[self._rng.randrange(n)]
-        b = candidates[self._rng.randrange(n)]
-        if (b.outstanding, -b.weight) < (a.outstanding, -a.weight):
+        rand = self._random
+        i = int(rand() * n)
+        j = int(rand() * n)
+        a = candidates[i if i < n else n - 1]
+        b = candidates[j if j < n else n - 1]
+        b_out = b.outstanding
+        a_out = a.outstanding
+        if b_out < a_out or (b_out == a_out and b.weight > a.weight):
             return b
         return a
 

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.models.graph import Graph
 
-__all__ = ["NodeSchedule", "ScheduleResult", "list_schedule"]
+__all__ = ["NodeSchedule", "ScheduleResult", "list_schedule", "list_makespan"]
 
 
 @dataclass(frozen=True)
@@ -111,3 +112,47 @@ def list_schedule(
         workers=workers,
         nodes=tuple(placements),
     )
+
+
+def list_makespan(
+    topo: "Sequence[tuple[str, tuple[str, ...]]]",
+    latencies: dict[str, float],
+    workers: int,
+) -> tuple[float, float]:
+    """Makespan and busy-seconds of the greedy list schedule, nothing else.
+
+    The evaluator's bandwidth-contention fixpoint bisects over dozens
+    of candidate shares, re-scheduling the same graph each time; this
+    fast path performs the identical float operations as
+    :func:`list_schedule` (same dispatch order, same running max/sum)
+    without materializing per-node :class:`NodeSchedule` records.
+
+    Args:
+        topo: ``(name, deps)`` pairs in topological order (e.g. from
+            ``[(n.name, n.deps) for n in graph.topological_order()]``).
+        latencies: Per-node execution time in seconds.
+        workers: Number of parallel operator workers (>= 1).
+
+    Returns:
+        ``(makespan_s, busy_s)``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    worker_free = [(0.0, w) for w in range(workers)]
+    heapq.heapify(worker_free)
+    finish: dict[str, float] = {}
+    makespan = 0.0
+    busy = 0.0
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    for name, deps in topo:
+        ready_at = max((finish[d] for d in deps), default=0.0)
+        free_at, worker = heappop(worker_free)
+        start = max(ready_at, free_at)
+        end = start + latencies[name]
+        finish[name] = end
+        heappush(worker_free, (end, worker))
+        if end > makespan:
+            makespan = end
+        busy += end - start
+    return makespan, busy

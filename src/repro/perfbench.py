@@ -1,0 +1,406 @@
+"""Perf-regression harness: timed, seeded scenarios over the hot paths.
+
+Classic HPC benchmarking practice (RZBENCH and its descendants) is to
+establish a reproducible measurement harness *first* and optimize the
+measured bottlenecks second.  This module is that harness for the
+repo's four hot paths:
+
+- ``search``        -- the gradient task-scheduling search for a pair;
+- ``profile_table`` -- full classification-table construction (the 60
+  workload/server efficiency tuples of Fig. 9b);
+- ``loadgen``       -- Poisson trace synthesis;
+- ``single_node_des`` -- the single-server discrete-event simulation;
+- ``fleet_replay``  -- the request-level fleet replay (50 servers x
+  100k queries in the full configuration).
+
+Every scenario runs on fixed seeds and reports machine-readable
+metrics (wall seconds, queries/sec, events/sec) so each future PR has
+a trajectory to defend.  ``python -m repro.cli bench`` drives it and
+writes ``BENCH_perf.json``; ``benchmarks/bench_perf_core.py`` wraps it
+for the pytest-benchmark lane.
+
+The harness deliberately sticks to long-stable public APIs (and
+feature-detects newer ones such as ``OfflineProfiler.profile(jobs=)``)
+so the *same file* can be dropped onto an older checkout to measure a
+baseline: BENCH_perf.json's ``baseline``/``speedup`` blocks are
+produced exactly that way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "SCENARIOS",
+    "run_scenario",
+    "run_bench",
+    "attach_baseline",
+    "format_bench",
+    "write_bench_json",
+]
+
+#: Scenario registry in execution order (later scenarios reuse earlier
+#: artifacts -- the classification table feeds the DES scenarios).
+SCENARIOS: tuple[str, ...] = (
+    "search",
+    "profile_table",
+    "loadgen",
+    "single_node_des",
+    "fleet_replay",
+)
+
+#: Scenario dimensions.  ``quick`` keeps CI smoke runs in seconds;
+#: ``full`` is the acceptance configuration (50 servers x 100k queries,
+#: all 10 server types x all 6 models).
+_QUICK = {
+    "profile_servers": ("T2", "T3", "T7"),
+    "profile_models": ("DLRM-RMC1", "DLRM-RMC2"),
+    "search_pairs": (("T2", "DLRM-RMC1"),),
+    "loadgen_queries": 50_000,
+    "des_queries": 10_000,
+    "fleet_servers": 12,
+    "fleet_queries": 10_000,
+}
+_FULL = {
+    "profile_servers": None,  # all server types
+    "profile_models": None,  # all models
+    "search_pairs": (("T2", "DLRM-RMC1"), ("T7", "DLRM-RMC2")),
+    "loadgen_queries": 200_000,
+    "des_queries": 50_000,
+    "fleet_servers": 50,
+    "fleet_queries": 100_000,
+}
+
+#: Offered load for the DES scenarios as a fraction of capacity; the
+#: regime the slow-lane fleet test also measures.
+_RHO = 0.75
+
+
+def _config(quick: bool) -> dict[str, Any]:
+    return dict(_QUICK if quick else _FULL)
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+class _Context:
+    """Artifacts shared across scenarios of one bench run."""
+
+    def __init__(self, quick: bool, seed: int, jobs: int) -> None:
+        self.quick = quick
+        self.seed = seed
+        self.jobs = jobs
+        self.cfg = _config(quick)
+        self.table = None  # classification table, set by profile_table
+
+    def server_names(self) -> tuple[str, ...]:
+        from repro.hardware import SERVER_TYPES
+
+        return self.cfg["profile_servers"] or tuple(SERVER_TYPES)
+
+    def model_names(self) -> tuple[str, ...]:
+        from repro.models import MODEL_NAMES
+
+        return self.cfg["profile_models"] or tuple(MODEL_NAMES)
+
+    def classification_table(self):
+        """The scenario table, profiling a small slice on demand."""
+        if self.table is None:
+            from repro.hardware import SERVER_TYPES
+            from repro.models import build_model
+            from repro.scheduling import OfflineProfiler
+
+            servers = [SERVER_TYPES[s] for s in ("T2", "T3", "T7")]
+            models = [build_model(m) for m in ("DLRM-RMC1", "DLRM-RMC2")]
+            self.table = _profile(OfflineProfiler(), servers, models, self.jobs)
+        return self.table
+
+
+def _profile(profiler, servers, models, jobs):
+    """Call ``profile`` with ``jobs`` when supported (newer trees)."""
+    try:
+        return profiler.profile(servers, models, jobs=jobs)
+    except TypeError:
+        return profiler.profile(servers, models)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+
+
+def _scenario_search(ctx: _Context) -> dict[str, Any]:
+    from repro.hardware import SERVER_TYPES
+    from repro.models import build_model
+    from repro.scheduling import HerculesTaskScheduler
+    from repro.sim import ServerEvaluator
+
+    pairs = ctx.cfg["search_pairs"]
+    built = [
+        (ServerEvaluator(SERVER_TYPES[s]), build_model(m)) for s, m in pairs
+    ]
+
+    def run():
+        return [
+            HerculesTaskScheduler(evaluator, model).search()
+            for evaluator, model in built
+        ]
+
+    wall, results = _timed(run)
+    evaluations = sum(r.evaluations for r in results)
+    return {
+        "wall_s": wall,
+        "pairs": len(pairs),
+        "evaluations": evaluations,
+        "evaluations_per_s": evaluations / wall if wall > 0 else 0.0,
+        "feasible": sum(1 for r in results if r.feasible),
+    }
+
+
+def _scenario_profile_table(ctx: _Context) -> dict[str, Any]:
+    from repro.hardware import SERVER_TYPES
+    from repro.models import build_model
+    from repro.scheduling import OfflineProfiler
+
+    servers = [SERVER_TYPES[s] for s in ctx.server_names()]
+    models = [build_model(m) for m in ctx.model_names()]
+
+    wall, table = _timed(
+        lambda: _profile(OfflineProfiler(), servers, models, ctx.jobs)
+    )
+    if not ctx.quick:
+        ctx.table = table  # full table covers the fleet's slice
+    pairs = len(table.entries)
+    return {
+        "wall_s": wall,
+        "pairs": pairs,
+        "pairs_per_s": pairs / wall if wall > 0 else 0.0,
+        "feasible_pairs": sum(1 for t in table.entries.values() if t.feasible),
+        "jobs": ctx.jobs,
+    }
+
+
+def _scenario_loadgen(ctx: _Context) -> dict[str, Any]:
+    from repro.sim import QueryWorkload
+    from repro.sim.loadgen import generate_trace
+
+    workload = QueryWorkload.for_model(120)
+    queries = ctx.cfg["loadgen_queries"]
+    qps = 10_000.0
+    duration = queries / qps
+
+    wall, trace = _timed(
+        lambda: generate_trace(workload, qps, duration, seed=ctx.seed)
+    )
+    return {
+        "wall_s": wall,
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall if wall > 0 else 0.0,
+    }
+
+
+def _scenario_single_node_des(ctx: _Context) -> dict[str, Any]:
+    from repro.hardware import SERVER_TYPES
+    from repro.models import build_model
+    from repro.sim import QueryWorkload
+    from repro.sim.loadgen import generate_trace
+    from repro.sim.server_sim import DiscreteEventServerSim, build_stages
+    from repro.sim.evaluator import ServerEvaluator
+    from repro.models.partition import partition_model
+
+    table = ctx.classification_table()
+    tup = table.get("T2", "DLRM-RMC1")
+    model = build_model("DLRM-RMC1")
+    workload = QueryWorkload.for_model(model.config.mean_query_size)
+    evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+    partitioned = partition_model(model)
+    stages = build_stages(evaluator, partitioned, workload, tup.plan)
+
+    queries = ctx.cfg["des_queries"]
+    qps = _RHO * tup.qps
+    duration = queries / qps
+    trace = generate_trace(workload, qps, duration, seed=ctx.seed + 1)
+
+    sim = DiscreteEventServerSim(list(stages))
+    wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+    events = getattr(result, "events", None)
+    return {
+        "wall_s": wall,
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall if wall > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall) if (events and wall > 0) else None,
+        "completed": result.completed,
+    }
+
+
+def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
+    from repro.cluster.state import Allocation
+    from repro.fleet import FleetSimulator, build_fleet, build_fleet_trace
+    from repro.models import build_model
+    from repro.sim import QueryWorkload
+
+    table = ctx.classification_table()
+    model_names = ("DLRM-RMC1", "DLRM-RMC2")
+    models = {n: build_model(n) for n in model_names}
+    workloads = {
+        n: QueryWorkload.for_model(m.config.mean_query_size)
+        for n, m in models.items()
+    }
+
+    # Availability-shaped allocation over T2/T3/T7 scaled to the target
+    # fleet size (the full configuration reproduces the slow-lane 50).
+    total = ctx.cfg["fleet_servers"]
+    shares = {
+        "DLRM-RMC1": {"T2": 0.36, "T3": 0.12, "T7": 0.08},
+        "DLRM-RMC2": {"T2": 0.24, "T3": 0.12, "T7": 0.08},
+    }
+    allocation = Allocation()
+    placed = 0
+    for name, row in shares.items():
+        for srv, share in row.items():
+            count = max(1, round(total * share))
+            allocation.add(srv, name, count)
+            placed += count
+    servers = build_fleet(allocation, table, models, workloads)
+
+    capacity = {
+        n: sum(
+            c * table.qps(srv, m)
+            for (srv, m), c in allocation.counts.items()
+            if m == n
+        )
+        for n in model_names
+    }
+    rate = _RHO * sum(capacity.values())
+    queries = ctx.cfg["fleet_queries"]
+    duration = queries / rate
+    trace = build_fleet_trace(
+        workloads,
+        {n: [(_RHO * capacity[n], duration)] for n in model_names},
+        seed=ctx.seed,
+    )
+
+    sim = FleetSimulator(
+        servers,
+        policy="p2c",
+        sla_ms={n: m.sla_ms for n, m in models.items()},
+        seed=ctx.seed,
+    )
+    wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+    events = getattr(result, "events", None)
+    return {
+        "wall_s": wall,
+        "servers": len(servers),
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall if wall > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall) if (events and wall > 0) else None,
+        "completed": result.total_completed,
+    }
+
+
+_SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
+    "search": _scenario_search,
+    "profile_table": _scenario_profile_table,
+    "loadgen": _scenario_loadgen,
+    "single_node_des": _scenario_single_node_des,
+    "fleet_replay": _scenario_fleet_replay,
+}
+
+
+def run_scenario(
+    name: str, quick: bool = True, seed: int = 0, jobs: int = 1
+) -> dict[str, Any]:
+    """Run one scenario standalone (used by the pytest bench wrapper)."""
+    if name not in _SCENARIO_FNS:
+        raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIOS}")
+    return _SCENARIO_FNS[name](_Context(quick, seed, jobs))
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 0,
+    jobs: int = 1,
+    scenarios: tuple[str, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the harness and return the BENCH_perf document (no baseline)."""
+    selected = scenarios or SCENARIOS
+    unknown = [s for s in selected if s not in _SCENARIO_FNS]
+    if unknown:
+        raise ValueError(f"unknown scenarios {unknown}; choose from {SCENARIOS}")
+    ctx = _Context(quick, seed, jobs)
+    results: dict[str, Any] = {}
+    for name in SCENARIOS:  # registry order so artifacts flow downstream
+        if name not in selected:
+            continue
+        if progress is not None:
+            progress(name)
+        results[name] = _SCENARIO_FNS[name](ctx)
+    return {
+        "schema": 1,
+        "suite": "repro-perf-core",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "jobs": jobs,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "scenarios": results,
+    }
+
+
+def attach_baseline(doc: dict[str, Any], baseline: dict[str, Any]) -> dict[str, Any]:
+    """Embed a baseline harness run and per-scenario wall-time speedups."""
+    doc = dict(doc)
+    doc["baseline"] = {
+        "mode": baseline.get("mode"),
+        "seed": baseline.get("seed"),
+        "jobs": baseline.get("jobs"),
+        "label": baseline.get("label", "pre-PR seed"),
+        "scenarios": baseline.get("scenarios", {}),
+    }
+    speedup: dict[str, float] = {}
+    for name, current in doc.get("scenarios", {}).items():
+        base = doc["baseline"]["scenarios"].get(name)
+        if not base:
+            continue
+        if base.get("wall_s") and current.get("wall_s"):
+            speedup[name] = base["wall_s"] / current["wall_s"]
+    doc["speedup"] = speedup
+    return doc
+
+
+def format_bench(doc: dict[str, Any]) -> str:
+    """Human-readable summary table of one BENCH_perf document."""
+    lines = [
+        f"perf-core bench ({doc.get('mode')} mode, seed {doc.get('seed')}, "
+        f"jobs {doc.get('jobs')})"
+    ]
+    speedups = doc.get("speedup", {})
+    for name, metrics in doc.get("scenarios", {}).items():
+        wall = metrics.get("wall_s", 0.0)
+        rate = metrics.get("queries_per_s") or metrics.get("pairs_per_s") or (
+            metrics.get("evaluations_per_s")
+        )
+        rate_txt = f" | {rate:,.0f}/s" if rate else ""
+        extra = f" | {speedups[name]:.2f}x vs baseline" if name in speedups else ""
+        lines.append(f"  {name:<16} {wall:8.3f} s{rate_txt}{extra}")
+    return "\n".join(lines)
+
+
+def write_bench_json(path: str, doc: dict[str, Any]) -> None:
+    """Write the document with stable formatting (sorted, indented)."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

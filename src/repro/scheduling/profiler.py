@@ -10,6 +10,7 @@ per-server provisioned budget.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -183,11 +184,68 @@ class OfflineProfiler:
         servers: list[ServerType],
         models: list[RecommendationModel],
         workloads: dict[str, QueryWorkload] | None = None,
+        jobs: int = 1,
     ) -> ClassificationTable:
-        """Profile all pairs into a classification table."""
+        """Profile all pairs into a classification table.
+
+        Args:
+            servers: Server types to profile.
+            models: Models to profile.
+            workloads: Optional per-model workload overrides.
+            jobs: Worker processes for the fan-out.  ``1`` (default)
+                profiles serially in-process; ``0``/``None`` uses every
+                CPU.  Parallel granularity is one server type per task,
+                so each worker shares its evaluator (and NMP LUT)
+                across that server's models exactly like the serial
+                path.  The table is identical to a serial run -- each
+                pair's search is deterministic and results are merged
+                in server-major order.  Requires picklable models and
+                factories (the defaults are).
+        """
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
         table = ClassificationTable()
-        for server in servers:
-            for model in models:
-                workload = (workloads or {}).get(model.name)
-                table.add(self.profile_pair(server, model, workload))
+        if jobs == 1 or len(servers) <= 1:
+            for server in servers:
+                for model in models:
+                    workload = (workloads or {}).get(model.name)
+                    table.add(self.profile_pair(server, model, workload))
+            return table
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Shared cache warm-up: prime the module state fork-started
+        # workers inherit -- the scipy import and the lru-cached
+        # log-normal percentile table behind ``tail_size`` (the
+        # latency-bounded bisection's per-probe sizes) -- so each
+        # worker starts hot instead of re-deriving them per process.
+        for model in models:
+            workload = (workloads or {}).get(model.name) or QueryWorkload.for_model(
+                model.config.mean_query_size
+            )
+            for p in (50.0, 95.0, 99.0):
+                workload.tail_size(p)
+
+        tasks = [
+            (self.scheduler_factory, self.evaluator_factory, server, models, workloads)
+            for server in servers
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(servers))) as pool:
+            for rows in pool.map(_profile_server_task, tasks):
+                for tup in rows:
+                    table.add(tup)
         return table
+
+
+def _profile_server_task(args: tuple) -> list[EfficiencyTuple]:
+    """Profile one server type against every model (pool worker).
+
+    Module-level so it pickles; returns plain :class:`EfficiencyTuple`
+    rows (floats + frozen plans), which pickle cheaply.
+    """
+    scheduler_factory, evaluator_factory, server, models, workloads = args
+    profiler = OfflineProfiler(scheduler_factory, evaluator_factory)
+    return [
+        profiler.profile_pair(server, model, (workloads or {}).get(model.name))
+        for model in models
+    ]

@@ -122,6 +122,7 @@ class GradientSearch:
         self._host_partition: PartitionedModel | None = None
         self._gpu_partitions: dict[int, PartitionedModel | None] = {}
         self._cache: dict[ExecutionPlan, ServerPerformance] = {}
+        self._sd_ratios: dict[int, float] = {}
         self.evaluations = 0
         self.visited: list[tuple[ExecutionPlan, float]] = []
 
@@ -339,7 +340,16 @@ class GradientSearch:
         )
 
     def _sd_ratio(self, sparse_cores: int) -> float:
-        """Fraction of threads the sparse stage needs for balance."""
+        """Fraction of threads the sparse stage needs for balance.
+
+        Depends only on ``sparse_cores`` (the probe batch is fixed), so
+        it is memoized: the S-D gradient walk used to recompute this
+        pair of graph timings for every candidate it scored, which
+        dominated the whole profiling pass.
+        """
+        cached = self._sd_ratios.get(sparse_cores)
+        if cached is not None:
+            return cached
         partitioned = self.host_partition()
         probe = 128
         sparse_s, _, _ = self.evaluator._cpu_graph_timing(
@@ -350,8 +360,11 @@ class GradientSearch:
         )
         total = sparse_s + dense_s
         if total <= 0:
-            return 0.5
-        return min(0.9, max(0.1, sparse_s / total))
+            ratio = 0.5
+        else:
+            ratio = min(0.9, max(0.1, sparse_s / total))
+        self._sd_ratios[sparse_cores] = ratio
+        return ratio
 
     def _host_sparse_threads(self, miss_rate: float) -> tuple[int, int]:
         """Host cold-path allotment for GPU model-based plans."""

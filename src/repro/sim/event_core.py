@@ -1,0 +1,544 @@
+"""Tuned discrete-event core shared by the single-node and fleet engines.
+
+Both simulators play query traces through stage pipelines; this module
+owns the semantics (batch formation, unit accounting, service timing)
+and the performance machinery so the two engines cannot drift apart:
+
+- :class:`SimStage` / :class:`StageMode` -- the immutable stage *spec*
+  (public; consumed by tests and :func:`~repro.sim.server_sim.build_stages`).
+- :func:`enqueue_units` / :func:`form_batch` -- the reference batch
+  semantics on a plain FIFO, shared since PR 1.
+- :class:`ServicedStage` -- a stage spec plus quantized memo tables:
+  per-``items`` base service times and per-``size`` split chunkings are
+  computed once and shared by every replica of the same plan (the memo
+  lives with the stage, which :mod:`repro.sim.plan_cache` shares across
+  a fleet).  The memoized results are bit-identical to calling
+  ``SimStage.service_s`` / ``_split`` directly.
+- :class:`QueryState` -- per-query runtime record (``__slots__``).
+- :class:`EventHeap` -- the global event heap: flat ``(time, seq,
+  owner, stage_idx, payload)`` tuples, a monotone sequence number for
+  deterministic FIFO tie-breaks, and cheap lazy deletion (``cancel``
+  marks a sequence number dead; dead entries are skipped at pop).
+- :class:`Pipeline` -- per-replica queue/free-unit state with
+  closure-free ``enqueue``/``dispatch``/``on_finish`` methods (the
+  engines previously rebuilt these as nested closures per run).
+- :class:`DirectStage` -- an exact arrival-driven fast path for
+  single-stage SPLIT pipelines (every CPU placement): a G/D/c queue
+  with deterministic service admits a unit-availability recurrence, so
+  a query's completion time is computed *at arrival* and only one
+  global event is scheduled instead of a per-chunk event chain.  The
+  recurrence performs the same float operations in the same order as
+  the event pipeline, so completion times are bit-identical.
+
+Arrivals are *not* heap events: engines merge the (sorted) arrival
+list with the heap, preferring arrivals on ties -- equivalent to the
+old behaviour of pushing every arrival up front with the lowest
+sequence numbers, at a fraction of the heap traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush, heapreplace
+from typing import Callable, Sequence
+
+__all__ = [
+    "StageMode",
+    "SimStage",
+    "QueryState",
+    "ServicedStage",
+    "DirectStage",
+    "EventHeap",
+    "Pipeline",
+    "enqueue_units",
+    "form_batch",
+]
+
+
+class StageMode(enum.Enum):
+    """How a stage forms batches from incoming queries."""
+
+    SPLIT = "split"
+    """Chop each query into sub-batches of at most ``chunk_items``."""
+
+    FUSE = "fuse"
+    """Merge whole queued queries into one batch up to ``fuse_items``."""
+
+
+@dataclass(frozen=True)
+class SimStage:
+    """One pipeline stage of a simulated server.
+
+    Attributes:
+        name: Stage label (matches the evaluator's stage names).
+        units: Parallel service threads.
+        mode: Batch-formation mode.
+        chunk_items: Sub-batch size for SPLIT stages.
+        fuse_items: Fusion limit for FUSE stages (0 = one query/batch).
+        latency_fn: Batch service time as a function of items.
+        pooling_sensitivity: Fraction of this stage's service time that
+            scales with the batch's pooling factor.  Sparse (embedding)
+            stages are pooling-bound, so the per-query pooling variance
+            of Fig. 2(c) lengthens their service; dense stages are
+            insensitive.
+    """
+
+    name: str
+    units: int
+    mode: StageMode
+    chunk_items: int
+    fuse_items: int
+    latency_fn: Callable[[int], float]
+    pooling_sensitivity: float = 0.0
+
+    def service_s(self, items: int, pooling_scale: float) -> float:
+        """Batch service time including the pooling-variance component."""
+        base = self.latency_fn(items)
+        if self.pooling_sensitivity <= 0.0:
+            return base
+        scale = (
+            1.0 - self.pooling_sensitivity
+            + self.pooling_sensitivity * pooling_scale
+        )
+        return base * scale
+
+
+def _split(size: int, chunk: int) -> list[int]:
+    """Sub-batch sizes for one query (last chunk may be partial)."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    full, rem = divmod(size, chunk)
+    return [chunk] * full + ([rem] if rem else [])
+
+
+def enqueue_units(stage, queue: deque, state, size: int) -> None:
+    """Append one query's work units for a stage to its FIFO.
+
+    SPLIT stages chop the query into ``chunk_items`` sub-batches; FUSE
+    stages enqueue the whole query as one unit.  Sets the state's
+    ``pending_units`` counter.  Shared by the single-node and fleet
+    simulators so batch-formation semantics cannot drift apart.
+
+    Raises:
+        ValueError: On empty queries (``size < 1``); a zero-size query
+            would produce zero units and never complete.
+    """
+    if size < 1:
+        raise ValueError("query size must be >= 1 (zero units never complete)")
+    if stage.mode is StageMode.SPLIT:
+        chunks = _split(size, stage.chunk_items)
+        state.pending_units = len(chunks)
+        queue.extend((state, chunk) for chunk in chunks)
+    else:
+        state.pending_units = 1
+        queue.append((state, size))
+
+
+def form_batch(stage, queue: deque) -> tuple[list, int, float]:
+    """Pop one service batch from a stage FIFO.
+
+    FUSE stages accumulate whole queued queries up to the fusion limit;
+    SPLIT stages serve one sub-batch per dispatch.  Returns the batch
+    units, total items, and the item-weighted mean pooling factor.
+    """
+    batch = [queue.popleft()]
+    if stage.mode is StageMode.FUSE and stage.fuse_items > 0:
+        total = batch[0][1]
+        limit = stage.fuse_items
+        while queue and total + queue[0][1] <= limit:
+            unit = queue.popleft()
+            total += unit[1]
+            batch.append(unit)
+    items = sum(it for _, it in batch)
+    pooling = sum(st.pooling * it for st, it in batch) / max(items, 1)
+    return batch, items, pooling
+
+
+class QueryState:
+    """Runtime record of one in-flight query (shared by both engines).
+
+    ``arrival_s``/``size``/``pooling`` mirror the immutable
+    :class:`~repro.sim.queries.Query` so the hot loops never chase the
+    extra attribute hop; ``server``/``model`` are fleet-only,
+    ``finish_s`` is single-node-only.
+    """
+
+    __slots__ = (
+        "query",
+        "model",
+        "server",
+        "arrival_s",
+        "size",
+        "pooling",
+        "pending_units",
+        "finish_s",
+    )
+
+    def __init__(self, query, model: str | None = None) -> None:
+        self.query = query
+        self.model = model
+        self.server = None
+        self.arrival_s = query.arrival_s
+        self.size = query.size
+        self.pooling = query.pooling_scale
+        self.pending_units = 0
+        self.finish_s = 0.0
+
+
+class ServicedStage:
+    """A stage spec plus quantized service/chunking memo tables.
+
+    One instance is shared by every replica of the same (server type,
+    model, plan) -- see :func:`repro.sim.plan_cache.serviced_stages_for`
+    -- so the ``items -> base service`` and ``size -> chunks`` tables
+    fill once per fleet, not once per replica.  All lookups reproduce
+    ``SimStage.service_s`` / ``_split`` bit-for-bit: the memo stores the
+    exact value the underlying ``latency_fn`` returned.
+    """
+
+    __slots__ = (
+        "name",
+        "units",
+        "mode",
+        "chunk_items",
+        "fuse_items",
+        "latency_fn",
+        "pooling_sensitivity",
+        "is_fuse",
+        "_base_s",
+        "_chunks",
+    )
+
+    def __init__(self, spec) -> None:
+        self.name = spec.name
+        self.units = spec.units
+        self.mode = spec.mode
+        self.chunk_items = spec.chunk_items
+        self.fuse_items = spec.fuse_items
+        self.latency_fn = spec.latency_fn
+        self.pooling_sensitivity = spec.pooling_sensitivity
+        self.is_fuse = spec.mode is StageMode.FUSE
+        self._base_s: dict[int, float] = {}
+        self._chunks: dict[int, tuple[int, ...]] = {}
+
+    # -- memoized primitives ------------------------------------------
+
+    def base_service_s(self, items: int) -> float:
+        """``latency_fn(items)``, memoized per item count."""
+        base = self._base_s.get(items)
+        if base is None:
+            base = self.latency_fn(items)
+            self._base_s[items] = base
+        return base
+
+    def service_s(self, items: int, pooling_scale: float) -> float:
+        """Memoized equivalent of :meth:`SimStage.service_s`."""
+        base = self.base_service_s(items)
+        ps = self.pooling_sensitivity
+        if ps <= 0.0:
+            return base
+        return base * (1.0 - ps + ps * pooling_scale)
+
+    def unit_service_s(self, items: int, pooling_scale: float) -> float:
+        """Service time of a single-unit batch (the SPLIT dispatch case).
+
+        The item-weighted mean pooling of a one-unit batch is
+        ``(scale * items) / items`` -- kept literally (not simplified to
+        ``scale``) to remain bit-identical to :func:`form_batch`.
+        """
+        return self.service_s(items, (pooling_scale * items) / max(items, 1))
+
+    def chunks_for(self, size: int) -> tuple[int, ...]:
+        """``_split(size, chunk_items)``, memoized per query size."""
+        chunks = self._chunks.get(size)
+        if chunks is None:
+            chunks = tuple(_split(size, self.chunk_items))
+            self._chunks[size] = chunks
+        return chunks
+
+    # -- queue operations ---------------------------------------------
+
+    def enqueue(self, queue: deque, state, size: int) -> None:
+        """Memoized equivalent of :func:`enqueue_units`."""
+        if size < 1:
+            raise ValueError(
+                "query size must be >= 1 (zero units never complete)"
+            )
+        if self.is_fuse:
+            state.pending_units = 1
+            queue.append((state, size))
+        else:
+            chunks = self.chunks_for(size)
+            state.pending_units = len(chunks)
+            append = queue.append
+            for chunk in chunks:
+                append((state, chunk))
+
+    def form_and_time(self, queue: deque) -> tuple[list, float]:
+        """Pop one batch and return it with its service time.
+
+        Fast-path equivalent of ``form_batch`` + ``service_s``: the
+        overwhelmingly common single-unit batch skips the generic
+        item/pooling reductions, and the memo/scale lookups are inlined
+        (while computing the identical floats).  Work units carry at
+        least one item (enforced at enqueue), so ``max(items, 1)``
+        simplifies to ``items``.
+        """
+        unit = queue.popleft()
+        items = unit[1]
+        fuse = self.fuse_items
+        if self.is_fuse and fuse > 0:
+            batch = [unit]
+            total = items
+            while queue and total + queue[0][1] <= fuse:
+                extra = queue.popleft()
+                total += extra[1]
+                batch.append(extra)
+            if len(batch) > 1:
+                pooled = 0.0
+                for st, it in batch:
+                    pooled += st.pooling * it
+                items = total
+                pooling = pooled / items
+            else:
+                pooling = (unit[0].pooling * items) / items
+        else:
+            batch = [unit]
+            pooling = (unit[0].pooling * items) / items
+        base = self._base_s.get(items)
+        if base is None:
+            base = self.latency_fn(items)
+            self._base_s[items] = base
+        ps = self.pooling_sensitivity
+        if ps <= 0.0:
+            return batch, base
+        return batch, base * (1.0 - ps + ps * pooling)
+
+
+class DirectStage:
+    """Exact arrival-driven execution of a single-stage SPLIT pipeline.
+
+    A SPLIT stage with deterministic service is a FIFO G/D/c queue:
+    work units are served in enqueue order, each starting when the
+    earliest unit-thread frees.  Tracking the ``units`` per-thread
+    availability times therefore reproduces the event engine exactly --
+    ``start = max(now, min(avail))`` is the same float the finish-event
+    cascade would produce -- while scheduling a single completion event
+    per query instead of one per chunk.
+
+    Only valid for one-stage pipelines: with downstream stages the
+    enqueue order at stage 1 depends on stage-0 completion order, which
+    the recurrence does not track.
+    """
+
+    __slots__ = ("stage", "avail")
+
+    def __init__(self, stage: ServicedStage) -> None:
+        if stage.is_fuse:
+            raise ValueError("DirectStage requires a SPLIT stage")
+        self.stage = stage
+        self.avail = [0.0] * stage.units
+
+    def completion_time(self, now: float, size: int, pooling_scale: float) -> float:
+        """Completion time of a query arriving at ``now`` (claims units).
+
+        Inlined equivalent of per-chunk ``unit_service_s``; chunk sizes
+        are >= 1, so ``max(chunk, 1)`` simplifies to ``chunk``.
+        """
+        stage = self.stage
+        avail = self.avail
+        base_memo = stage._base_s
+        latency_fn = stage.latency_fn
+        ps = stage.pooling_sensitivity
+        if size <= stage.chunk_items:
+            # Single-chunk fast path (the common case: mean query size
+            # is below the plan's batch size): ``_split`` yields [size].
+            base = base_memo.get(size)
+            if base is None:
+                base = latency_fn(size)
+                base_memo[size] = base
+            if ps > 0.0:
+                base = base * (1.0 - ps + ps * ((pooling_scale * size) / size))
+            t_free = avail[0]
+            start = t_free if t_free > now else now
+            done = start + base
+            heapreplace(avail, done)
+            return done
+        finish = now
+        for chunk in stage.chunks_for(size):
+            base = base_memo.get(chunk)
+            if base is None:
+                base = latency_fn(chunk)
+                base_memo[chunk] = base
+            if ps > 0.0:
+                base = base * (1.0 - ps + ps * ((pooling_scale * chunk) / chunk))
+            t_free = avail[0]
+            start = t_free if t_free > now else now
+            done = start + base
+            heapreplace(avail, done)
+            if done > finish:
+                finish = done
+        return finish
+
+
+class EventHeap:
+    """Global event heap with FIFO tie-breaks and lazy deletion.
+
+    Entries are flat ``(time, seq, owner, stage_idx, payload)`` tuples;
+    comparison never reaches ``owner`` because ``seq`` is unique.  The
+    engines read ``items``/``dead`` directly in their hot loops; the
+    methods are the convenient path for everything else.
+
+    Lazy deletion: :meth:`cancel` marks a sequence number dead in O(1);
+    the entry stays in the heap and is discarded when it surfaces.
+    (The engines do not cancel yet -- the hook exists for preemption
+    scenarios such as killing a replica mid-run with in-flight batches.)
+    """
+
+    __slots__ = ("items", "seq", "dead")
+
+    def __init__(self) -> None:
+        self.items: list[tuple] = []
+        self.seq = 0
+        self.dead: set[int] = set()
+
+    def push(self, time_s: float, owner, stage_idx: int, payload) -> int:
+        """Schedule an event; returns its sequence number (for cancel)."""
+        seq = self.seq
+        self.seq = seq + 1
+        heappush(self.items, (time_s, seq, owner, stage_idx, payload))
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        """Mark a scheduled event dead; it is skipped when popped."""
+        self.dead.add(seq)
+
+    def pop(self):
+        """Next live event, or None when drained."""
+        items = self.items
+        dead = self.dead
+        while items:
+            entry = heappop(items)
+            if dead and entry[1] in dead:
+                dead.discard(entry[1])
+                continue
+            return entry
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event (purges dead heads)."""
+        items = self.items
+        dead = self.dead
+        while items and dead and items[0][1] in dead:
+            dead.discard(heappop(items)[1])
+        return items[0][0] if items else None
+
+    def __len__(self) -> int:
+        """Live entries (scheduled minus cancelled-but-unpopped)."""
+        return len(self.items) - len(self.dead)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class Pipeline:
+    """Per-replica stage queues, free-unit counts, and event plumbing.
+
+    ``owner`` rides in every scheduled event so the driving engine can
+    map a finish back to its replica without closures; the single-node
+    engine sets ``owner`` to the pipeline itself.
+    """
+
+    __slots__ = ("stages", "queues", "free", "busy", "owner", "last")
+
+    def __init__(
+        self,
+        stages: Sequence,
+        owner=None,
+        track_busy: bool = False,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages: tuple[ServicedStage, ...] = tuple(
+            s if isinstance(s, ServicedStage) else ServicedStage(s)
+            for s in stages
+        )
+        self.queues: list[deque] = [deque() for _ in self.stages]
+        self.free: list[int] = [s.units for s in self.stages]
+        self.busy: list[float] | None = (
+            [0.0] * len(self.stages) if track_busy else None
+        )
+        self.owner = owner if owner is not None else self
+        self.last = len(self.stages) - 1
+
+    def dispatch(self, idx: int, now: float, heap: EventHeap) -> None:
+        """Start batches at a stage while units and work are available."""
+        free = self.free
+        n = free[idx]
+        if n <= 0:
+            return
+        queue = self.queues[idx]
+        if not queue:
+            return
+        form = self.stages[idx].form_and_time
+        busy = self.busy
+        owner = self.owner
+        items = heap.items
+        seq = heap.seq
+        while n > 0 and queue:
+            batch, service = form(queue)
+            n -= 1
+            if busy is not None:
+                busy[idx] += service
+            heappush(items, (now + service, seq, owner, idx, batch))
+            seq += 1
+        heap.seq = seq
+        free[idx] = n
+
+    def enqueue(self, idx: int, state, size: int, now: float, heap: EventHeap) -> None:
+        """Admit one query's units at a stage and try to start them.
+
+        Inlined body of :meth:`ServicedStage.enqueue` (this runs once
+        per query per stage).
+        """
+        stage = self.stages[idx]
+        queue = self.queues[idx]
+        if size < 1:
+            raise ValueError(
+                "query size must be >= 1 (zero units never complete)"
+            )
+        if stage.is_fuse:
+            state.pending_units = 1
+            queue.append((state, size))
+        else:
+            chunks = stage._chunks.get(size)
+            if chunks is None:
+                chunks = stage.chunks_for(size)
+            state.pending_units = len(chunks)
+            append = queue.append
+            for chunk in chunks:
+                append((state, chunk))
+        self.dispatch(idx, now, heap)
+
+    def on_finish(
+        self, idx: int, batch: list, now: float, heap: EventHeap, completed: list
+    ) -> None:
+        """Retire one batch: advance finished queries, refill the stage.
+
+        Queries whose last unit left the last stage are appended to
+        ``completed`` (engine-specific bookkeeping happens there).
+        """
+        self.free[idx] += 1
+        last = self.last
+        for unit in batch:
+            state = unit[0]
+            pending = state.pending_units - 1
+            state.pending_units = pending
+            if pending == 0:
+                if idx < last:
+                    self.enqueue(idx + 1, state, state.size, now, heap)
+                else:
+                    completed.append(state)
+        self.dispatch(idx, now, heap)

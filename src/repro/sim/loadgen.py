@@ -45,24 +45,28 @@ def generate_trace(
         raise ValueError("duration must be positive")
     rng = np.random.default_rng(seed)
     # Draw arrival count then sort uniforms: equivalent to a Poisson
-    # process and avoids growing a list of exponential gaps.
+    # process and avoids growing a list of exponential gaps.  All
+    # sampling and clamping is vectorized; ``tolist`` converts to
+    # Python scalars in one C pass (bit-identical to per-element
+    # ``float``/``int``/``max`` conversions, several times faster).
     count = rng.poisson(arrival_rate_qps * duration_s)
-    times = np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s
-    sizes = workload.size_dist.sample(rng, count)
+    times = (np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s).tolist()
+    sizes = workload.size_dist.sample(rng, count).tolist()
     if workload.pooling_cv > 0:
         shape = 1.0 / workload.pooling_cv**2
         pooling = rng.gamma(shape, 1.0 / shape, size=count)
     else:
         pooling = np.ones(count)
-    return [
-        Query(
-            query_id=first_id + i,
-            arrival_s=float(times[i]),
-            size=int(sizes[i]),
-            pooling_scale=float(max(pooling[i], 1e-3)),
+    pooling = np.maximum(pooling, 1e-3).tolist()
+    # Query._make skips per-field validation -- every field above is
+    # already validated in bulk (sizes clipped >= min_size >= 1, times
+    # shifted by a non-negative start, pooling clamped positive).
+    return list(
+        map(
+            Query._make,
+            zip(range(first_id, first_id + count), times, sizes, pooling),
         )
-        for i in range(count)
-    ]
+    )
 
 
 @dataclass

@@ -8,18 +8,27 @@ those reduce to :meth:`ServerEvaluator.plan_timings`, which is a pure
 function of ``(partitioned model, workload, plan)`` -- so the results
 can be computed once and shared everywhere.
 
-Two layers live here:
+Three layers live here:
 
-- :class:`PlanTimingsCache` -- a per-evaluator memo table the evaluator
-  itself consults, keyed by object identity of the partitioned model
-  (plus the hashable workload/plan), so differently-parameterized
-  evaluators never alias.
-- A module-level registry keyed by *names* -- ``shared_evaluator``,
-  ``partitioned_for``, ``timings_for`` and ``stages_for`` -- used by
-  the fleet router and the cluster provisioner so that fifty replicas
-  of (T2, DLRM-RMC1, plan) cost one evaluation, not fifty.
+- :class:`PlanTimingsCache` -- a per-evaluator memo table keyed by an
+  *explicit content key* (:func:`partition_key` plus the hashable
+  workload/plan).  Content keys survive ``pickle``/``fork``
+  round-trips, so the cache stays valid under
+  ``ProcessPoolExecutor`` fan-out -- unlike the previous
+  ``id(partitioned)`` scheme, where a child process could never hit on
+  entries keyed by the parent's object identities.  An optional
+  ``max_entries`` bound evicts oldest-first.
+- A module-level registry keyed by the same content keys --
+  ``shared_evaluator``, ``partitioned_for``, ``timings_for``,
+  ``stages_for`` and ``serviced_stages_for`` -- used by the fleet
+  builder and the cluster provisioner so that fifty replicas of
+  (T2, DLRM-RMC1, plan) cost one evaluation, not fifty.
+- Quantized span memos -- ``span_for`` caches
+  :meth:`PlanTimings.service_span_s` per (timings, query size); the
+  latency-bounded bisection hits the same four percentile sizes dozens
+  of times per candidate plan.
 
-``clear_shared_caches()`` resets the registry (tests use it to measure
+``clear_shared_caches()`` resets everything (tests use it to measure
 hit rates deterministically).
 """
 
@@ -39,10 +48,14 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
 __all__ = [
     "CacheStats",
     "PlanTimingsCache",
+    "partition_key",
+    "model_key",
     "shared_evaluator",
     "partitioned_for",
     "timings_for",
     "stages_for",
+    "serviced_stages_for",
+    "span_for",
     "shared_cache_stats",
     "clear_shared_caches",
 ]
@@ -66,20 +79,58 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+def model_key(model: "RecommendationModel") -> tuple:
+    """Content identity of a model: its full config plus variant.
+
+    The config is a frozen dataclass, so two ``build_model`` calls (or
+    a pickle round-trip across a process pool) produce equal keys,
+    while models that merely share a display name cannot alias.
+    """
+    return (model.config, model.variant)
+
+
+def partition_key(partitioned: "PartitionedModel") -> tuple:
+    """Content identity of a partitioned model (explicit, hashable).
+
+    Combines the model identity with everything the partitioning step
+    depends on: the capacity budget it was sized for, the resulting hot
+    set, and the access profile's hit rate.  No object identity is
+    involved, so keys computed in different processes agree.
+    """
+    return (
+        model_key(partitioned.model),
+        partitioned.capacity_budget_bytes,
+        partitioned.hot_rows_per_table,
+        partitioned.hot_hit_rate,
+    )
+
+
 class PlanTimingsCache:
     """Memo table for :meth:`ServerEvaluator.plan_timings`.
 
-    Keys combine ``id(partitioned)`` with the (hashable) workload and
-    plan; a strong reference to each partitioned model is retained so a
-    recycled ``id`` can never alias a different model.  Only successful
-    evaluations are cached -- infeasible plans re-raise their
-    ``ValueError`` so error messages stay exact.
+    Keys combine :func:`partition_key` with the (hashable) workload and
+    plan.  Only successful evaluations are cached -- infeasible plans
+    re-raise their ``ValueError`` so error messages stay exact.
+
+    Args:
+        max_entries: Optional bound; inserting past it evicts the
+            oldest entries (insertion order) first.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self._data: dict[tuple, Any] = {}
-        self._pinned: dict[int, Any] = {}
+        self.max_entries = max_entries
         self.stats = CacheStats()
+
+    @staticmethod
+    def key(
+        partitioned: "PartitionedModel",
+        workload: "QueryWorkload",
+        plan: "ExecutionPlan",
+    ) -> tuple:
+        return (partition_key(partitioned), workload, plan)
 
     def get(
         self,
@@ -87,7 +138,7 @@ class PlanTimingsCache:
         workload: "QueryWorkload",
         plan: "ExecutionPlan",
     ) -> "PlanTimings | None":
-        timings = self._data.get((id(partitioned), workload, plan))
+        timings = self._data.get(self.key(partitioned, workload, plan))
         if timings is None:
             self.stats.misses += 1
         else:
@@ -101,26 +152,30 @@ class PlanTimingsCache:
         plan: "ExecutionPlan",
         timings: "PlanTimings",
     ) -> None:
-        self._pinned[id(partitioned)] = partitioned
-        self._data[(id(partitioned), workload, plan)] = timings
+        data = self._data
+        data[self.key(partitioned, workload, plan)] = timings
+        if self.max_entries is not None:
+            while len(data) > self.max_entries:
+                del data[next(iter(data))]  # oldest-first (insertion order)
 
     def __len__(self) -> int:
         return len(self._data)
 
     def clear(self) -> None:
         self._data.clear()
-        self._pinned.clear()
         self.stats = CacheStats()
 
 
 # ----------------------------------------------------------------------
-# Name-keyed shared registry (fleet + provisioning)
+# Content-keyed shared registry (fleet + provisioning)
 # ----------------------------------------------------------------------
 
 _EVALUATORS: dict[str, "ServerEvaluator"] = {}
 _PARTITIONS: dict[tuple, "PartitionedModel"] = {}
 _STAGES: dict[tuple, tuple] = {}
+_RUNTIME: dict[tuple, tuple] = {}
 _STATS = CacheStats()
+_SPAN_STATS = CacheStats()
 
 
 def shared_evaluator(server: "ServerType") -> "ServerEvaluator":
@@ -156,13 +211,13 @@ def partitioned_for(
     if plan.placement is Placement.GPU_MODEL_BASED:
         if server.gpu is None:
             raise ValueError(f"{server.name} has no accelerator for {plan.describe()}")
-        key = (model.name, model.variant, server.name, plan.threads)
+        key = (model_key(model), server.name, plan.threads)
         if key not in _PARTITIONS:
             _PARTITIONS[key] = partition_model(
                 model, server.gpu.memory_bytes, plan.threads
             )
         return _PARTITIONS[key]
-    key = (model.name, model.variant, None, 0)
+    key = (model_key(model), None, 0)
     if key not in _PARTITIONS:
         _PARTITIONS[key] = partition_model(model)
     return _PARTITIONS[key]
@@ -186,15 +241,15 @@ def stages_for(
     workload: "QueryWorkload",
     plan: "ExecutionPlan",
 ) -> tuple:
-    """DES stage pipeline for a triple, memoized across fleet replicas.
+    """DES stage-spec pipeline for a triple, memoized across replicas.
 
-    Stages are immutable (per-replica queue state lives in the fleet
-    engine), so one tuple is safely shared by every replica of the same
-    (server type, model, plan).
+    Stage specs are immutable (per-replica queue state lives in the
+    engines), so one tuple is safely shared by every replica of the
+    same (server type, model, plan).
     """
     from repro.sim.server_sim import build_stages
 
-    key = (server.name, model.name, model.variant, workload, plan)
+    key = (server.name, model_key(model), workload, plan)
     stages = _STAGES.get(key)
     if stages is None:
         _STATS.misses += 1
@@ -207,18 +262,66 @@ def stages_for(
     return stages
 
 
+def serviced_stages_for(
+    server: "ServerType",
+    model: "RecommendationModel",
+    workload: "QueryWorkload",
+    plan: "ExecutionPlan",
+) -> tuple:
+    """Runtime :class:`~repro.sim.event_core.ServicedStage` pipeline.
+
+    Wraps :func:`stages_for` in the event core's memoizing stage
+    records; because the tuple is shared across every replica of the
+    triple, the quantized ``items -> service`` and ``size -> chunks``
+    tables fill once per fleet rather than once per replica.
+    """
+    from repro.sim.event_core import ServicedStage
+
+    key = (server.name, model_key(model), workload, plan)
+    stages = _RUNTIME.get(key)
+    if stages is None:
+        stages = tuple(
+            ServicedStage(spec) for spec in stages_for(server, model, workload, plan)
+        )
+        _RUNTIME[key] = stages
+    return stages
+
+
+def span_for(timings: "PlanTimings", query_size: int) -> float:
+    """Memoized :meth:`PlanTimings.service_span_s`.
+
+    The latency-bounded bisection evaluates the span of the same four
+    percentile sizes for every probed arrival rate; quantizing on
+    (timings, size) turns ~35 ceil-loops per candidate into dict hits.
+    The table lives on the timings instance (int keys, no re-hash of
+    the stage tuple), so it is shared with the evaluator's inlined hot
+    path and garbage-collects with the timings object.
+    """
+    cache = timings.span_cache()
+    span = cache.get(query_size)
+    if span is None:
+        _SPAN_STATS.misses += 1
+        span = timings.service_span_s(query_size)
+        cache[query_size] = span
+    else:
+        _SPAN_STATS.hits += 1
+    return span
+
+
 def shared_cache_stats() -> dict[str, CacheStats]:
-    """Stats for the stage registry and each shared evaluator's memo."""
-    out = {"stages": _STATS}
+    """Stats for the shared registries and each evaluator's memo."""
+    out = {"stages": _STATS, "spans": _SPAN_STATS}
     for name, evaluator in _EVALUATORS.items():
         out[f"timings:{name}"] = evaluator.timings_cache.stats
     return out
 
 
 def clear_shared_caches() -> None:
-    """Reset the registry (evaluators, partitions, stages, stats)."""
-    global _STATS
+    """Reset the registry (evaluators, partitions, stages, spans, stats)."""
+    global _STATS, _SPAN_STATS
     _EVALUATORS.clear()
     _PARTITIONS.clear()
     _STAGES.clear()
+    _RUNTIME.clear()
     _STATS = CacheStats()
+    _SPAN_STATS = CacheStats()

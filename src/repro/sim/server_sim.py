@@ -11,18 +11,20 @@ a query trace through the plan's stage pipeline:
   serve them as one accelerator batch (query fusion, Section II-B);
 - a query completes when its last work unit leaves the last stage.
 
+The event mechanics (stage records, batch formation, the heap, the
+per-replica pipeline state) live in :mod:`repro.sim.event_core` and are
+shared with the fleet engine; the equivalence tests pin this engine's
+per-query completion times bit-for-bit against a reference
+implementation of the pre-optimization event loop.
+
 Integration tests check the DES against the closed-form evaluator; the
 examples use it to show live tail-latency behaviour.
 """
 
 from __future__ import annotations
 
-import enum
-import heapq
-import itertools
-import math
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop
 from typing import Callable
 
 import numpy as np
@@ -30,7 +32,17 @@ import numpy as np
 from repro.hardware.power import ComponentUtilization
 from repro.models.partition import PartitionedModel
 from repro.plans import ExecutionPlan
-from repro.sim.evaluator import PlanTimings, ServerEvaluator
+from repro.sim.evaluator import ServerEvaluator
+from repro.sim.event_core import (  # _split re-exported for back-compat
+    EventHeap,
+    Pipeline,
+    QueryState,
+    SimStage,
+    StageMode,
+    _split,
+    enqueue_units,
+    form_batch,
+)
 from repro.sim.loadgen import generate_trace
 from repro.sim.metrics import LatencyStats, ServerPerformance
 from repro.sim.queries import Query, QueryWorkload
@@ -46,99 +58,6 @@ __all__ = [
 ]
 
 
-class StageMode(enum.Enum):
-    """How a stage forms batches from incoming queries."""
-
-    SPLIT = "split"
-    """Chop each query into sub-batches of at most ``chunk_items``."""
-
-    FUSE = "fuse"
-    """Merge whole queued queries into one batch up to ``fuse_items``."""
-
-
-@dataclass(frozen=True)
-class SimStage:
-    """One pipeline stage of the simulated server.
-
-    Attributes:
-        name: Stage label (matches the evaluator's stage names).
-        units: Parallel service threads.
-        mode: Batch-formation mode.
-        chunk_items: Sub-batch size for SPLIT stages.
-        fuse_items: Fusion limit for FUSE stages (0 = one query/batch).
-        latency_fn: Batch service time as a function of items.
-        pooling_sensitivity: Fraction of this stage's service time that
-            scales with the batch's pooling factor.  Sparse (embedding)
-            stages are pooling-bound, so the per-query pooling variance
-            of Fig. 2(c) lengthens their service; dense stages are
-            insensitive.
-    """
-
-    name: str
-    units: int
-    mode: StageMode
-    chunk_items: int
-    fuse_items: int
-    latency_fn: Callable[[int], float]
-    pooling_sensitivity: float = 0.0
-
-    def service_s(self, items: int, pooling_scale: float) -> float:
-        """Batch service time including the pooling-variance component."""
-        base = self.latency_fn(items)
-        if self.pooling_sensitivity <= 0.0:
-            return base
-        scale = (
-            1.0 - self.pooling_sensitivity
-            + self.pooling_sensitivity * pooling_scale
-        )
-        return base * scale
-
-
-@dataclass
-class _QueryState:
-    query: Query
-    stage_idx: int = 0
-    pending_units: int = 0
-    finish_s: float = 0.0
-
-
-def enqueue_units(stage: SimStage, queue: deque, state, size: int) -> None:
-    """Append one query's work units for a stage to its FIFO.
-
-    SPLIT stages chop the query into ``chunk_items`` sub-batches; FUSE
-    stages enqueue the whole query as one unit.  Sets the state's
-    ``pending_units`` counter.  Shared by the single-node and fleet
-    simulators so batch-formation semantics cannot drift apart.
-    """
-    if stage.mode is StageMode.SPLIT:
-        chunks = _split(size, stage.chunk_items)
-        state.pending_units = len(chunks)
-        queue.extend((state, chunk) for chunk in chunks)
-    else:
-        state.pending_units = 1
-        queue.append((state, size))
-
-
-def form_batch(stage: SimStage, queue: deque) -> tuple[list, int, float]:
-    """Pop one service batch from a stage FIFO.
-
-    FUSE stages accumulate whole queued queries up to the fusion limit;
-    SPLIT stages serve one sub-batch per dispatch.  Returns the batch
-    units, total items, and the item-weighted mean pooling factor.
-    """
-    batch = [queue.popleft()]
-    if stage.mode is StageMode.FUSE and stage.fuse_items > 0:
-        total = batch[0][1]
-        limit = stage.fuse_items
-        while queue and total + queue[0][1] <= limit:
-            unit = queue.popleft()
-            total += unit[1]
-            batch.append(unit)
-    items = sum(it for _, it in batch)
-    pooling = sum(st.query.pooling_scale * it for st, it in batch) / max(items, 1)
-    return batch, items, pooling
-
-
 @dataclass(frozen=True)
 class SimResult:
     """Raw outcome of one DES run.
@@ -149,6 +68,7 @@ class SimResult:
         duration_s: Measured window length.
         stage_busy_s: Busy thread-seconds per stage.
         items_served: Total items completed.
+        events: Events processed (arrivals + batch completions).
     """
 
     latencies_s: np.ndarray
@@ -156,12 +76,19 @@ class SimResult:
     duration_s: float
     stage_busy_s: dict[str, float]
     items_served: int
+    events: int = 0
 
     @property
     def qps(self) -> float:
         if self.duration_s <= 0:
             return 0.0
         return self.completed / self.duration_s
+
+    @property
+    def events_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.events / self.duration_s
 
 
 class DiscreteEventServerSim:
@@ -185,82 +112,69 @@ class DiscreteEventServerSim:
         """
         if not queries:
             raise ValueError("empty trace")
-        counter = itertools.count()
-        events: list[tuple[float, int, tuple]] = []
+        pipeline = Pipeline(self.stages, track_busy=True)
+        heap = EventHeap()
+        states = [QueryState(q) for q in queries]
+        # Stable sort == the old heap order (time, then push counter);
+        # arrivals beat same-time finishes just as their all-up-front
+        # counters used to.
+        states.sort(key=lambda s: s.arrival_s)
 
-        def push(time_s: float, payload: tuple) -> None:
-            heapq.heappush(events, (time_s, next(counter), payload))
-
-        # Per-stage: FIFO of (state, items) units and free-thread count.
-        queues: list[deque] = [deque() for _ in self.stages]
-        free: list[int] = [s.units for s in self.stages]
-        busy_s: dict[str, float] = {s.name: 0.0 for s in self.stages}
-
-        states = [_QueryState(query=q) for q in queries]
-        for st in states:
-            push(st.query.arrival_s, ("arrive", st))
-
-        done: list[_QueryState] = []
-        now = 0.0
-
-        def enqueue(idx: int, state: _QueryState, time_s: float) -> None:
-            state.stage_idx = idx
-            enqueue_units(self.stages[idx], queues[idx], state, state.query.size)
-            dispatch(idx, time_s)
-
-        def dispatch(idx: int, time_s: float) -> None:
-            stage = self.stages[idx]
-            while free[idx] > 0 and queues[idx]:
-                batch, items, pooling = form_batch(stage, queues[idx])
-                service = stage.service_s(items, pooling)
-                free[idx] -= 1
-                busy_s[stage.name] += service
-                push(time_s + service, ("finish", idx, batch))
-
-        while events:
-            now, _, payload = heapq.heappop(events)
-            if payload[0] == "arrive":
-                _, state = payload
-                enqueue(0, state, now)
+        done: list[QueryState] = []
+        completed: list[QueryState] = []
+        events = heap.items
+        dead = heap.dead
+        enqueue = pipeline.enqueue
+        on_finish = pipeline.on_finish
+        i, n = 0, len(states)
+        while True:
+            if events:
+                if i < n:
+                    state = states[i]
+                    if state.arrival_s <= events[0][0]:
+                        i += 1
+                        enqueue(0, state, state.size, state.arrival_s, heap)
+                        continue
+                entry = heappop(events)
+                if dead and entry[1] in dead:
+                    dead.discard(entry[1])
+                    continue
+                now = entry[0]
+                on_finish(entry[3], entry[4], now, heap, completed)
+                if completed:
+                    for state in completed:
+                        state.finish_s = now
+                        done.append(state)
+                    completed.clear()
+            elif i < n:
+                state = states[i]
+                i += 1
+                enqueue(0, state, state.size, state.arrival_s, heap)
             else:
-                _, idx, batch = payload
-                free[idx] += 1
-                for state, _items in batch:
-                    state.pending_units -= 1
-                    if state.pending_units == 0:
-                        if idx + 1 < len(self.stages):
-                            enqueue(idx + 1, state, now)
-                        else:
-                            state.finish_s = now
-                            done.append(state)
-                dispatch(idx, now)
+                break
 
-        horizon = max(q.arrival_s for q in queries)
+        horizon = states[-1].arrival_s
         measured = [
             st
             for st in done
-            if st.query.arrival_s >= warmup_s and st.finish_s <= horizon + 1e9
+            if st.arrival_s >= warmup_s and st.finish_s <= horizon + 1e9
         ]
         if not measured:
             raise RuntimeError("no queries completed in the measured window")
-        latencies = np.array([st.finish_s - st.query.arrival_s for st in measured])
+        latencies = np.array([st.finish_s - st.arrival_s for st in measured])
         duration = horizon - warmup_s
-        items = sum(st.query.size for st in measured)
+        items = sum(st.size for st in measured)
+        busy = pipeline.busy or []
         return SimResult(
             latencies_s=latencies,
             completed=len(measured),
             duration_s=max(duration, 1e-9),
-            stage_busy_s=busy_s,
+            stage_busy_s={
+                stage.name: busy[idx] for idx, stage in enumerate(pipeline.stages)
+            },
             items_served=items,
+            events=n + heap.seq,
         )
-
-
-def _split(size: int, chunk: int) -> list[int]:
-    """Sub-batch sizes for one query (last chunk may be partial)."""
-    if chunk < 1:
-        raise ValueError("chunk must be >= 1")
-    full, rem = divmod(size, chunk)
-    return [chunk] * full + ([rem] if rem else [])
 
 
 def _interpolator(t_one: float, t_nominal: float, nominal: float) -> Callable[[int], float]:

@@ -121,3 +121,59 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "fleet power" in out
+
+
+class TestBench:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.quick is False
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.output == "BENCH_perf.json"
+        assert args.baseline is None
+
+    def test_bench_subset_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--scenarios", "loadgen",
+                "--seed", "7",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loadgen" in out
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == 1
+        assert doc["mode"] == "quick"
+        assert doc["seed"] == 7
+        assert set(doc["scenarios"]) == {"loadgen"}
+        metrics = doc["scenarios"]["loadgen"]
+        assert metrics["wall_s"] > 0
+        assert metrics["queries_per_s"] > 0
+
+    def test_bench_baseline_speedups(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        out_path = tmp_path / "out.json"
+        assert main(["bench", "--quick", "--scenarios", "loadgen",
+                     "--output", str(base_path)]) == 0
+        assert main(["bench", "--quick", "--scenarios", "loadgen",
+                     "--baseline", str(base_path),
+                     "--output", str(out_path)]) == 0
+
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert "baseline" in doc and "speedup" in doc
+        assert doc["speedup"]["loadgen"] > 0
+
+    def test_bench_rejects_unknown_scenario(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--scenarios", "nope",
+                  "--output", str(tmp_path / "x.json")])

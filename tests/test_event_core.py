@@ -1,0 +1,233 @@
+"""Unit tests for the shared tuned event core.
+
+Covers the pieces both engines build on: the event heap (ordering,
+lazy deletion), the memoized stage records (service/chunk tables must
+reproduce the un-memoized spec bit-for-bit), batch-formation edge
+cases (zero-size queries, fusion-cap boundaries), and the direct
+G/D/c fast path's eligibility rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.sim.event_core import (
+    DirectStage,
+    EventHeap,
+    Pipeline,
+    QueryState,
+    ServicedStage,
+    SimStage,
+    StageMode,
+    _split,
+    enqueue_units,
+    form_batch,
+)
+from repro.sim.queries import Query
+
+
+def _stage(mode=StageMode.SPLIT, units=2, chunk=10, fuse=0, sensitivity=0.0):
+    return SimStage(
+        name="s",
+        units=units,
+        mode=mode,
+        chunk_items=chunk,
+        fuse_items=fuse,
+        latency_fn=lambda items: 1e-3 + 1e-5 * items,
+        pooling_sensitivity=sensitivity,
+    )
+
+
+def _state(size=10, pooling=1.0, qid=0, arrival=0.0):
+    return QueryState(Query(qid, arrival, size, pooling))
+
+
+class TestEventHeap:
+    def test_orders_by_time_then_fifo(self):
+        heap = EventHeap()
+        heap.push(2.0, None, 0, "late")
+        heap.push(1.0, None, 0, "a")
+        heap.push(1.0, None, 0, "b")
+        assert [heap.pop()[4] for _ in range(3)] == ["a", "b", "late"]
+
+    def test_lazy_deletion_skips_cancelled(self):
+        heap = EventHeap()
+        keep = heap.push(1.0, None, 0, "keep")
+        kill = heap.push(0.5, None, 0, "kill")
+        heap.cancel(kill)
+        assert len(heap) == 1
+        assert heap.peek_time() == 1.0  # purges the dead head
+        entry = heap.pop()
+        assert entry[4] == "keep" and entry[1] == keep
+        assert heap.pop() is None
+
+    def test_cancelled_heap_is_falsy(self):
+        heap = EventHeap()
+        seq = heap.push(1.0, None, 0, None)
+        assert heap
+        heap.cancel(seq)
+        assert not heap
+        assert heap.peek_time() is None
+
+    def test_sequence_numbers_monotone(self):
+        heap = EventHeap()
+        seqs = [heap.push(float(i), None, 0, None) for i in range(5)]
+        assert seqs == sorted(seqs)
+        assert heap.seq == 5
+
+
+class TestServicedStageMemos:
+    @pytest.mark.parametrize("sensitivity", [0.0, 0.9])
+    def test_service_matches_spec_bitwise(self, sensitivity):
+        spec = _stage(sensitivity=sensitivity)
+        stage = ServicedStage(spec)
+        for items in (1, 7, 10, 123):
+            for pooling in (0.25, 1.0, 3.7):
+                assert stage.service_s(items, pooling) == spec.service_s(
+                    items, pooling
+                )
+                # Second call is served from the memo -- same float.
+                assert stage.service_s(items, pooling) == spec.service_s(
+                    items, pooling
+                )
+
+    def test_unit_service_matches_form_batch_pooling(self):
+        """Single-unit batch pooling is (p * items) / items, verbatim."""
+        spec = _stage(sensitivity=0.5)
+        stage = ServicedStage(spec)
+        items, pooling = 3, 0.3
+        expected = spec.service_s(items, (pooling * items) / max(items, 1))
+        assert stage.unit_service_s(items, pooling) == expected
+
+    def test_chunks_match_split(self):
+        stage = ServicedStage(_stage(chunk=10))
+        for size in (1, 9, 10, 11, 25, 30):
+            assert list(stage.chunks_for(size)) == _split(size, 10)
+        assert stage.chunks_for(25) is stage.chunks_for(25)  # memoized
+
+
+class TestEnqueueEdgeCases:
+    def test_zero_size_query_rejected(self):
+        """Zero units would never complete; fail loudly instead."""
+        queue = deque()
+        state = _state()
+        with pytest.raises(ValueError, match="size must be >= 1"):
+            enqueue_units(_stage(), queue, state, 0)
+        with pytest.raises(ValueError, match="size must be >= 1"):
+            ServicedStage(_stage()).enqueue(queue, state, 0)
+        with pytest.raises(ValueError, match="size must be >= 1"):
+            Pipeline([_stage()]).enqueue(0, state, 0, 0.0, EventHeap())
+        assert not queue
+
+    def test_split_chunk_boundaries(self):
+        assert _split(10, 10) == [10]
+        assert _split(11, 10) == [10, 1]
+        assert _split(9, 10) == [9]
+        with pytest.raises(ValueError, match="chunk"):
+            _split(5, 0)
+
+    def test_split_enqueue_sets_pending_units(self):
+        queue = deque()
+        state = _state(size=25)
+        enqueue_units(_stage(chunk=10), queue, state, 25)
+        assert state.pending_units == 3
+        assert [items for _, items in queue] == [10, 10, 5]
+
+    def test_fuse_enqueue_single_unit(self):
+        queue = deque()
+        state = _state(size=25)
+        enqueue_units(_stage(mode=StageMode.FUSE, fuse=64), queue, state, 25)
+        assert state.pending_units == 1
+        assert list(queue) == [(state, 25)]
+
+
+class TestFormBatchBoundaries:
+    def test_fusion_respects_cap_exactly(self):
+        """Exact fits fuse; one item over the cap stays queued."""
+        stage = _stage(mode=StageMode.FUSE, fuse=30)
+        queue = deque()
+        for size in (10, 20, 1):
+            enqueue_units(stage, queue, _state(size=size), size)
+        batch, items, _ = form_batch(stage, queue)
+        assert items == 30  # 10 + 20 fused, the 1 would fit but FIFO stops
+        assert len(batch) == 2
+        assert len(queue) == 1
+
+    def test_oversized_head_unit_still_served(self):
+        """A unit bigger than the cap is served alone, never starved."""
+        stage = _stage(mode=StageMode.FUSE, fuse=30)
+        queue = deque()
+        enqueue_units(stage, queue, _state(size=100), 100)
+        enqueue_units(stage, queue, _state(size=5), 5)
+        batch, items, _ = form_batch(stage, queue)
+        assert items == 100 and len(batch) == 1
+
+    def test_fuse_zero_cap_means_one_query_per_batch(self):
+        stage = _stage(mode=StageMode.FUSE, fuse=0)
+        queue = deque()
+        enqueue_units(stage, queue, _state(size=4), 4)
+        enqueue_units(stage, queue, _state(size=6), 6)
+        batch, items, _ = form_batch(stage, queue)
+        assert items == 4 and len(batch) == 1
+
+    def test_fast_path_equals_generic_form_batch(self):
+        """ServicedStage.form_and_time == form_batch + service_s."""
+        spec = _stage(mode=StageMode.FUSE, fuse=40, sensitivity=0.7)
+        for sizes in ([12, 9, 30], [40, 1], [3]):
+            generic_q, fast_q = deque(), deque()
+            for i, size in enumerate(sizes):
+                a = _state(size=size, pooling=0.5 + i, qid=i)
+                b = _state(size=size, pooling=0.5 + i, qid=i)
+                enqueue_units(spec, generic_q, a, size)
+                ServicedStage(spec).enqueue(fast_q, b, size)
+            stage = ServicedStage(spec)
+            while generic_q:
+                batch, items, pooling = form_batch(spec, generic_q)
+                expected = spec.service_s(items, pooling)
+                fast_batch, service = stage.form_and_time(fast_q)
+                assert service == expected
+                assert [u[1] for u in fast_batch] == [u[1] for u in batch]
+
+
+class TestDirectStage:
+    def test_rejects_fuse_stage(self):
+        with pytest.raises(ValueError, match="SPLIT"):
+            DirectStage(ServicedStage(_stage(mode=StageMode.FUSE, fuse=8)))
+
+    def test_idle_server_completion_is_sum_of_chunk_services(self):
+        spec = _stage(units=2, chunk=10)
+        direct = DirectStage(ServicedStage(spec))
+        stage = ServicedStage(spec)
+        # 25 items -> chunks 10/10/5 on 2 units: two start at t, the
+        # third starts when the first unit frees and finishes last.
+        s10 = stage.unit_service_s(10, 1.0)
+        s5 = stage.unit_service_s(5, 1.0)
+        fin = direct.completion_time(1.0, 25, 1.0)
+        assert fin == pytest.approx(1.0 + s10 + s5, rel=1e-12)
+
+    def test_busy_units_defer_the_next_query(self):
+        direct = DirectStage(ServicedStage(_stage(units=1, chunk=100)))
+        first = direct.completion_time(0.0, 10, 1.0)
+        second = direct.completion_time(0.0, 10, 1.0)
+        assert second == pytest.approx(2 * first, rel=1e-12)
+
+
+class TestPipeline:
+    def test_busy_accounting_tracks_dispatched_service(self):
+        heap = EventHeap()
+        pipeline = Pipeline([_stage(units=1, chunk=100)], track_busy=True)
+        state = _state(size=10)
+        pipeline.enqueue(0, state, 10, 0.0, heap)
+        assert pipeline.busy[0] > 0.0
+        assert len(heap) == 1
+
+    def test_requires_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Pipeline([])
+
+    def test_shared_serviced_stages_not_rewrapped(self):
+        stage = ServicedStage(_stage())
+        pipeline = Pipeline([stage])
+        assert pipeline.stages[0] is stage

@@ -76,7 +76,10 @@ class TestPowerOfTwo:
         light, heavy = _Stub(outstanding=0), _Stub(outstanding=50)
         policy = PowerOfTwoPolicy(seed=3)
         picks = [policy.choose([light, heavy]) for _ in range(200)]
-        assert picks.count(light) > 150
+        # The loaded replica wins only on a heavy/heavy sample, so the
+        # light replica should take ~3/4 of the picks; 0.65 leaves ~10
+        # sigma of slack around the binomial expectation of 150/200.
+        assert picks.count(light) > 130
 
     def test_deterministic_for_seed(self):
         servers = [_Stub(outstanding=i % 3) for i in range(5)]

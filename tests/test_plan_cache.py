@@ -61,15 +61,21 @@ class TestEvaluatorMemo:
                 evaluator.plan_timings(partitioned, workload, bad)
         assert len(evaluator.timings_cache) == 0
 
-    def test_identity_keyed_partitions_do_not_alias(self, rmc1_model, workload):
-        """Two structurally equal partitions are still separate keys."""
+    def test_content_keyed_partitions_share_entries(self, rmc1_model, workload):
+        """Structurally equal partitions hash to the same explicit key.
+
+        Content keys (not object identity) are what keeps the cache
+        valid across ``pickle``/``fork`` boundaries in the parallel
+        profiler.
+        """
         evaluator = ServerEvaluator(SERVER_TYPES["T2"])
         a = partition_model(rmc1_model)
         b = partition_model(rmc1_model)
         ta = evaluator.plan_timings(a, workload, PLAN)
         tb = evaluator.plan_timings(b, workload, PLAN)
-        assert evaluator.timings_cache.stats.hits == 0
-        assert ta.capacity_items_s == pytest.approx(tb.capacity_items_s)
+        assert tb is ta
+        assert evaluator.timings_cache.stats.hits == 1
+        assert plan_cache.partition_key(a) == plan_cache.partition_key(b)
 
     def test_clear_resets_stats(self, rmc1_model, workload):
         evaluator = ServerEvaluator(SERVER_TYPES["T2"])
@@ -135,3 +141,66 @@ class TestSharedRegistry:
         plan_cache.stages_for(SERVER_TYPES["T2"], rmc1_model, workload, PLAN)
         plan_cache.clear_shared_caches()
         assert plan_cache.shared_cache_stats()["stages"].lookups == 0
+
+
+class TestEvictionAndForkSafety:
+    def test_eviction_bounds_the_table(self, rmc1_model, workload):
+        from repro.sim.plan_cache import PlanTimingsCache
+
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        evaluator.timings_cache = PlanTimingsCache(max_entries=2)
+        partitioned = partition_model(rmc1_model)
+        for d in (32, 64, 128, 256):
+            evaluator.plan_timings(partitioned, workload, PLAN.with_(batch_size=d))
+        assert len(evaluator.timings_cache) == 2
+        # Oldest entries were evicted: re-requesting recomputes (a miss).
+        before = evaluator.timings_cache.stats.misses
+        evaluator.plan_timings(partitioned, workload, PLAN.with_(batch_size=32))
+        assert evaluator.timings_cache.stats.misses == before + 1
+
+    def test_max_entries_validated(self):
+        from repro.sim.plan_cache import PlanTimingsCache
+
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanTimingsCache(max_entries=0)
+
+    def test_keys_survive_pickle_round_trip(self, rmc1_model, workload):
+        """Explicit content keys, not object identity: a partitioned
+        model that crossed a process boundary (pickle round-trip, as in
+        the ProcessPoolExecutor fan-out) must hit the same cache entry."""
+        import pickle
+
+        partitioned = partition_model(rmc1_model)
+        clone = pickle.loads(pickle.dumps(partitioned))
+        assert clone is not partitioned
+        assert plan_cache.partition_key(clone) == plan_cache.partition_key(
+            partitioned
+        )
+        key_a = plan_cache.PlanTimingsCache.key(partitioned, workload, PLAN)
+        key_b = plan_cache.PlanTimingsCache.key(clone, workload, PLAN)
+        assert key_a == key_b and hash(key_a) == hash(key_b)
+
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        evaluator.plan_timings(partitioned, workload, PLAN)
+        assert evaluator.plan_timings(clone, workload, PLAN) is not None
+        assert evaluator.timings_cache.stats.hits == 1
+
+    def test_serviced_stages_shared_across_replicas(self, rmc1_model, workload):
+        server = SERVER_TYPES["T2"]
+        a = plan_cache.serviced_stages_for(server, rmc1_model, workload, PLAN)
+        b = plan_cache.serviced_stages_for(server, rmc1_model, workload, PLAN)
+        assert a is b  # one memoized service table per fleet, not per replica
+        from repro.sim.event_core import ServicedStage
+
+        assert all(isinstance(s, ServicedStage) for s in a)
+
+    def test_span_for_memoizes_per_timings(self, rmc1_model, workload):
+        partitioned = partition_model(rmc1_model)
+        evaluator = ServerEvaluator(SERVER_TYPES["T2"])
+        timings = evaluator.plan_timings(partitioned, workload, PLAN)
+        first = plan_cache.span_for(timings, 100)
+        assert first == timings.service_span_s(100)
+        stats = plan_cache.shared_cache_stats()["spans"]
+        hits = stats.hits
+        assert plan_cache.span_for(timings, 100) == first
+        assert stats.hits == hits + 1
