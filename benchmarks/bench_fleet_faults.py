@@ -1,0 +1,218 @@
+"""How routing policies absorb crashes and stragglers, with hedging.
+
+The fault-injection complement of ``bench_fleet_routing``: the same
+heterogeneous fleet and trace are replayed under three regimes --
+fault-free, a mid-run crash of the two highest-throughput replicas
+(with a retry budget), and a straggler episode slowing one replica 4x
+-- for each routing policy, with and without hedged dispatch under the
+straggler.  The interesting quantities are availability, goodput, and
+the straggler-phase p99: queue-aware policies route *around* a
+straggler automatically, the oblivious ones need hedging to recover
+the tail, and everyone loses capacity (not correctness) to a crash
+when retries are budgeted.
+
+Marked ``slow``: the sweep replays the trace 4 policies x 4 regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _shared import model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster.state import Allocation
+from repro.fleet import (
+    FaultSchedule,
+    FleetSimulator,
+    build_fleet,
+    build_fleet_trace,
+    crash,
+    slowdown,
+)
+from repro.hardware import SERVER_TYPES
+from repro.scheduling import OfflineProfiler
+
+POLICIES = ("rr", "weighted", "p2c", "least")
+MODELS = ("DLRM-RMC1", "DLRM-RMC2")
+# rr splits the stream evenly, so the smallest replica sees the highest
+# utilization; 0.45 keeps it moderately loaded fault-free, leaving the
+# headroom hedged duplicates need (at >0.9 utilization hedging storms).
+RHO = 0.45
+QUERIES = 30_000
+SEED = 13
+RETRIES = 2
+HEDGE_MS = 10.0
+
+
+def _build():
+    models = {name: model(name) for name in MODELS}
+    workloads = {name: workload(name) for name in MODELS}
+    table = OfflineProfiler().profile(
+        [SERVER_TYPES[s] for s in ("T2", "T3", "T7")], list(models.values())
+    )
+    # RMC1 spans the full heterogeneity spread; RMC2 only runs on the
+    # accelerated boxes (its T2 operating point is ~100 QPS, so placing
+    # it there would leave round-robin saturated even fault-free and
+    # the sweep would measure overload, not faults).
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 5)
+    allocation.add("T3", "DLRM-RMC1", 3)
+    allocation.add("T7", "DLRM-RMC1", 2)
+    allocation.add("T3", "DLRM-RMC2", 4)
+    allocation.add("T7", "DLRM-RMC2", 3)
+    capacity = {
+        name: sum(
+            count * table.qps(srv, m)
+            for (srv, m), count in allocation.counts.items()
+            if m == name
+        )
+        for name in MODELS
+    }
+    total_rate = RHO * sum(capacity.values())
+    duration = QUERIES / total_rate
+    trace = build_fleet_trace(
+        workloads,
+        {name: [(RHO * capacity[name], duration)] for name in MODELS},
+        seed=SEED,
+    )
+    return models, workloads, table, allocation, trace, duration
+
+
+def _regimes(servers, duration):
+    """Fault regimes over a concrete fleet (indices depend on build order)."""
+    # The two fastest replicas carry the most weighted/least traffic, so
+    # killing them is the worst scripted case for every policy.  The
+    # straggler is the *slowest* replica: under round-robin it still
+    # receives 1/N of the stream (saturating it), while the rest of the
+    # fleet keeps the headroom hedged duplicates need -- slowing the
+    # fastest replica instead puts the whole fleet past capacity, where
+    # hedging famously melts down rather than helps.
+    by_weight = sorted(servers, key=lambda s: s.weight, reverse=True)
+    fast_two = [by_weight[0].index, by_weight[1].index]
+    slow_one = by_weight[-1].index
+    t_fault = duration * 0.4
+    return {
+        "none": (None, None),
+        "crash": (
+            FaultSchedule(
+                [crash(t_fault, fast_two[0]), crash(t_fault * 1.2, fast_two[1])]
+            ),
+            None,
+        ),
+        "straggle": (
+            FaultSchedule([slowdown(t_fault, slow_one, 4.0, duration=duration * 0.3)]),
+            None,
+        ),
+        "straggle+hedge": (
+            FaultSchedule([slowdown(t_fault, slow_one, 4.0, duration=duration * 0.3)]),
+            HEDGE_MS,
+        ),
+    }
+
+
+def _run_sweep():
+    models, workloads, table, allocation, trace, duration = _build()
+    sla = {name: models[name].sla_ms for name in MODELS}
+    results = {}
+    for policy in POLICIES:
+        for regime_name in ("none", "crash", "straggle", "straggle+hedge"):
+            servers = build_fleet(allocation, table, models, workloads)
+            schedule, hedge = _regimes(servers, duration)[regime_name]
+            sim = FleetSimulator(
+                servers,
+                policy=policy,
+                sla_ms=sla,
+                seed=SEED,
+                faults=schedule,
+                retries=RETRIES if schedule is not None else 0,
+                hedge_ms=hedge,
+            )
+            results[(policy, regime_name)] = sim.run(trace, warmup_s=duration * 0.1)
+    return results, duration
+
+
+@pytest.mark.slow
+def test_fleet_fault_absorption(benchmark, show, record):
+    results, duration = run_once(benchmark, _run_sweep)
+    rows = []
+    for (policy, regime), res in results.items():
+        worst_p99 = max(s.p99_ms for s in res.per_model.values())
+        rows.append(
+            [
+                policy,
+                regime,
+                res.total_completed,
+                res.total_failed,
+                res.total_retried,
+                res.total_hedged,
+                f"{res.availability * 100:.1f}%",
+                round(worst_p99, 1),
+                f"{res.worst_violation_rate * 100:.2f}%",
+            ]
+        )
+    show(
+        format_table(
+            [
+                "policy",
+                "regime",
+                "served",
+                "failed",
+                "retried",
+                "hedged",
+                "avail",
+                "worst p99",
+                "viol",
+            ],
+            rows,
+            title=f"Fault absorption by routing policy (rho={RHO}, retries={RETRIES})",
+        )
+    )
+    record(
+        {
+            f"{policy}/{regime}": {
+                "completed": res.total_completed,
+                "failed": res.total_failed,
+                "retried": res.total_retried,
+                "hedged": res.total_hedged,
+                "availability": res.availability,
+                "worst_p99_ms": max(s.p99_ms for s in res.per_model.values()),
+            }
+            for (policy, regime), res in results.items()
+        }
+    )
+
+    for policy in POLICIES:
+        clean = results[(policy, "none")]
+        crashed = results[(policy, "crash")]
+        hedged = results[(policy, "straggle+hedge")]
+        # Fault-free runs are fully available and lose nothing.
+        assert clean.availability == 1.0
+        assert clean.total_failed == 0 and clean.total_retried == 0
+        # A crash shows up as lost capacity and retried work; with this
+        # much headroom the surviving replicas absorb the re-enqueued
+        # queries, so goodput may tie the clean run but never beats it.
+        assert crashed.availability < 1.0
+        assert crashed.total_retried > 0
+        assert crashed.total_completed <= clean.total_completed
+        # Hedging fires under the straggler but never loses queries.
+        assert hedged.total_hedged > 0
+        assert hedged.total_failed == 0
+
+    # The straggler must hurt the oblivious policy (it keeps feeding the
+    # slow replica) and hedging must buy most of that tail back.
+    rr_clean = max(s.p99_ms for s in results[("rr", "none")].per_model.values())
+    rr_straggle = max(
+        s.p99_ms for s in results[("rr", "straggle")].per_model.values()
+    )
+    rr_hedged = max(
+        s.p99_ms for s in results[("rr", "straggle+hedge")].per_model.values()
+    )
+    assert rr_straggle > 2.0 * rr_clean
+    assert rr_hedged < rr_straggle
+    # Queue-aware routing absorbs the same straggler without help.
+    least_straggle = max(
+        s.p99_ms for s in results[("least", "straggle")].per_model.values()
+    )
+    assert least_straggle < rr_straggle

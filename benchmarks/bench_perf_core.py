@@ -57,6 +57,7 @@ def test_perf_core_scenarios(benchmark, show, record):
         "loadgen",
         "single_node_des",
         "fleet_replay",
+        "fleet_replay_faultpath",
     }
     assert all(m["wall_s"] > 0 for m in scenarios.values())
     assert scenarios["fleet_replay"]["completed"] > 0
@@ -64,3 +65,6 @@ def test_perf_core_scenarios(benchmark, show, record):
     assert scenarios["single_node_des"]["completed"] > 0
     assert scenarios["profile_table"]["feasible_pairs"] > 0
     assert scenarios["search"]["feasible"] == scenarios["search"]["pairs"]
+    # The idle fault layer matched the fault-free loop (the scenario
+    # raises on any float mismatch) and reported its cost ratio.
+    assert scenarios["fleet_replay_faultpath"]["ratio_vs_fault_off"] > 0

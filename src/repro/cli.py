@@ -8,7 +8,8 @@ Subcommands:
 - ``profile``  -- build the efficiency-tuple classification table.
 - ``serve``    -- provision a diurnal day through a cluster scheduler.
 - ``fleet``    -- request-level fleet replay of a diurnal day (routing,
-  optional autoscaling, measured SLA/power report).
+  optional autoscaling, fault injection with retries/hedging, measured
+  SLA/availability/power report).
 - ``bench``    -- perf-regression harness over the hot paths; writes
   machine-readable ``BENCH_perf.json``.
 
@@ -39,6 +40,7 @@ from repro.cluster import (
 )
 from repro.fleet import (
     ROUTING_POLICIES,
+    FaultSchedule,
     FleetSimulator,
     ReactiveAutoscaler,
     build_fleet,
@@ -288,12 +290,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for name, m in models.items()
     }
     trace = build_fleet_trace(workloads, segments, seed=args.seed)
+    faults = FaultSchedule.parse(args.faults) if args.faults else None
     sim = FleetSimulator(
         servers,
         policy=args.policy,
         sla_ms={name: m.sla_ms for name, m in models.items()},
         autoscaler=autoscaler,
         seed=args.seed,
+        faults=faults,
+        retries=args.retries,
+        hedge_ms=args.hedge_ms,
     )
     result = sim.run(trace, warmup_s=args.duration * 0.05)
     print()
@@ -313,7 +319,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"analytic check: provisioned {provisioned / 1e3:.2f} kW, "
         f"drawn at average load {drawn / 1e3:.2f} kW"
     )
-    return 1 if result.total_dropped and not args.autoscale else 0
+    # Drops are an error only when nothing (autoscaler, fault injection)
+    # could legitimately leave a stream without replicas.
+    return 1 if result.total_dropped and not (args.autoscale or faults) else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -397,7 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Provision a fleet with the Hercules LP, then replay a "
             "compressed diurnal multi-model day query-by-query through a "
             "routing policy, reporting measured p50/p99, SLA-violation "
-            "rate, fleet power, and queries served."
+            "rate, fleet power, and queries served.  --faults injects "
+            "replica crashes and stragglers (deterministic given --seed); "
+            "--retries and --hedge-ms control how lost or slow queries "
+            "are re-dispatched."
         ),
     )
     fleet.add_argument(
@@ -438,6 +449,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--autoscale",
         action="store_true",
         help="provision at trough and let the reactive autoscaler track load",
+    )
+    fleet.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault schedule: comma-separated crash@T:IDX[+DUR], "
+            "blip@T:IDX[+DUR], slow@T:IDX*FACTOR[+DUR] entries, or "
+            "random:crash_mtbf=S,mttr=S,slow_mtbf=S,slow_factor=F,slow_dur=S "
+            "for a seed-deterministic stochastic schedule "
+            "(e.g. 'crash@2:0+1,slow@1:3*2.5+2')"
+        ),
+    )
+    fleet.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-query router re-dispatch budget after a crash kills its attempt",
+    )
+    fleet.add_argument(
+        "--hedge-ms",
+        type=_positive_float,
+        default=None,
+        help=(
+            "dispatch a duplicate attempt to a second replica once a query "
+            "is outstanding this long; the fastest attempt wins (off by default)"
+        ),
     )
     fleet.add_argument("--over-provision", type=float, default=0.05)
     fleet.add_argument("--seed", type=int, default=0)

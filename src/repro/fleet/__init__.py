@@ -16,12 +16,14 @@ from repro.fleet.engine import (
     build_fleet_trace,
     diurnal_segments,
 )
-from repro.fleet.report import FleetResult, ModelStats, ServerStats
+from repro.fleet.faults import FaultEvent, FaultSchedule, crash, slowdown
+from repro.fleet.report import FleetResult, ModelStats, PhaseStats, ServerStats
 from repro.fleet.routing import (
     ROUTING_POLICIES,
     LeastOutstandingPolicy,
     PowerOfTwoPolicy,
     RoundRobinPolicy,
+    RoutingError,
     RoutingPolicy,
     WeightedPolicy,
     make_policy,
@@ -35,13 +37,19 @@ __all__ = [
     "build_fleet",
     "build_fleet_trace",
     "diurnal_segments",
+    "FaultEvent",
+    "FaultSchedule",
+    "crash",
+    "slowdown",
     "FleetResult",
     "ModelStats",
+    "PhaseStats",
     "ServerStats",
     "ROUTING_POLICIES",
     "LeastOutstandingPolicy",
     "PowerOfTwoPolicy",
     "RoundRobinPolicy",
+    "RoutingError",
     "RoutingPolicy",
     "WeightedPolicy",
     "make_policy",

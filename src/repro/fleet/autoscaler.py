@@ -90,6 +90,7 @@ class ReactiveAutoscaler:
         routable: dict[str, list],
         standby_for: Callable[[str], list],
         window_drops: dict[str, int] | None = None,
+        window_failures: dict[str, int] | None = None,
     ) -> list[ScaleEvent]:
         """Evaluate one window; return the actions to apply.
 
@@ -104,6 +105,11 @@ class ReactiveAutoscaler:
                 replica since the last tick; counted as violations so a
                 model whose replicas are all standby can still trigger
                 its own activation.
+            window_failures: Queries per model lost to replica crashes
+                since the last tick.  Counted as violations like drops,
+                so a crash's capacity loss triggers standby activation
+                within one window even before the surviving replicas'
+                tails degrade.
         """
         events: list[ScaleEvent] = []
         for model, sla in self.sla_ms.items():
@@ -112,6 +118,7 @@ class ReactiveAutoscaler:
             latencies = window_lat_ms.get(model, [])
             active = routable.get(model, [])
             drops = (window_drops or {}).get(model, 0)
+            drops += (window_failures or {}).get(model, 0)
             observed = len(latencies) + drops
             violations = sum(1 for lat in latencies if lat > sla) + drops
             rate = violations / observed if observed else 0.0

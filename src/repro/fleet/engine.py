@@ -28,6 +28,11 @@ stay interactive):
   :class:`~repro.fleet.autoscaler.ReactiveAutoscaler` activates or
   drains replicas between provisioning intervals based on windowed
   SLA-violation rates.
+- Fault injection (crashes, stragglers, retries, hedging) lives in
+  :mod:`repro.fleet.faults`: runs with any fault machinery configured
+  take the fault-aware twin of the hot loop, while fault-free runs keep
+  this module's loop bit-identical to the pre-fault engine
+  (``tests/test_perf_equivalence.py`` enforces both).
 """
 
 from __future__ import annotations
@@ -82,6 +87,8 @@ class FleetServer:
         "items_done",
         "active",
         "draining",
+        "dead",
+        "slow_factor",
         "active_s",
         "_active_since",
         "wrr_current",
@@ -117,6 +124,8 @@ class FleetServer:
         self.items_done = 0
         self.active = active
         self.draining = False
+        self.dead = False  # crashed by the fault injector
+        self.slow_factor = 1.0  # straggler service-time multiplier
         self.active_s = 0.0
         self._active_since = 0.0 if active else None
         self.wrr_current = 0.0
@@ -255,7 +264,16 @@ class FleetSimulator:
         sla_ms: Per-model SLA targets for violation accounting (and the
             autoscaler's trigger).
         autoscaler: Optional reactive scaler consulted every window.
-        seed: Seed for policy randomness (p2c sampling).
+        seed: Seed for policy randomness (p2c sampling) and for
+            materializing stochastic fault schedules.
+        faults: Optional :class:`~repro.fleet.faults.FaultSchedule`.
+            ``None`` (and an empty schedule with no retries/hedging)
+            keeps the exact fault-free hot loop.
+        retries: Per-query budget of router re-dispatches after a
+            crash kills the query's last outstanding attempt.
+        hedge_ms: If set, a duplicate attempt is dispatched to a second
+            replica once a query has been outstanding this long; the
+            query completes at its fastest attempt.
     """
 
     def __init__(
@@ -265,14 +283,25 @@ class FleetSimulator:
         sla_ms: dict[str, float] | None = None,
         autoscaler=None,
         seed: int = 0,
+        faults=None,
+        retries: int = 0,
+        hedge_ms: float | None = None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one fleet server")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if hedge_ms is not None and hedge_ms <= 0.0:
+            raise ValueError("hedge_ms must be > 0 (or None to disable)")
         self.servers = list(servers)
         self.sla_ms = dict(sla_ms or {})
         self.autoscaler = autoscaler
         self._policy_spec = policy
         self._seed = seed
+        self.faults = faults
+        self.retries = int(retries)
+        self.hedge_ms = hedge_ms
+        self.last_query_log: tuple = ()
         self._routable: dict[str, list[FleetServer]] = {}
         self._policies: dict[str, RoutingPolicy] = {}
         self.last_event_count = 0
@@ -299,8 +328,72 @@ class FleetSimulator:
         return [
             s
             for s in self.servers
-            if s.model_name == model and not s.active and not s.draining
+            if s.model_name == model
+            and not s.active
+            and not s.draining
+            and not s.dead
         ]
+
+    def _apply_autoscaler_tick(
+        self,
+        now: float,
+        window_lat: dict,
+        window_arrivals: dict,
+        window_drops: dict,
+        scale_events: list,
+        window_failures: dict | None = None,
+    ) -> None:
+        """One autoscaler window: tick, apply decisions, reset the feeds.
+
+        Cold path (fires once per window), shared verbatim by the
+        fault-free loop and both fault loops so scale-event application
+        cannot drift between them.
+        """
+        routable = self._routable
+        decisions = self.autoscaler.tick(
+            now,
+            window_lat,
+            window_arrivals,
+            routable,
+            self._standby_for,
+            window_drops=window_drops,
+            window_failures=window_failures,
+        )
+        for event in decisions:
+            scale_events.append(event)
+            scaled = event.server
+            if event.action == "activate":
+                scaled.active = True
+                scaled.draining = False
+                scaled._active_since = now
+                routable[scaled.model_name].append(scaled)
+            else:  # drain
+                routable[scaled.model_name].remove(scaled)
+                scaled.draining = True
+                if scaled.outstanding == 0:
+                    scaled.settle(now)
+                    scaled.active = False
+                    scaled.draining = False
+        for m in window_lat:
+            window_lat[m] = []
+            window_arrivals[m] = 0
+        for m in window_drops:
+            window_drops[m] = 0
+        if window_failures is not None:
+            for m in window_failures:
+                window_failures[m] = 0
+
+    @property
+    def _fault_mode(self) -> bool:
+        """Whether the run needs the fault-aware loop.
+
+        True as soon as any fault machinery could fire: a non-``None``
+        schedule (even an empty one forces the fault loop, which the
+        differential tests exploit), a retry budget, or hedging.
+        """
+        return (
+            self.faults is not None or self.retries > 0 or self.hedge_ms is not None
+        )
 
     # ------------------------------------------------------------------
 
@@ -368,15 +461,25 @@ class FleetSimulator:
         # percent on long replays.
         import gc
 
+        fault_info = None
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
-            self._run_loop(
-                trace, times, i, n, streams, events, dead, finished, heap,
-                warmup_s, horizon, scaling, completions, dropped,
-                window_lat, window_arrivals, window_drops, scale_events,
-            )
+            if self._fault_mode:
+                from repro.fleet.faults import run_fault_loop
+
+                fault_info = run_fault_loop(
+                    self, trace, times, i, n, streams, heap,
+                    warmup_s, horizon, scaling, completions, dropped,
+                    window_lat, window_arrivals, window_drops, scale_events,
+                )
+            else:
+                self._run_loop(
+                    trace, times, i, n, streams, events, dead, finished, heap,
+                    warmup_s, horizon, scaling, completions, dropped,
+                    window_lat, window_arrivals, window_drops, scale_events,
+                )
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -384,9 +487,11 @@ class FleetSimulator:
         for server in self.servers:
             server.settle(horizon)
         self.last_event_count = arrivals + heap.seq
+        self.last_query_log = fault_info.pop("log") if fault_info else ()
 
         return self._summarize(
-            completions, dropped, warmup_s, horizon, tuple(scale_events)
+            completions, dropped, warmup_s, horizon, tuple(scale_events),
+            fault_info,
         )
 
     def _run_loop(
@@ -448,34 +553,9 @@ class FleetSimulator:
             now = entry[0]
             server = entry[2]
             if server is None:  # autoscaler tick
-                decisions = self.autoscaler.tick(
-                    now,
-                    window_lat,
-                    window_arrivals,
-                    self._routable,
-                    self._standby_for,
-                    window_drops=window_drops,
+                self._apply_autoscaler_tick(
+                    now, window_lat, window_arrivals, window_drops, scale_events
                 )
-                for event in decisions:
-                    scale_events.append(event)
-                    scaled = event.server
-                    if event.action == "activate":
-                        scaled.active = True
-                        scaled.draining = False
-                        scaled._active_since = now
-                        self._routable[scaled.model_name].append(scaled)
-                    else:  # drain
-                        self._routable[scaled.model_name].remove(scaled)
-                        scaled.draining = True
-                        if scaled.outstanding == 0:
-                            scaled.settle(now)
-                            scaled.active = False
-                            scaled.draining = False
-                for m in window_lat:
-                    window_lat[m] = []
-                    window_arrivals[m] = 0
-                for m in window_drops:
-                    window_drops[m] = 0
                 continue
             idx = entry[3]
             if idx < 0:  # direct-path completion event, bookkept inline
@@ -523,10 +603,14 @@ class FleetSimulator:
         warmup_s: float,
         horizon: float,
         scale_events: tuple,
+        fault_info: dict | None = None,
     ) -> FleetResult:
         import numpy as np
 
         duration = max(horizon - warmup_s, 1e-9)
+        failed_by = fault_info["failed"] if fault_info else {}
+        retried_by = fault_info["retried"] if fault_info else {}
+        hedged_by = fault_info["hedged"] if fault_info else {}
         per_model: dict[str, ModelStats] = {}
         for model, samples in completions.items():
             # Measure the window [warmup, horizon]: arrivals before the
@@ -540,9 +624,11 @@ class FleetSimulator:
             ]
             sla = self.sla_ms.get(model, float("inf"))
             drops = dropped.get(model, 0)
+            fails = failed_by.get(model, 0)
+            lost = drops + fails
             if measured:
                 arr = np.asarray(measured) * 1e3
-                violations = int((arr > sla).sum()) + drops
+                violations = int((arr > sla).sum()) + lost
                 per_model[model] = ModelStats(
                     model=model,
                     sla_ms=sla,
@@ -553,7 +639,10 @@ class FleetSimulator:
                     p95_ms=float(np.percentile(arr, 95)),
                     p99_ms=float(np.percentile(arr, 99)),
                     mean_ms=float(arr.mean()),
-                    violation_rate=violations / max(len(measured) + drops, 1),
+                    violation_rate=violations / max(len(measured) + lost, 1),
+                    failed=fails,
+                    retried=retried_by.get(model, 0),
+                    hedged=hedged_by.get(model, 0),
                 )
             else:
                 per_model[model] = ModelStats(
@@ -566,7 +655,10 @@ class FleetSimulator:
                     p95_ms=float("inf"),
                     p99_ms=float("inf"),
                     mean_ms=float("inf"),
-                    violation_rate=1.0 if drops else 0.0,
+                    violation_rate=1.0 if lost else 0.0,
+                    failed=fails,
+                    retried=retried_by.get(model, 0),
+                    hedged=hedged_by.get(model, 0),
                 )
 
         server_stats = []
@@ -587,6 +679,29 @@ class FleetSimulator:
                     ever_active=s.active_s > 0,
                 )
             )
+        availability = 1.0
+        fault_events: tuple = ()
+        phases: tuple = ()
+        if fault_info is not None:
+            # Uptime fraction of routable serving time: time replicas
+            # actually served over that plus time crashed-while-routable
+            # replicas spent dead.  Robust to mid-run activations and
+            # drains (both sides count the same replica-populations), and
+            # in [0, 1] by construction.
+            downtime = fault_info["downtime_s"]
+            serving = sum(s.active_s for s in self.servers)
+            if downtime > 0.0:
+                availability = serving / (serving + downtime)
+            fault_events = fault_info["events"]
+            if fault_events:
+                from repro.fleet.report import phase_breakdown
+
+                phases = phase_breakdown(
+                    completions,
+                    tuple(ev.time_s for ev in fault_events),
+                    warmup_s,
+                    horizon,
+                )
         return FleetResult(
             policy=self.policy_name,
             duration_s=duration,
@@ -595,4 +710,7 @@ class FleetSimulator:
             avg_power_w=total_energy / max(horizon, 1e-9),
             scale_events=scale_events,
             events=self.last_event_count,
+            availability=availability,
+            fault_events=fault_events,
+            phases=phases,
         )

@@ -1,0 +1,969 @@
+"""Deterministic fault injection for the fleet simulator.
+
+The paper's cluster story is a provisioning story; whether it survives
+contact with production depends on how the serving tier degrades when
+replicas die or stall mid-interval.  This module adds that degradation
+as a first-class, *seed-deterministic* input to the fleet DES:
+
+- :class:`FaultEvent` / :class:`FaultSchedule` -- scripted and
+  stochastic fault timelines (replica crash, crash-with-recovery,
+  slowdown/straggler factors, transient blips).  ``materialize``
+  expands a schedule into atomic, time-sorted events for a concrete
+  fleet, so identical ``(schedule, fleet, seed)`` triples always
+  replay identically.
+- :func:`run_fault_loop` -- the fault-aware twin of the engine's hot
+  event loop.  Crashed replicas leave the routable set, their in-flight
+  queries are re-enqueued at the router (up to a retry budget) or
+  failed; stragglers have their stage service times scaled; hedged
+  dispatch races a duplicate attempt on a second replica after a
+  configurable delay.  The fault-free engine loop is untouched -- with
+  no faults scheduled the two loops execute the same float operations
+  in the same order, which ``tests/test_perf_equivalence.py`` enforces
+  with exact equality.
+
+Fault semantics (all deterministic):
+
+- ``crash``: the replica is removed from routing, its queued and
+  in-service batches are cancelled, and every query that loses its
+  last outstanding attempt is retried at the router (if the per-query
+  retry budget allows and a routable replica exists) or failed.
+  Arrivals at exactly the crash timestamp still route to the dying
+  replica (arrivals win ties, as in the fault-free loop).
+- ``recover``: a replica that was serving when it crashed rejoins the
+  routable set with empty queues; standby/draining replicas come back
+  cold, available to the autoscaler again.
+- ``slow`` / ``restore``: batches *started* while the factor is active
+  take ``factor``x their nominal service time (in-flight batches keep
+  their scheduled completions).
+- Overlapping episodes on one replica resolve conservatively: a crash
+  landing inside another crash's recovery window extends the outage to
+  the *last* scheduled recover (a crash with no recover pins the
+  replica dead); overlapping slowdowns apply the latest factor and end
+  at the last scheduled restore.
+- Hedging: at most one hedge per query; the duplicate attempt targets a
+  replica the query has not tried.  The query completes at its fastest
+  finishing attempt; the loser's work still counts against its server.
+
+CLI spec grammar (``python -m repro.cli fleet --faults ...``):
+
+- ``crash@T:IDX`` -- kill replica ``IDX`` at ``T`` seconds (for good).
+- ``crash@T:IDX+DUR`` -- crash, recover after ``DUR`` seconds.
+- ``blip@T:IDX[+DUR]`` -- transient crash (default recovery 0.25 s).
+- ``slow@T:IDX*F[+DUR]`` -- straggler: service times x ``F`` from
+  ``T``, optionally restored after ``DUR`` seconds.
+- Entries combine comma-separated: ``crash@2:0+1,slow@1:3*2.5+2``.
+- ``random:crash_mtbf=20,mttr=2,slow_mtbf=15,slow_factor=3,slow_dur=1``
+  -- stochastic schedule: per-replica exponential time-between-failures
+  and repair times, drawn deterministically from the run seed.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Iterable, Sequence
+
+from repro.sim.event_core import QueryState
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "TrackedQuery",
+    "crash",
+    "slowdown",
+    "run_fault_loop",
+]
+
+_KINDS = ("crash", "recover", "slow", "restore")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault on one replica.
+
+    Attributes:
+        time_s: Simulation time the fault fires.
+        kind: ``"crash"``, ``"recover"``, ``"slow"``, or ``"restore"``.
+        server_index: Fleet index of the targeted replica.
+        factor: Service-time multiplier (``slow`` only; > 1 = slower).
+        duration_s: Scripted sugar -- a ``crash``/``slow`` with a
+            duration expands into the event plus its paired
+            ``recover``/``restore`` at ``time_s + duration_s`` when the
+            schedule is materialized.
+    """
+
+    time_s: float
+    kind: str
+    server_index: int
+    factor: float = 1.0
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {_KINDS}")
+        if self.time_s < 0.0:
+            raise ValueError("fault time must be >= 0")
+        if self.server_index < 0:
+            raise ValueError("server_index must be >= 0")
+        if self.kind == "slow" and self.factor <= 0.0:
+            raise ValueError("slowdown factor must be > 0")
+        if self.duration_s is not None and self.duration_s <= 0.0:
+            raise ValueError("fault duration must be > 0")
+
+
+def crash(time_s: float, server_index: int, recover_after: float | None = None) -> FaultEvent:
+    """A replica crash, optionally recovering ``recover_after`` seconds later."""
+    return FaultEvent(time_s, "crash", server_index, duration_s=recover_after)
+
+
+def slowdown(
+    time_s: float, server_index: int, factor: float, duration: float | None = None
+) -> FaultEvent:
+    """A straggler: service times x ``factor``, optionally for ``duration`` s."""
+    return FaultEvent(time_s, "slow", server_index, factor=factor, duration_s=duration)
+
+
+_ENTRY_RE = re.compile(
+    r"^(crash|slow|blip)@([0-9]*\.?[0-9]+(?:e-?[0-9]+)?):([0-9]+)"
+    r"(?:\*([0-9]*\.?[0-9]+))?(?:\+([0-9]*\.?[0-9]+))?$"
+)
+
+#: CLI keys for ``random:`` specs -> ``FaultSchedule.stochastic`` kwargs.
+_STOCHASTIC_KEYS = {
+    "crash_mtbf": "crash_mtbf_s",
+    "mttr": "mttr_s",
+    "slow_mtbf": "slow_mtbf_s",
+    "slow_factor": "slow_factor",
+    "slow_dur": "slow_duration_s",
+}
+
+
+class FaultSchedule:
+    """A scripted and/or stochastic fault timeline for one fleet run.
+
+    Scripted events are passed to the constructor; stochastic behaviour
+    is configured with :meth:`stochastic` and drawn deterministically
+    from the run seed at :meth:`materialize` time.  An empty schedule
+    is the explicit "no faults" statement -- the engine keeps its exact
+    fault-free semantics (enforced by the differential tests).
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(events)
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {type(ev).__name__}")
+        self.stochastic_params: dict | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events and self.stochastic_params is None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        """Truthy when any fault (scripted or stochastic) can fire."""
+        return not self.is_empty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{len(self.events)} scripted"]
+        if self.stochastic_params:
+            parts.append(f"stochastic {self.stochastic_params}")
+        return f"FaultSchedule({', '.join(parts)})"
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def stochastic(
+        cls,
+        crash_mtbf_s: float | None = None,
+        mttr_s: float = 2.0,
+        slow_mtbf_s: float | None = None,
+        slow_factor: float = 3.0,
+        slow_duration_s: float = 1.0,
+    ) -> "FaultSchedule":
+        """A seed-driven random schedule.
+
+        Args:
+            crash_mtbf_s: Per-replica mean time between crashes
+                (exponential); ``None`` disables crashes.
+            mttr_s: Mean time to recovery after a crash (exponential).
+            slow_mtbf_s: Per-replica mean time between slowdown onsets;
+                ``None`` disables stragglers.
+            slow_factor: Service-time multiplier while slowed.
+            slow_duration_s: Fixed straggler episode length.
+        """
+        if crash_mtbf_s is None and slow_mtbf_s is None:
+            raise ValueError("need crash_mtbf_s and/or slow_mtbf_s")
+        for name, value in (
+            ("crash_mtbf_s", crash_mtbf_s),
+            ("mttr_s", mttr_s),
+            ("slow_mtbf_s", slow_mtbf_s),
+            ("slow_factor", slow_factor),
+            ("slow_duration_s", slow_duration_s),
+        ):
+            if value is not None and value <= 0.0:
+                raise ValueError(f"{name} must be > 0")
+        schedule = cls()
+        schedule.stochastic_params = {
+            "crash_mtbf_s": crash_mtbf_s,
+            "mttr_s": mttr_s,
+            "slow_mtbf_s": slow_mtbf_s,
+            "slow_factor": slow_factor,
+            "slow_duration_s": slow_duration_s,
+        }
+        return schedule
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        """Parse the CLI mini-language (see the module docstring)."""
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        if spec.startswith("random:"):
+            kwargs: dict[str, float] = {}
+            for pair in spec[len("random:"):].split(","):
+                key, sep, value = pair.strip().partition("=")
+                if not sep or key not in _STOCHASTIC_KEYS:
+                    raise ValueError(
+                        f"bad stochastic fault parameter {pair!r}; known keys: "
+                        f"{', '.join(sorted(_STOCHASTIC_KEYS))}"
+                    )
+                kwargs[_STOCHASTIC_KEYS[key]] = float(value)
+            return cls.stochastic(**kwargs)
+        events = []
+        for entry in spec.split(","):
+            m = _ENTRY_RE.match(entry.strip())
+            if m is None:
+                raise ValueError(
+                    f"bad fault entry {entry.strip()!r}; expected "
+                    "kind@time:replica[*factor][+duration] with kind one of "
+                    "crash/slow/blip, or a single random:key=value,... spec"
+                )
+            kind, t, idx, factor, dur = m.groups()
+            time_s, index = float(t), int(idx)
+            duration = float(dur) if dur is not None else None
+            if kind == "slow":
+                if factor is None:
+                    raise ValueError(f"{entry.strip()!r}: slow needs *factor")
+                events.append(slowdown(time_s, index, float(factor), duration))
+            else:
+                if factor is not None:
+                    raise ValueError(f"{entry.strip()!r}: only slow takes *factor")
+                if kind == "blip" and duration is None:
+                    duration = 0.25
+                events.append(crash(time_s, index, recover_after=duration))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self, num_servers: int, horizon_s: float, seed: int = 0
+    ) -> list[FaultEvent]:
+        """Expand into atomic, time-sorted events for a concrete fleet.
+
+        Scripted durations become paired recover/restore events;
+        stochastic parameters are drawn per replica from RNGs derived
+        from ``seed``, so the same (schedule, fleet size, horizon,
+        seed) always yields the same list.
+        """
+        atomic: list[FaultEvent] = []
+        for ev in self.events:
+            if ev.server_index >= num_servers:
+                raise ValueError(
+                    f"fault targets replica {ev.server_index} but the fleet "
+                    f"has only {num_servers} replicas"
+                )
+            if ev.duration_s is None:
+                atomic.append(ev)
+            elif ev.kind == "crash":
+                atomic.append(FaultEvent(ev.time_s, "crash", ev.server_index))
+                atomic.append(
+                    FaultEvent(ev.time_s + ev.duration_s, "recover", ev.server_index)
+                )
+            elif ev.kind == "slow":
+                atomic.append(
+                    FaultEvent(ev.time_s, "slow", ev.server_index, factor=ev.factor)
+                )
+                atomic.append(
+                    FaultEvent(ev.time_s + ev.duration_s, "restore", ev.server_index)
+                )
+            else:
+                atomic.append(ev)
+        if self.stochastic_params is not None:
+            atomic.extend(self._draw(num_servers, horizon_s, seed))
+        atomic.sort(key=lambda e: e.time_s)  # stable: generation order on ties
+        return atomic
+
+    def _draw(self, num_servers: int, horizon_s: float, seed: int) -> list[FaultEvent]:
+        p = self.stochastic_params
+        out: list[FaultEvent] = []
+        for idx in range(num_servers):
+            if p["crash_mtbf_s"] is not None:
+                rng = random.Random(seed * 1_000_003 + 2 * idx)
+                t = rng.expovariate(1.0 / p["crash_mtbf_s"])
+                while t < horizon_s:
+                    repair = rng.expovariate(1.0 / p["mttr_s"])
+                    out.append(FaultEvent(t, "crash", idx))
+                    out.append(FaultEvent(t + repair, "recover", idx))
+                    t = t + repair + rng.expovariate(1.0 / p["crash_mtbf_s"])
+            if p["slow_mtbf_s"] is not None:
+                rng = random.Random(seed * 1_000_003 + 2 * idx + 1)
+                t = rng.expovariate(1.0 / p["slow_mtbf_s"])
+                while t < horizon_s:
+                    out.append(FaultEvent(t, "slow", idx, factor=p["slow_factor"]))
+                    out.append(FaultEvent(t + p["slow_duration_s"], "restore", idx))
+                    t = t + p["slow_duration_s"] + rng.expovariate(
+                        1.0 / p["slow_mtbf_s"]
+                    )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Runtime records
+# ----------------------------------------------------------------------
+
+
+class TrackedQuery:
+    """Per-query fault-mode record: outcome plus every dispatch attempt.
+
+    Every query ends the run in exactly one terminal ``outcome`` --
+    completed, failed, or dropped (the conservation invariant the
+    property tests pin).  ``attempts`` holds ``[server, dispatch_s,
+    finish_s | None, status]`` lists with status 0 = in flight, 1 =
+    completed, 2 = killed by a crash.  Exposed as
+    ``FleetSimulator.last_query_log``.
+
+    The packed ``outcome`` / ``hedge_state`` ints keep the per-arrival
+    allocation cheap (the record rides the fault loop's hot path); the
+    ``done`` / ``failed`` / ``dropped`` / ``hedged`` properties are the
+    readable API.
+    """
+
+    __slots__ = (
+        "query",
+        "model",
+        "outcome",  # 0 = in flight, 1 = completed, 2 = failed, 3 = dropped
+        "finish_s",
+        "retries",
+        "hedge_state",  # 0 = unarmed, 1 = timer armed, 2 = hedged
+        "attempts",
+    )
+
+    def __init__(self, query, model: str) -> None:
+        self.query = query
+        self.model = model
+        self.outcome = 0
+        self.finish_s = None
+        self.retries = 0
+        self.hedge_state = 0
+        self.attempts: list[list] = []
+
+    @property
+    def done(self) -> bool:
+        return self.outcome == 1
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome == 2
+
+    @property
+    def dropped(self) -> bool:
+        return self.outcome == 3
+
+    @property
+    def hedged(self) -> bool:
+        return self.hedge_state == 2
+
+
+class _FaultQueryState(QueryState):
+    """Pipeline-path query state carrying its fault-mode bookkeeping."""
+
+    __slots__ = ("tracked", "attempt")
+
+
+#: Heap-owner sentinels (never equal to a FleetServer or None).
+_FAULT = object()
+_HEDGE = object()
+
+
+class _FaultState:
+    """Replica-level fault bookkeeping shared by both fault loops.
+
+    Owns everything about a fault event except what happens to the
+    crashed replica's in-flight queries (the one part the light and
+    tracked loops do differently -- passed in as ``kill_in_flight``):
+    role classification, routable-list membership, downtime accounting,
+    the applied-event record, and overlap resolution.
+
+    Overlap semantics: a crash landing while a replica is already dead
+    swallows one future ``recover``, so the replica stays down until
+    the *last* scheduled recover (or forever, if any covering crash was
+    permanent).  A slowdown landing while a replica is already slowed
+    applies the newest factor and swallows one future ``restore``, so
+    the episode ends at the last scheduled restore.
+    """
+
+    __slots__ = (
+        "servers",
+        "routable",
+        "applied",
+        "downtime",
+        "_roles",
+        "_down_open",
+        "_recover_skips",
+        "_slow_overlaps",
+    )
+
+    def __init__(self, servers, routable) -> None:
+        self.servers = servers
+        self.routable = routable
+        self.applied: list[FaultEvent] = []
+        self.downtime = 0.0
+        self._roles: dict = {}  # crashed server -> role at crash time
+        self._down_open: dict = {}  # crashed-while-routable server -> crash time
+        self._recover_skips: dict = {}  # server -> recovers to swallow
+        self._slow_overlaps: dict = {}  # server -> restores to swallow
+
+    def apply(self, ev: FaultEvent, now: float, horizon: float, kill_in_flight) -> None:
+        server = self.servers[ev.server_index]
+        kind = ev.kind
+        if kind == "crash":
+            if server.dead:
+                # Overlapping crash window: extend the outage by one
+                # scheduled recover (permanent crashes schedule none,
+                # pinning the replica dead).
+                self._recover_skips[server] = self._recover_skips.get(server, 0) + 1
+                self.applied.append(ev)
+                return
+            if server.draining:
+                role = "draining"
+            elif server.active:
+                role = "routable"
+            else:
+                role = "standby"
+            if role == "routable":
+                lst = self.routable.get(server.model_name)
+                if lst is not None and server in lst:
+                    lst.remove(server)
+                self._down_open[server] = now
+            self._roles[server] = role
+            # Events can fire past the horizon while the heap drains;
+            # active-time accounting stops at the horizon (the final
+            # settle(horizon) must never see a later start).
+            server.settle(min(now, horizon))
+            server.active = False
+            server.draining = False
+            server.dead = True
+            self.applied.append(ev)
+            kill_in_flight(server, now)
+        elif kind == "recover":
+            if not server.dead:
+                return
+            skips = self._recover_skips.get(server, 0)
+            if skips:
+                # An overlapping crash claimed this recover; stay down.
+                self._recover_skips[server] = skips - 1
+                return
+            server.dead = False
+            self.applied.append(ev)
+            t0 = self._down_open.pop(server, None)
+            if t0 is not None:
+                self.downtime += max(0.0, min(now, horizon) - min(t0, horizon))
+            role = self._roles.pop(server, "standby")
+            if role == "routable":
+                server.active = True
+                server._active_since = min(now, horizon)
+                lst = self.routable.get(server.model_name)
+                if lst is not None:
+                    lst.append(server)
+            # standby/draining replicas come back cold; the autoscaler
+            # may re-activate them.
+        elif kind == "slow":
+            if server.slow_factor != 1.0:
+                # Overlapping episode: newest factor wins, and the
+                # superseded episode's restore must not end it early.
+                self._slow_overlaps[server] = self._slow_overlaps.get(server, 0) + 1
+            server.slow_factor = ev.factor
+            server.pipeline.service_scale = ev.factor
+            self.applied.append(ev)
+        else:  # restore
+            if server.slow_factor == 1.0:
+                return
+            skips = self._slow_overlaps.get(server, 0)
+            if skips:
+                self._slow_overlaps[server] = skips - 1
+                return
+            server.slow_factor = 1.0
+            server.pipeline.service_scale = 1.0
+            self.applied.append(ev)
+
+    def close(self, horizon: float) -> float:
+        """Fold still-open outages up to the horizon; return downtime."""
+        for _server, t0 in self._down_open.items():
+            self.downtime += max(0.0, horizon - min(t0, horizon))
+        self._down_open.clear()
+        return self.downtime
+
+
+# ----------------------------------------------------------------------
+# The fault-aware event loop
+# ----------------------------------------------------------------------
+
+
+def run_fault_loop(
+    sim,
+    trace: Sequence,
+    times: Sequence[float],
+    i: int,
+    n: int,
+    streams: dict,
+    heap,
+    warmup_s: float,
+    horizon: float,
+    scaling: bool,
+    completions: dict,
+    dropped: dict,
+    window_lat: dict,
+    window_arrivals: dict,
+    window_drops: dict,
+    scale_events: list,
+) -> dict:
+    """Fault-aware twin of ``FleetSimulator._run_loop``.
+
+    Runs the same arrival-merge event loop with crash/recover/slow
+    handling, retries, and hedging layered on.  With an empty schedule
+    it performs the identical float operations in the identical order
+    (same heap sequence numbers, same routing draws), which the
+    differential tests verify with ``==`` on floats.
+
+    Two variants share this entry point:
+
+    - With ``retries == 0`` and hedging off, the *light* loop runs: per
+      query it is the fault-free hot loop verbatim (no per-query
+      records -- crash victims simply fail), so an empty or sparse
+      schedule costs almost nothing.  ``last_query_log`` stays empty.
+    - Otherwise the *tracked* loop runs: every query gets a
+      :class:`TrackedQuery` with per-attempt history, enabling retries,
+      hedging, and the full query log.
+
+    Returns the fault accounting consumed by ``_summarize``:
+    per-model ``failed``/``retried``/``hedged`` counts, the applied
+    atomic events, the fleet availability, and the per-query log.
+    """
+    if sim.retries == 0 and sim.hedge_ms is None:
+        return _run_light_loop(
+            sim, trace, times, i, n, streams, heap, warmup_s, horizon,
+            scaling, completions, dropped, window_lat, window_arrivals,
+            window_drops, scale_events,
+        )
+    events = heap.items
+    dead = heap.dead
+    finished: list = []
+    servers = sim.servers
+    routable = sim._routable
+    retry_budget = sim.retries
+    hedge_s = sim.hedge_ms * 1e-3 if sim.hedge_ms is not None else None
+
+    log: list[TrackedQuery] = []
+    failed: dict[str, int] = {m: 0 for m in completions}
+    retried: dict[str, int] = {m: 0 for m in completions}
+    hedged: dict[str, int] = {m: 0 for m in completions}
+    window_failures: dict[str, int] = {m: 0 for m in window_drops}
+    fstate = _FaultState(servers, routable)
+
+    if sim.faults is not None:
+        for ev in sim.faults.materialize(len(servers), horizon, seed=sim._seed):
+            heap.push(ev.time_s, _FAULT, 0, ev)
+
+    # -- helpers -------------------------------------------------------
+
+    def dispatch(tracked: TrackedQuery, server, now: float) -> None:
+        """Start one attempt of ``tracked`` on ``server`` at ``now``."""
+        attempt = [server, now, None, 0]
+        tracked.attempts.append(attempt)
+        server.outstanding += 1
+        query = tracked.query
+        direct = server.direct
+        if direct is not None:
+            factor = server.slow_factor
+            if factor == 1.0:
+                done = direct.completion_time(now, query.size, query.pooling_scale)
+            else:
+                done = direct.completion_time_slowed(
+                    now, query.size, query.pooling_scale, factor
+                )
+            # Inlined heap.push: this is the per-arrival hot path.
+            seq = heap.seq
+            heap.seq = seq + 1
+            heappush(events, (done, seq, server, -1, (tracked, attempt)))
+        else:
+            qs = _FaultQueryState(query, tracked.model)
+            qs.server = server
+            qs.tracked = tracked
+            qs.attempt = attempt
+            server.pipeline.enqueue(0, qs, qs.size, now, heap)
+        if hedge_s is not None and tracked.hedge_state == 0:
+            tracked.hedge_state = 1
+            heap.push(now + hedge_s, _HEDGE, 0, tracked)
+
+    def complete(server, tracked: TrackedQuery, attempt: list, now: float) -> None:
+        """Retire one finished attempt (same bookkeeping as the fast loop)."""
+        attempt[2] = now
+        attempt[3] = 1
+        query = tracked.query
+        arrival = query.arrival_s
+        server.completed += 1
+        if arrival >= warmup_s and now <= horizon:
+            server.completed_in_window += 1
+        server.items_done += query.size
+        server.outstanding -= 1
+        if tracked.outcome == 0:
+            tracked.outcome = 1
+            tracked.finish_s = now
+            latency = now - arrival
+            completions[tracked.model].append((now, latency))
+            if scaling:
+                window_lat[tracked.model].append(latency * 1e3)
+        if server.draining and server.outstanding == 0:
+            server.settle(now)
+            server.active = False
+            server.draining = False
+
+    def resolve_lost(tracked: TrackedQuery, now: float) -> None:
+        """A query lost its last outstanding attempt: retry or fail.
+
+        Counters use the same measurement window as completions
+        (query arrived after warmup, resolved by the horizon), so the
+        failed/retried populations stay consistent with the measured
+        one; the autoscaler's window feed stays unfiltered, like drops.
+        """
+        model = tracked.model
+        stream = streams.get(model)
+        if tracked.retries < retry_budget and stream and stream[0]:
+            tracked.retries += 1
+            # Attributed to the query: counted whenever the query is in
+            # the measured population, wherever the retry lands in time.
+            if tracked.query.arrival_s >= warmup_s:
+                retried[model] = retried.get(model, 0) + 1
+            candidates, policy = stream
+            dispatch(tracked, policy.choose(candidates), now)
+        else:
+            tracked.outcome = 2  # failed
+            # Failures enter violation_rate/goodput denominators, so
+            # they use the completions measurement window exactly.
+            if tracked.query.arrival_s >= warmup_s and now <= horizon:
+                failed[model] = failed.get(model, 0) + 1
+            if scaling:
+                window_failures[model] = window_failures.get(model, 0) + 1
+
+    def fire_hedge(tracked: TrackedQuery, now: float) -> None:
+        tracked.hedge_state = 0  # timer consumed (re-armed on a retry)
+        if tracked.outcome != 0:
+            return
+        stream = streams.get(tracked.model)
+        if not stream or not stream[0]:
+            return
+        candidates, policy = stream
+        attempted = {a[0] for a in tracked.attempts}
+        fresh = [s for s in candidates if s not in attempted]
+        if not fresh:
+            return
+        tracked.hedge_state = 2  # hedged
+        if tracked.query.arrival_s >= warmup_s:
+            hedged[tracked.model] = hedged.get(tracked.model, 0) + 1
+        dispatch(tracked, policy.choose(fresh), now)
+
+    def kill_in_flight(server, now: float) -> None:
+        """Cancel a crashed replica's work: heap events (lazy deletion)
+        and queued units; re-route or fail every query that lost its
+        last outstanding attempt."""
+        victims: dict[int, tuple] = {}
+        for item in events:
+            if item[2] is server and item[1] not in dead:
+                dead.add(item[1])
+                if item[3] < 0:
+                    tr, at = item[4]
+                    victims[id(at)] = (tr, at)
+                else:
+                    for unit in item[4]:
+                        qs = unit[0]
+                        victims[id(qs.attempt)] = (qs.tracked, qs.attempt)
+        for queue in server.pipeline.queues:
+            for unit in queue:
+                qs = unit[0]
+                victims[id(qs.attempt)] = (qs.tracked, qs.attempt)
+        server.pipeline.reset()
+        if server.direct is not None:
+            server.direct.reset()
+        server.outstanding = 0
+        for tr, at in victims.values():
+            at[3] = 2  # killed
+        for tr, at in victims.values():
+            if tr.outcome != 0:
+                continue
+            if any(a[3] == 0 for a in tr.attempts):
+                continue  # a hedge sibling is still racing
+            resolve_lost(tr, now)
+
+    # -- the loop ------------------------------------------------------
+
+    while True:
+        # -- next event: arrival stream vs heap, arrivals win ties --
+        if i < n:
+            now = times[i]
+            if not events or now <= events[0][0]:
+                model, query = trace[i]
+                i += 1
+                stream = streams.get(model)
+                if not stream or not stream[0]:
+                    tracked = TrackedQuery(query, model)
+                    tracked.outcome = 3  # dropped
+                    log.append(tracked)
+                    if now >= warmup_s:
+                        dropped[model] = dropped.get(model, 0) + 1
+                    if scaling:
+                        window_drops[model] = window_drops.get(model, 0) + 1
+                    continue
+                candidates, policy = stream
+                server = policy.choose(candidates)
+                if scaling:
+                    window_arrivals[model] += 1
+                tracked = TrackedQuery(query, model)
+                log.append(tracked)
+                dispatch(tracked, server, now)
+                continue
+        elif not events:
+            break
+        entry = heappop(events)
+        if dead and entry[1] in dead:
+            dead.discard(entry[1])
+            continue
+        now = entry[0]
+        owner = entry[2]
+        if owner is None:  # autoscaler tick (shared with the fast loop)
+            sim._apply_autoscaler_tick(
+                now, window_lat, window_arrivals, window_drops, scale_events,
+                window_failures=window_failures,
+            )
+            continue
+        if owner is _FAULT:
+            fstate.apply(entry[4], now, horizon, kill_in_flight)
+            continue
+        if owner is _HEDGE:
+            fire_hedge(entry[4], now)
+            continue
+        server = owner
+        if entry[3] < 0:  # direct-path attempt completion, inlined
+            tracked, attempt = entry[4]
+            attempt[2] = now
+            attempt[3] = 1
+            query = tracked.query
+            arrival = query.arrival_s
+            server.completed += 1
+            if arrival >= warmup_s and now <= horizon:
+                server.completed_in_window += 1
+            server.items_done += query.size
+            server.outstanding -= 1
+            if tracked.outcome == 0:
+                tracked.outcome = 1
+                tracked.finish_s = now
+                latency = now - arrival
+                completions[tracked.model].append((now, latency))
+                if scaling:
+                    window_lat[tracked.model].append(latency * 1e3)
+            if server.draining and server.outstanding == 0:
+                server.settle(now)
+                server.active = False
+                server.draining = False
+            continue
+        server.pipeline.on_finish(entry[3], entry[4], now, heap, finished)
+        if finished:
+            for qs in finished:
+                complete(server, qs.tracked, qs.attempt, now)
+            finished.clear()
+
+    return {
+        "failed": failed,
+        "retried": retried,
+        "hedged": hedged,
+        "events": tuple(fstate.applied),
+        "downtime_s": fstate.close(horizon),
+        "log": tuple(log),
+    }
+
+
+def _run_light_loop(
+    sim,
+    trace: Sequence,
+    times: Sequence[float],
+    i: int,
+    n: int,
+    streams: dict,
+    heap,
+    warmup_s: float,
+    horizon: float,
+    scaling: bool,
+    completions: dict,
+    dropped: dict,
+    window_lat: dict,
+    window_arrivals: dict,
+    window_drops: dict,
+    scale_events: list,
+) -> dict:
+    """The no-retries/no-hedging fault loop.
+
+    Per query this is the fault-free hot loop verbatim -- identical
+    payload shapes, allocations, and float operations -- with fault
+    events handled between queries.  In-flight queries on a crashed
+    replica are *failed* (there is no retry budget to spend), so no
+    per-query record is ever allocated and a present-but-idle fault
+    layer costs only the sentinel checks at event pops.
+    """
+    events = heap.items
+    dead = heap.dead
+    finished: list = []
+    servers = sim.servers
+    routable = sim._routable
+
+    failed: dict[str, int] = {m: 0 for m in completions}
+    window_failures: dict[str, int] = {m: 0 for m in window_drops}
+    fstate = _FaultState(servers, routable)
+
+    if sim.faults is not None:
+        for ev in sim.faults.materialize(len(servers), horizon, seed=sim._seed):
+            heap.push(ev.time_s, _FAULT, 0, ev)
+
+    def kill_in_flight(server, now: float) -> None:
+        """Cancel a crashed replica's work; without a retry budget
+        every lost query fails at the crash timestamp.  The failed
+        counter uses the completions measurement window (arrival after
+        warmup, resolved by the horizon); the autoscaler feed does not.
+        """
+        victims: dict[int, tuple] = {}
+        for item in events:
+            if item[2] is server and item[1] not in dead:
+                dead.add(item[1])
+                if item[3] < 0:
+                    model, query = item[4]
+                    victims[id(query)] = (model, query.arrival_s)
+                else:
+                    for unit in item[4]:
+                        qs = unit[0]
+                        victims[id(qs)] = (qs.model, qs.arrival_s)
+        for queue in server.pipeline.queues:
+            for unit in queue:
+                qs = unit[0]
+                victims[id(qs)] = (qs.model, qs.arrival_s)
+        server.pipeline.reset()
+        if server.direct is not None:
+            server.direct.reset()
+        server.outstanding = 0
+        for model, arrival in victims.values():
+            if arrival >= warmup_s and now <= horizon:
+                failed[model] = failed.get(model, 0) + 1
+            if scaling:
+                window_failures[model] = window_failures.get(model, 0) + 1
+
+    # -- the loop (the fault-free hot loop plus sentinel branches) -----
+    while True:
+        if i < n:
+            now = times[i]
+            if not events or now <= events[0][0]:
+                model, query = trace[i]
+                i += 1
+                stream = streams.get(model)
+                if not stream or not stream[0]:
+                    if now >= warmup_s:
+                        dropped[model] = dropped.get(model, 0) + 1
+                    if scaling:
+                        window_drops[model] = window_drops.get(model, 0) + 1
+                    continue
+                candidates, policy = stream
+                server = policy.choose(candidates)
+                server.outstanding += 1
+                if scaling:
+                    window_arrivals[model] += 1
+                direct = server.direct
+                if direct is not None:
+                    factor = server.slow_factor
+                    if factor == 1.0:
+                        done = direct.completion_time(
+                            now, query.size, query.pooling_scale
+                        )
+                    else:
+                        done = direct.completion_time_slowed(
+                            now, query.size, query.pooling_scale, factor
+                        )
+                    seq = heap.seq
+                    heap.seq = seq + 1
+                    heappush(events, (done, seq, server, -1, (model, query)))
+                else:
+                    qs = QueryState(query, model)
+                    qs.server = server
+                    server.pipeline.enqueue(0, qs, qs.size, now, heap)
+                continue
+        elif not events:
+            break
+        entry = heappop(events)
+        if dead and entry[1] in dead:
+            dead.discard(entry[1])
+            continue
+        now = entry[0]
+        server = entry[2]
+        if server is None:  # autoscaler tick (shared with the fast loop)
+            sim._apply_autoscaler_tick(
+                now, window_lat, window_arrivals, window_drops, scale_events,
+                window_failures=window_failures,
+            )
+            continue
+        if server is _FAULT:
+            fstate.apply(entry[4], now, horizon, kill_in_flight)
+            continue
+        idx = entry[3]
+        if idx < 0:  # direct-path completion (identical to the fast loop)
+            model, query = entry[4]
+            arrival = query.arrival_s
+            server.completed += 1
+            if arrival >= warmup_s and now <= horizon:
+                server.completed_in_window += 1
+            server.items_done += query.size
+            server.outstanding -= 1
+            latency = now - arrival
+            completions[model].append((now, latency))
+            if scaling:
+                window_lat[model].append(latency * 1e3)
+            if server.draining and server.outstanding == 0:
+                server.settle(now)
+                server.active = False
+                server.draining = False
+            continue
+        server.pipeline.on_finish(idx, entry[4], now, heap, finished)
+        if finished:
+            for qs in finished:
+                server.completed += 1
+                if qs.arrival_s >= warmup_s and now <= horizon:
+                    server.completed_in_window += 1
+                server.items_done += qs.size
+                server.outstanding -= 1
+                latency = now - qs.arrival_s
+                completions[qs.model].append((now, latency))
+                if scaling:
+                    window_lat[qs.model].append(latency * 1e3)
+                if server.draining and server.outstanding == 0:
+                    server.settle(now)
+                    server.active = False
+                    server.draining = False
+            finished.clear()
+
+    return {
+        "failed": failed,
+        "retried": {m: 0 for m in completions},
+        "hedged": {m: 0 for m in completions},
+        "events": tuple(fstate.applied),
+        "downtime_s": fstate.close(horizon),
+        "log": (),
+    }

@@ -4,7 +4,10 @@ A :class:`FleetResult` is the request-level counterpart of the cluster
 manager's interval records: instead of closed-form capacity margins it
 carries measured per-model latency percentiles, SLA-violation rates,
 per-replica throughput, and active-time-weighted fleet power -- the
-quantities the paper's load-generator evaluation reports.
+quantities the paper's load-generator evaluation reports.  Fault-mode
+runs additionally carry availability, failed/retried/hedged counts
+(goodput accounting), and a per-phase p99 breakdown between fault
+events.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.analysis import format_table
 
-__all__ = ["ModelStats", "ServerStats", "FleetResult"]
+__all__ = ["ModelStats", "ServerStats", "PhaseStats", "FleetResult", "phase_breakdown"]
 
 
 @dataclass(frozen=True)
@@ -26,9 +29,16 @@ class ModelStats:
         completed: Queries completed in the measured window.
         dropped: Queries that found no routable replica (counted as
             SLA violations).
-        qps: Completed throughput over the measured window.
+        qps: Completed throughput over the measured window -- with
+            faults active this is the *goodput* (failed queries never
+            complete).
         p50_ms / p95_ms / p99_ms / mean_ms: Latency distribution.
-        violation_rate: Fraction of queries over SLA (dropped included).
+        violation_rate: Fraction of queries over SLA (dropped and
+            failed included).
+        failed: Queries lost to replica crashes (retry budget
+            exhausted or no routable replica left).
+        retried: Crash-killed attempts re-enqueued at the router.
+        hedged: Duplicate attempts issued by hedged dispatch.
     """
 
     model: str
@@ -41,10 +51,65 @@ class ModelStats:
     p99_ms: float
     mean_ms: float
     violation_rate: float
+    failed: int = 0
+    retried: int = 0
+    hedged: int = 0
 
     @property
     def meets_sla(self) -> bool:
         return self.p99_ms <= self.sla_ms
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of demand that completed (vs failed or dropped)."""
+        demand = self.completed + self.failed + self.dropped
+        return self.completed / demand if demand else 1.0
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Latency summary for one inter-fault-event window of a run."""
+
+    start_s: float
+    end_s: float
+    completed: int
+    p99_ms: float
+
+
+def phase_breakdown(
+    completions: dict[str, list[tuple[float, float]]],
+    event_times: tuple[float, ...],
+    warmup_s: float,
+    horizon: float,
+    max_phases: int = 8,
+) -> tuple[PhaseStats, ...]:
+    """Split the measured window at fault-event times and report p99s.
+
+    The phases make a straggler's or crash's impact window visible next
+    to the run-wide percentiles: completions are bucketed (across all
+    models) by finish time between consecutive fault events.  Long
+    stochastic schedules are capped at ``max_phases`` windows by
+    downsampling the boundary list.
+    """
+    import numpy as np
+
+    cuts = sorted({t for t in event_times if warmup_s < t < horizon})
+    if len(cuts) > max_phases - 1:
+        idx = np.linspace(0, len(cuts) - 1, max_phases - 1).round().astype(int)
+        cuts = [cuts[k] for k in dict.fromkeys(idx.tolist())]
+    bounds = [warmup_s, *cuts, horizon]
+    measured = [
+        (finish, lat)
+        for samples in completions.values()
+        for finish, lat in samples
+        if finish - lat >= warmup_s and finish <= horizon
+    ]
+    phases = []
+    for a, b in zip(bounds, bounds[1:]):
+        lats = [lat for finish, lat in measured if a <= finish < b or (b == horizon and finish == b)]
+        p99 = float(np.percentile(np.asarray(lats) * 1e3, 99)) if lats else float("inf")
+        phases.append(PhaseStats(start_s=a, end_s=b, completed=len(lats), p99_ms=p99))
+    return tuple(phases)
 
 
 @dataclass(frozen=True)
@@ -76,6 +141,15 @@ class FleetResult:
         events: Simulation events processed (arrivals, batch
             completions, autoscaler ticks) -- the perf harness's
             events/sec denominator.
+        availability: Uptime fraction of routable serving time --
+            replica-seconds actually served over that plus the
+            replica-seconds crashed-while-serving replicas spent dead.
+            1.0 when no replica crashed; crashes reduce it even when
+            every query is retried successfully; robust to replicas the
+            autoscaler activates or drains mid-run.
+        fault_events: Atomic fault events actually applied, in order.
+        phases: Per-phase latency breakdown between fault events
+            (empty for fault-free runs).
     """
 
     policy: str
@@ -85,6 +159,9 @@ class FleetResult:
     avg_power_w: float
     scale_events: tuple = ()
     events: int = 0
+    availability: float = 1.0
+    fault_events: tuple = ()
+    phases: tuple = ()
 
     @property
     def total_completed(self) -> int:
@@ -93,6 +170,18 @@ class FleetResult:
     @property
     def total_dropped(self) -> int:
         return sum(m.dropped for m in self.per_model.values())
+
+    @property
+    def total_failed(self) -> int:
+        return sum(m.failed for m in self.per_model.values())
+
+    @property
+    def total_retried(self) -> int:
+        return sum(m.retried for m in self.per_model.values())
+
+    @property
+    def total_hedged(self) -> int:
+        return sum(m.hedged for m in self.per_model.values())
 
     @property
     def worst_violation_rate(self) -> float:
@@ -107,8 +196,15 @@ class FleetResult:
 
     def format(self, title: str = "") -> str:
         """Render the per-model SLA table plus the fleet summary line."""
-        rows = [
-            [
+        faulty = bool(self.fault_events) or (
+            self.total_failed or self.total_retried or self.total_hedged
+        )
+        headers = ["model", "served", "dropped", "QPS", "p50 ms", "p99 ms", "SLA ms", "viol"]
+        if faulty:
+            headers[3:3] = ["failed", "retried", "hedged"]
+        rows = []
+        for m in sorted(self.per_model.values(), key=lambda s: s.model):
+            row = [
                 m.model,
                 m.completed,
                 m.dropped,
@@ -118,10 +214,11 @@ class FleetResult:
                 round(m.sla_ms),
                 f"{m.violation_rate * 100:.2f}%",
             ]
-            for m in sorted(self.per_model.values(), key=lambda s: s.model)
-        ]
+            if faulty:
+                row[3:3] = [m.failed, m.retried, m.hedged]
+            rows.append(row)
         table = format_table(
-            ["model", "served", "dropped", "QPS", "p50 ms", "p99 ms", "SLA ms", "viol"],
+            headers,
             rows,
             title=title or f"fleet replay ({self.policy} routing)",
         )
@@ -132,4 +229,17 @@ class FleetResult:
         )
         if self.scale_events:
             summary += f", scale events {len(self.scale_events)}"
+        if faulty:
+            summary += (
+                f"\navailability {self.availability * 100:.2f}%, "
+                f"goodput {self.total_completed / max(self.duration_s, 1e-9):.0f} QPS, "
+                f"failed {self.total_failed}, retried {self.total_retried}, "
+                f"hedged {self.total_hedged}, fault events {len(self.fault_events)}"
+            )
+            for ph in self.phases:
+                p99 = "-" if ph.p99_ms == float("inf") else f"{ph.p99_ms:.1f} ms"
+                summary += (
+                    f"\n  phase [{ph.start_s:.2f}s, {ph.end_s:.2f}s): "
+                    f"p99 {p99} over {ph.completed} queries"
+                )
         return f"{table}\n{summary}"

@@ -23,6 +23,7 @@ if TYPE_CHECKING:
     from repro.fleet.engine import FleetServer
 
 __all__ = [
+    "RoutingError",
     "RoutingPolicy",
     "RoundRobinPolicy",
     "LeastOutstandingPolicy",
@@ -31,6 +32,18 @@ __all__ = [
     "ROUTING_POLICIES",
     "make_policy",
 ]
+
+
+class RoutingError(RuntimeError):
+    """No routable replica exists for a query (e.g. all replicas down).
+
+    Policies raise this instead of an opaque ``IndexError`` /
+    ``ZeroDivisionError`` so callers can distinguish "the fleet has no
+    capacity for this stream right now" from a programming error.  The
+    fleet engine checks for emptiness before routing (such queries are
+    dropped or failed, not raised), so this surfaces only to direct API
+    users.
+    """
 
 
 class RoutingPolicy:
@@ -51,6 +64,8 @@ class RoundRobinPolicy(RoutingPolicy):
         self._cursor = 0
 
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        if not candidates:
+            raise RoutingError("no routable replicas (all replicas down?)")
         pick = candidates[self._cursor % len(candidates)]
         self._cursor += 1
         return pick
@@ -72,6 +87,8 @@ class LeastOutstandingPolicy(RoutingPolicy):
         # Manual argmin over (outstanding, -weight): same pick as
         # min(key=...) -- first minimum wins -- without building a key
         # tuple per replica on the per-arrival hot path.
+        if not candidates:
+            raise RoutingError("no routable replicas (all replicas down?)")
         best = candidates[0]
         best_out = best.outstanding
         best_w = best.weight
@@ -105,6 +122,8 @@ class PowerOfTwoPolicy(RoutingPolicy):
         n = len(candidates)
         if n == 1:
             return candidates[0]
+        if n == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
         rand = self._random
         i = int(rand() * n)
         j = int(rand() * n)
@@ -132,6 +151,8 @@ class WeightedPolicy(RoutingPolicy):
         pass
 
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
+        if not candidates:
+            raise RoutingError("no routable replicas (all replicas down?)")
         total = 0.0
         best = candidates[0]
         for server in candidates:

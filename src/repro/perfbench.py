@@ -11,7 +11,11 @@ repo's four hot paths:
 - ``loadgen``       -- Poisson trace synthesis;
 - ``single_node_des`` -- the single-server discrete-event simulation;
 - ``fleet_replay``  -- the request-level fleet replay (50 servers x
-  100k queries in the full configuration).
+  100k queries in the full configuration);
+- ``fleet_replay_faultpath`` -- the same replay through the
+  fault-aware loop with an empty schedule, reporting its wall-time
+  ratio against the fault-free loop (CI bounds it at < 1.2x) and
+  asserting the two agree exactly.
 
 Every scenario runs on fixed seeds and reports machine-readable
 metrics (wall seconds, queries/sec, events/sec) so each future PR has
@@ -51,6 +55,7 @@ SCENARIOS: tuple[str, ...] = (
     "loadgen",
     "single_node_des",
     "fleet_replay",
+    "fleet_replay_faultpath",
 )
 
 #: Scenario dimensions.  ``quick`` keeps CI smoke runs in seconds;
@@ -241,9 +246,10 @@ def _scenario_single_node_des(ctx: _Context) -> dict[str, Any]:
     }
 
 
-def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
+def _fleet_replay_inputs(ctx: _Context):
+    """Build the fleet-replay scenario inputs (shared by both variants)."""
     from repro.cluster.state import Allocation
-    from repro.fleet import FleetSimulator, build_fleet, build_fleet_trace
+    from repro.fleet import build_fleet, build_fleet_trace
     from repro.models import build_model
     from repro.sim import QueryWorkload
 
@@ -263,13 +269,9 @@ def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
         "DLRM-RMC2": {"T2": 0.24, "T3": 0.12, "T7": 0.08},
     }
     allocation = Allocation()
-    placed = 0
     for name, row in shares.items():
         for srv, share in row.items():
-            count = max(1, round(total * share))
-            allocation.add(srv, name, count)
-            placed += count
-    servers = build_fleet(allocation, table, models, workloads)
+            allocation.add(srv, name, max(1, round(total * share)))
 
     capacity = {
         n: sum(
@@ -288,12 +290,19 @@ def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
         seed=ctx.seed,
     )
 
-    sim = FleetSimulator(
-        servers,
-        policy="p2c",
-        sla_ms={n: m.sla_ms for n, m in models.items()},
-        seed=ctx.seed,
-    )
+    def make_servers():
+        return build_fleet(allocation, table, models, workloads)
+
+    sla = {n: m.sla_ms for n, m in models.items()}
+    return make_servers, trace, duration, sla
+
+
+def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
+    from repro.fleet import FleetSimulator
+
+    make_servers, trace, duration, sla = _fleet_replay_inputs(ctx)
+    servers = make_servers()
+    sim = FleetSimulator(servers, policy="p2c", sla_ms=sla, seed=ctx.seed)
     wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
     events = getattr(result, "events", None)
     return {
@@ -307,12 +316,76 @@ def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
     }
 
 
+def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
+    """Fault machinery engaged but idle vs the tuned fault-free loop.
+
+    Replays the identical fleet/trace three ways: the fault-free hot
+    loop; the light fault loop (empty schedule, no retries/hedging --
+    what a production replay pays for having the fault layer present
+    but disabled); and the tracked fault loop (empty schedule plus a
+    retry budget, which buys per-query attempt records).
+
+    ``ratio_vs_fault_off`` (light/off) is the number CI's perf-smoke
+    job bounds at < 1.2; ``ratio_tracked_vs_fault_off`` is recorded for
+    trend inspection only (per-query records are documented overhead).
+    All three runs must agree exactly on completions -- a built-in
+    differential smoke check.
+    """
+    from repro.fleet import FleetSimulator
+
+    try:
+        from repro.fleet import FaultSchedule
+    except ImportError:  # pre-fault checkout (baseline measurements)
+        return {"skipped": "fault layer absent"}
+
+    make_servers, trace, duration, sla = _fleet_replay_inputs(ctx)
+
+    def replay(**kwargs):
+        # Best of two runs: the ratio feeds a CI gate, so single-sample
+        # scheduler noise (the quick replay is tens of ms) must not flake it.
+        walls, result = [], None
+        for _ in range(2):
+            sim = FleetSimulator(
+                make_servers(), policy="p2c", sla_ms=sla, seed=ctx.seed, **kwargs
+            )
+            wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+            walls.append(wall)
+        return min(walls), result
+
+    wall_off, result_off = replay()
+    wall_light, result_light = replay(faults=FaultSchedule())
+    wall_tracked, result_tracked = replay(faults=FaultSchedule(), retries=2)
+    for label, result in (("light", result_light), ("tracked", result_tracked)):
+        if result.per_model != result_off.per_model:
+            raise AssertionError(
+                f"{label} fault loop with empty schedule diverged from the "
+                "fault-free loop"
+            )
+
+    events = getattr(result_light, "events", None)
+    return {
+        "wall_s": wall_light,
+        "wall_fault_off_s": wall_off,
+        "wall_tracked_s": wall_tracked,
+        "ratio_vs_fault_off": wall_light / wall_off if wall_off > 0 else None,
+        "ratio_tracked_vs_fault_off": (
+            wall_tracked / wall_off if wall_off > 0 else None
+        ),
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_light if wall_light > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall_light) if (events and wall_light > 0) else None,
+        "completed": result_light.total_completed,
+    }
+
+
 _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "search": _scenario_search,
     "profile_table": _scenario_profile_table,
     "loadgen": _scenario_loadgen,
     "single_node_des": _scenario_single_node_des,
     "fleet_replay": _scenario_fleet_replay,
+    "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
 }
 
 
@@ -367,7 +440,7 @@ def attach_baseline(doc: dict[str, Any], baseline: dict[str, Any]) -> dict[str, 
         "mode": baseline.get("mode"),
         "seed": baseline.get("seed"),
         "jobs": baseline.get("jobs"),
-        "label": baseline.get("label", "pre-PR seed"),
+        "label": baseline.get("label", "baseline run"),
         "scenarios": baseline.get("scenarios", {}),
     }
     speedup: dict[str, float] = {}
@@ -395,7 +468,7 @@ def format_bench(doc: dict[str, Any]) -> str:
         )
         rate_txt = f" | {rate:,.0f}/s" if rate else ""
         extra = f" | {speedups[name]:.2f}x vs baseline" if name in speedups else ""
-        lines.append(f"  {name:<16} {wall:8.3f} s{rate_txt}{extra}")
+        lines.append(f"  {name:<22} {wall:8.3f} s{rate_txt}{extra}")
     return "\n".join(lines)
 
 

@@ -382,6 +382,36 @@ class DirectStage:
                 finish = done
         return finish
 
+    def completion_time_slowed(
+        self, now: float, size: int, pooling_scale: float, factor: float
+    ) -> float:
+        """Completion time while the replica is a straggler.
+
+        Identical recurrence to :meth:`completion_time` with every chunk
+        service time multiplied by ``factor``; a separate method so the
+        fault-free path keeps its exact float sequence.
+        """
+        stage = self.stage
+        avail = self.avail
+        ps = stage.pooling_sensitivity
+        finish = now
+        for chunk in stage.chunks_for(size):
+            base = stage.base_service_s(chunk)
+            if ps > 0.0:
+                base = base * (1.0 - ps + ps * ((pooling_scale * chunk) / chunk))
+            base *= factor
+            t_free = avail[0]
+            start = t_free if t_free > now else now
+            done = start + base
+            heapreplace(avail, done)
+            if done > finish:
+                finish = done
+        return finish
+
+    def reset(self) -> None:
+        """Forget all claimed unit time (crash recovery starts fresh)."""
+        self.avail = [0.0] * self.stage.units
+
 
 class EventHeap:
     """Global event heap with FIFO tie-breaks and lazy deletion.
@@ -451,7 +481,7 @@ class Pipeline:
     engine sets ``owner`` to the pipeline itself.
     """
 
-    __slots__ = ("stages", "queues", "free", "busy", "owner", "last")
+    __slots__ = ("stages", "queues", "free", "busy", "owner", "last", "service_scale")
 
     def __init__(
         self,
@@ -472,6 +502,22 @@ class Pipeline:
         )
         self.owner = owner if owner is not None else self
         self.last = len(self.stages) - 1
+        # Straggler hook: service times of batches *started* while the
+        # scale is != 1.0 are multiplied by it.  At the default 1.0 the
+        # multiply is skipped entirely, so fault-free runs stay
+        # bit-identical to the pre-fault engine.
+        self.service_scale = 1.0
+
+    def reset(self) -> None:
+        """Drop all queued work and return every unit to the free pool.
+
+        Used when a replica crashes: in-flight batches are cancelled at
+        the heap, queued units are discarded here, and a later recovery
+        starts from an empty pipeline.
+        """
+        for queue in self.queues:
+            queue.clear()
+        self.free = [s.units for s in self.stages]
 
     def dispatch(self, idx: int, now: float, heap: EventHeap) -> None:
         """Start batches at a stage while units and work are available."""
@@ -487,8 +533,11 @@ class Pipeline:
         owner = self.owner
         items = heap.items
         seq = heap.seq
+        scale = self.service_scale
         while n > 0 and queue:
             batch, service = form(queue)
+            if scale != 1.0:
+                service *= scale
             n -= 1
             if busy is not None:
                 busy[idx] += service

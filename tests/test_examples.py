@@ -24,6 +24,7 @@ def test_examples_directory_complete():
         "cluster_serving.py",
         "model_evolution.py",
         "fleet_serving.py",
+        "fleet_faults.py",
     } <= names
 
 
@@ -35,6 +36,7 @@ def test_examples_directory_complete():
         "cluster_serving.py",
         "model_evolution.py",
         "fleet_serving.py",
+        "fleet_faults.py",
     ],
 )
 def test_examples_compile(name):

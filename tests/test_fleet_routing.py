@@ -9,6 +9,7 @@ from repro.fleet.routing import (
     LeastOutstandingPolicy,
     PowerOfTwoPolicy,
     RoundRobinPolicy,
+    RoutingError,
     WeightedPolicy,
     make_policy,
 )
@@ -112,3 +113,28 @@ class TestWeighted:
         policy = WeightedPolicy()
         picks = [policy.choose([broken, healthy]) for _ in range(50)]
         assert picks.count(healthy) >= 49
+
+
+class TestEmptyCandidates:
+    """All-replicas-down edge case: a clear error, not an IndexError.
+
+    The fleet engine never routes an empty candidate set (such queries
+    are dropped or failed), so this guards direct API users who filter
+    replica lists themselves.
+    """
+
+    @pytest.mark.parametrize("name", sorted(ROUTING_POLICIES))
+    def test_choose_on_empty_raises_routing_error(self, name):
+        policy = make_policy(name, seed=1)
+        with pytest.raises(RoutingError, match="no routable replicas"):
+            policy.choose([])
+
+    def test_routing_error_is_runtime_error(self):
+        # Catchable both specifically and as a generic runtime failure.
+        assert issubclass(RoutingError, RuntimeError)
+
+    @pytest.mark.parametrize("name", sorted(ROUTING_POLICIES))
+    def test_single_survivor_still_routable(self, name):
+        policy = make_policy(name, seed=1)
+        survivor = _Stub()
+        assert policy.choose([survivor]) is survivor

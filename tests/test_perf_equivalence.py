@@ -346,3 +346,135 @@ def rmc1_small_fleet_inputs():
         )
     }
     return models, workloads
+
+
+# ----------------------------------------------------------------------
+# Fault layer present-but-idle == the fault-free engine, float for float
+# ----------------------------------------------------------------------
+
+
+def _mixed_fleet_and_trace(small_table, models, workloads, seed):
+    """3 direct-path T2 replicas + 1 event-path T7, moderate load."""
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 3)
+    allocation.add("T7", "DLRM-RMC1", 1)
+    servers = build_fleet(allocation, small_table, models, workloads)
+    capacity = 3 * small_table.qps("T2", "DLRM-RMC1") + small_table.qps(
+        "T7", "DLRM-RMC1"
+    )
+    trace = build_fleet_trace(
+        workloads, {"DLRM-RMC1": [(0.65 * capacity, 3.0)]}, seed=seed
+    )
+    return allocation, trace
+
+
+def _run_fleet(small_table, models, workloads, allocation, trace, **kwargs):
+    servers = build_fleet(allocation, small_table, models, workloads)
+    sim = FleetSimulator(
+        servers, policy="p2c", sla_ms={"DLRM-RMC1": 20.0}, seed=7, **kwargs
+    )
+    result = sim.run(trace, warmup_s=0.3)
+    return sim, result
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+def test_empty_fault_schedule_bit_identical(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """An empty FaultSchedule forces the (light) fault loop, which must
+    reproduce the fault-free engine exactly: same percentiles, same
+    per-replica counters, same power -- ``==`` on floats, no tolerances.
+    """
+    from repro.fleet import FaultSchedule
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    _, idle = _run_fleet(
+        small_table, models, workloads, allocation, trace, faults=FaultSchedule()
+    )
+
+    assert idle.per_model == base.per_model
+    assert idle.avg_power_w == base.avg_power_w
+    assert idle.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in idle.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+    assert idle.availability == 1.0
+    assert idle.fault_events == ()
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+def test_tracked_fault_loop_bit_identical_when_idle(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """The tracked loop (retry budget engaged, empty schedule) performs
+    the same float operations in the same order as the fault-free loop;
+    the per-query log additionally accounts for every arrival.
+    """
+    from repro.fleet import FaultSchedule
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    sim, idle = _run_fleet(
+        small_table,
+        models,
+        workloads,
+        allocation,
+        trace,
+        faults=FaultSchedule(),
+        retries=3,
+    )
+
+    assert idle.per_model == base.per_model
+    assert idle.avg_power_w == base.avg_power_w
+    assert idle.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in idle.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+    log = sim.last_query_log
+    assert len(log) == len(trace)
+    assert all(t.done and t.retries == 0 and not t.hedged for t in log)
+
+
+def test_idle_fault_loop_matches_with_autoscaler(
+    small_table, rmc1_small_fleet_inputs
+):
+    """Autoscaler tick ordering survives the fault loop unchanged."""
+    from repro.fleet import FaultSchedule, ReactiveAutoscaler
+    from repro.cluster.state import Allocation as _Alloc
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation = _Alloc()
+    allocation.add("T2", "DLRM-RMC1", 1)
+    standby = _Alloc()
+    standby.add("T2", "DLRM-RMC1", 2)
+    tup = small_table.get("T2", "DLRM-RMC1")
+    trace = build_fleet_trace(
+        workloads, {"DLRM-RMC1": [(2.0 * tup.qps, 3.0)]}, seed=23
+    )
+
+    def run(**kwargs):
+        servers = build_fleet(
+            allocation, small_table, models, workloads, standby=standby
+        )
+        scaler = ReactiveAutoscaler({"DLRM-RMC1": 20.0}, window_s=0.25, cooldown_s=0.5)
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms={"DLRM-RMC1": 20.0},
+            autoscaler=scaler,
+            **kwargs,
+        )
+        return sim.run(trace, warmup_s=0.3)
+
+    base = run()
+    idle = run(faults=FaultSchedule())
+    assert idle.per_model == base.per_model
+    assert idle.avg_power_w == base.avg_power_w
+    assert [(e.time_s, e.model, e.action) for e in idle.scale_events] == [
+        (e.time_s, e.model, e.action) for e in base.scale_events
+    ]
