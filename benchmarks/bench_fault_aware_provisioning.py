@@ -1,0 +1,167 @@
+"""The power-vs-availability frontier of fault-aware provisioning.
+
+``provision_fault_aware`` answers one point question -- the smallest
+over-provision rate ``R`` meeting a target availability.  This bench
+draws the whole frontier: a heterogeneous fleet under a correlated
+rack-outage schedule is replayed across a sweep of ``R`` values, and
+for each the provisioned power, drawn power, and measured service
+availability are tabulated -- "how much does each availability nine
+cost in watts?".  The fixpoint search is then run against the frontier
+and must land on the cheapest swept rate meeting the target.
+
+Asserted (loose, structural -- wall times are not gated here):
+
+- availability at the largest swept ``R`` is at least availability at
+  ``R = 0`` (headroom never hurts absorption);
+- provisioned power is non-decreasing in ``R``;
+- the search converges, meets the target, and chooses an ``R`` no
+  costlier than the cheapest swept rate that met the target.
+
+Marked ``slow``: the sweep replays the trace once per swept rate plus
+the search's own replays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _shared import model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster import HerculesClusterScheduler
+from repro.fleet import (
+    FaultSchedule,
+    FleetSimulator,
+    build_fleet,
+    build_fleet_trace,
+    provision_fault_aware,
+    service_availability,
+)
+from repro.scheduling import OfflineProfiler
+from repro.hardware import SERVER_TYPES
+
+MODEL = "DLRM-RMC1"
+DURATION_S = 3.0
+SEED = 23
+TARGET = 0.999
+R_SWEEP = (0.0, 0.1, 0.2, 0.4, 0.7)
+#: Demand in T2 replica-equivalents: the R=0 allocation runs hot, so a
+#: rack outage forces the frontier to actually bend.
+LOAD_UNITS = 5.4
+FLEET = {"T2": 24}
+FAULTS = f"domain:size=2;crash@{DURATION_S * 0.4}:dom0+0.5,crash@{DURATION_S * 0.65}:dom1+0.5"
+
+
+def _build():
+    models = {MODEL: model(MODEL)}
+    workloads = {MODEL: workload(MODEL)}
+    table = OfflineProfiler().profile([SERVER_TYPES["T2"]], [models[MODEL]])
+    tup = table.get("T2", MODEL)
+    loads = {MODEL: LOAD_UNITS * tup.qps}
+    trace = build_fleet_trace(
+        workloads, {MODEL: [(loads[MODEL], DURATION_S)]}, seed=SEED
+    )
+    scheduler = HerculesClusterScheduler(table, dict(FLEET))
+    faults = FaultSchedule.parse(FAULTS)
+    return models, workloads, table, scheduler, loads, trace, faults
+
+
+def _sweep():
+    models, workloads, table, scheduler, loads, trace, faults = _build()
+    sla = {MODEL: models[MODEL].sla_ms}
+    frontier = []
+    for r in R_SWEEP:
+        allocation = scheduler.allocate(loads, over_provision=r)
+        servers = build_fleet(allocation, table, models, workloads)
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms=sla,
+            seed=SEED,
+            faults=faults,
+            retries=2,
+        )
+        result = sim.run(trace, warmup_s=DURATION_S * 0.05)
+        frontier.append(
+            {
+                "r": r,
+                "servers": allocation.total_servers,
+                "provisioned_w": allocation.provisioned_power_w(table),
+                "drawn_w": result.avg_power_w,
+                "service_availability": service_availability(result),
+                "uptime_availability": result.availability,
+                "p99_ms": result.per_model[MODEL].p99_ms,
+            }
+        )
+    outcome = provision_fault_aware(
+        scheduler,
+        table,
+        models,
+        workloads,
+        trace,
+        loads,
+        faults,
+        sla_ms=sla,
+        target_availability=TARGET,
+        baseline_r=0.05,
+        policy="least",
+        retries=2,
+        seed=SEED,
+        warmup_s=DURATION_S * 0.05,
+        r_tol=0.05,
+    )
+    return frontier, outcome
+
+
+@pytest.mark.slow
+def test_fault_aware_provisioning_frontier(benchmark, show, record):
+    frontier, outcome = run_once(benchmark, _sweep)
+
+    rows = [
+        [
+            f"{pt['r']:.2f}",
+            pt["servers"],
+            f"{pt['provisioned_w'] / 1e3:.2f}",
+            f"{pt['drawn_w'] / 1e3:.2f}",
+            f"{pt['service_availability'] * 100:.3f}%",
+            f"{pt['uptime_availability'] * 100:.2f}%",
+            f"{pt['p99_ms']:.1f}",
+        ]
+        for pt in frontier
+    ]
+    show(
+        format_table(
+            ["R", "servers", "prov kW", "drawn kW", "svc avail", "uptime", "p99 ms"],
+            rows,
+            title=(
+                "power vs availability across R "
+                f"(rack outages, target {TARGET * 100:.1f}%)"
+            ),
+        )
+        + "\n\n"
+        + outcome.format()
+    )
+    record(
+        {
+            "frontier": frontier,
+            "chosen_r": outcome.chosen_r,
+            "converged": outcome.converged,
+            "power_delta_w": outcome.power_delta_w,
+            "standby_power_w": outcome.standby_power_w,
+        }
+    )
+
+    # The frontier bends the right way.
+    assert (
+        frontier[-1]["service_availability"] >= frontier[0]["service_availability"]
+    )
+    powers = [pt["provisioned_w"] for pt in frontier]
+    assert powers == sorted(powers), "provisioned power must rise with R"
+
+    # The search lands on (or below) the cheapest swept rate that works.
+    assert outcome.converged
+    assert service_availability(outcome.result) >= TARGET
+    meeting = [pt for pt in frontier if pt["service_availability"] >= TARGET]
+    assert meeting, "some swept R must meet the target for this scenario"
+    assert outcome.provisioned_power_w <= meeting[0]["provisioned_w"] + 1e-6

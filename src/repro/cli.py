@@ -10,6 +10,10 @@ Subcommands:
 - ``fleet``    -- request-level fleet replay of a diurnal day (routing,
   optional autoscaling, fault injection with retries/hedging, measured
   SLA/availability/power report).
+- ``provision-fault-aware`` -- close the availability loop: iterate
+  fault-injected fleet replays to the smallest over-provision rate
+  ``R`` meeting a target service availability, and report the power
+  delta against the fault-blind provisioner.
 - ``bench``    -- perf-regression harness over the hot paths; writes
   machine-readable ``BENCH_perf.json``.
 
@@ -46,6 +50,7 @@ from repro.fleet import (
     build_fleet,
     build_fleet_trace,
     diurnal_segments,
+    provision_fault_aware,
 )
 from repro.hardware import SERVER_AVAILABILITY, SERVER_TYPES
 from repro.models import MODEL_NAMES, build_model
@@ -233,7 +238,14 @@ def _distribute_fleet(total: int, types: list[str]) -> dict[str, int]:
     return {t: n for t, n in counts.items() if n > 0}
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _fleet_inputs(args: argparse.Namespace, target_utilization: float):
+    """Shared `fleet`/`provision-fault-aware` setup: profile the table,
+    shape the fleet, and synthesize the compressed diurnal trace.
+
+    Peak loads are explicit (``--peak-qps``) or sized so the fleet
+    peaks around ``target_utilization`` of aggregate capacity.
+    Returns ``(models, table, fleet_counts, traces, workloads, trace)``.
+    """
     server_types = [SERVER_TYPES[s] for s in args.server_types]
     models = {name: build_model(name) for name in args.models}
     print(
@@ -245,8 +257,6 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     fleet_counts = _distribute_fleet(args.servers, list(args.server_types))
 
-    # Peak loads: explicit, or sized so the fleet peaks around 60%
-    # aggregate utilization (the regime where routing quality shows).
     if args.peak_qps is not None:
         peaks = {name: args.peak_qps for name in models}
     else:
@@ -255,8 +265,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             capacity = sum(
                 count * table.qps(t, name) for t, count in fleet_counts.items()
             )
-            peaks[name] = 0.6 * capacity / len(models)
+            peaks[name] = target_utilization * capacity / len(models)
     traces = synchronous_traces(peaks)
+    segments = {
+        name: diurnal_segments(trace, args.duration, steps=args.segments)
+        for name, trace in traces.items()
+    }
+    workloads = {
+        name: QueryWorkload.for_model(m.config.mean_query_size)
+        for name, m in models.items()
+    }
+    trace = build_fleet_trace(workloads, segments, seed=args.seed)
+    return models, table, fleet_counts, traces, workloads, trace
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    # 60% aggregate utilization: the regime where routing quality shows.
+    models, table, fleet_counts, traces, workloads, trace = _fleet_inputs(
+        args, target_utilization=0.6
+    )
     scheduler = HerculesClusterScheduler(table, fleet_counts)
 
     peak_loads = {m: t.peak_qps for m, t in traces.items()}
@@ -280,16 +307,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if peak_allocation.has_shortfall:
         print("warning: fleet cannot cover the requested peak load")
 
-    servers = build_fleet(allocation, table, models, standby=standby)
-    segments = {
-        name: diurnal_segments(trace, args.duration, steps=args.segments)
-        for name, trace in traces.items()
-    }
-    workloads = {
-        name: QueryWorkload.for_model(m.config.mean_query_size)
-        for name, m in models.items()
-    }
-    trace = build_fleet_trace(workloads, segments, seed=args.seed)
+    servers = build_fleet(allocation, table, models, workloads, standby=standby)
     faults = FaultSchedule.parse(args.faults) if args.faults else None
     sim = FleetSimulator(
         servers,
@@ -322,6 +340,62 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # Drops are an error only when nothing (autoscaler, fault injection)
     # could legitimately leave a stream without replicas.
     return 1 if result.total_dropped and not (args.autoscale or faults) else 0
+
+
+def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
+    # 50% aggregate utilization: leaves fleet headroom to grow R into.
+    models, table, fleet_counts, traces, workloads, trace = _fleet_inputs(
+        args, target_utilization=0.5
+    )
+    scheduler = HerculesClusterScheduler(table, fleet_counts)
+    peak_loads = {m: t.peak_qps for m, t in traces.items()}
+    faults = FaultSchedule.parse(args.faults)
+    if faults.is_empty:
+        print(
+            "warning: empty fault schedule -- the loop will trivially pick "
+            "the smallest R meeting the SLA"
+        )
+    print(
+        f"Searching R in [{args.r_min:.2f}, {args.r_max:.2f}] for "
+        f"{args.target_availability * 100:.2f}% service availability "
+        f"({len(trace)} queries per replay) ...",
+        flush=True,
+    )
+    outcome = provision_fault_aware(
+        scheduler,
+        table,
+        models,
+        workloads,
+        trace,
+        peak_loads,
+        faults,
+        sla_ms={name: m.sla_ms for name, m in models.items()},
+        target_availability=args.target_availability,
+        baseline_r=args.baseline_r,
+        policy=args.policy,
+        retries=args.retries,
+        hedge_ms=args.hedge_ms,
+        seed=args.seed,
+        warmup_s=args.duration * 0.05,
+        r_min=args.r_min,
+        r_max=args.r_max,
+        r_tol=args.r_tol,
+        max_evals=args.max_evals,
+    )
+    print()
+    print(outcome.format())
+    if outcome.converged:
+        print()
+        print(
+            outcome.result.format(
+                title=(
+                    f"fleet replay at chosen R={outcome.chosen_r:.3f} "
+                    f"({args.policy} routing, "
+                    f"{outcome.allocation.total_servers} replicas)"
+                )
+            )
+        )
+    return 0 if outcome.converged else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -455,11 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help=(
-            "fault schedule: comma-separated crash@T:IDX[+DUR], "
-            "blip@T:IDX[+DUR], slow@T:IDX*FACTOR[+DUR] entries, or "
-            "random:crash_mtbf=S,mttr=S,slow_mtbf=S,slow_factor=F,slow_dur=S "
-            "for a seed-deterministic stochastic schedule "
-            "(e.g. 'crash@2:0+1,slow@1:3*2.5+2')"
+            "fault schedule: comma-separated crash@T:TGT[+DUR], "
+            "blip@T:TGT[+DUR], slow@T:TGT*FACTOR[+DUR] entries (TGT = "
+            "replica index or domN), domain:LO-HI / domain:size=K "
+            "correlated-fault-domain declarations, and/or a "
+            "random:crash_mtbf=S,mttr=S,slow_mtbf=S,domain_mtbf=S,... "
+            "seed-deterministic stochastic section; sections separate "
+            "with ';' (e.g. 'domain:0-9;crash@5s:dom0' -- see docs/cli.md)"
         ),
     )
     fleet.add_argument(
@@ -486,6 +562,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for offline profiling (0 = all CPUs)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    provision = sub.add_parser(
+        "provision-fault-aware",
+        help="close the availability -> over-provision-rate R loop",
+        description=(
+            "Iterate fault-injected fleet replays to a fixpoint: find the "
+            "smallest over-provision rate R whose allocation delivers a "
+            "target service availability (fraction of queries served "
+            "within SLA) under the given fault schedule, and report the "
+            "provisioned-power delta against the fault-blind provisioner "
+            "at --baseline-r.  Deterministic given --seed."
+        ),
+    )
+    provision.add_argument(
+        "--servers", type=_positive_int, default=24, help="fleet size in servers"
+    )
+    provision.add_argument(
+        "--server-types",
+        nargs="+",
+        default=["T2", "T3", "T7"],
+        choices=tuple(SERVER_TYPES),
+        help="server types the fleet draws from (availability-weighted)",
+    )
+    provision.add_argument(
+        "--models", nargs="+", default=["DLRM-RMC1"], choices=MODEL_NAMES
+    )
+    provision.add_argument(
+        "--policy",
+        choices=tuple(ROUTING_POLICIES),
+        default="p2c",
+        help="routing policy used by every evaluation replay",
+    )
+    provision.add_argument(
+        "--peak-qps",
+        type=_positive_float,
+        default=None,
+        help="per-model diurnal peak QPS (default: ~50%% of fleet capacity)",
+    )
+    provision.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=8.0,
+        help="simulated seconds the compressed day spans",
+    )
+    provision.add_argument(
+        "--segments", type=_positive_int, default=24, help="diurnal segments per day"
+    )
+    provision.add_argument(
+        "--faults",
+        required=True,
+        metavar="SPEC",
+        help=(
+            "fault schedule applied to every replay; same mini-language as "
+            "'fleet --faults' including domain:LO-HI / domain:size=K and "
+            "random:domain_mtbf=S correlated outages (see docs/cli.md)"
+        ),
+    )
+    provision.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-query router re-dispatch budget after a crash",
+    )
+    provision.add_argument(
+        "--hedge-ms",
+        type=_positive_float,
+        default=None,
+        help="hedged-dispatch delay in ms (domain-aware; off by default)",
+    )
+    provision.add_argument(
+        "--target-availability",
+        type=float,
+        default=0.999,
+        help="service-availability target in (0, 1] (default 0.999)",
+    )
+    provision.add_argument(
+        "--baseline-r",
+        type=float,
+        default=0.05,
+        help="fault-blind over-provision rate to compare against",
+    )
+    provision.add_argument(
+        "--r-min", type=float, default=0.0, help="search lower bound for R"
+    )
+    provision.add_argument(
+        "--r-max", type=float, default=1.0, help="search upper bound for R"
+    )
+    provision.add_argument(
+        "--r-tol",
+        type=_positive_float,
+        default=0.02,
+        help="bisection width at which the search stops",
+    )
+    provision.add_argument(
+        "--max-evals",
+        type=_positive_int,
+        default=12,
+        help="cap on fault-injected evaluation replays",
+    )
+    provision.add_argument("--seed", type=int, default=0)
+    provision.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for offline profiling (0 = all CPUs)",
+    )
+    provision.set_defaults(func=_cmd_provision_fault_aware)
 
     bench = sub.add_parser(
         "bench",

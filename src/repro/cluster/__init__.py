@@ -17,6 +17,7 @@ from repro.cluster.provision import (
     LpSolution,
     SimplexSolver,
     allocation_drawn_power_w,
+    standby_power_w,
     integerize,
     solve_allocation_lp,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "LpSolution",
     "SimplexSolver",
     "allocation_drawn_power_w",
+    "standby_power_w",
     "integerize",
     "solve_allocation_lp",
     "ClusterScheduler",

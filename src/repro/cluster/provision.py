@@ -37,6 +37,7 @@ __all__ = [
     "solve_allocation_lp",
     "integerize",
     "allocation_drawn_power_w",
+    "standby_power_w",
 ]
 
 
@@ -277,6 +278,23 @@ def integerize(
             used[srv] = used.get(srv, 0) + 1
             deficit = target - allocation.capacity_qps(table, model)
     return allocation
+
+
+def standby_power_w(
+    allocation: Allocation,
+    baseline: Allocation,
+    table: ClassificationTable,
+) -> float:
+    """Provisioned power of the replicas ``allocation`` holds beyond
+    ``baseline``.
+
+    The per-cell surplus (``allocation.minus(baseline)``) priced at the
+    profiled peak power -- the budget line item a fault-aware
+    provisioner pays for availability headroom over the fault-blind
+    allocation.  Cells present only in ``baseline`` contribute nothing
+    (standby capacity cannot be negative per cell).
+    """
+    return allocation.minus(baseline).provisioned_power_w(table)
 
 
 def allocation_drawn_power_w(

@@ -16,7 +16,22 @@ from repro.fleet.engine import (
     build_fleet_trace,
     diurnal_segments,
 )
-from repro.fleet.faults import FaultEvent, FaultSchedule, crash, slowdown
+from repro.fleet.faults import (
+    DomainFaultEvent,
+    FaultDomains,
+    FaultEvent,
+    FaultSchedule,
+    crash,
+    domain_crash,
+    domain_slowdown,
+    slowdown,
+)
+from repro.fleet.provisioning import (
+    FaultAwareProvisioning,
+    ProvisionEval,
+    provision_fault_aware,
+    service_availability,
+)
 from repro.fleet.report import FleetResult, ModelStats, PhaseStats, ServerStats
 from repro.fleet.routing import (
     ROUTING_POLICIES,
@@ -27,6 +42,7 @@ from repro.fleet.routing import (
     RoutingPolicy,
     WeightedPolicy,
     make_policy,
+    prefer_other_domains,
 )
 
 __all__ = [
@@ -37,10 +53,18 @@ __all__ = [
     "build_fleet",
     "build_fleet_trace",
     "diurnal_segments",
+    "DomainFaultEvent",
+    "FaultDomains",
     "FaultEvent",
     "FaultSchedule",
     "crash",
+    "domain_crash",
+    "domain_slowdown",
     "slowdown",
+    "FaultAwareProvisioning",
+    "ProvisionEval",
+    "provision_fault_aware",
+    "service_availability",
     "FleetResult",
     "ModelStats",
     "PhaseStats",
@@ -53,4 +77,5 @@ __all__ = [
     "RoutingPolicy",
     "WeightedPolicy",
     "make_policy",
+    "prefer_other_domains",
 ]

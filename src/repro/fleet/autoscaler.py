@@ -91,6 +91,7 @@ class ReactiveAutoscaler:
         standby_for: Callable[[str], list],
         window_drops: dict[str, int] | None = None,
         window_failures: dict[str, int] | None = None,
+        dead_domains: set | None = None,
     ) -> list[ScaleEvent]:
         """Evaluate one window; return the actions to apply.
 
@@ -110,6 +111,12 @@ class ReactiveAutoscaler:
                 so a crash's capacity loss triggers standby activation
                 within one window even before the surviving replicas'
                 tails degrade.
+            dead_domains: Fault domains with at least one currently
+                crashed replica.  When given, standby activation
+                prefers replicas *outside* those domains (a rack whose
+                members are dying is the worst place to add capacity),
+                falling back to weight order when every standby shares
+                a dead domain.
         """
         events: list[ScaleEvent] = []
         for model, sla in self.sla_ms.items():
@@ -126,8 +133,16 @@ class ReactiveAutoscaler:
             if observed and rate > self.violation_up:
                 standby = standby_for(model)
                 if standby:
-                    # Bring the fastest standby replica online first.
-                    pick = max(standby, key=lambda s: s.weight)
+                    # Bring the fastest standby replica online first,
+                    # preferring one in a fault domain with no dead
+                    # member (ties keep pure weight order).
+                    if dead_domains:
+                        pick = max(
+                            standby,
+                            key=lambda s: (s.domain not in dead_domains, s.weight),
+                        )
+                    else:
+                        pick = max(standby, key=lambda s: s.weight)
                     events.append(
                         ScaleEvent(now, model, "activate", pick, f"viol={rate:.1%}")
                     )

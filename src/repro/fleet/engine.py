@@ -89,6 +89,7 @@ class FleetServer:
         "draining",
         "dead",
         "slow_factor",
+        "domain",
         "active_s",
         "_active_since",
         "wrr_current",
@@ -126,6 +127,7 @@ class FleetServer:
         self.draining = False
         self.dead = False  # crashed by the fault injector
         self.slow_factor = 1.0  # straggler service-time multiplier
+        self.domain = index  # fault domain (singleton unless declared)
         self.active_s = 0.0
         self._active_since = 0.0 if active else None
         self.wrr_current = 0.0
@@ -302,6 +304,12 @@ class FleetSimulator:
         self.retries = int(retries)
         self.hedge_ms = hedge_ms
         self.last_query_log: tuple = ()
+        if faults is not None and getattr(faults, "domains", None) is not None:
+            # Stamp the schedule's rack/power-domain assignment onto the
+            # replicas; hedged dispatch and standby activation use it to
+            # diversify placement across domains.
+            for server, dom in zip(self.servers, faults.domain_map(len(self.servers))):
+                server.domain = dom
         self._routable: dict[str, list[FleetServer]] = {}
         self._policies: dict[str, RoutingPolicy] = {}
         self.last_event_count = 0
@@ -350,6 +358,9 @@ class FleetSimulator:
         cannot drift between them.
         """
         routable = self._routable
+        dead_domains = None
+        if self._fault_mode:
+            dead_domains = {s.domain for s in self.servers if s.dead}
         decisions = self.autoscaler.tick(
             now,
             window_lat,
@@ -358,6 +369,7 @@ class FleetSimulator:
             self._standby_for,
             window_drops=window_drops,
             window_failures=window_failures,
+            dead_domains=dead_domains,
         )
         for event in decisions:
             scale_events.append(event)
@@ -677,6 +689,7 @@ class FleetSimulator:
                     power_w=power,
                     active_s=s.active_s,
                     ever_active=s.active_s > 0,
+                    domain=s.domain,
                 )
             )
         availability = 1.0

@@ -41,20 +41,53 @@ Fault semantics (all deterministic):
   replica dead); overlapping slowdowns apply the latest factor and end
   at the last scheduled restore.
 - Hedging: at most one hedge per query; the duplicate attempt targets a
-  replica the query has not tried.  The query completes at its fastest
-  finishing attempt; the loser's work still counts against its server.
+  replica the query has not tried, preferring one in a fault domain the
+  query has not touched (see below).  The query completes at its
+  fastest finishing attempt; the loser's work still counts against its
+  server.
+- Correlated fault domains: replicas can be grouped into rack /
+  power-domain style :class:`FaultDomains`; a domain-targeted fault
+  fires on *every* member at the same timestamp (they leave the
+  routable set together), and hedged dispatch avoids placing both
+  attempts of one query inside a single domain whenever a live replica
+  exists in another domain.  Replicas outside any declared domain are
+  singleton domains of their own, which makes the domain-aware code
+  paths exact no-ops for undeclared fleets.
 
 CLI spec grammar (``python -m repro.cli fleet --faults ...``):
 
-- ``crash@T:IDX`` -- kill replica ``IDX`` at ``T`` seconds (for good).
-- ``crash@T:IDX+DUR`` -- crash, recover after ``DUR`` seconds.
-- ``blip@T:IDX[+DUR]`` -- transient crash (default recovery 0.25 s).
-- ``slow@T:IDX*F[+DUR]`` -- straggler: service times x ``F`` from
+The spec is a list of *sections* separated by ``;``.  A section is
+either a single ``random:`` clause or a comma-separated list of
+scripted entries.  Times and durations are seconds and accept an
+optional ``s`` suffix (``crash@5s:dom0`` == ``crash@5:dom0``).
+
+Scripted entries (``TGT`` is a replica index, or ``domN`` for fault
+domain ``N``):
+
+- ``crash@T:TGT`` -- kill the target at ``T`` seconds (for good).
+- ``crash@T:TGT+DUR`` -- crash, recover after ``DUR`` seconds.
+- ``blip@T:TGT[+DUR]`` -- transient crash (default recovery 0.25 s).
+- ``slow@T:TGT*F[+DUR]`` -- straggler: service times x ``F`` from
   ``T``, optionally restored after ``DUR`` seconds.
-- Entries combine comma-separated: ``crash@2:0+1,slow@1:3*2.5+2``.
+- ``domain:LO-HI`` -- declare the next fault domain as replicas
+  ``LO..HI`` inclusive (domains are numbered 0, 1, ... in declaration
+  order; ranges must not overlap).
+- ``domain:size=K`` -- partition the whole fleet into consecutive
+  domains of ``K`` replicas (rack size); exclusive with range
+  declarations.
+
+Stochastic clause (drawn deterministically from the run seed):
+
 - ``random:crash_mtbf=20,mttr=2,slow_mtbf=15,slow_factor=3,slow_dur=1``
-  -- stochastic schedule: per-replica exponential time-between-failures
-  and repair times, drawn deterministically from the run seed.
+  -- per-replica exponential time-between-failures and repair times.
+- ``random:domain_mtbf=60,domain_mttr=2`` -- per-*domain* exponential
+  crash/repair: all members of the drawn domain crash and recover
+  together (requires ``domain:`` declarations).
+
+Examples: ``crash@2:0+1,slow@1:3*2.5+2`` (independent faults),
+``domain:0-9;crash@5s:dom0`` (rack 0 dies at 5 s),
+``domain:size=4;random:domain_mtbf=30,domain_mttr=1`` (stochastic
+rack-level outages on racks of four).
 """
 
 from __future__ import annotations
@@ -65,13 +98,18 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
+from repro.fleet.routing import prefer_other_domains
 from repro.sim.event_core import QueryState
 
 __all__ = [
+    "DomainFaultEvent",
+    "FaultDomains",
     "FaultEvent",
     "FaultSchedule",
     "TrackedQuery",
     "crash",
+    "domain_crash",
+    "domain_slowdown",
     "slowdown",
     "run_fault_loop",
 ]
@@ -125,10 +163,167 @@ def slowdown(
     return FaultEvent(time_s, "slow", server_index, factor=factor, duration_s=duration)
 
 
+@dataclass(frozen=True)
+class DomainFaultEvent:
+    """One scripted fault on a whole fault domain.
+
+    At :meth:`FaultSchedule.materialize` time the event expands into
+    one atomic :class:`FaultEvent` per domain member, all at the same
+    ``time_s`` (and, with a duration, one paired recover/restore per
+    member) -- correlated failure is literally simultaneous failure of
+    every replica in the domain.
+
+    Attributes:
+        time_s: Simulation time the fault fires.
+        kind: ``"crash"`` or ``"slow"``.
+        domain: Declared fault-domain id the event targets.
+        factor: Service-time multiplier (``slow`` only; > 1 = slower).
+        duration_s: Optional outage/episode length (expands into paired
+            per-member ``recover``/``restore`` events).
+    """
+
+    time_s: float
+    kind: str
+    domain: int
+    factor: float = 1.0
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "slow"):
+            raise ValueError(
+                f"domain faults support crash/slow, not {self.kind!r}"
+            )
+        if self.time_s < 0.0:
+            raise ValueError("fault time must be >= 0")
+        if self.domain < 0:
+            raise ValueError("domain must be >= 0")
+        if self.kind == "slow" and self.factor <= 0.0:
+            raise ValueError("slowdown factor must be > 0")
+        if self.duration_s is not None and self.duration_s <= 0.0:
+            raise ValueError("fault duration must be > 0")
+
+
+def domain_crash(
+    time_s: float, domain: int, recover_after: float | None = None
+) -> DomainFaultEvent:
+    """Crash every member of ``domain``, optionally recovering together."""
+    return DomainFaultEvent(time_s, "crash", domain, duration_s=recover_after)
+
+
+def domain_slowdown(
+    time_s: float, domain: int, factor: float, duration: float | None = None
+) -> DomainFaultEvent:
+    """Slow every member of ``domain`` by ``factor``, optionally for ``duration`` s."""
+    return DomainFaultEvent(time_s, "slow", domain, factor=factor, duration_s=duration)
+
+
+class FaultDomains:
+    """Replica -> correlated-fault-domain assignment (racks, power domains).
+
+    Exactly one of two shapes:
+
+    - ``ranges``: explicit inclusive index ranges, one per domain, in
+      declaration order (``[(0, 3), (4, 7)]`` -> domains 0 and 1).
+      Ranges must not overlap; replicas outside every range become
+      singleton domains of their own.
+    - ``size``: partition the whole fleet into consecutive domains of
+      ``size`` replicas (the "rack size" shorthand) -- resolved against
+      the concrete fleet size at :meth:`map` time.
+
+    The assignment is purely an *identity* function over replica
+    indices; what it buys is (a) domain-targeted fault events expanding
+    to every member simultaneously and (b) hedged dispatch preferring a
+    replica whose domain the query has not touched.
+    """
+
+    def __init__(
+        self,
+        ranges: Sequence[tuple[int, int]] | None = None,
+        size: int | None = None,
+    ) -> None:
+        if (ranges is None) == (size is None):
+            raise ValueError("FaultDomains needs exactly one of ranges= or size=")
+        if size is not None and size < 1:
+            raise ValueError("domain size must be >= 1")
+        self.size = size
+        self.ranges: tuple[tuple[int, int], ...] = ()
+        if ranges is not None:
+            cleaned = []
+            for lo, hi in ranges:
+                if lo < 0 or hi < lo:
+                    raise ValueError(f"bad domain range {lo}-{hi}")
+                cleaned.append((int(lo), int(hi)))
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(
+                sorted(cleaned), sorted(cleaned)[1:]
+            ):
+                if b_lo <= a_hi:
+                    raise ValueError(
+                        f"overlapping domain ranges {a_lo}-{a_hi} and {b_lo}-{b_hi}"
+                    )
+            if not cleaned:
+                raise ValueError("need at least one domain range")
+            self.ranges = tuple(cleaned)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.size is not None:
+            return f"FaultDomains(size={self.size})"
+        return f"FaultDomains(ranges={list(self.ranges)})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FaultDomains)
+            and self.size == other.size
+            and self.ranges == other.ranges
+        )
+
+    def map(self, num_servers: int) -> list[int]:
+        """Domain id per replica index for a concrete fleet size.
+
+        Declared domains take ids ``0..K-1``; replicas outside every
+        declared range get fresh singleton ids ``K, K+1, ...`` so no
+        two unrelated replicas ever share a domain implicitly.
+        """
+        if self.size is not None:
+            return [idx // self.size for idx in range(num_servers)]
+        assigned = [-1] * num_servers
+        for dom, (lo, hi) in enumerate(self.ranges):
+            if hi >= num_servers:
+                raise ValueError(
+                    f"domain range {lo}-{hi} exceeds the fleet "
+                    f"({num_servers} replicas)"
+                )
+            for idx in range(lo, hi + 1):
+                assigned[idx] = dom
+        next_id = len(self.ranges)
+        for idx, dom in enumerate(assigned):
+            if dom < 0:
+                assigned[idx] = next_id
+                next_id += 1
+        return assigned
+
+    def members(self, num_servers: int) -> dict[int, list[int]]:
+        """Domain id -> member replica indices (declared domains only
+        for range-shaped assignments; every domain for ``size=``)."""
+        out: dict[int, list[int]] = {}
+        for idx, dom in enumerate(self.map(num_servers)):
+            out.setdefault(dom, []).append(idx)
+        if self.size is None:
+            out = {d: m for d, m in out.items() if d < len(self.ranges)}
+        return out
+
+    def num_domains(self, num_servers: int) -> int:
+        """Declared (addressable) domain count for a concrete fleet."""
+        if self.size is not None:
+            return (num_servers + self.size - 1) // self.size
+        return len(self.ranges)
+
+
 _ENTRY_RE = re.compile(
-    r"^(crash|slow|blip)@([0-9]*\.?[0-9]+(?:e-?[0-9]+)?):([0-9]+)"
-    r"(?:\*([0-9]*\.?[0-9]+))?(?:\+([0-9]*\.?[0-9]+))?$"
+    r"^(crash|slow|blip)@([0-9]*\.?[0-9]+(?:e-?[0-9]+)?)s?:(dom)?([0-9]+)"
+    r"(?:\*([0-9]*\.?[0-9]+))?(?:\+([0-9]*\.?[0-9]+)s?)?$"
 )
+_DOMAIN_RANGE_RE = re.compile(r"^domain:([0-9]+)-([0-9]+)$")
+_DOMAIN_SIZE_RE = re.compile(r"^domain:size=([0-9]+)$")
 
 #: CLI keys for ``random:`` specs -> ``FaultSchedule.stochastic`` kwargs.
 _STOCHASTIC_KEYS = {
@@ -137,32 +332,58 @@ _STOCHASTIC_KEYS = {
     "slow_mtbf": "slow_mtbf_s",
     "slow_factor": "slow_factor",
     "slow_dur": "slow_duration_s",
+    "domain_mtbf": "domain_mtbf_s",
+    "domain_mttr": "domain_mttr_s",
 }
 
 
 class FaultSchedule:
     """A scripted and/or stochastic fault timeline for one fleet run.
 
-    Scripted events are passed to the constructor; stochastic behaviour
-    is configured with :meth:`stochastic` and drawn deterministically
-    from the run seed at :meth:`materialize` time.  An empty schedule
-    is the explicit "no faults" statement -- the engine keeps its exact
-    fault-free semantics (enforced by the differential tests).
+    Scripted per-replica events are passed to the constructor, scripted
+    whole-domain events via ``domain_events`` (which require a
+    ``domains`` declaration); stochastic behaviour is configured with
+    :meth:`stochastic` and drawn deterministically from the run seed at
+    :meth:`materialize` time.  An empty schedule is the explicit "no
+    faults" statement -- the engine keeps its exact fault-free
+    semantics (enforced by the differential tests).  A schedule that
+    declares ``domains`` but no events injects nothing either; the
+    declaration still steers domain-aware hedging.
     """
 
-    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+    def __init__(
+        self,
+        events: Iterable[FaultEvent] = (),
+        domains: FaultDomains | None = None,
+        domain_events: Iterable[DomainFaultEvent] = (),
+    ) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(events)
         for ev in self.events:
             if not isinstance(ev, FaultEvent):
                 raise TypeError(f"expected FaultEvent, got {type(ev).__name__}")
+        self.domain_events: tuple[DomainFaultEvent, ...] = tuple(domain_events)
+        for ev in self.domain_events:
+            if not isinstance(ev, DomainFaultEvent):
+                raise TypeError(
+                    f"expected DomainFaultEvent, got {type(ev).__name__}"
+                )
+        if domains is not None and not isinstance(domains, FaultDomains):
+            raise TypeError(f"expected FaultDomains, got {type(domains).__name__}")
+        if self.domain_events and domains is None:
+            raise ValueError("domain-targeted events need a domains= declaration")
+        self.domains = domains
         self.stochastic_params: dict | None = None
 
     @property
     def is_empty(self) -> bool:
-        return not self.events and self.stochastic_params is None
+        return (
+            not self.events
+            and not self.domain_events
+            and self.stochastic_params is None
+        )
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.events) + len(self.domain_events)
 
     def __bool__(self) -> bool:
         """Truthy when any fault (scripted or stochastic) can fire."""
@@ -170,6 +391,10 @@ class FaultSchedule:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"{len(self.events)} scripted"]
+        if self.domain_events:
+            parts.append(f"{len(self.domain_events)} domain-scripted")
+        if self.domains is not None:
+            parts.append(repr(self.domains))
         if self.stochastic_params:
             parts.append(f"stochastic {self.stochastic_params}")
         return f"FaultSchedule({', '.join(parts)})"
@@ -184,6 +409,9 @@ class FaultSchedule:
         slow_mtbf_s: float | None = None,
         slow_factor: float = 3.0,
         slow_duration_s: float = 1.0,
+        domain_mtbf_s: float | None = None,
+        domain_mttr_s: float = 2.0,
+        domains: FaultDomains | None = None,
     ) -> "FaultSchedule":
         """A seed-driven random schedule.
 
@@ -195,70 +423,194 @@ class FaultSchedule:
                 ``None`` disables stragglers.
             slow_factor: Service-time multiplier while slowed.
             slow_duration_s: Fixed straggler episode length.
+            domain_mtbf_s: Per-*domain* mean time between correlated
+                crashes (every member crashes together); requires
+                ``domains``.  ``None`` disables domain outages.
+            domain_mttr_s: Mean time to recovery of a domain outage.
+            domains: Replica -> fault-domain assignment the domain
+                draws (and domain-aware hedging) use.
         """
-        if crash_mtbf_s is None and slow_mtbf_s is None:
-            raise ValueError("need crash_mtbf_s and/or slow_mtbf_s")
+        if crash_mtbf_s is None and slow_mtbf_s is None and domain_mtbf_s is None:
+            raise ValueError(
+                "need crash_mtbf_s, slow_mtbf_s, and/or domain_mtbf_s"
+            )
         for name, value in (
             ("crash_mtbf_s", crash_mtbf_s),
             ("mttr_s", mttr_s),
             ("slow_mtbf_s", slow_mtbf_s),
             ("slow_factor", slow_factor),
             ("slow_duration_s", slow_duration_s),
+            ("domain_mtbf_s", domain_mtbf_s),
+            ("domain_mttr_s", domain_mttr_s),
         ):
             if value is not None and value <= 0.0:
                 raise ValueError(f"{name} must be > 0")
-        schedule = cls()
+        if domain_mtbf_s is not None and domains is None:
+            raise ValueError("domain_mtbf_s needs a domains= declaration")
+        schedule = cls(domains=domains)
         schedule.stochastic_params = {
             "crash_mtbf_s": crash_mtbf_s,
             "mttr_s": mttr_s,
             "slow_mtbf_s": slow_mtbf_s,
             "slow_factor": slow_factor,
             "slow_duration_s": slow_duration_s,
+            "domain_mtbf_s": domain_mtbf_s,
+            "domain_mttr_s": domain_mttr_s,
         }
         return schedule
 
     @classmethod
     def parse(cls, spec: str) -> "FaultSchedule":
-        """Parse the CLI mini-language (see the module docstring)."""
+        """Parse the ``--faults`` CLI mini-language into a schedule.
+
+        The grammar (full reference in the module docstring and
+        ``docs/cli.md``): the spec splits into ``;``-separated
+        sections; each section is either one ``random:key=value,...``
+        stochastic clause or a comma-separated list of scripted
+        entries.  Scripted entries are ``kind@T:TGT[*F][+DUR]`` with
+        ``kind`` one of ``crash``/``blip``/``slow``, ``TGT`` a replica
+        index or ``domN``, and domain declarations ``domain:LO-HI`` /
+        ``domain:size=K``.  Times/durations take an optional ``s``
+        suffix.  Raises :class:`ValueError` with the offending entry on
+        any syntax or consistency error (e.g. ``domN`` targets without
+        a ``domain:`` declaration, two ``random:`` sections, mixing
+        ``domain:size=`` with ranges).
+        """
         spec = spec.strip()
         if not spec:
             return cls()
-        if spec.startswith("random:"):
-            kwargs: dict[str, float] = {}
-            for pair in spec[len("random:"):].split(","):
-                key, sep, value = pair.strip().partition("=")
-                if not sep or key not in _STOCHASTIC_KEYS:
+        events: list[FaultEvent] = []
+        domain_events: list[DomainFaultEvent] = []
+        ranges: list[tuple[int, int]] = []
+        dom_size: int | None = None
+        stochastic_kwargs: dict[str, float] | None = None
+        for section in spec.split(";"):
+            section = section.strip()
+            if not section:
+                continue
+            if section.startswith("random:"):
+                if stochastic_kwargs is not None:
+                    raise ValueError("at most one random: section per spec")
+                stochastic_kwargs = {}
+                for pair in section[len("random:"):].split(","):
+                    key, sep, value = pair.strip().partition("=")
+                    if not sep or key not in _STOCHASTIC_KEYS:
+                        raise ValueError(
+                            f"bad stochastic fault parameter {pair!r}; known "
+                            f"keys: {', '.join(sorted(_STOCHASTIC_KEYS))}"
+                        )
+                    stochastic_kwargs[_STOCHASTIC_KEYS[key]] = float(value)
+                continue
+            for entry in section.split(","):
+                entry = entry.strip()
+                dm = _DOMAIN_RANGE_RE.match(entry)
+                if dm is not None:
+                    if dom_size is not None:
+                        raise ValueError(
+                            "cannot mix domain:size= with domain:LO-HI ranges"
+                        )
+                    ranges.append((int(dm.group(1)), int(dm.group(2))))
+                    continue
+                dm = _DOMAIN_SIZE_RE.match(entry)
+                if dm is not None:
+                    if ranges:
+                        raise ValueError(
+                            "cannot mix domain:size= with domain:LO-HI ranges"
+                        )
+                    if dom_size is not None:
+                        raise ValueError("at most one domain:size= per spec")
+                    dom_size = int(dm.group(1))
+                    continue
+                m = _ENTRY_RE.match(entry)
+                if m is None:
                     raise ValueError(
-                        f"bad stochastic fault parameter {pair!r}; known keys: "
-                        f"{', '.join(sorted(_STOCHASTIC_KEYS))}"
+                        f"bad fault entry {entry!r}; expected "
+                        "kind@time:target[*factor][+duration] with kind one of "
+                        "crash/slow/blip and target a replica index or domN, "
+                        "a domain:LO-HI / domain:size=K declaration, or a "
+                        "random:key=value,... section"
                     )
-                kwargs[_STOCHASTIC_KEYS[key]] = float(value)
-            return cls.stochastic(**kwargs)
-        events = []
-        for entry in spec.split(","):
-            m = _ENTRY_RE.match(entry.strip())
-            if m is None:
+                kind, t, dom_tag, idx, factor, dur = m.groups()
+                time_s, index = float(t), int(idx)
+                duration = float(dur) if dur is not None else None
+                if kind == "slow":
+                    if factor is None:
+                        raise ValueError(f"{entry!r}: slow needs *factor")
+                else:
+                    if factor is not None:
+                        raise ValueError(f"{entry!r}: only slow takes *factor")
+                    if kind == "blip" and duration is None:
+                        duration = 0.25
+                if dom_tag is not None:
+                    if kind == "slow":
+                        domain_events.append(
+                            domain_slowdown(time_s, index, float(factor), duration)
+                        )
+                    else:
+                        domain_events.append(
+                            domain_crash(time_s, index, recover_after=duration)
+                        )
+                elif kind == "slow":
+                    events.append(slowdown(time_s, index, float(factor), duration))
+                else:
+                    events.append(crash(time_s, index, recover_after=duration))
+        domains: FaultDomains | None = None
+        if dom_size is not None:
+            domains = FaultDomains(size=dom_size)
+        elif ranges:
+            domains = FaultDomains(ranges=ranges)
+        if domain_events and domains is None:
+            raise ValueError(
+                "domN fault targets need a domain:LO-HI or domain:size=K "
+                "declaration in the same spec"
+            )
+        if stochastic_kwargs is not None:
+            if events or domain_events:
                 raise ValueError(
-                    f"bad fault entry {entry.strip()!r}; expected "
-                    "kind@time:replica[*factor][+duration] with kind one of "
-                    "crash/slow/blip, or a single random:key=value,... spec"
+                    "scripted entries and random: cannot mix in one spec "
+                    "(domain: declarations are fine)"
                 )
-            kind, t, idx, factor, dur = m.groups()
-            time_s, index = float(t), int(idx)
-            duration = float(dur) if dur is not None else None
-            if kind == "slow":
-                if factor is None:
-                    raise ValueError(f"{entry.strip()!r}: slow needs *factor")
-                events.append(slowdown(time_s, index, float(factor), duration))
-            else:
-                if factor is not None:
-                    raise ValueError(f"{entry.strip()!r}: only slow takes *factor")
-                if kind == "blip" and duration is None:
-                    duration = 0.25
-                events.append(crash(time_s, index, recover_after=duration))
-        return cls(events)
+            return cls.stochastic(**stochastic_kwargs, domains=domains)
+        return cls(events, domains=domains, domain_events=domain_events)
 
     # ------------------------------------------------------------------
+
+    def min_fleet_size(self) -> int:
+        """Smallest fleet the schedule's explicit targets fit.
+
+        Index-targeted scripted events and explicit ``domain:LO-HI``
+        ranges name concrete fleet positions; replaying the schedule on
+        a smaller fleet is an error (``materialize`` and the engine's
+        domain stamping both raise).  Fleet-size-adaptive forms --
+        ``domain:size=K`` and stochastic draws -- require nothing.
+        Callers that size the fleet themselves (the fault-aware
+        provisioner) check this up front to fail with an actionable
+        message instead of mid-replay.
+        """
+        needed = max((ev.server_index + 1 for ev in self.events), default=0)
+        if self.domains is not None:
+            if self.domains.ranges:
+                needed = max(
+                    needed, max(hi + 1 for _, hi in self.domains.ranges)
+                )
+            elif self.domain_events:
+                # size=K racks exist lazily: dom N needs the fleet to
+                # reach rack N's first replica.
+                max_dom = max(ev.domain for ev in self.domain_events)
+                needed = max(needed, max_dom * self.domains.size + 1)
+        return needed
+
+    def domain_map(self, num_servers: int) -> list[int]:
+        """Domain id per replica index (singletons when undeclared).
+
+        This is what the fleet engine stamps onto each replica's
+        ``domain`` attribute; with no declaration every replica is its
+        own domain, which makes the domain-aware hedging filter an
+        exact no-op.
+        """
+        if self.domains is None:
+            return list(range(num_servers))
+        return self.domains.map(num_servers)
 
     def materialize(
         self, num_servers: int, horizon_s: float, seed: int = 0
@@ -266,17 +618,16 @@ class FaultSchedule:
         """Expand into atomic, time-sorted events for a concrete fleet.
 
         Scripted durations become paired recover/restore events;
-        stochastic parameters are drawn per replica from RNGs derived
-        from ``seed``, so the same (schedule, fleet size, horizon,
-        seed) always yields the same list.
+        domain-targeted events expand into one event per member (all at
+        the same timestamp, so the members leave the routable set
+        together); stochastic parameters are drawn per replica (or per
+        domain) from RNGs derived from ``seed``, so the same
+        (schedule, fleet size, horizon, seed) always yields the same
+        list.
         """
         atomic: list[FaultEvent] = []
-        for ev in self.events:
-            if ev.server_index >= num_servers:
-                raise ValueError(
-                    f"fault targets replica {ev.server_index} but the fleet "
-                    f"has only {num_servers} replicas"
-                )
+
+        def expand(ev: FaultEvent) -> None:
             if ev.duration_s is None:
                 atomic.append(ev)
             elif ev.kind == "crash":
@@ -293,6 +644,33 @@ class FaultSchedule:
                 )
             else:
                 atomic.append(ev)
+
+        for ev in self.events:
+            if ev.server_index >= num_servers:
+                raise ValueError(
+                    f"fault targets replica {ev.server_index} but the fleet "
+                    f"has only {num_servers} replicas"
+                )
+            expand(ev)
+        if self.domain_events:
+            members = self.domains.members(num_servers)
+            for dev in self.domain_events:
+                if dev.domain not in members:
+                    raise ValueError(
+                        f"fault targets domain {dev.domain} but only "
+                        f"{self.domains.num_domains(num_servers)} domains are "
+                        "declared for this fleet"
+                    )
+                for idx in members[dev.domain]:
+                    expand(
+                        FaultEvent(
+                            dev.time_s,
+                            dev.kind,
+                            idx,
+                            factor=dev.factor,
+                            duration_s=dev.duration_s,
+                        )
+                    )
         if self.stochastic_params is not None:
             atomic.extend(self._draw(num_servers, horizon_s, seed))
         atomic.sort(key=lambda e: e.time_s)  # stable: generation order on ties
@@ -319,6 +697,20 @@ class FaultSchedule:
                     t = t + p["slow_duration_s"] + rng.expovariate(
                         1.0 / p["slow_mtbf_s"]
                     )
+        if p.get("domain_mtbf_s") is not None:
+            # One independent RNG stream per *declared* domain, offset
+            # away from the per-replica streams so adding domain faults
+            # never perturbs the per-replica draws for the same seed.
+            for dom, idxs in sorted(self.domains.members(num_servers).items()):
+                rng = random.Random(seed * 1_000_003 + 1_000_081 + 2 * dom + 1)
+                t = rng.expovariate(1.0 / p["domain_mtbf_s"])
+                while t < horizon_s:
+                    repair = rng.expovariate(1.0 / p["domain_mttr_s"])
+                    for idx in idxs:
+                        out.append(FaultEvent(t, "crash", idx))
+                    for idx in idxs:
+                        out.append(FaultEvent(t + repair, "recover", idx))
+                    t = t + repair + rng.expovariate(1.0 / p["domain_mtbf_s"])
         return out
 
 
@@ -672,6 +1064,13 @@ def run_fault_loop(
         fresh = [s for s in candidates if s not in attempted]
         if not fresh:
             return
+        # Domain-aware placement: a correlated rack failure must not be
+        # able to kill both attempts, so prefer a replica in a fault
+        # domain the query has not touched (falling back to any untried
+        # replica only when every live one shares an attempted domain).
+        # Without declared domains every replica is a singleton domain
+        # and this filter is exactly the untried set.
+        fresh = prefer_other_domains(fresh, {a[0].domain for a in tracked.attempts})
         tracked.hedge_state = 2  # hedged
         if tracked.query.arrival_s >= warmup_s:
             hedged[tracked.model] = hedged.get(tracked.model, 0) + 1

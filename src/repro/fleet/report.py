@@ -114,7 +114,11 @@ def phase_breakdown(
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Per-replica accounting of one fleet run."""
+    """Per-replica accounting of one fleet run.
+
+    ``domain`` is the replica's correlated-fault domain (its own index
+    when the run declared none -- every replica a singleton domain).
+    """
 
     index: int
     server_type: str
@@ -125,6 +129,7 @@ class ServerStats:
     power_w: float
     active_s: float
     ever_active: bool
+    domain: int = -1
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ __all__ = [
     "WeightedPolicy",
     "ROUTING_POLICIES",
     "make_policy",
+    "prefer_other_domains",
 ]
 
 
@@ -163,6 +164,24 @@ class WeightedPolicy(RoutingPolicy):
                 best = server
         best.wrr_current -= total
         return best
+
+
+def prefer_other_domains(
+    candidates: Sequence["FleetServer"], attempted_domains: set
+) -> Sequence["FleetServer"]:
+    """Filter ``candidates`` to replicas outside the attempted fault domains.
+
+    Used by hedged dispatch: the duplicate attempt should land in a
+    fault domain the query has not touched, so one correlated rack or
+    power-domain failure cannot kill both attempts.  Falls back to the
+    unfiltered candidates when every live replica shares an attempted
+    domain -- a same-domain hedge still beats no hedge.  When no fault
+    domains are declared every replica is its own singleton domain and
+    the filter returns ``candidates`` element-for-element, keeping
+    hedge placement (and its policy RNG draws) unchanged.
+    """
+    fresh = [s for s in candidates if s.domain not in attempted_domains]
+    return fresh or candidates
 
 
 #: Policy registry: CLI/bench names -> constructor taking a seed.

@@ -16,6 +16,9 @@ repo's four hot paths:
   fault-aware loop with an empty schedule, reporting its wall-time
   ratio against the fault-free loop (CI bounds it at < 1.2x) and
   asserting the two agree exactly.
+- ``fault_aware_provisioning`` -- the availability -> ``R`` fixpoint
+  search under a scripted rack-outage schedule (several fault-injected
+  replays per run); wall time tracks the cost of closing the loop.
 
 Every scenario runs on fixed seeds and reports machine-readable
 metrics (wall seconds, queries/sec, events/sec) so each future PR has
@@ -56,6 +59,7 @@ SCENARIOS: tuple[str, ...] = (
     "single_node_des",
     "fleet_replay",
     "fleet_replay_faultpath",
+    "fault_aware_provisioning",
 )
 
 #: Scenario dimensions.  ``quick`` keeps CI smoke runs in seconds;
@@ -69,6 +73,9 @@ _QUICK = {
     "des_queries": 10_000,
     "fleet_servers": 12,
     "fleet_queries": 10_000,
+    "provision_fleet": {"T2": 12},
+    "provision_load_units": 2.7,  # demand in T2 replica-equivalents
+    "provision_duration_s": 1.5,
 }
 _FULL = {
     "profile_servers": None,  # all server types
@@ -78,6 +85,9 @@ _FULL = {
     "des_queries": 50_000,
     "fleet_servers": 50,
     "fleet_queries": 100_000,
+    "provision_fleet": {"T2": 28},
+    "provision_load_units": 8.1,
+    "provision_duration_s": 3.0,
 }
 
 #: Offered load for the DES scenarios as a fraction of capacity; the
@@ -379,6 +389,79 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
     }
 
 
+def _scenario_fault_aware_provisioning(ctx: _Context) -> dict[str, Any]:
+    """Time one availability -> R fixpoint search (several replays).
+
+    A T2 fleet sized so the R=0 allocation runs ~90% utilized, under a
+    scripted rack outage: the search must grow R past the crash's
+    absorption point, replaying the same deterministic trace at each
+    candidate rate.  Wall time therefore tracks both the replay cost
+    and the number of allocations the bracketing visits.
+    """
+    try:
+        from repro.cluster import HerculesClusterScheduler
+        from repro.fleet import (
+            FaultSchedule,
+            build_fleet_trace,
+            provision_fault_aware,
+        )
+    except ImportError:  # pre-provisioning checkout (baseline measurements)
+        return {"skipped": "fault-aware provisioning absent"}
+    from repro.models import build_model
+    from repro.sim import QueryWorkload
+
+    table = ctx.classification_table()
+    model_name = "DLRM-RMC1"
+    models = {model_name: build_model(model_name)}
+    workloads = {
+        model_name: QueryWorkload.for_model(
+            models[model_name].config.mean_query_size
+        )
+    }
+    tup = table.get("T2", model_name)
+    loads = {model_name: ctx.cfg["provision_load_units"] * tup.qps}
+    duration = ctx.cfg["provision_duration_s"]
+    trace = build_fleet_trace(
+        workloads, {model_name: [(loads[model_name], duration)]}, seed=ctx.seed
+    )
+    scheduler = HerculesClusterScheduler(table, dict(ctx.cfg["provision_fleet"]))
+    faults = FaultSchedule.parse(f"domain:size=2;crash@{duration * 0.5}:dom0+0.3")
+
+    wall, outcome = _timed(
+        lambda: provision_fault_aware(
+            scheduler,
+            table,
+            models,
+            workloads,
+            trace,
+            loads,
+            faults,
+            sla_ms={model_name: models[model_name].sla_ms},
+            target_availability=0.995,
+            baseline_r=0.05,
+            policy="least",
+            retries=2,
+            seed=ctx.seed,
+            warmup_s=duration * 0.05,
+            r_tol=0.05,
+            max_evals=8,
+        )
+    )
+    # Rate over *actual* replays: evaluations whose allocation
+    # integerized identically share one replay and cost ~nothing.
+    replays = getattr(outcome, "replays", len(outcome.evaluations))
+    return {
+        "wall_s": wall,
+        "queries": len(trace),
+        "evaluations": len(outcome.evaluations),
+        "replays": replays,
+        "queries_per_s": replays * len(trace) / wall if wall > 0 else 0.0,
+        "converged": outcome.converged,
+        "chosen_r": outcome.chosen_r,
+        "power_delta_w": outcome.power_delta_w if outcome.converged else None,
+    }
+
+
 _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "search": _scenario_search,
     "profile_table": _scenario_profile_table,
@@ -386,6 +469,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "single_node_des": _scenario_single_node_des,
     "fleet_replay": _scenario_fleet_replay,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
+    "fault_aware_provisioning": _scenario_fault_aware_provisioning,
 }
 
 

@@ -1,0 +1,141 @@
+"""Documentation stays honest: links resolve, docs and CLI don't drift.
+
+CI's docs job runs this module (plus the literal ``--help`` smoke over
+every subcommand).  Three failure modes it guards:
+
+- a README/docs relative link pointing at a moved or deleted file;
+- a CLI subcommand or flag added without documentation (or documented
+  but removed from the parser);
+- the ``--faults`` mini-language reference in ``docs/cli.md`` drifting
+  from the grammar ``FaultSchedule.parse`` actually accepts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = pathlib.Path(__file__).parent.parent
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "benchmarks" / "README.md",
+    *sorted((REPO / "docs").glob("*.md")),
+]
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _subcommands():
+    parser = build_parser()
+    actions = [
+        a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+    ]
+    assert actions, "the CLI must expose subcommands"
+    return actions[0].choices
+
+
+def test_doc_files_exist():
+    for path in (REPO / "README.md", REPO / "docs" / "architecture.md",
+                 REPO / "docs" / "cli.md"):
+        assert path.is_file(), f"missing {path.relative_to(REPO)}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc):
+    """Every non-http markdown link points at a real file/directory."""
+    text = doc.read_text()
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (doc.parent / target.split("#")[0]).resolve()
+        assert resolved.exists(), (
+            f"{doc.relative_to(REPO)} links to {target}, which does not exist"
+        )
+
+
+def test_top_parser_help_renders():
+    parser = build_parser()
+    with contextlib.redirect_stdout(io.StringIO()) as out:
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args(["--help"])
+    assert exc.value.code == 0
+    assert "provision-fault-aware" in out.getvalue()
+
+
+@pytest.mark.parametrize("name", sorted(_subcommands()))
+def test_subcommand_help_renders(name):
+    """`python -m repro.cli <sub> --help` exits 0 for every subcommand."""
+    parser = build_parser()
+    with contextlib.redirect_stdout(io.StringIO()) as out:
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args([name, "--help"])
+    assert exc.value.code == 0
+    assert "usage" in out.getvalue()
+
+
+def test_every_subcommand_documented():
+    readme = (REPO / "README.md").read_text()
+    cli_md = (REPO / "docs" / "cli.md").read_text()
+    for name in _subcommands():
+        assert f"`{name}`" in readme, f"README.md does not document `{name}`"
+        assert name in cli_md, f"docs/cli.md does not document `{name}`"
+
+
+@pytest.mark.parametrize(
+    "subcommand,flags",
+    [
+        (
+            "fleet",
+            ["--faults", "--retries", "--hedge-ms", "--autoscale",
+             "--over-provision", "--policy", "--seed"],
+        ),
+        (
+            "provision-fault-aware",
+            ["--faults", "--retries", "--hedge-ms", "--target-availability",
+             "--baseline-r", "--r-min", "--r-max", "--r-tol", "--max-evals"],
+        ),
+        ("bench", ["--quick", "--scenarios", "--baseline", "--output"]),
+    ],
+)
+def test_documented_flags_exist(subcommand, flags):
+    """Flags docs/cli.md teaches must exist on the parser, and the
+    parser's fault/hedging flags must be taught."""
+    sub = _subcommands()[subcommand]
+    known = {s for a in sub._actions for s in a.option_strings}
+    cli_md = (REPO / "docs" / "cli.md").read_text()
+    for flag in flags:
+        assert flag in known, f"{subcommand} lost documented flag {flag}"
+        assert flag in cli_md, f"docs/cli.md does not mention {subcommand} {flag}"
+
+
+def test_faults_grammar_docs_match_parser():
+    """Every stochastic key and entry kind the grammar accepts is in
+    docs/cli.md, and the doc's canonical examples actually parse."""
+    from repro.fleet.faults import _STOCHASTIC_KEYS, FaultSchedule
+
+    cli_md = (REPO / "docs" / "cli.md").read_text()
+    for key in _STOCHASTIC_KEYS:
+        assert f"{key}=" in cli_md, f"docs/cli.md misses stochastic key {key}"
+    for token in ("crash@", "blip@", "slow@", "domain:size=", "domain:"):
+        assert token in cli_md
+    for example in (
+        "crash@2:0+1,slow@1:3*2.5+2",
+        "domain:0-9;crash@5s:dom0",
+        "domain:size=4;random:domain_mtbf=30,domain_mttr=1",
+        "random:crash_mtbf=20,mttr=2,slow_mtbf=15",
+    ):
+        assert example in cli_md, f"docs/cli.md lost the example {example!r}"
+        FaultSchedule.parse(example)  # must stay valid grammar
+
+
+def test_readme_names_tier1_verify():
+    """The README's verify command is the ROADMAP's tier-1 lane."""
+    readme = (REPO / "README.md").read_text()
+    assert "python -m pytest -x -q" in readme
+    assert "PYTHONPATH=src" in readme

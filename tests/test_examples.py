@@ -25,6 +25,7 @@ def test_examples_directory_complete():
         "model_evolution.py",
         "fleet_serving.py",
         "fleet_faults.py",
+        "fault_aware_provisioning.py",
     } <= names
 
 
@@ -37,6 +38,7 @@ def test_examples_directory_complete():
         "model_evolution.py",
         "fleet_serving.py",
         "fleet_faults.py",
+        "fault_aware_provisioning.py",
     ],
 )
 def test_examples_compile(name):

@@ -1,0 +1,350 @@
+"""Correlated fault domains: parsing, simultaneity, domain-aware hedging.
+
+The invariants this lane pins:
+
+- a domain-targeted fault expands to *every* member at the *same*
+  timestamp, so the whole rack leaves the routable set together
+  (property-tested over random schedules and seeds);
+- domain-aware hedging never places both attempts of one query inside
+  one fault domain while a live replica exists in another domain;
+- undeclared fleets are singleton domains and behave exactly as before
+  (the differential half lives in ``tests/test_perf_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.state import Allocation
+from repro.fleet import (
+    FaultDomains,
+    FaultSchedule,
+    FleetSimulator,
+    build_fleet,
+    build_fleet_trace,
+    domain_crash,
+    domain_slowdown,
+    prefer_other_domains,
+)
+from repro.models import build_model
+from repro.sim import QueryWorkload
+
+MODEL = "DLRM-RMC1"
+
+
+@pytest.fixture(scope="module")
+def rmc1_models():
+    return {MODEL: build_model(MODEL)}
+
+
+@pytest.fixture(scope="module")
+def rmc1_workloads(rmc1_models):
+    model = rmc1_models[MODEL]
+    return {MODEL: QueryWorkload.for_model(model.config.mean_query_size)}
+
+
+def _fleet(small_table, models, workloads, count=6, srv="T2"):
+    allocation = Allocation()
+    allocation.add(srv, MODEL, count)
+    return build_fleet(allocation, small_table, models, workloads)
+
+
+def _trace(small_table, workloads, rho=0.5, count=6, duration=2.0, seed=3):
+    tup = small_table.get("T2", MODEL)
+    return build_fleet_trace(
+        workloads, {MODEL: [(rho * count * tup.qps, duration)]}, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# FaultDomains and grammar
+# ----------------------------------------------------------------------
+
+
+class TestFaultDomains:
+    def test_ranges_map_with_singleton_fill(self):
+        doms = FaultDomains(ranges=[(0, 2), (4, 5)])
+        assert doms.map(8) == [0, 0, 0, 2, 1, 1, 3, 4]
+        assert doms.members(8) == {0: [0, 1, 2], 1: [4, 5]}
+        assert doms.num_domains(8) == 2
+
+    def test_size_partition(self):
+        doms = FaultDomains(size=3)
+        assert doms.map(8) == [0, 0, 0, 1, 1, 1, 2, 2]
+        assert doms.members(8) == {0: [0, 1, 2], 1: [3, 4, 5], 2: [6, 7]}
+        assert doms.num_domains(8) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultDomains()
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultDomains(ranges=[(0, 1)], size=2)
+        with pytest.raises(ValueError, match="overlap"):
+            FaultDomains(ranges=[(0, 3), (2, 5)])
+        with pytest.raises(ValueError, match="bad domain range"):
+            FaultDomains(ranges=[(3, 1)])
+        with pytest.raises(ValueError, match="size"):
+            FaultDomains(size=0)
+        with pytest.raises(ValueError, match="exceeds the fleet"):
+            FaultDomains(ranges=[(0, 9)]).map(4)
+
+    def test_parse_domain_sections(self):
+        sched = FaultSchedule.parse("domain:0-2,domain:3-5;crash@1:dom1+0.5")
+        assert sched.domains == FaultDomains(ranges=[(0, 2), (3, 5)])
+        assert len(sched.domain_events) == 1
+        assert sched.domain_events[0].domain == 1
+        # The issue's canonical example parses too.
+        sched = FaultSchedule.parse("domain:0-9;crash@5s:dom0")
+        assert sched.domain_events[0].time_s == 5.0
+
+    def test_parse_size_and_stochastic(self):
+        sched = FaultSchedule.parse(
+            "domain:size=4;random:domain_mtbf=30,domain_mttr=1"
+        )
+        assert sched.domains == FaultDomains(size=4)
+        assert sched.stochastic_params["domain_mtbf_s"] == 30.0
+        assert sched.stochastic_params["domain_mttr_s"] == 1.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crash@1:dom0",  # no declaration
+            "domain:size=2;domain:0-1",  # mixed shapes
+            "domain:0-1;domain:size=2",
+            "random:domain_mtbf=5",  # stochastic domains w/o declaration
+            "domain:size=0",
+            "random:crash_mtbf=5;random:slow_mtbf=5",  # two random sections
+            "domain:0-1;slow@1:dom0",  # slow needs *factor
+        ],
+    )
+    def test_parse_rejects_bad_domain_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultSchedule.parse(bad)
+
+    def test_materialize_rejects_undeclared_domain_target(self):
+        sched = FaultSchedule.parse("domain:0-1;crash@1:dom5")
+        with pytest.raises(ValueError, match="domain 5"):
+            sched.materialize(8, 10.0)
+
+    def test_plain_specs_still_parse(self):
+        """The pre-domain grammar is a strict subset of the new one."""
+        sched = FaultSchedule.parse("crash@2:0+1,slow@1:3*2.5+2")
+        assert len(sched.events) == 2
+        assert sched.domains is None
+        sched = FaultSchedule.parse("random:crash_mtbf=20,mttr=2")
+        assert sched.stochastic_params["crash_mtbf_s"] == 20.0
+
+    def test_materialize_expands_domain_members_same_timestamp(self):
+        sched = FaultSchedule.parse("domain:0-2;crash@1:dom0+0.5")
+        atomic = sched.materialize(5, 10.0)
+        crashes = [e for e in atomic if e.kind == "crash"]
+        recovers = [e for e in atomic if e.kind == "recover"]
+        assert {e.server_index for e in crashes} == {0, 1, 2}
+        assert {e.time_s for e in crashes} == {1.0}
+        assert {e.time_s for e in recovers} == {1.5}
+
+    def test_domain_slowdown_expands(self):
+        sched = FaultSchedule(
+            domains=FaultDomains(size=2),
+            domain_events=[domain_slowdown(0.5, 1, 3.0, duration=1.0)],
+        )
+        atomic = sched.materialize(4, 10.0)
+        slows = [e for e in atomic if e.kind == "slow"]
+        assert {e.server_index for e in slows} == {2, 3}
+        assert all(e.factor == 3.0 for e in slows)
+
+    def test_stochastic_domain_draws_deterministic_and_correlated(self):
+        sched = FaultSchedule.stochastic(
+            domain_mtbf_s=5.0, domain_mttr_s=1.0, domains=FaultDomains(size=3)
+        )
+        a = sched.materialize(9, 30.0, seed=11)
+        b = sched.materialize(9, 30.0, seed=11)
+        c = sched.materialize(9, 30.0, seed=12)
+        assert a == b
+        assert a != c
+        crashes = [e for e in a if e.kind == "crash"]
+        assert crashes, "5x MTBF over a 30s horizon must fire"
+        # Every crash timestamp covers a whole domain.
+        by_time: dict[float, set[int]] = {}
+        for e in crashes:
+            by_time.setdefault(e.time_s, set()).add(e.server_index)
+        for members in by_time.values():
+            doms = {idx // 3 for idx in members}
+            assert len(doms) == 1
+            dom = doms.pop()
+            assert members == set(range(3 * dom, 3 * dom + 3))
+
+    def test_domain_map_defaults_to_singletons(self):
+        assert FaultSchedule().domain_map(4) == [0, 1, 2, 3]
+        sched = FaultSchedule.parse("domain:size=2")
+        assert sched.domain_map(4) == [0, 0, 1, 1]
+        assert sched.is_empty  # declaration alone injects nothing
+
+
+# ----------------------------------------------------------------------
+# Simultaneity through the engine (the property the issue names)
+# ----------------------------------------------------------------------
+
+
+class TestDomainSimultaneity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000),
+        crash_frac=st.floats(0.2, 0.8),
+        dom=st.integers(0, 1),
+    )
+    def test_domain_members_leave_routable_together(
+        self, small_table, rmc1_models, rmc1_workloads, seed, crash_frac, dom
+    ):
+        """All members of a crashed domain leave the routable set at the
+        same simulation timestamp (and nothing routes to them after)."""
+        duration = 2.0
+        t_crash = duration * crash_frac
+        trace = _trace(small_table, rmc1_workloads, duration=duration, seed=seed)
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=6)
+        sched = FaultSchedule(
+            domains=FaultDomains(size=3),
+            domain_events=[domain_crash(t_crash, dom)],
+        )
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms={MODEL: 20.0},
+            seed=seed,
+            faults=sched,
+            retries=2,
+        )
+        result = sim.run(trace, warmup_s=0.0)
+        members = set(range(3 * dom, 3 * dom + 3))
+        crashes = [e for e in result.fault_events if e.kind == "crash"]
+        assert {e.server_index for e in crashes} == members
+        assert {e.time_s for e in crashes} == {t_crash}
+        # Nothing dispatched to a member after the crash instant: every
+        # completed attempt on a member started at or before t_crash.
+        for tracked in sim.last_query_log:
+            for attempt in tracked.attempts:
+                if attempt[0].index in members:
+                    assert attempt[1] <= t_crash
+        # The surviving domain absorbed the re-routed load.
+        assert result.per_model[MODEL].completed > 0
+
+    def test_blackout_when_single_domain_hosts_model(
+        self, small_table, rmc1_models, rmc1_workloads
+    ):
+        """A domain crash covering every replica is a full blackout."""
+        trace = _trace(small_table, rmc1_workloads, count=3, duration=2.0, seed=9)
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=3)
+        sched = FaultSchedule(
+            domains=FaultDomains(ranges=[(0, 2)]),
+            domain_events=[domain_crash(1.0, 0)],
+        )
+        sim = FleetSimulator(
+            servers, policy="least", sla_ms={MODEL: 20.0}, faults=sched, retries=1
+        )
+        result = sim.run(trace, warmup_s=0.0)
+        assert result.per_model[MODEL].dropped > 0
+        assert result.availability < 1.0
+
+
+# ----------------------------------------------------------------------
+# Domain-aware hedging
+# ----------------------------------------------------------------------
+
+
+class TestDomainAwareHedging:
+    def test_prefer_other_domains_helper(self, small_table, rmc1_models, rmc1_workloads):
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=4)
+        for s, dom in zip(servers, [0, 0, 1, 1]):
+            s.domain = dom
+        picked = prefer_other_domains(servers, {0})
+        assert [s.index for s in picked] == [2, 3]
+        # Fallback: every candidate shares an attempted domain.
+        assert prefer_other_domains(servers[:2], {0}) == servers[:2]
+        # Singleton domains (the undeclared default) filter nothing.
+        for s in servers:
+            s.domain = s.index
+        assert list(prefer_other_domains(servers, {99})) == list(servers)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1_000), hedge_ms=st.floats(2.0, 10.0))
+    def test_hedge_never_lands_in_attempted_domain(
+        self, small_table, rmc1_models, rmc1_workloads, seed, hedge_ms
+    ):
+        """With two live domains, a hedged query's two attempts are in
+        different fault domains -- always, for any seed/hedge delay."""
+        duration = 2.0
+        trace = _trace(small_table, rmc1_workloads, duration=duration, seed=seed)
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=6)
+        # A straggling domain forces hedges; both domains stay live.
+        sched = FaultSchedule(
+            domains=FaultDomains(size=3),
+            domain_events=[
+                domain_slowdown(duration * 0.2, 0, 4.0, duration=duration * 0.5)
+            ],
+        )
+        sim = FleetSimulator(
+            servers,
+            policy="rr",
+            sla_ms={MODEL: 20.0},
+            seed=seed,
+            faults=sched,
+            hedge_ms=hedge_ms,
+        )
+        result = sim.run(trace, warmup_s=0.0)
+        hedged = [t for t in sim.last_query_log if t.hedged]
+        assert result.per_model[MODEL].hedged == len(hedged)
+        assert hedged, "a 4x domain straggler under rr must force hedges"
+        for t in hedged:
+            doms = [a[0].domain for a in t.attempts]
+            assert len(doms) == len(set(doms)), (
+                "hedge placed two attempts in one fault domain while "
+                "another live domain existed"
+            )
+
+    def test_hedge_falls_back_within_domain_when_alone(
+        self, small_table, rmc1_models, rmc1_workloads
+    ):
+        """With every replica in one domain, hedging still fires (a
+        same-domain duplicate beats none)."""
+        duration = 2.0
+        trace = _trace(small_table, rmc1_workloads, count=3, duration=duration, seed=5)
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=3)
+        sched = FaultSchedule(
+            domains=FaultDomains(ranges=[(0, 2)]),
+            domain_events=[
+                domain_slowdown(duration * 0.2, 0, 4.0, duration=duration * 0.5)
+            ],
+        )
+        sim = FleetSimulator(
+            servers,
+            policy="rr",
+            sla_ms={MODEL: 20.0},
+            seed=5,
+            faults=sched,
+            hedge_ms=6.0,
+        )
+        sim.run(trace, warmup_s=0.0)
+        hedged = [t for t in sim.last_query_log if t.hedged]
+        assert hedged
+        for t in hedged:
+            # Distinct replicas even when domains coincide.
+            assert len({id(a[0]) for a in t.attempts}) == len(t.attempts)
+
+    def test_domains_stamped_on_servers_and_report(
+        self, small_table, rmc1_models, rmc1_workloads
+    ):
+        trace = _trace(small_table, rmc1_workloads, duration=1.0, seed=2)
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=4)
+        sched = FaultSchedule.parse("domain:size=2")
+        sim = FleetSimulator(
+            servers, policy="rr", sla_ms={MODEL: 20.0}, faults=sched
+        )
+        result = sim.run(trace, warmup_s=0.0)
+        assert [s.domain for s in sim.servers] == [0, 0, 1, 1]
+        assert [s.domain for s in result.servers] == [0, 0, 1, 1]
+        # Without a schedule, singleton domains.
+        servers = _fleet(small_table, rmc1_models, rmc1_workloads, count=4)
+        sim = FleetSimulator(servers, policy="rr", sla_ms={MODEL: 20.0})
+        result = sim.run(trace, warmup_s=0.0)
+        assert [s.domain for s in result.servers] == [0, 1, 2, 3]

@@ -440,6 +440,47 @@ def test_tracked_fault_loop_bit_identical_when_idle(
     assert all(t.done and t.retries == 0 and not t.hedged for t in log)
 
 
+@pytest.mark.parametrize("seed", [13, 41])
+def test_domain_declarations_alone_bit_identical(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """Declaring correlated fault domains (with no fault events) stamps
+    replica domains and enables the domain-aware hedging filter, but an
+    idle schedule must still reproduce the fault-free engine exactly --
+    including with hedging armed, where the singleton-domain filter of
+    an undeclared fleet and the rack filter of a declared one must make
+    identical policy draws when no fault ever fires.
+    """
+    from repro.fleet import FaultDomains, FaultSchedule
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    _, idle = _run_fleet(
+        small_table, models, workloads, allocation, trace,
+        faults=FaultSchedule(domains=FaultDomains(size=2)),
+    )
+    assert idle.per_model == base.per_model
+    assert idle.avg_power_w == base.avg_power_w
+    assert idle.events == base.events
+
+    # With hedging armed, explicitly-declared singleton racks must make
+    # the exact policy draws of an undeclared fleet: the cross-domain
+    # preference then filters exactly the already-attempted replica.
+    _, hedged_plain = _run_fleet(
+        small_table, models, workloads, allocation, trace,
+        faults=FaultSchedule(), hedge_ms=8.0,
+    )
+    _, hedged_domains = _run_fleet(
+        small_table, models, workloads, allocation, trace,
+        faults=FaultSchedule(domains=FaultDomains(ranges=[(0, 0), (1, 1), (2, 2), (3, 3)])),
+        hedge_ms=8.0,
+    )
+    assert hedged_domains.per_model == hedged_plain.per_model
+    assert hedged_domains.avg_power_w == hedged_plain.avg_power_w
+
+
 def test_idle_fault_loop_matches_with_autoscaler(
     small_table, rmc1_small_fleet_inputs
 ):
