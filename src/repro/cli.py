@@ -7,9 +7,11 @@ Subcommands:
 - ``search``   -- run the task-scheduling search for one pair.
 - ``profile``  -- build the efficiency-tuple classification table.
 - ``serve``    -- provision a diurnal day through a cluster scheduler.
-- ``fleet``    -- request-level fleet replay of a diurnal day (routing,
-  optional autoscaling, fault injection with retries/hedging, measured
-  SLA/availability/power report).
+- ``fleet``    -- request-level fleet replay (routing, reactive or
+  predictive autoscaling, fault injection with retries/hedging,
+  measured SLA/availability/power report) over a synthesized diurnal
+  day, an ``--arrivals`` process spec (Poisson/MMPP-burst/diurnal
+  superpositions), or a recorded ``--trace`` file.
 - ``provision-fault-aware`` -- close the availability loop: iterate
   fault-injected fleet replays to the smallest over-provision rate
   ``R`` meeting a target service availability, and report the power
@@ -46,9 +48,9 @@ from repro.fleet import (
     ROUTING_POLICIES,
     FaultSchedule,
     FleetSimulator,
+    PredictiveAutoscaler,
     ReactiveAutoscaler,
     build_fleet,
-    build_fleet_trace,
     diurnal_segments,
     provision_fault_aware,
 )
@@ -60,6 +62,12 @@ from repro.scheduling import (
     OfflineProfiler,
 )
 from repro.sim import QueryWorkload, ServerEvaluator
+from repro.traces import (
+    FleetArrivals,
+    PiecewisePoissonProcess,
+    RecordedTrace,
+    parse_arrivals,
+)
 
 _CLUSTER_POLICIES = {
     "nh": NHScheduler,
@@ -240,12 +248,23 @@ def _distribute_fleet(total: int, types: list[str]) -> dict[str, int]:
 
 def _fleet_inputs(args: argparse.Namespace, target_utilization: float):
     """Shared `fleet`/`provision-fault-aware` setup: profile the table,
-    shape the fleet, and synthesize the compressed diurnal trace.
+    shape the fleet, and build the arrival source.
 
     Peak loads are explicit (``--peak-qps``) or sized so the fleet
-    peaks around ``target_utilization`` of aggregate capacity.
-    Returns ``(models, table, fleet_counts, traces, workloads, trace)``.
+    peaks around ``target_utilization`` of aggregate capacity.  The
+    arrival source is the legacy compressed diurnal piecewise-Poisson
+    stream by default, an ``--arrivals`` process spec scaled to each
+    model's peak, or an on-disk ``--trace`` replay -- all returned as
+    lazily-streamed re-iterable sources.
+    Returns ``(models, table, fleet_counts, traces, workloads, source)``.
     """
+    if getattr(args, "trace", None) and getattr(args, "arrivals", None):
+        raise SystemExit("--trace and --arrivals are mutually exclusive")
+    if getattr(args, "trace", None) and args.peak_qps is None:
+        raise SystemExit(
+            "--trace needs --peak-qps (the recorded file fixes the arrival "
+            "rates, but provisioning still sizes the fleet from the peak)"
+        )
     server_types = [SERVER_TYPES[s] for s in args.server_types]
     models = {name: build_model(name) for name in args.models}
     print(
@@ -267,23 +286,51 @@ def _fleet_inputs(args: argparse.Namespace, target_utilization: float):
             )
             peaks[name] = target_utilization * capacity / len(models)
     traces = synchronous_traces(peaks)
-    segments = {
-        name: diurnal_segments(trace, args.duration, steps=args.segments)
-        for name, trace in traces.items()
-    }
     workloads = {
         name: QueryWorkload.for_model(m.config.mean_query_size)
         for name, m in models.items()
     }
-    trace = build_fleet_trace(workloads, segments, seed=args.seed)
-    return models, table, fleet_counts, traces, workloads, trace
+    if getattr(args, "trace", None):
+        source = RecordedTrace(args.trace)
+    elif getattr(args, "arrivals", None):
+        spec = parse_arrivals(args.arrivals)
+        source = FleetArrivals(
+            {
+                name: spec.build(workloads[name], peaks[name], args.duration)
+                for name in models
+            },
+            seed=args.seed,
+        )
+    else:
+        segments = {
+            name: diurnal_segments(trace, args.duration, steps=args.segments)
+            for name, trace in traces.items()
+        }
+        source = FleetArrivals(
+            {
+                name: PiecewisePoissonProcess(workloads[name], segs)
+                for name, segs in segments.items()
+            },
+            seed=args.seed,
+        )
+    return models, table, fleet_counts, traces, workloads, source
+
+
+def _replay_span_s(args: argparse.Namespace, source) -> float:
+    """Seconds the replay spans: --duration, or the recorded trace's
+    actual extent (a capture's span has nothing to do with --duration,
+    and warmup/autoscaler windows must scale with the real one)."""
+    if getattr(args, "trace", None):
+        return max(source.end_s, 1e-9)
+    return args.duration
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     # 60% aggregate utilization: the regime where routing quality shows.
-    models, table, fleet_counts, traces, workloads, trace = _fleet_inputs(
+    models, table, fleet_counts, traces, workloads, source = _fleet_inputs(
         args, target_utilization=0.6
     )
+    span = _replay_span_s(args, source)
     scheduler = HerculesClusterScheduler(table, fleet_counts)
 
     peak_loads = {m: t.peak_qps for m, t in traces.items()}
@@ -298,12 +345,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         base = scheduler.allocate(trough_loads, over_provision=args.over_provision)
         standby = allocation.minus(base)
         allocation = base
-        window = max(args.duration / 48.0, 0.02)
-        autoscaler = ReactiveAutoscaler(
-            {name: m.sla_ms for name, m in models.items()},
-            window_s=window,
-            cooldown_s=2.0 * window,
-        )
+        window = max(span / 48.0, 0.02)
+        sla = {name: m.sla_ms for name, m in models.items()}
+        if args.autoscale_mode == "predictive":
+            autoscaler = PredictiveAutoscaler(sla, window_s=window)
+        else:
+            autoscaler = ReactiveAutoscaler(
+                sla, window_s=window, cooldown_s=2.0 * window
+            )
     if peak_allocation.has_shortfall:
         print("warning: fleet cannot cover the requested peak load")
 
@@ -319,14 +368,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         retries=args.retries,
         hedge_ms=args.hedge_ms,
     )
-    result = sim.run(trace, warmup_s=args.duration * 0.05)
+    result = sim.run(source, warmup_s=span * 0.05)
     print()
     print(
         result.format(
             title=(
                 f"{args.policy} routing, {len(servers)} provisioned of "
                 f"{args.servers} fleet servers "
-                f"({args.duration:.0f}s compressed diurnal day)"
+                + (
+                    f"({span:.0f}s recorded trace)"
+                    if args.trace
+                    else f"({span:.0f}s compressed diurnal day)"
+                )
             )
         )
     )
@@ -344,9 +397,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
     # 50% aggregate utilization: leaves fleet headroom to grow R into.
-    models, table, fleet_counts, traces, workloads, trace = _fleet_inputs(
+    models, table, fleet_counts, traces, workloads, source = _fleet_inputs(
         args, target_utilization=0.5
     )
+    span = _replay_span_s(args, source)
+    # The search replays the identical traffic at every candidate R;
+    # materializing once beats re-drawing the stream a dozen times.
+    trace = list(source)
     scheduler = HerculesClusterScheduler(table, fleet_counts)
     peak_loads = {m: t.peak_qps for m, t in traces.items()}
     faults = FaultSchedule.parse(args.faults)
@@ -376,7 +433,7 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
         retries=args.retries,
         hedge_ms=args.hedge_ms,
         seed=args.seed,
-        warmup_s=args.duration * 0.05,
+        warmup_s=span * 0.05,
         r_min=args.r_min,
         r_max=args.r_max,
         r_tol=args.r_tol,
@@ -417,6 +474,94 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(perfbench.format_bench(doc))
     print(f"\nwrote {args.output}")
     return 0
+
+
+def _add_fleet_shared_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags `fleet` and `provision-fault-aware` share.
+
+    Both subcommands feed the common :func:`_fleet_inputs` setup, so
+    the fleet-shape, traffic-source, and retry/hedging flags are
+    declared once here; per-subcommand defaults are overridden with
+    ``set_defaults`` at the subparser.
+    """
+    parser.add_argument(
+        "--servers", type=_positive_int, default=20, help="fleet size in servers"
+    )
+    parser.add_argument(
+        "--server-types",
+        nargs="+",
+        default=["T2", "T3", "T7"],
+        choices=tuple(SERVER_TYPES),
+        help="server types the fleet draws from (availability-weighted)",
+    )
+    parser.add_argument(
+        "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
+    )
+    parser.add_argument(
+        "--policy",
+        choices=tuple(ROUTING_POLICIES),
+        default="p2c",
+        help="load-balancing policy routing each model's query stream",
+    )
+    parser.add_argument(
+        "--peak-qps",
+        type=_positive_float,
+        default=None,
+        help="per-model diurnal peak QPS (default: sized from fleet capacity)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=8.0,
+        help="simulated seconds the compressed day spans",
+    )
+    parser.add_argument(
+        "--segments", type=_positive_int, default=24, help="diurnal segments per day"
+    )
+    parser.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arrival-process spec replacing the default diurnal synthesis: "
+            "'+'-separated shape:key=value,... sections, shapes "
+            "poisson/mmpp/diurnal with level= rates relative to each "
+            "model's peak (e.g. 'diurnal:noise=0.15+mmpp:levels=0/1.2,"
+            "dwell=3/0.25' -- see docs/cli.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay a recorded trace file (.csv/.jsonl with model,arrival_s,"
+            "size,pooling_scale rows) instead of synthesizing arrivals; "
+            "requires --peak-qps for fleet sizing"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-query router re-dispatch budget after a crash kills its attempt",
+    )
+    parser.add_argument(
+        "--hedge-ms",
+        type=_positive_float,
+        default=None,
+        help=(
+            "dispatch a duplicate attempt to a second replica once a query "
+            "is outstanding this long; the fastest attempt wins (off by default)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for offline profiling (0 = all CPUs)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -472,57 +617,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--over-provision", type=float, default=0.05)
     serve.set_defaults(func=_cmd_serve)
 
+    # Flags `fleet` and `provision-fault-aware` share (they feed the
+    # common _fleet_inputs setup); each subcommand overrides defaults
+    # via set_defaults below instead of re-declaring the arguments.
+    # Built fresh per subparser: argparse's set_defaults mutates the
+    # Action objects, which ``parents=`` would otherwise share.
+    def _fleet_shared_flags() -> argparse.ArgumentParser:
+        fleet_shared = argparse.ArgumentParser(add_help=False)
+        _add_fleet_shared_arguments(fleet_shared)
+        return fleet_shared
+
     fleet = sub.add_parser(
         "fleet",
+        parents=[_fleet_shared_flags()],
         help="request-level fleet replay of a diurnal day",
         description=(
             "Provision a fleet with the Hercules LP, then replay a "
-            "compressed diurnal multi-model day query-by-query through a "
-            "routing policy, reporting measured p50/p99, SLA-violation "
-            "rate, fleet power, and queries served.  --faults injects "
-            "replica crashes and stragglers (deterministic given --seed); "
-            "--retries and --hedge-ms control how lost or slow queries "
-            "are re-dispatched."
+            "compressed diurnal multi-model day (or --arrivals/--trace "
+            "traffic) query-by-query through a routing policy, reporting "
+            "measured p50/p99, SLA-violation rate, fleet power, and "
+            "queries served.  --faults injects replica crashes and "
+            "stragglers (deterministic given --seed); --retries and "
+            "--hedge-ms control how lost or slow queries are "
+            "re-dispatched."
         ),
-    )
-    fleet.add_argument(
-        "--servers", type=_positive_int, default=20, help="fleet size in servers"
-    )
-    fleet.add_argument(
-        "--server-types",
-        nargs="+",
-        default=["T2", "T3", "T7"],
-        choices=tuple(SERVER_TYPES),
-        help="server types the fleet draws from (availability-weighted)",
-    )
-    fleet.add_argument(
-        "--models", nargs="+", default=["DLRM-RMC1", "DLRM-RMC2"], choices=MODEL_NAMES
-    )
-    fleet.add_argument(
-        "--policy",
-        choices=tuple(ROUTING_POLICIES),
-        default="p2c",
-        help="load-balancing policy routing each model's query stream",
-    )
-    fleet.add_argument(
-        "--peak-qps",
-        type=_positive_float,
-        default=None,
-        help="per-model diurnal peak QPS (default: ~60%% of fleet capacity)",
-    )
-    fleet.add_argument(
-        "--duration",
-        type=_positive_float,
-        default=8.0,
-        help="simulated seconds the compressed day spans",
-    )
-    fleet.add_argument(
-        "--segments", type=_positive_int, default=24, help="diurnal segments per day"
     )
     fleet.add_argument(
         "--autoscale",
         action="store_true",
-        help="provision at trough and let the reactive autoscaler track load",
+        help="provision at trough and let the autoscaler track load",
+    )
+    fleet.add_argument(
+        "--autoscale-mode",
+        choices=("reactive", "predictive"),
+        default="reactive",
+        help=(
+            "with --autoscale: reactive (violation-triggered) or predictive "
+            "(windowed rate-trend forecast activates standbys ahead of the "
+            "ramp)"
+        ),
     )
     fleet.add_argument(
         "--faults",
@@ -538,33 +671,12 @@ def build_parser() -> argparse.ArgumentParser:
             "with ';' (e.g. 'domain:0-9;crash@5s:dom0' -- see docs/cli.md)"
         ),
     )
-    fleet.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        help="per-query router re-dispatch budget after a crash kills its attempt",
-    )
-    fleet.add_argument(
-        "--hedge-ms",
-        type=_positive_float,
-        default=None,
-        help=(
-            "dispatch a duplicate attempt to a second replica once a query "
-            "is outstanding this long; the fastest attempt wins (off by default)"
-        ),
-    )
     fleet.add_argument("--over-provision", type=float, default=0.05)
-    fleet.add_argument("--seed", type=int, default=0)
-    fleet.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for offline profiling (0 = all CPUs)",
-    )
     fleet.set_defaults(func=_cmd_fleet)
 
     provision = sub.add_parser(
         "provision-fault-aware",
+        parents=[_fleet_shared_flags()],
         help="close the availability -> over-provision-rate R loop",
         description=(
             "Iterate fault-injected fleet replays to a fixpoint: find the "
@@ -572,43 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
             "target service availability (fraction of queries served "
             "within SLA) under the given fault schedule, and report the "
             "provisioned-power delta against the fault-blind provisioner "
-            "at --baseline-r.  Deterministic given --seed."
+            "at --baseline-r.  Every candidate R replays identical "
+            "traffic.  Deterministic given --seed."
         ),
     )
-    provision.add_argument(
-        "--servers", type=_positive_int, default=24, help="fleet size in servers"
-    )
-    provision.add_argument(
-        "--server-types",
-        nargs="+",
-        default=["T2", "T3", "T7"],
-        choices=tuple(SERVER_TYPES),
-        help="server types the fleet draws from (availability-weighted)",
-    )
-    provision.add_argument(
-        "--models", nargs="+", default=["DLRM-RMC1"], choices=MODEL_NAMES
-    )
-    provision.add_argument(
-        "--policy",
-        choices=tuple(ROUTING_POLICIES),
-        default="p2c",
-        help="routing policy used by every evaluation replay",
-    )
-    provision.add_argument(
-        "--peak-qps",
-        type=_positive_float,
-        default=None,
-        help="per-model diurnal peak QPS (default: ~50%% of fleet capacity)",
-    )
-    provision.add_argument(
-        "--duration",
-        type=_positive_float,
-        default=8.0,
-        help="simulated seconds the compressed day spans",
-    )
-    provision.add_argument(
-        "--segments", type=_positive_int, default=24, help="diurnal segments per day"
-    )
+    provision.set_defaults(servers=24, models=["DLRM-RMC1"], retries=2)
     provision.add_argument(
         "--faults",
         required=True,
@@ -618,18 +698,6 @@ def build_parser() -> argparse.ArgumentParser:
             "'fleet --faults' including domain:LO-HI / domain:size=K and "
             "random:domain_mtbf=S correlated outages (see docs/cli.md)"
         ),
-    )
-    provision.add_argument(
-        "--retries",
-        type=int,
-        default=2,
-        help="per-query router re-dispatch budget after a crash",
-    )
-    provision.add_argument(
-        "--hedge-ms",
-        type=_positive_float,
-        default=None,
-        help="hedged-dispatch delay in ms (domain-aware; off by default)",
     )
     provision.add_argument(
         "--target-availability",
@@ -660,13 +728,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=12,
         help="cap on fault-injected evaluation replays",
-    )
-    provision.add_argument("--seed", type=int, default=0)
-    provision.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for offline profiling (0 = all CPUs)",
     )
     provision.set_defaults(func=_cmd_provision_fault_aware)
 

@@ -8,7 +8,11 @@ and measured p50/p99/SLA-violation/power accounting -- the repo's
 equivalent of the paper's load-generator evaluation (Fig. 13).
 """
 
-from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent
+from repro.fleet.autoscaler import (
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    ScaleEvent,
+)
 from repro.fleet.engine import (
     FleetServer,
     FleetSimulator,
@@ -46,6 +50,7 @@ from repro.fleet.routing import (
 )
 
 __all__ = [
+    "PredictiveAutoscaler",
     "ReactiveAutoscaler",
     "ScaleEvent",
     "FleetServer",

@@ -1,25 +1,36 @@
-"""Reactive autoscaling between provisioning intervals.
+"""Reactive and predictive autoscaling between provisioning intervals.
 
 The cluster manager re-provisions every tens of minutes; within an
 interval the paper's over-provision rate ``R`` is the only headroom
-against load growth.  This module adds the request-level complement: a
-reactive scaler that watches each model's windowed SLA-violation rate
-and activates standby replicas when the tail degrades, or drains
-lightly-loaded replicas when demand recedes -- letting experiments
-quantify what ``R`` buys in tail latency versus what reaction buys in
-power.
+against load growth.  This module adds the request-level complement in
+two flavours:
 
-Scale-up triggers on violation rate (the symptom the SLA cares about);
-scale-down triggers on low offered utilization *and* a clean window, so
-a draining fleet never oscillates against its own tail.
+- :class:`ReactiveAutoscaler` watches each model's windowed
+  SLA-violation rate and activates standby replicas when the tail
+  degrades, or drains lightly-loaded replicas when demand recedes.
+  Scale-up triggers on violation rate (the symptom the SLA cares
+  about); scale-down triggers on low offered utilization *and* a clean
+  window, so a draining fleet never oscillates against its own tail.
+- :class:`PredictiveAutoscaler` fits a windowed rate trend from the
+  arrival stream's own history and provisions *ahead* of the diurnal
+  ramp: standbys come online before the forecast demand outgrows the
+  active capacity (and drain as the forecast recedes), instead of
+  waiting for violations that have already happened.  A reactive
+  violation trigger stays in as a safety net for spikes the trend
+  cannot see.
+
+Both share the engine-facing protocol -- a ``window_s`` attribute and
+a ``tick()`` returning :class:`ScaleEvent` actions -- so the fleet
+loops drive either without caring which is installed.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["ScaleEvent", "ReactiveAutoscaler"]
+__all__ = ["ScaleEvent", "ReactiveAutoscaler", "PredictiveAutoscaler"]
 
 
 @dataclass(frozen=True)
@@ -136,13 +147,7 @@ class ReactiveAutoscaler:
                     # Bring the fastest standby replica online first,
                     # preferring one in a fault domain with no dead
                     # member (ties keep pure weight order).
-                    if dead_domains:
-                        pick = max(
-                            standby,
-                            key=lambda s: (s.domain not in dead_domains, s.weight),
-                        )
-                    else:
-                        pick = max(standby, key=lambda s: s.weight)
+                    pick = _pick_standby(standby, dead_domains)
                     events.append(
                         ScaleEvent(now, model, "activate", pick, f"viol={rate:.1%}")
                     )
@@ -164,4 +169,195 @@ class ReactiveAutoscaler:
                         )
                     )
                     self._last_action[model] = now
+        return events
+
+
+def _pick_standby(standby: list, dead_domains: set | None):
+    """Fastest standby, preferring fault domains with no dead member."""
+    if dead_domains:
+        return max(
+            standby, key=lambda s: (s.domain not in dead_domains, s.weight)
+        )
+    return max(standby, key=lambda s: s.weight)
+
+
+class PredictiveAutoscaler:
+    """Forecast-driven activate/drain: scale *before* the ramp arrives.
+
+    Each window, the scaler records the model's offered arrival rate
+    (arrivals plus drops and crash losses -- demand, not goodput), fits
+    a least-squares linear trend over the last ``history_windows``
+    observations, and extrapolates ``lead_windows`` windows ahead.
+    When the forecast demand outgrows the active replicas' profiled
+    capacity at ``target_utilization``, standbys are activated *now* --
+    enough of them to cover the forecast -- so they are serving when
+    the ramp lands instead of after the first violation window.  On
+    the downslope the forecast recedes and replicas drain as soon as
+    the remaining fleet covers it, recovering standby power earlier
+    than a violation-gated scaler dares to.
+
+    A reactive violation trigger (``violation_up``) remains as a
+    safety net: bursts with no trend still activate one standby per
+    window, exactly like :class:`ReactiveAutoscaler`.
+
+    Args:
+        sla_ms: Per-model p99 targets (violation safety net).
+        window_s: Observation window; decisions fire at window ends.
+        lead_windows: How many windows ahead the forecast looks --
+            roughly the activation lead time in units of ``window_s``.
+        history_windows: Trend-fit history length.
+        target_utilization: Offered load over profiled capacity the
+            scaler provisions for (headroom = 1 - target).
+        drain_utilization: Forecast utilization below which one replica
+            drains per tick (must leave the forecast covered).
+        violation_up: Window violation rate that force-activates one
+            standby regardless of the forecast.
+        violation_clear: Ceiling the window must stay under before any
+            drain is considered.
+        cooldown_s: Minimum time between drains on the same model
+            (activations are never throttled -- a steep ramp may need
+            several consecutive windows of scale-up).
+        min_active: Never drain below this many replicas per model.
+    """
+
+    def __init__(
+        self,
+        sla_ms: dict[str, float],
+        window_s: float = 1.0,
+        lead_windows: int = 3,
+        history_windows: int = 8,
+        target_utilization: float = 0.70,
+        drain_utilization: float = 0.45,
+        violation_up: float = 0.05,
+        violation_clear: float = 0.005,
+        cooldown_s: float = 0.0,
+        min_active: int = 1,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if lead_windows < 1 or history_windows < 2:
+            raise ValueError("need lead_windows >= 1 and history_windows >= 2")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not 0.0 <= drain_utilization < target_utilization:
+            raise ValueError("need 0 <= drain_utilization < target_utilization")
+        if not 0.0 <= violation_clear <= violation_up <= 1.0:
+            raise ValueError("need 0 <= violation_clear <= violation_up <= 1")
+        if min_active < 1:
+            raise ValueError("min_active must be >= 1")
+        self.sla_ms = dict(sla_ms)
+        self.window_s = window_s
+        self.lead_windows = int(lead_windows)
+        self.history_windows = int(history_windows)
+        self.target_utilization = target_utilization
+        self.drain_utilization = drain_utilization
+        self.violation_up = violation_up
+        self.violation_clear = violation_clear
+        self.cooldown_s = cooldown_s
+        self.min_active = min_active
+        self._history: dict[str, deque] = {}
+        self._last_drain: dict[str, float] = {}
+
+    def _forecast(self, history: deque) -> float:
+        """Linear trend through the rate history, ``lead_windows`` ahead.
+
+        With fewer than two observations the forecast is the last
+        rate.  The fitted line (not last-rate-plus-slope) is
+        extrapolated, so single-window noise is smoothed by the whole
+        history.
+        """
+        n = len(history)
+        if n < 2:
+            return history[-1] if n else 0.0
+        mean_x = (n - 1) / 2.0
+        mean_y = sum(history) / n
+        num = 0.0
+        den = 0.0
+        for x, y in enumerate(history):
+            dx = x - mean_x
+            num += dx * (y - mean_y)
+            den += dx * dx
+        slope = num / den
+        intercept = mean_y - slope * mean_x
+        return max(0.0, intercept + slope * (n - 1 + self.lead_windows))
+
+    def forecast_qps(self, model: str) -> float:
+        """Current forecast for one model (0 before any history)."""
+        return self._forecast(self._history.get(model, deque()))
+
+    def tick(
+        self,
+        now: float,
+        window_lat_ms: dict[str, list[float]],
+        window_arrivals: dict[str, int],
+        routable: dict[str, list],
+        standby_for: Callable[[str], list],
+        window_drops: dict[str, int] | None = None,
+        window_failures: dict[str, int] | None = None,
+        dead_domains: set | None = None,
+    ) -> list[ScaleEvent]:
+        """Evaluate one window; return the actions to apply.
+
+        Same engine-facing contract as
+        :meth:`ReactiveAutoscaler.tick`; may return several activate
+        events in one tick when the forecast calls for more capacity
+        than one standby provides.
+        """
+        events: list[ScaleEvent] = []
+        for model, sla in self.sla_ms.items():
+            latencies = window_lat_ms.get(model, [])
+            lost = (window_drops or {}).get(model, 0)
+            lost += (window_failures or {}).get(model, 0)
+            offered = window_arrivals.get(model, 0) + lost
+            rate = offered / self.window_s
+            history = self._history.setdefault(
+                model, deque(maxlen=self.history_windows)
+            )
+            history.append(rate)
+            forecast = self._forecast(history)
+
+            active = routable.get(model, [])
+            capacity = sum(s.weight for s in active)
+            observed = len(latencies) + lost
+            violations = sum(1 for lat in latencies if lat > sla) + lost
+            viol_rate = violations / observed if observed else 0.0
+
+            needed = forecast / self.target_utilization
+            hot = bool(observed) and viol_rate > self.violation_up
+            if needed > capacity or hot:
+                standby = list(standby_for(model))
+                activated = False
+                while standby and (capacity < needed or (hot and not activated)):
+                    pick = _pick_standby(standby, dead_domains)
+                    standby.remove(pick)
+                    capacity += pick.weight
+                    reason = (
+                        f"viol={viol_rate:.1%}"
+                        if hot and needed <= capacity - pick.weight
+                        else f"forecast={forecast:.0f}qps"
+                    )
+                    events.append(ScaleEvent(now, model, "activate", pick, reason))
+                    activated = True
+                if activated:
+                    continue  # never drain in the tick that scaled up
+
+            if (
+                viol_rate <= self.violation_clear
+                and len(active) > self.min_active
+                and capacity > 0
+                and forecast / capacity < self.drain_utilization
+                and now - self._last_drain.get(model, -1e18) >= self.cooldown_s
+            ):
+                pick = min(active, key=lambda s: s.weight)
+                if needed <= capacity - pick.weight:
+                    events.append(
+                        ScaleEvent(
+                            now,
+                            model,
+                            "drain",
+                            pick,
+                            f"forecast_util={forecast / capacity:.1%}",
+                        )
+                    )
+                    self._last_drain[model] = now
         return events

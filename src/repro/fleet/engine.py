@@ -50,8 +50,8 @@ from repro.scheduling.profiler import ClassificationTable
 from repro.sim import plan_cache
 from repro.sim.evaluator import PlanTimings
 from repro.sim.event_core import DirectStage, EventHeap, Pipeline, QueryState
-from repro.sim.loadgen import generate_trace
 from repro.sim.queries import Query, QueryWorkload
+from repro.traces.arrivals import FleetArrivals, PiecewisePoissonProcess
 
 __all__ = [
     "FleetServer",
@@ -228,32 +228,26 @@ def build_fleet_trace(
 ) -> list[tuple[str, Query]]:
     """Merge per-model Poisson segments into one arrival-sorted trace.
 
+    Thin adapter over :mod:`repro.traces`: builds one
+    :class:`~repro.traces.PiecewisePoissonProcess` per model and
+    materializes the merged :class:`~repro.traces.FleetArrivals`
+    stream.  Draw sequence and merge order are bit-identical to the
+    historical in-place implementation (pinned by
+    ``tests/test_perf_equivalence.py``); pass the ``FleetArrivals``
+    object itself to :meth:`FleetSimulator.run` to skip the
+    materialization entirely.
+
     Args:
         workloads: Query-size/pooling distributions per model.
         segments: Per-model ``(qps, duration_s)`` chain; segments are
             laid back to back starting at t=0.
         seed: Base RNG seed (each model/segment draws independently).
     """
-    merged: list[tuple[str, Query]] = []
-    for m_idx, (model, segs) in enumerate(sorted(segments.items())):
-        workload = workloads[model]
-        clock = 0.0
-        next_id = 0
-        for s_idx, (qps, dur) in enumerate(segs):
-            if qps > 0 and dur > 0:
-                queries = generate_trace(
-                    workload,
-                    qps,
-                    dur,
-                    seed=seed + 7919 * m_idx + s_idx,
-                    start_s=clock,
-                    first_id=next_id,
-                )
-                merged.extend((model, q) for q in queries)
-                next_id += len(queries)
-            clock += dur
-    merged.sort(key=lambda mq: mq[1].arrival_s)
-    return merged
+    processes = {
+        model: PiecewisePoissonProcess(workloads[model], segs)
+        for model, segs in segments.items()
+    }
+    return list(FleetArrivals(processes, seed=seed))
 
 
 class FleetSimulator:
@@ -409,32 +403,62 @@ class FleetSimulator:
 
     # ------------------------------------------------------------------
 
-    def run(self, trace: Sequence[tuple[str, Query]], warmup_s: float = 0.0) -> FleetResult:
-        """Play a multi-model trace through the fleet.
+    def run(self, trace, warmup_s: float = 0.0) -> FleetResult:
+        """Play a multi-model arrival source through the fleet.
 
         Args:
-            trace: ``(model_name, query)`` pairs (any order; sorted here).
+            trace: ``(model_name, query)`` pairs -- either a
+                materialized list/tuple (any order; sorted here, the
+                legacy shape) or a lazily-consumed arrival source: a
+                :class:`~repro.traces.FleetArrivals`, a
+                :class:`~repro.traces.RecordedTrace`, or any iterable
+                already sorted by arrival time.  Streams are pulled one
+                arrival at a time, so a multi-million-query replay
+                holds O(replicas + one segment) memory instead of the
+                whole trace.  The measurement horizon is the last
+                arrival's timestamp in both shapes.  Stochastic fault
+                schedules additionally need a draw horizon: lists use
+                their last arrival, streams use the source's nominal
+                ``end_s`` (synthetic processes expose it; a horizon-
+                less iterator is refused) -- so a ``random:`` schedule
+                draws slightly past the last arrival on the streamed
+                shape.  Scripted schedules are horizon-free and
+                bit-identical across both shapes.
             warmup_s: Initial window excluded from the statistics.
         """
-        if not trace:
-            raise ValueError("empty fleet trace")
-        import numpy as np
-
         heap = EventHeap()
-        # Parallel arrays: the merge loop compares plain floats and the
-        # (model, query) pairs ride through the fast path unwrapped --
-        # QueryState records are only built for event-pipeline replicas.
-        trace = list(trace)
-        times = [q.arrival_s for _, q in trace]
-        arr = np.asarray(times)
-        if len(arr) > 1 and bool((np.diff(arr) < 0.0).any()):
-            # Stable order keeps trace position on ties, matching the
-            # event counters the old all-arrivals-on-the-heap scheme
-            # assigned.
-            order = np.argsort(arr, kind="stable").tolist()
-            trace = [trace[k] for k in order]
-            times = [times[k] for k in order]
-        horizon = times[-1]
+        if isinstance(trace, (list, tuple)):
+            if not trace:
+                raise ValueError("empty fleet trace")
+            import numpy as np
+
+            trace = list(trace)
+            arr = np.asarray([q.arrival_s for _, q in trace])
+            if len(arr) > 1 and bool((np.diff(arr) < 0.0).any()):
+                # Stable order keeps trace position on ties, matching
+                # the event counters the old all-arrivals-on-the-heap
+                # scheme assigned.
+                order = np.argsort(arr, kind="stable").tolist()
+                trace = [trace[k] for k in order]
+            # The last arrival (max, not the caller-order last element)
+            # bounds stochastic fault draws, exactly as before.
+            end_hint = float(arr.max())
+            arrivals = iter(trace)
+        else:
+            # A streamed source; trust its sort order (verified as the
+            # stream is consumed).  Its nominal end is needed only to
+            # bound stochastic fault draws -- fetched lazily because
+            # e.g. RecordedTrace.end_s costs a full file scan.
+            end_hint = None
+            if (
+                self.faults is not None
+                and getattr(self.faults, "stochastic_params", None) is not None
+            ):
+                end_hint = getattr(trace, "end_s", None)
+            arrivals = iter(trace)
+        first = next(arrivals, None)
+        if first is None:
+            raise ValueError("empty fleet trace")
 
         # Windowed completion/arrival/drop feeds for the autoscaler.
         window_lat: dict[str, list[float]] = {m: [] for m in self._routable}
@@ -442,18 +466,16 @@ class FleetSimulator:
         window_drops: dict[str, int] = {m: 0 for m in self._routable}
         scale_events: list = []
         if self.autoscaler is not None:
-            # Ticks keep their pre-finish sequence numbers so a tick at
-            # exactly a finish timestamp still wins, as before.
-            w = self.autoscaler.window_s
-            t = w
-            while t < horizon:
-                heap.push(t, None, 0, None)
-                t += w
+            # One tick lives on the heap at a time, rescheduled as it
+            # fires; seq -1 keeps the legacy tie order (a tick at
+            # exactly a finish timestamp still wins, arrivals still
+            # win over ticks).
+            heappush(heap.items, (self.autoscaler.window_s, -1, None, 0, None))
 
-        # Track every model the trace names, so streams with no replica
-        # anywhere in the fleet still surface as dropped/violating.
+        # Models with no replica anywhere in the fleet are added as the
+        # stream names them, so they still surface as dropped/violating.
         completions: dict[str, list[tuple[float, float]]] = {
-            m: [] for m in set(self._routable) | {model for model, _ in trace}
+            m: [] for m in self._routable
         }
         dropped: dict[str, int] = {m: 0 for m in completions}
         scaling = self.autoscaler is not None
@@ -466,8 +488,6 @@ class FleetSimulator:
         events = heap.items
         dead = heap.dead
         finished: list[QueryState] = []
-        i, n = 0, len(trace)
-        arrivals = n
         # The loop allocates an event tuple per batch and never builds
         # cycles; keeping the generational GC out of it saves a few
         # percent on long replays.
@@ -482,14 +502,17 @@ class FleetSimulator:
                 from repro.fleet.faults import run_fault_loop
 
                 fault_info = run_fault_loop(
-                    self, trace, times, i, n, streams, heap,
-                    warmup_s, horizon, scaling, completions, dropped,
+                    self, arrivals, first, streams, heap,
+                    warmup_s, end_hint, scaling, completions, dropped,
                     window_lat, window_arrivals, window_drops, scale_events,
                 )
+                count = fault_info["arrivals"]
+                horizon = fault_info["horizon"]
+                ticks = fault_info["ticks"]
             else:
-                self._run_loop(
-                    trace, times, i, n, streams, events, dead, finished, heap,
-                    warmup_s, horizon, scaling, completions, dropped,
+                count, horizon, ticks = self._run_loop(
+                    arrivals, first, streams, events, dead, finished, heap,
+                    warmup_s, scaling, completions, dropped,
                     window_lat, window_arrivals, window_drops, scale_events,
                 )
         finally:
@@ -498,7 +521,7 @@ class FleetSimulator:
 
         for server in self.servers:
             server.settle(horizon)
-        self.last_event_count = arrivals + heap.seq
+        self.last_event_count = count + heap.seq + ticks
         self.last_query_log = fault_info.pop("log") if fault_info else ()
 
         return self._summarize(
@@ -507,22 +530,50 @@ class FleetSimulator:
         )
 
     def _run_loop(
-        self, trace, times, i, n, streams, events, dead, finished, heap,
-        warmup_s, horizon, scaling, completions, dropped,
+        self, arrivals, first, streams, events, dead, finished, heap,
+        warmup_s, scaling, completions, dropped,
         window_lat, window_arrivals, window_drops, scale_events,
-    ) -> None:
-        """The hot event loop (split out so the GC guard stays simple)."""
+    ) -> tuple[int, float, int]:
+        """The hot event loop (split out so the GC guard stays simple).
+
+        Arrivals are pulled lazily from the ``arrivals`` iterator (one
+        pair held in hand); the measurement horizon is the last
+        arrival's timestamp, discovered at stream exhaustion -- until
+        then it is ``inf``, which is equivalent because any event
+        popped while arrivals remain is strictly earlier than the next
+        (and hence the last) arrival.  Returns
+        ``(arrival_count, horizon, ticks_fired)``.
+        """
+        horizon = float("inf")
+        count = 0
+        ticks = 0
+        window_s = self.autoscaler.window_s if scaling else 0.0
+        nxt = first
+        nxt_t = first[1][1]  # arrival_s via the namedtuple fast path
         while True:
             # -- next event: arrival stream vs heap, arrivals win ties --
-            if i < n:
-                now = times[i]
+            if nxt is not None:
+                now = nxt_t
                 if not events or now <= events[0][0]:
-                    model, query = trace[i]
-                    i += 1
+                    model, query = nxt
+                    nxt = next(arrivals, None)
+                    if nxt is None:
+                        horizon = now
+                    else:
+                        t = nxt[1][1]
+                        if t < now:
+                            raise ValueError(
+                                "arrival stream is not sorted by time "
+                                f"(t={t!r} after t={now!r})"
+                            )
+                        nxt_t = t
+                    count += 1
                     stream = streams.get(model)
                     if not stream or not stream[0]:
                         # Warmup drops stay out of the stats (mirroring
                         # the completion window) but feed the autoscaler.
+                        if model not in completions:
+                            completions[model] = []
                         if now >= warmup_s:
                             dropped[model] = dropped.get(model, 0) + 1
                         if scaling:
@@ -565,6 +616,10 @@ class FleetSimulator:
             now = entry[0]
             server = entry[2]
             if server is None:  # autoscaler tick
+                if now >= horizon:
+                    continue  # stream drained past the last arrival
+                ticks += 1
+                heappush(events, (now + window_s, -1, None, 0, None))
                 self._apply_autoscaler_tick(
                     now, window_lat, window_arrivals, window_drops, scale_events
                 )
@@ -605,6 +660,7 @@ class FleetSimulator:
                         server.active = False
                         server.draining = False
                 finished.clear()
+        return count, horizon, ticks
 
     # ------------------------------------------------------------------
 

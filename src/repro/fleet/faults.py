@@ -906,16 +906,38 @@ class _FaultState:
 # ----------------------------------------------------------------------
 
 
+def _materialized_faults(sim, num_servers: int, end_hint: float | None):
+    """Expand the run's schedule against the replay-horizon hint.
+
+    Materialized traces pass their exact last-arrival time; streamed
+    sources pass their nominal ``end_s``.  Scripted events ignore the
+    horizon entirely, so only stochastic schedules require one -- they
+    refuse a horizon-less stream instead of drawing forever.
+    """
+    schedule = sim.faults
+    if schedule is None:
+        return ()
+    if schedule.stochastic_params is not None and (
+        end_hint is None or end_hint == float("inf")
+    ):
+        raise ValueError(
+            "stochastic fault schedules need a replay horizon: pass a "
+            "materialized trace or an arrival source exposing end_s "
+            "(FleetArrivals and the synthetic processes all do)"
+        )
+    return schedule.materialize(
+        num_servers, end_hint if end_hint is not None else 0.0, seed=sim._seed
+    )
+
+
 def run_fault_loop(
     sim,
-    trace: Sequence,
-    times: Sequence[float],
-    i: int,
-    n: int,
+    arrivals,
+    first,
     streams: dict,
     heap,
     warmup_s: float,
-    horizon: float,
+    end_hint: float | None,
     scaling: bool,
     completions: dict,
     dropped: dict,
@@ -926,11 +948,11 @@ def run_fault_loop(
 ) -> dict:
     """Fault-aware twin of ``FleetSimulator._run_loop``.
 
-    Runs the same arrival-merge event loop with crash/recover/slow
-    handling, retries, and hedging layered on.  With an empty schedule
-    it performs the identical float operations in the identical order
-    (same heap sequence numbers, same routing draws), which the
-    differential tests verify with ``==`` on floats.
+    Runs the same lazily-pulled arrival-merge event loop with
+    crash/recover/slow handling, retries, and hedging layered on.
+    With an empty schedule it performs the identical float operations
+    in the identical order (same heap sequence numbers, same routing
+    draws), which the differential tests verify with ``==`` on floats.
 
     Two variants share this entry point:
 
@@ -944,11 +966,12 @@ def run_fault_loop(
 
     Returns the fault accounting consumed by ``_summarize``:
     per-model ``failed``/``retried``/``hedged`` counts, the applied
-    atomic events, the fleet availability, and the per-query log.
+    atomic events, the fleet availability, the per-query log, and the
+    stream accounting (``arrivals``/``horizon``/``ticks``).
     """
     if sim.retries == 0 and sim.hedge_ms is None:
         return _run_light_loop(
-            sim, trace, times, i, n, streams, heap, warmup_s, horizon,
+            sim, arrivals, first, streams, heap, warmup_s, end_hint,
             scaling, completions, dropped, window_lat, window_arrivals,
             window_drops, scale_events,
         )
@@ -959,6 +982,10 @@ def run_fault_loop(
     routable = sim._routable
     retry_budget = sim.retries
     hedge_s = sim.hedge_ms * 1e-3 if sim.hedge_ms is not None else None
+    horizon = float("inf")
+    count = 0
+    ticks = 0
+    window_s = sim.autoscaler.window_s if scaling else 0.0
 
     log: list[TrackedQuery] = []
     failed: dict[str, int] = {m: 0 for m in completions}
@@ -967,9 +994,8 @@ def run_fault_loop(
     window_failures: dict[str, int] = {m: 0 for m in window_drops}
     fstate = _FaultState(servers, routable)
 
-    if sim.faults is not None:
-        for ev in sim.faults.materialize(len(servers), horizon, seed=sim._seed):
-            heap.push(ev.time_s, _FAULT, 0, ev)
+    for ev in _materialized_faults(sim, len(servers), end_hint):
+        heap.push(ev.time_s, _FAULT, 0, ev)
 
     # -- helpers -------------------------------------------------------
 
@@ -1110,18 +1136,33 @@ def run_fault_loop(
 
     # -- the loop ------------------------------------------------------
 
+    nxt = first
+    nxt_t = first[1][1]  # arrival_s via the namedtuple fast path
     while True:
         # -- next event: arrival stream vs heap, arrivals win ties --
-        if i < n:
-            now = times[i]
+        if nxt is not None:
+            now = nxt_t
             if not events or now <= events[0][0]:
-                model, query = trace[i]
-                i += 1
+                model, query = nxt
+                nxt = next(arrivals, None)
+                if nxt is None:
+                    horizon = now
+                else:
+                    t = nxt[1][1]
+                    if t < now:
+                        raise ValueError(
+                            "arrival stream is not sorted by time "
+                            f"(t={t!r} after t={now!r})"
+                        )
+                    nxt_t = t
+                count += 1
                 stream = streams.get(model)
                 if not stream or not stream[0]:
                     tracked = TrackedQuery(query, model)
                     tracked.outcome = 3  # dropped
                     log.append(tracked)
+                    if model not in completions:
+                        completions[model] = []
                     if now >= warmup_s:
                         dropped[model] = dropped.get(model, 0) + 1
                     if scaling:
@@ -1144,6 +1185,10 @@ def run_fault_loop(
         now = entry[0]
         owner = entry[2]
         if owner is None:  # autoscaler tick (shared with the fast loop)
+            if now >= horizon:
+                continue  # stream drained past the last arrival
+            ticks += 1
+            heappush(events, (now + window_s, -1, None, 0, None))
             sim._apply_autoscaler_tick(
                 now, window_lat, window_arrivals, window_drops, scale_events,
                 window_failures=window_failures,
@@ -1192,19 +1237,20 @@ def run_fault_loop(
         "events": tuple(fstate.applied),
         "downtime_s": fstate.close(horizon),
         "log": tuple(log),
+        "arrivals": count,
+        "horizon": horizon,
+        "ticks": ticks,
     }
 
 
 def _run_light_loop(
     sim,
-    trace: Sequence,
-    times: Sequence[float],
-    i: int,
-    n: int,
+    arrivals,
+    first,
     streams: dict,
     heap,
     warmup_s: float,
-    horizon: float,
+    end_hint: float | None,
     scaling: bool,
     completions: dict,
     dropped: dict,
@@ -1216,25 +1262,29 @@ def _run_light_loop(
     """The no-retries/no-hedging fault loop.
 
     Per query this is the fault-free hot loop verbatim -- identical
-    payload shapes, allocations, and float operations -- with fault
-    events handled between queries.  In-flight queries on a crashed
-    replica are *failed* (there is no retry budget to spend), so no
-    per-query record is ever allocated and a present-but-idle fault
-    layer costs only the sentinel checks at event pops.
+    payload shapes, allocations, and float operations, the same lazy
+    arrival pull -- with fault events handled between queries.
+    In-flight queries on a crashed replica are *failed* (there is no
+    retry budget to spend), so no per-query record is ever allocated
+    and a present-but-idle fault layer costs only the sentinel checks
+    at event pops.
     """
     events = heap.items
     dead = heap.dead
     finished: list = []
     servers = sim.servers
     routable = sim._routable
+    horizon = float("inf")
+    count = 0
+    ticks = 0
+    window_s = sim.autoscaler.window_s if scaling else 0.0
 
     failed: dict[str, int] = {m: 0 for m in completions}
     window_failures: dict[str, int] = {m: 0 for m in window_drops}
     fstate = _FaultState(servers, routable)
 
-    if sim.faults is not None:
-        for ev in sim.faults.materialize(len(servers), horizon, seed=sim._seed):
-            heap.push(ev.time_s, _FAULT, 0, ev)
+    for ev in _materialized_faults(sim, len(servers), end_hint):
+        heap.push(ev.time_s, _FAULT, 0, ev)
 
     def kill_in_flight(server, now: float) -> None:
         """Cancel a crashed replica's work; without a retry budget
@@ -1268,14 +1318,29 @@ def _run_light_loop(
                 window_failures[model] = window_failures.get(model, 0) + 1
 
     # -- the loop (the fault-free hot loop plus sentinel branches) -----
+    nxt = first
+    nxt_t = first[1][1]  # arrival_s via the namedtuple fast path
     while True:
-        if i < n:
-            now = times[i]
+        if nxt is not None:
+            now = nxt_t
             if not events or now <= events[0][0]:
-                model, query = trace[i]
-                i += 1
+                model, query = nxt
+                nxt = next(arrivals, None)
+                if nxt is None:
+                    horizon = now
+                else:
+                    t = nxt[1][1]
+                    if t < now:
+                        raise ValueError(
+                            "arrival stream is not sorted by time "
+                            f"(t={t!r} after t={now!r})"
+                        )
+                    nxt_t = t
+                count += 1
                 stream = streams.get(model)
                 if not stream or not stream[0]:
+                    if model not in completions:
+                        completions[model] = []
                     if now >= warmup_s:
                         dropped[model] = dropped.get(model, 0) + 1
                     if scaling:
@@ -1314,6 +1379,10 @@ def _run_light_loop(
         now = entry[0]
         server = entry[2]
         if server is None:  # autoscaler tick (shared with the fast loop)
+            if now >= horizon:
+                continue  # stream drained past the last arrival
+            ticks += 1
+            heappush(events, (now + window_s, -1, None, 0, None))
             sim._apply_autoscaler_tick(
                 now, window_lat, window_arrivals, window_drops, scale_events,
                 window_failures=window_failures,
@@ -1365,4 +1434,7 @@ def _run_light_loop(
         "events": tuple(fstate.applied),
         "downtime_s": fstate.close(horizon),
         "log": (),
+        "arrivals": count,
+        "horizon": horizon,
+        "ticks": ticks,
     }

@@ -39,6 +39,7 @@ availability frontier sweep).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -257,8 +258,13 @@ def provision_fault_aware(
             :class:`~repro.cluster.schedulers.HerculesClusterScheduler`).
         table: Offline-profiled efficiency tuples for the fleet.
         models / workloads: Model objects and query workloads by name.
-        trace: The ``(model, query)`` arrival trace every evaluation
-            replays.
+        trace: The ``(model, query)`` arrival traffic every evaluation
+            replays -- a materialized list, or a *re-iterable* arrival
+            source (:class:`~repro.traces.FleetArrivals`,
+            :class:`~repro.traces.RecordedTrace`): each candidate ``R``
+            restarts the stream, so identical traffic prices every
+            allocation.  A one-shot iterator is materialized once up
+            front.
         loads: Per-model demand (QPS) the provisioner must cover.
         faults: Fault schedule applied to every replay (its domains, if
             declared, also steer hedging and standby activation).
@@ -283,6 +289,11 @@ def provision_fault_aware(
         raise ValueError("r_tol must be > 0")
     if max_evals < 2:
         raise ValueError("max_evals must be >= 2")
+    if isinstance(trace, Iterator):
+        # A one-shot stream cannot be replayed per candidate R;
+        # re-iterable sources (lists, FleetArrivals, RecordedTrace)
+        # pass through and are re-streamed by every evaluation.
+        trace = list(trace)
 
     cache: dict[float, tuple[ProvisionEval, Allocation, FleetResult]] = {}
     replay_cache: dict[tuple, FleetResult] = {}

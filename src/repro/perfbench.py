@@ -12,6 +12,10 @@ repo's four hot paths:
 - ``single_node_des`` -- the single-server discrete-event simulation;
 - ``fleet_replay``  -- the request-level fleet replay (50 servers x
   100k queries in the full configuration);
+- ``fleet_replay_streaming`` -- the same replay fed by a lazily
+  streamed arrival process instead of the materialized list, reporting
+  the wall-time ratio against the list path (CI bounds it at < 1.1)
+  and asserting both agree exactly;
 - ``fleet_replay_faultpath`` -- the same replay through the
   fault-aware loop with an empty schedule, reporting its wall-time
   ratio against the fault-free loop (CI bounds it at < 1.2x) and
@@ -58,6 +62,7 @@ SCENARIOS: tuple[str, ...] = (
     "loadgen",
     "single_node_des",
     "fleet_replay",
+    "fleet_replay_streaming",
     "fleet_replay_faultpath",
     "fault_aware_provisioning",
 )
@@ -294,23 +299,32 @@ def _fleet_replay_inputs(ctx: _Context):
     rate = _RHO * sum(capacity.values())
     queries = ctx.cfg["fleet_queries"]
     duration = queries / rate
-    trace = build_fleet_trace(
-        workloads,
-        {n: [(_RHO * capacity[n], duration)] for n in model_names},
-        seed=ctx.seed,
-    )
+    segments = {n: [(_RHO * capacity[n], duration)] for n in model_names}
+    trace = build_fleet_trace(workloads, segments, seed=ctx.seed)
+    try:  # the same traffic as a lazily-streamed source (newer trees)
+        from repro.traces import FleetArrivals, PiecewisePoissonProcess
+
+        stream = FleetArrivals(
+            {
+                n: PiecewisePoissonProcess(workloads[n], segs)
+                for n, segs in segments.items()
+            },
+            seed=ctx.seed,
+        )
+    except ImportError:
+        stream = None
 
     def make_servers():
         return build_fleet(allocation, table, models, workloads)
 
     sla = {n: m.sla_ms for n, m in models.items()}
-    return make_servers, trace, duration, sla
+    return make_servers, trace, duration, sla, stream
 
 
 def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
     from repro.fleet import FleetSimulator
 
-    make_servers, trace, duration, sla = _fleet_replay_inputs(ctx)
+    make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
     servers = make_servers()
     sim = FleetSimulator(servers, policy="p2c", sla_ms=sla, seed=ctx.seed)
     wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
@@ -348,7 +362,7 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
     except ImportError:  # pre-fault checkout (baseline measurements)
         return {"skipped": "fault layer absent"}
 
-    make_servers, trace, duration, sla = _fleet_replay_inputs(ctx)
+    make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
 
     def replay(**kwargs):
         # Best of two runs: the ratio feeds a CI gate, so single-sample
@@ -386,6 +400,65 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
         "events": events,
         "events_per_s": (events / wall_light) if (events and wall_light > 0) else None,
         "completed": result_light.total_completed,
+    }
+
+
+def _scenario_fleet_replay_streaming(ctx: _Context) -> dict[str, Any]:
+    """Streamed arrivals vs materialize-then-replay on the same traffic.
+
+    The arrival-stream refactor lets the fleet engine pull arrivals
+    lazily from an :class:`~repro.traces.FleetArrivals` source (O(one
+    segment) memory) instead of a fully-materialized sorted list.
+    This scenario runs the identical fleet/traffic both ways end to
+    end -- traffic synthesis *included* on both sides, since either
+    path must draw the arrivals: the materialized leg builds the full
+    list first and replays it, the streamed leg replays the source
+    directly.  ``ratio_vs_materialized`` (streamed wall over
+    materialized wall) is the number CI's perf-smoke job bounds at
+    < 1.1, and the two replays must agree float-for-float -- a
+    built-in differential smoke check of the lazy pull.
+    """
+    from repro.fleet import FleetSimulator
+
+    make_servers, trace, duration, sla, stream = _fleet_replay_inputs(ctx)
+    if stream is None:  # pre-traces checkout (baseline measurements)
+        return {"skipped": "traces subsystem absent"}
+
+    def replay(make_source):
+        # Best of two runs: the ratio feeds a CI gate, so single-sample
+        # scheduler noise must not flake it.
+        walls, result = [], None
+        for _ in range(2):
+            sim = FleetSimulator(
+                make_servers(), policy="p2c", sla_ms=sla, seed=ctx.seed
+            )
+            wall, result = _timed(
+                lambda: sim.run(make_source(), warmup_s=duration * 0.1)
+            )
+            walls.append(wall)
+        return min(walls), result
+
+    wall_mat, result_mat = replay(lambda: list(stream))
+    wall_stream, result_stream = replay(lambda: stream)
+    if result_stream.per_model != result_mat.per_model:
+        raise AssertionError(
+            "streamed arrivals diverged from the materialized trace"
+        )
+
+    events = getattr(result_stream, "events", None)
+    return {
+        "wall_s": wall_stream,
+        "wall_materialized_s": wall_mat,
+        "ratio_vs_materialized": (
+            wall_stream / wall_mat if wall_mat > 0 else None
+        ),
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_stream if wall_stream > 0 else 0.0,
+        "events": events,
+        "events_per_s": (
+            events / wall_stream if (events and wall_stream > 0) else None
+        ),
+        "completed": result_stream.total_completed,
     }
 
 
@@ -468,6 +541,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "loadgen": _scenario_loadgen,
     "single_node_des": _scenario_single_node_des,
     "fleet_replay": _scenario_fleet_replay,
+    "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
     "fault_aware_provisioning": _scenario_fault_aware_provisioning,
 }

@@ -1,19 +1,20 @@
 """Trace-driven load generation (the paper's Fig. 13 load generator).
 
-Query arrivals follow a Poisson process (Section I cites the Poisson
-arrival pattern of production services); sizes come from the workload's
-heavy-tail distribution.  A trace is just a list of queries, so traces
-can also be synthesized for a diurnal day by chaining segments with
-different rates.
+Historically this module owned the Poisson sampling; the arrival layer
+now lives in :mod:`repro.traces` (piecewise Poisson, MMPP bursts,
+diurnal ramps, recorded-trace replay) and this module is the thin
+backward-compatible adapter: :func:`generate_trace` delegates to
+:func:`repro.traces.arrivals.poisson_segment`, which preserves the
+historical draw sequence bit-for-bit (pinned by
+``tests/test_perf_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.sim.queries import Query, QueryWorkload
+from repro.traces.arrivals import poisson_segment
 
 __all__ = ["generate_trace", "PoissonLoadGenerator"]
 
@@ -39,33 +40,13 @@ def generate_trace(
     Returns:
         Queries sorted by arrival time.
     """
-    if arrival_rate_qps <= 0:
-        raise ValueError("arrival rate must be positive")
-    if duration_s <= 0:
-        raise ValueError("duration must be positive")
-    rng = np.random.default_rng(seed)
-    # Draw arrival count then sort uniforms: equivalent to a Poisson
-    # process and avoids growing a list of exponential gaps.  All
-    # sampling and clamping is vectorized; ``tolist`` converts to
-    # Python scalars in one C pass (bit-identical to per-element
-    # ``float``/``int``/``max`` conversions, several times faster).
-    count = rng.poisson(arrival_rate_qps * duration_s)
-    times = (np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s).tolist()
-    sizes = workload.size_dist.sample(rng, count).tolist()
-    if workload.pooling_cv > 0:
-        shape = 1.0 / workload.pooling_cv**2
-        pooling = rng.gamma(shape, 1.0 / shape, size=count)
-    else:
-        pooling = np.ones(count)
-    pooling = np.maximum(pooling, 1e-3).tolist()
-    # Query._make skips per-field validation -- every field above is
-    # already validated in bulk (sizes clipped >= min_size >= 1, times
-    # shifted by a non-negative start, pooling clamped positive).
-    return list(
-        map(
-            Query._make,
-            zip(range(first_id, first_id + count), times, sizes, pooling),
-        )
+    return poisson_segment(
+        workload,
+        arrival_rate_qps,
+        duration_s,
+        seed=seed,
+        start_s=start_s,
+        first_id=first_id,
     )
 
 
@@ -75,6 +56,9 @@ class PoissonLoadGenerator:
 
     Used by the cluster manager to replay a diurnal day: each
     provisioning interval generates a segment at the interval's rate.
+    Segment ``k`` draws with seed ``seed + k`` -- the same schedule
+    :class:`repro.traces.PiecewisePoissonProcess` uses, so a chain of
+    ``next_segment`` calls equals one streamed process.
     """
 
     workload: QueryWorkload
@@ -87,7 +71,7 @@ class PoissonLoadGenerator:
 
     def next_segment(self, arrival_rate_qps: float, duration_s: float) -> list[Query]:
         """Generate the next contiguous segment of the trace."""
-        queries = generate_trace(
+        queries = poisson_segment(
             self.workload,
             arrival_rate_qps,
             duration_s,

@@ -99,22 +99,24 @@ class DiscreteEventServerSim:
             raise ValueError("need at least one stage")
         self.stages = stages
 
-    def run(self, queries: list[Query], warmup_s: float = 0.0) -> SimResult:
+    def run(self, queries, warmup_s: float = 0.0) -> SimResult:
         """Play a trace through the pipeline.
 
         Args:
-            queries: Arrival-sorted trace.
+            queries: Arrival-sorted trace -- a list of
+                :class:`Query` records or any iterable of them (e.g.
+                an :meth:`repro.traces.ArrivalProcess.stream`).
             warmup_s: Initial window excluded from the statistics.
 
         Returns:
             Latency samples and per-stage busy accounting for the
             post-warmup window.
         """
-        if not queries:
-            raise ValueError("empty trace")
         pipeline = Pipeline(self.stages, track_busy=True)
         heap = EventHeap()
         states = [QueryState(q) for q in queries]
+        if not states:
+            raise ValueError("empty trace")
         # Stable sort == the old heap order (time, then push counter);
         # arrivals beat same-time finishes just as their all-up-front
         # counters used to.

@@ -1,0 +1,502 @@
+"""Arrival processes: first-class workload-traffic models.
+
+Every consumer in the repo used to hard-code piecewise-Poisson arrivals
+materialized into one sorted query list.  This module makes the arrival
+process itself a pluggable object: a :class:`ArrivalProcess` describes
+*how* traffic arrives (steady Poisson, Markov-modulated bursts, diurnal
+ramps, superpositions), and ``stream()`` lazily yields the concrete
+time-sorted :class:`~repro.sim.queries.Query` records -- one segment at
+a time, so a multi-million-query replay never holds the whole trace in
+memory.
+
+Two shapes flow through the repo:
+
+- single-model streams (``Iterator[Query]``) feed the single-node DES;
+- multi-model streams (``Iterator[(model_name, Query)]``) feed the
+  fleet engine.  :class:`FleetArrivals` merges per-model processes into
+  one lazily-sorted pair stream and is *re-iterable*: each ``iter()``
+  restarts the replay, which is what lets the fault-aware provisioner
+  replay the same traffic at every candidate ``R``.
+
+Bit-compatibility: :class:`PiecewisePoissonProcess` reproduces the
+legacy ``repro.sim.loadgen`` draw sequence exactly (same per-segment
+seeds, same vectorized numpy draws), and :class:`FleetArrivals` over
+such processes reproduces the legacy ``build_fleet_trace`` merge order
+element-for-element -- ``tests/test_perf_equivalence.py`` pins both
+with ``==`` on floats.
+
+HPC benchmarking practice (RZBENCH; the Broadwell/Cascade Lake
+characterizations) warns that synthetic-only inputs flatter
+steady-state designs; :mod:`repro.traces.recorded` adds measured-trace
+replay on the same protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import merge as _heapq_merge
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.sim.queries import Query, QueryWorkload
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "PiecewisePoissonProcess",
+    "MMPPProcess",
+    "DiurnalProcess",
+    "SuperposedProcess",
+    "FleetArrivals",
+    "poisson_segment",
+    "MODEL_SEED_STRIDE",
+]
+
+#: Per-model seed offset stride the fleet trace builder has always used
+#: (models in sorted-name order draw from disjoint seed lanes).
+MODEL_SEED_STRIDE = 7919
+
+
+def poisson_segment(
+    workload: QueryWorkload,
+    arrival_rate_qps: float,
+    duration_s: float,
+    seed: int = 0,
+    start_s: float = 0.0,
+    first_id: int = 0,
+) -> list[Query]:
+    """One fully-drawn Poisson segment (the legacy loadgen core).
+
+    Draw the arrival count then sort uniforms: equivalent to a Poisson
+    process without growing a list of exponential gaps.  All sampling
+    and clamping is vectorized; ``tolist`` converts to Python scalars
+    in one C pass.  ``repro.sim.loadgen.generate_trace`` is a thin
+    wrapper around this function, so the draw sequence here is the
+    historically pinned one -- change it and the float-equivalence
+    suite fails.
+    """
+    if arrival_rate_qps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    count = rng.poisson(arrival_rate_qps * duration_s)
+    times = (np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s).tolist()
+    sizes = workload.size_dist.sample(rng, count).tolist()
+    if workload.pooling_cv > 0:
+        shape = 1.0 / workload.pooling_cv**2
+        pooling = rng.gamma(shape, 1.0 / shape, size=count)
+    else:
+        pooling = np.ones(count)
+    pooling = np.maximum(pooling, 1e-3).tolist()
+    # Query._make skips per-field validation -- every field above is
+    # already validated in bulk (sizes clipped >= min_size >= 1, times
+    # shifted by a non-negative start, pooling clamped positive).
+    return list(
+        map(
+            Query._make,
+            zip(range(first_id, first_id + count), times, sizes, pooling),
+        )
+    )
+
+
+def _segment_with_rng(
+    workload: QueryWorkload,
+    rng: np.random.Generator,
+    arrival_rate_qps: float,
+    start_s: float,
+    duration_s: float,
+    first_id: int,
+) -> list[Query]:
+    """A Poisson segment drawn from a *running* generator.
+
+    Used by processes whose rate trajectory itself consumes randomness
+    (MMPP dwell times, diurnal noise): one sequentially-consumed RNG
+    keeps the whole trajectory deterministic per seed without a seed
+    schedule per segment.
+    """
+    count = int(rng.poisson(arrival_rate_qps * duration_s)) if arrival_rate_qps > 0 else 0
+    if count == 0:
+        return []
+    times = (np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s).tolist()
+    sizes = workload.size_dist.sample(rng, count).tolist()
+    if workload.pooling_cv > 0:
+        shape = 1.0 / workload.pooling_cv**2
+        pooling = np.maximum(rng.gamma(shape, 1.0 / shape, size=count), 1e-3).tolist()
+    else:
+        pooling = [1.0] * count
+    return list(
+        map(
+            Query._make,
+            zip(range(first_id, first_id + count), times, sizes, pooling),
+        )
+    )
+
+
+class ArrivalProcess:
+    """One model's arrival traffic, described as a process.
+
+    Subclasses implement :meth:`stream`, lazily yielding
+    :class:`Query` records with non-decreasing ``arrival_s`` and
+    consecutive ids from ``first_id``.  The three derived quantities
+    every consumer needs are part of the protocol:
+
+    - ``end_s`` -- the nominal end of the process (the replay horizon
+      hint used to bound stochastic fault draws and autoscaler
+      windows); ``None`` when unknown without a scan.
+    - ``mean_qps`` -- the time-averaged offered rate (used to size
+      fleets and SLAs against capacity).
+    - ``peak_qps`` -- the highest instantaneous segment rate (what a
+      provisioner must cover).
+    """
+
+    workload: QueryWorkload
+
+    @property
+    def end_s(self) -> float | None:
+        raise NotImplementedError
+
+    @property
+    def mean_qps(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def peak_qps(self) -> float:
+        return self.mean_qps
+
+    def stream(self, seed: int = 0, first_id: int = 0) -> Iterator[Query]:
+        raise NotImplementedError
+
+    def materialize(self, seed: int = 0, first_id: int = 0) -> list[Query]:
+        """The fully-drawn trace (legacy list shape)."""
+        return list(self.stream(seed=seed, first_id=first_id))
+
+
+class PiecewisePoissonProcess(ArrivalProcess):
+    """Chained constant-rate Poisson segments (the legacy workload).
+
+    Args:
+        workload: Size/pooling distributions to sample.
+        segments: ``(qps, duration_s)`` chain laid back to back from
+            t=0.  Segments with non-positive rate or duration are
+            skipped (a positive duration still advances the clock),
+            exactly as the legacy fleet trace builder did.
+        seed_offset / seed_stride: Segment ``s`` draws with seed
+            ``seed + seed_offset + seed_stride * s`` -- the historical
+            schedule (offset 0, stride 1) by default.
+    """
+
+    def __init__(
+        self,
+        workload: QueryWorkload,
+        segments: Sequence[tuple[float, float]],
+        seed_offset: int = 0,
+        seed_stride: int = 1,
+    ) -> None:
+        self.workload = workload
+        self.segments = tuple((float(q), float(d)) for q, d in segments)
+        if not self.segments:
+            raise ValueError("need at least one segment")
+        if sum(max(d, 0.0) for _, d in self.segments) <= 0:
+            raise ValueError("need positive total duration")
+        self.seed_offset = seed_offset
+        self.seed_stride = seed_stride
+
+    @property
+    def end_s(self) -> float:
+        return sum(max(d, 0.0) for _, d in self.segments)
+
+    @property
+    def mean_qps(self) -> float:
+        total = self.end_s
+        return (
+            sum(max(q, 0.0) * d for q, d in self.segments if d > 0) / total
+        )
+
+    @property
+    def peak_qps(self) -> float:
+        return max(q for q, _ in self.segments)
+
+    def stream(self, seed: int = 0, first_id: int = 0) -> Iterator[Query]:
+        clock = 0.0
+        next_id = first_id
+        for s_idx, (qps, dur) in enumerate(self.segments):
+            if qps > 0 and dur > 0:
+                queries = poisson_segment(
+                    self.workload,
+                    qps,
+                    dur,
+                    seed=seed + self.seed_offset + self.seed_stride * s_idx,
+                    start_s=clock,
+                    first_id=next_id,
+                )
+                next_id += len(queries)
+                yield from queries
+            clock += dur
+
+
+class PoissonProcess(PiecewisePoissonProcess):
+    """A single constant-rate Poisson segment."""
+
+    def __init__(
+        self, workload: QueryWorkload, qps: float, duration_s: float
+    ) -> None:
+        if qps <= 0:
+            raise ValueError("arrival rate must be positive")
+        super().__init__(workload, [(qps, duration_s)])
+
+
+class MMPPProcess(ArrivalProcess):
+    """Markov-modulated Poisson process: bursty, correlated arrivals.
+
+    The process cycles through ``rates`` states; state ``k`` lasts an
+    exponential dwell with mean ``dwell_s[k]`` and emits Poisson
+    arrivals at ``rates[k]``.  A two-state (low/high) configuration is
+    the classic burst model: long quiet stretches punctured by short
+    storms whose *within-storm* rate far exceeds the mean -- the
+    traffic shape that makes steady-state tail numbers lie.
+
+    Memory: one dwell's arrivals at a time.
+    """
+
+    def __init__(
+        self,
+        workload: QueryWorkload,
+        rates: Sequence[float],
+        dwell_s: Sequence[float] | float,
+        duration_s: float,
+    ) -> None:
+        self.workload = workload
+        self.rates = tuple(float(r) for r in rates)
+        if len(self.rates) < 2:
+            raise ValueError("MMPP needs at least two states")
+        if any(r < 0 for r in self.rates):
+            raise ValueError("state rates must be >= 0")
+        if max(self.rates) <= 0:
+            raise ValueError("at least one state rate must be positive")
+        if isinstance(dwell_s, (int, float)):
+            dwell_s = [float(dwell_s)] * len(self.rates)
+        self.dwell_s = tuple(float(d) for d in dwell_s)
+        if len(self.dwell_s) != len(self.rates):
+            raise ValueError("need one dwell time per state")
+        if any(d <= 0 for d in self.dwell_s):
+            raise ValueError("dwell times must be > 0")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.duration_s = float(duration_s)
+
+    @property
+    def end_s(self) -> float:
+        return self.duration_s
+
+    @property
+    def mean_qps(self) -> float:
+        # Stationary occupancy of a cyclic chain is dwell-proportional.
+        total = sum(self.dwell_s)
+        return sum(r * d for r, d in zip(self.rates, self.dwell_s)) / total
+
+    @property
+    def peak_qps(self) -> float:
+        return max(self.rates)
+
+    def stream(self, seed: int = 0, first_id: int = 0) -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        clock = 0.0
+        state = 0
+        next_id = first_id
+        n_states = len(self.rates)
+        while clock < self.duration_s:
+            dwell = float(rng.exponential(self.dwell_s[state]))
+            dwell = min(dwell, self.duration_s - clock)
+            if dwell > 0.0:
+                queries = _segment_with_rng(
+                    self.workload, rng, self.rates[state], clock, dwell, next_id
+                )
+                next_id += len(queries)
+                yield from queries
+            clock += dwell
+            state = (state + 1) % n_states
+
+
+class DiurnalProcess(ArrivalProcess):
+    """A compressed diurnal day with optional per-segment noise.
+
+    The day-periodic shape matches the cluster layer's
+    ``DiurnalTrace`` (sharpened cosine between ``trough_ratio`` and 1):
+    ``steps`` piecewise-constant segments span ``duration_s`` seconds
+    per day for ``days`` days.  ``noise`` multiplies each segment's
+    rate by ``1 + noise * N(0, 1)`` (clamped positive), drawn from the
+    stream seed -- ramp realism without hand-written segment tables.
+    """
+
+    def __init__(
+        self,
+        workload: QueryWorkload,
+        peak_qps: float,
+        duration_s: float,
+        steps: int = 24,
+        trough_ratio: float = 0.4,
+        peak_position: float = 20.0 / 24.0,
+        sharpness: float = 2.0,
+        noise: float = 0.0,
+        days: int = 1,
+    ) -> None:
+        if peak_qps <= 0:
+            raise ValueError("peak_qps must be positive")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if steps < 1 or days < 1:
+            raise ValueError("need steps >= 1 and days >= 1")
+        if not 0.0 < trough_ratio <= 1.0:
+            raise ValueError("trough_ratio must be in (0, 1]")
+        if not 0.0 <= peak_position < 1.0:
+            raise ValueError("peak_position must be in [0, 1)")
+        if sharpness < 1.0:
+            raise ValueError("sharpness must be >= 1")
+        if noise < 0.0:
+            raise ValueError("noise must be >= 0")
+        self.workload = workload
+        self._peak_qps = float(peak_qps)
+        self.duration_s = float(duration_s)
+        self.steps = int(steps)
+        self.trough_ratio = float(trough_ratio)
+        self.peak_position = float(peak_position)
+        self.sharpness = float(sharpness)
+        self.noise = float(noise)
+        self.days = int(days)
+
+    @property
+    def end_s(self) -> float:
+        return self.duration_s * self.days
+
+    def level_at(self, fraction_of_day: float) -> float:
+        """Noise-free load level in [trough_ratio, 1] at a day fraction."""
+        phase = (fraction_of_day - self.peak_position) * 2.0 * math.pi
+        base = (1.0 + math.cos(phase)) / 2.0  # 1 at peak, 0 at trough
+        return self.trough_ratio + (1.0 - self.trough_ratio) * base**self.sharpness
+
+    @property
+    def mean_qps(self) -> float:
+        return self.peak_qps * (
+            sum(self.level_at(i / self.steps) for i in range(self.steps)) / self.steps
+        )
+
+    @property
+    def peak_qps(self) -> float:
+        return self._peak_qps
+
+    def stream(self, seed: int = 0, first_id: int = 0) -> Iterator[Query]:
+        rng = np.random.default_rng(seed)
+        seg = self.duration_s / self.steps
+        clock = 0.0
+        next_id = first_id
+        for _day in range(self.days):
+            for i in range(self.steps):
+                rate = self.peak_qps * self.level_at(i / self.steps)
+                if self.noise > 0.0:
+                    rate *= max(0.0, 1.0 + self.noise * float(rng.standard_normal()))
+                queries = _segment_with_rng(
+                    self.workload, rng, rate, clock, seg, next_id
+                )
+                next_id += len(queries)
+                yield from queries
+                clock += seg
+
+
+class SuperposedProcess(ArrivalProcess):
+    """Superposition of independent arrival processes for one model.
+
+    Streams are merged by arrival time and re-numbered so ids stay
+    consecutive -- e.g. a diurnal ramp carrying an MMPP burst overlay.
+    Component ``k`` draws from ``seed + k`` so the parts stay
+    independent under one stream seed.
+    """
+
+    def __init__(self, parts: Sequence[ArrivalProcess]) -> None:
+        if not parts:
+            raise ValueError("need at least one component process")
+        self.parts = tuple(parts)
+        self.workload = self.parts[0].workload
+
+    @property
+    def end_s(self) -> float | None:
+        ends = [p.end_s for p in self.parts]
+        return None if any(e is None for e in ends) else max(ends)
+
+    @property
+    def mean_qps(self) -> float:
+        return sum(p.mean_qps for p in self.parts)
+
+    @property
+    def peak_qps(self) -> float:
+        # Conservative: components may peak at different times, so the
+        # sum bounds the true instantaneous peak.
+        return sum(p.peak_qps for p in self.parts)
+
+    def stream(self, seed: int = 0, first_id: int = 0) -> Iterator[Query]:
+        streams = [
+            part.stream(seed=seed + k) for k, part in enumerate(self.parts)
+        ]
+        for qid, q in enumerate(
+            _heapq_merge(*streams, key=_arrival_key), start=first_id
+        ):
+            yield Query._make((qid, q[1], q[2], q[3]))
+
+
+def _arrival_key(query: Query) -> float:
+    return query[1]  # arrival_s, via the namedtuple fast path
+
+
+def _pair_key(pair: tuple[str, Query]) -> float:
+    return pair[1][1]
+
+
+class FleetArrivals:
+    """Re-iterable multi-model arrival source for the fleet engine.
+
+    Merges per-model :class:`ArrivalProcess` streams into one
+    time-sorted ``(model_name, Query)`` stream.  Models are taken in
+    sorted-name order and model ``m`` streams with seed
+    ``seed + MODEL_SEED_STRIDE * m`` -- the exact seed schedule and
+    (stable) tie order of the legacy ``build_fleet_trace``, so a fleet
+    of :class:`PiecewisePoissonProcess` inputs replays the historical
+    trace element-for-element.
+
+    Each ``iter()`` call restarts the replay from scratch: the fleet
+    engine consumes it lazily, and repeat-replay consumers (the
+    fault-aware provisioner, A/B benchmarks) simply iterate again.
+    """
+
+    def __init__(self, processes: dict[str, ArrivalProcess], seed: int = 0) -> None:
+        if not processes:
+            raise ValueError("need at least one model process")
+        self.processes = dict(sorted(processes.items()))
+        self.seed = seed
+
+    @property
+    def end_s(self) -> float | None:
+        ends = [p.end_s for p in self.processes.values()]
+        return None if any(e is None for e in ends) else max(ends)
+
+    @property
+    def mean_qps(self) -> dict[str, float]:
+        return {m: p.mean_qps for m, p in self.processes.items()}
+
+    def __iter__(self) -> Iterator[tuple[str, Query]]:
+        tagged: list[Iterable[tuple[str, Query]]] = []
+        for m_idx, (model, process) in enumerate(self.processes.items()):
+            stream = process.stream(seed=self.seed + MODEL_SEED_STRIDE * m_idx)
+            tagged.append(_tag_stream(model, stream))
+        if len(tagged) == 1:
+            return iter(tagged[0])
+        return _heapq_merge(*tagged, key=_pair_key)
+
+    def materialize(self) -> list[tuple[str, Query]]:
+        """The fully-drawn legacy list shape."""
+        return list(self)
+
+
+def _tag_stream(model: str, stream: Iterator[Query]):
+    for query in stream:
+        yield (model, query)

@@ -1,0 +1,223 @@
+"""Units and a head-to-head for the predictive autoscaler.
+
+The unit lane drives ``PredictiveAutoscaler.tick`` with stub replicas
+to pin the forecasting mechanics (trend extrapolation, multi-activate
+on steep ramps, forecast-gated drains, the violation safety net).  The
+integration test replays one diurnal ramp through a real fleet twice --
+reactive vs predictive -- and asserts the predictive scaler takes
+fewer SLA violations without spending more fleet power, the claim the
+slow-lane benchmark (`benchmarks/bench_predictive_autoscaling.py`)
+quantifies at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import PredictiveAutoscaler, ReactiveAutoscaler
+
+
+class _Replica:
+    """Stub with the attributes the autoscalers read."""
+
+    def __init__(self, weight: float, domain: int = 0) -> None:
+        self.weight = weight
+        self.domain = domain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Replica(w={self.weight})"
+
+
+def _tick(scaler, now, rate, active, standby, latencies=None, arrivals=None):
+    """One window: `rate` offered QPS, optional explicit latencies."""
+    n = int(rate * scaler.window_s) if arrivals is None else arrivals
+    return scaler.tick(
+        now,
+        {"M": latencies if latencies is not None else [1.0] * min(n, 50)},
+        {"M": n},
+        {"M": active},
+        lambda model: list(standby),
+    )
+
+
+class TestForecast:
+    def test_short_history_is_last_rate(self):
+        scaler = PredictiveAutoscaler({"M": 20.0})
+        assert scaler.forecast_qps("M") == 0.0
+        _tick(scaler, 1.0, 100.0, [_Replica(1000.0)], [])
+        assert scaler.forecast_qps("M") == pytest.approx(100.0)
+
+    def test_rising_trend_extrapolates_above_last_rate(self):
+        scaler = PredictiveAutoscaler({"M": 20.0}, lead_windows=3)
+        for k, rate in enumerate([100.0, 200.0, 300.0, 400.0]):
+            _tick(scaler, float(k + 1), rate, [_Replica(10_000.0)], [])
+        # Perfect linear ramp of +100/window: 3 windows ahead = +300.
+        assert scaler.forecast_qps("M") == pytest.approx(700.0)
+
+    def test_falling_trend_extrapolates_below_last_rate(self):
+        scaler = PredictiveAutoscaler({"M": 20.0}, lead_windows=2)
+        for k, rate in enumerate([900.0, 700.0, 500.0]):
+            _tick(scaler, float(k + 1), rate, [_Replica(10_000.0)], [])
+        assert scaler.forecast_qps("M") == pytest.approx(100.0)
+
+    def test_forecast_clamped_at_zero(self):
+        scaler = PredictiveAutoscaler({"M": 20.0}, lead_windows=8)
+        for k, rate in enumerate([300.0, 150.0, 0.0]):
+            _tick(scaler, float(k + 1), rate, [_Replica(10_000.0)], [])
+        assert scaler.forecast_qps("M") == 0.0
+
+
+class TestTickActions:
+    def test_activates_ahead_of_ramp_before_any_violation(self):
+        scaler = PredictiveAutoscaler(
+            {"M": 20.0}, lead_windows=3, target_utilization=0.8
+        )
+        active = [_Replica(1000.0)]
+        standby = [_Replica(1000.0), _Replica(900.0)]
+        # Ramp toward capacity with every completed query *under* SLA:
+        # the reactive trigger stays silent, the forecast does not.
+        events = []
+        for k, rate in enumerate([200.0, 400.0, 600.0, 800.0]):
+            events = _tick(scaler, float(k + 1), rate, active, standby)
+        assert [e.action for e in events] == ["activate"]
+        assert events[0].server is standby[0]  # fastest standby first
+        assert "forecast" in events[0].reason
+
+    def test_multi_activates_on_steep_ramp(self):
+        scaler = PredictiveAutoscaler(
+            {"M": 20.0}, lead_windows=4, target_utilization=0.8
+        )
+        active = [_Replica(500.0)]
+        standby = [_Replica(500.0), _Replica(500.0), _Replica(500.0)]
+        for k, rate in enumerate([100.0, 600.0, 1100.0, 1600.0]):
+            events = _tick(scaler, float(k + 1), rate, active, standby)
+        # Forecast ~3600 QPS needs 4500 capacity at 0.8 target: all
+        # three standbys come online in one tick.
+        assert [e.action for e in events] == ["activate"] * 3
+
+    def test_drains_on_downslope_but_keeps_forecast_covered(self):
+        scaler = PredictiveAutoscaler(
+            {"M": 20.0},
+            lead_windows=2,
+            target_utilization=0.8,
+            drain_utilization=0.5,
+        )
+        active = [_Replica(1000.0), _Replica(1000.0), _Replica(800.0)]
+        for k, rate in enumerate([1200.0, 900.0, 600.0, 300.0]):
+            events = _tick(scaler, float(k + 1), rate, active, [])
+        assert [e.action for e in events] == ["drain"]
+        assert events[0].server is active[2]  # weakest replica drains
+
+    def test_never_drains_below_min_active(self):
+        scaler = PredictiveAutoscaler({"M": 20.0}, min_active=2)
+        active = [_Replica(1000.0), _Replica(1000.0)]
+        for k in range(6):
+            events = _tick(scaler, float(k + 1), 10.0, active, [])
+            assert events == []
+
+    def test_violation_safety_net_fires_without_trend(self):
+        scaler = PredictiveAutoscaler(
+            {"M": 20.0}, violation_up=0.05, target_utilization=0.5
+        )
+        active = [_Replica(10_000.0)]
+        standby = [_Replica(1000.0)]
+        # Flat low rate (forecast satisfied), but the window's
+        # completions blow the SLA: one standby activates anyway.
+        events = _tick(
+            scaler, 1.0, 40.0, active, standby, latencies=[50.0] * 40
+        )
+        assert [e.action for e in events] == ["activate"]
+        assert "viol" in events[0].reason
+
+    def test_dead_domain_standbys_deprioritized(self):
+        scaler = PredictiveAutoscaler({"M": 20.0}, target_utilization=0.8)
+        active = [_Replica(100.0, domain=0)]
+        fast_dead = _Replica(900.0, domain=1)
+        slow_live = _Replica(500.0, domain=2)
+        events = scaler.tick(
+            1.0,
+            {"M": [1.0] * 50},
+            {"M": 500},
+            {"M": active},
+            lambda model: [fast_dead, slow_live],
+            dead_domains={1},
+        )
+        assert events and events[0].server is slow_live
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveAutoscaler({"M": 20.0}, window_s=0.0)
+        with pytest.raises(ValueError):
+            PredictiveAutoscaler({"M": 20.0}, history_windows=1)
+        with pytest.raises(ValueError):
+            PredictiveAutoscaler({"M": 20.0}, target_utilization=1.5)
+        with pytest.raises(ValueError):
+            PredictiveAutoscaler(
+                {"M": 20.0}, target_utilization=0.5, drain_utilization=0.6
+            )
+
+
+class TestRampHeadToHead:
+    def test_predictive_beats_reactive_on_ramp(self, small_table):
+        """One compressed diurnal ramp, same fleet, same traffic:
+        predictive takes strictly fewer SLA violations than reactive
+        at equal-or-lower fleet power."""
+        from repro.cluster.state import Allocation
+        from repro.fleet import FleetSimulator, build_fleet
+        from repro.models import build_model
+        from repro.sim import QueryWorkload
+        from repro.traces import DiurnalProcess, FleetArrivals
+
+        name = "DLRM-RMC1"
+        model = build_model(name)
+        models = {name: model}
+        workloads = {name: QueryWorkload.for_model(model.config.mean_query_size)}
+        sla = {name: model.sla_ms}
+        qps1 = small_table.qps("T2", name)
+
+        base = Allocation()
+        base.add("T2", name, 2)
+        standby = Allocation()
+        standby.add("T2", name, 6)
+        duration = 12.0
+        arrivals = FleetArrivals(
+            {
+                name: DiurnalProcess(
+                    workloads[name],
+                    0.7 * 8 * qps1,
+                    duration,
+                    steps=48,
+                    trough_ratio=0.12,
+                    peak_position=0.5,
+                )
+            },
+            seed=3,
+        )
+        window = 0.25
+
+        def run(scaler):
+            servers = build_fleet(
+                base, small_table, models, workloads, standby=standby
+            )
+            sim = FleetSimulator(
+                servers, policy="least", sla_ms=sla, autoscaler=scaler, seed=1
+            )
+            return sim.run(arrivals, warmup_s=0.5)
+
+        reactive = run(
+            ReactiveAutoscaler(sla, window_s=window, cooldown_s=2 * window)
+        )
+        predictive = run(
+            PredictiveAutoscaler(
+                sla,
+                window_s=window,
+                lead_windows=2,
+                target_utilization=0.9,
+                drain_utilization=0.7,
+            )
+        )
+        r = reactive.per_model[name]
+        p = predictive.per_model[name]
+        assert p.violation_rate < r.violation_rate
+        assert p.p99_ms < r.p99_ms
+        assert predictive.avg_power_w <= reactive.avg_power_w * 1.02

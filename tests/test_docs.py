@@ -93,12 +93,14 @@ def test_every_subcommand_documented():
         (
             "fleet",
             ["--faults", "--retries", "--hedge-ms", "--autoscale",
+             "--autoscale-mode", "--arrivals", "--trace",
              "--over-provision", "--policy", "--seed"],
         ),
         (
             "provision-fault-aware",
-            ["--faults", "--retries", "--hedge-ms", "--target-availability",
-             "--baseline-r", "--r-min", "--r-max", "--r-tol", "--max-evals"],
+            ["--faults", "--retries", "--hedge-ms", "--arrivals", "--trace",
+             "--target-availability", "--baseline-r", "--r-min", "--r-max",
+             "--r-tol", "--max-evals"],
         ),
         ("bench", ["--quick", "--scenarios", "--baseline", "--output"]),
     ],
@@ -132,6 +134,59 @@ def test_faults_grammar_docs_match_parser():
     ):
         assert example in cli_md, f"docs/cli.md lost the example {example!r}"
         FaultSchedule.parse(example)  # must stay valid grammar
+
+
+def test_arrivals_grammar_docs_match_parser():
+    """Every arrival shape the grammar accepts is taught in docs/cli.md,
+    and the doc's canonical examples actually parse and build."""
+    from repro.sim import QueryWorkload
+    from repro.traces import parse_arrivals
+    from repro.traces.spec import _SHAPES
+
+    cli_md = (REPO / "docs" / "cli.md").read_text()
+    for shape in _SHAPES:
+        assert f"`{shape}`" in cli_md, f"docs/cli.md misses arrival shape {shape}"
+    workload = QueryWorkload.for_model(100)
+    for example in (
+        "poisson:level=0.75",
+        "mmpp:levels=0.3/2.0,dwell=1.5/0.2",
+        "diurnal:steps=48,noise=0.15",
+        "diurnal:noise=0.15+mmpp:levels=0/1.2,dwell=3/0.25",
+    ):
+        assert example in cli_md, f"docs/cli.md lost the example {example!r}"
+        parse_arrivals(example).build(workload, 1000.0, 4.0)  # must stay valid
+
+
+def test_no_compiled_artifacts_tracked():
+    """No __pycache__ directory or .pyc file may ever be committed.
+
+    A compiled artifact once slipped into the tree alongside its
+    source; this guard (plus the .gitignore entries) keeps the mistake
+    from recurring.  Skipped when git is unavailable (e.g. an sdist).
+    """
+    import subprocess
+
+    if not (REPO / ".git").exists():
+        pytest.skip("not a git checkout")
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable")
+    offenders = [
+        path
+        for path in tracked
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, f"compiled artifacts tracked in git: {offenders}"
+    gitignore = (REPO / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore and "*.pyc" in gitignore
 
 
 def test_readme_names_tier1_verify():

@@ -25,6 +25,7 @@ def test_examples_directory_complete():
         "model_evolution.py",
         "fleet_serving.py",
         "fleet_faults.py",
+        "fleet_bursty_trace.py",
         "fault_aware_provisioning.py",
     } <= names
 
@@ -38,6 +39,7 @@ def test_examples_directory_complete():
         "model_evolution.py",
         "fleet_serving.py",
         "fleet_faults.py",
+        "fleet_bursty_trace.py",
         "fault_aware_provisioning.py",
     ],
 )

@@ -481,6 +481,230 @@ def test_domain_declarations_alone_bit_identical(
     assert hedged_domains.avg_power_w == hedged_plain.avg_power_w
 
 
+# ----------------------------------------------------------------------
+# Streamed arrivals == materialized lists, float for float; the legacy
+# loadgen/trace builders == their pre-refactor implementations.
+# ----------------------------------------------------------------------
+
+
+def _legacy_generate_trace(workload, arrival_rate_qps, duration_s, seed=0,
+                           start_s=0.0, first_id=0):
+    """Verbatim copy of the pre-refactor ``sim.loadgen.generate_trace``."""
+    from repro.sim.queries import Query
+
+    rng = np.random.default_rng(seed)
+    count = rng.poisson(arrival_rate_qps * duration_s)
+    times = (np.sort(rng.uniform(0.0, duration_s, size=count)) + start_s).tolist()
+    sizes = workload.size_dist.sample(rng, count).tolist()
+    if workload.pooling_cv > 0:
+        shape = 1.0 / workload.pooling_cv**2
+        pooling = rng.gamma(shape, 1.0 / shape, size=count)
+    else:
+        pooling = np.ones(count)
+    pooling = np.maximum(pooling, 1e-3).tolist()
+    return list(
+        map(
+            Query._make,
+            zip(range(first_id, first_id + count), times, sizes, pooling),
+        )
+    )
+
+
+def _legacy_build_fleet_trace(workloads, segments, seed=0):
+    """Verbatim copy of the pre-refactor ``fleet.engine.build_fleet_trace``."""
+    merged = []
+    for m_idx, (model, segs) in enumerate(sorted(segments.items())):
+        workload = workloads[model]
+        clock = 0.0
+        next_id = 0
+        for s_idx, (qps, dur) in enumerate(segs):
+            if qps > 0 and dur > 0:
+                queries = _legacy_generate_trace(
+                    workload,
+                    qps,
+                    dur,
+                    seed=seed + 7919 * m_idx + s_idx,
+                    start_s=clock,
+                    first_id=next_id,
+                )
+                merged.extend((model, q) for q in queries)
+                next_id += len(queries)
+            clock += dur
+    merged.sort(key=lambda mq: mq[1].arrival_s)
+    return merged
+
+
+@pytest.mark.parametrize("seed", [0, 9, 101])
+def test_loadgen_adapter_matches_legacy_exactly(seed):
+    """The loadgen thin adapter draws the historical sequence bit-for-bit."""
+    wl = _workload()
+    assert generate_trace(wl, 650.0, 2.5, seed=seed, start_s=0.5, first_id=7) == (
+        _legacy_generate_trace(wl, 650.0, 2.5, seed=seed, start_s=0.5, first_id=7)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 9, 101])
+def test_build_fleet_trace_matches_legacy_exactly(seed):
+    """The FleetArrivals-backed builder == the pre-refactor merge, and
+    streaming the source yields the same elements without the sort."""
+    from repro.traces import FleetArrivals, PiecewisePoissonProcess
+
+    workloads = {
+        "A": _workload(mean=30.0),
+        "B": _workload(mean=60.0, pooling_cv=0.0),
+    }
+    segments = {
+        "A": [(400.0, 1.0), (0.0, 0.5), (900.0, 1.0)],
+        "B": [(250.0, 2.5)],
+    }
+    legacy = _legacy_build_fleet_trace(workloads, segments, seed=seed)
+    assert build_fleet_trace(workloads, segments, seed=seed) == legacy
+    source = FleetArrivals(
+        {m: PiecewisePoissonProcess(workloads[m], s) for m, s in segments.items()},
+        seed=seed,
+    )
+    assert list(source) == legacy
+    assert list(source) == legacy  # re-iterable: second pass identical
+
+
+def _mixed_fleet_stream(small_table, workloads, seed):
+    """The streamed twin of ``_mixed_fleet_and_trace``'s traffic."""
+    from repro.traces import FleetArrivals, PiecewisePoissonProcess
+
+    capacity = 3 * small_table.qps("T2", "DLRM-RMC1") + small_table.qps(
+        "T7", "DLRM-RMC1"
+    )
+    return FleetArrivals(
+        {
+            "DLRM-RMC1": PiecewisePoissonProcess(
+                workloads["DLRM-RMC1"], [(0.65 * capacity, 3.0)]
+            )
+        },
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"faults": "empty"},
+        {"faults": "empty", "retries": 2},
+        {"faults": "crash", "retries": 1},
+        {"faults": "empty", "hedge_ms": 8.0},
+    ],
+    ids=["fault-free", "light", "tracked", "scripted-crash", "hedged"],
+)
+def test_streamed_arrivals_bit_identical(
+    small_table, rmc1_small_fleet_inputs, seed, kwargs
+):
+    """A lazily-streamed FleetArrivals source reproduces the
+    materialized-list replay exactly through every loop variant --
+    fault-free, light, tracked, scripted faults, hedging -- with
+    ``==`` on floats, per-replica counters, and the event count.
+    """
+    from repro.fleet import FaultSchedule, crash as make_crash
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+    stream = _mixed_fleet_stream(small_table, workloads, seed)
+    assert list(stream) == trace  # identical traffic before replaying
+
+    kwargs = dict(kwargs)
+    if kwargs.get("faults") == "empty":
+        kwargs["faults"] = FaultSchedule()
+    elif kwargs.get("faults") == "crash":
+        kwargs["faults"] = FaultSchedule([make_crash(1.0, 0, recover_after=0.5)])
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace, **kwargs)
+    _, streamed = _run_fleet(
+        small_table, models, workloads, allocation, stream, **kwargs
+    )
+    assert streamed.per_model == base.per_model
+    assert streamed.avg_power_w == base.avg_power_w
+    assert streamed.events == base.events
+    assert streamed.availability == base.availability
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in streamed.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+
+
+def test_unsorted_trace_keeps_stochastic_fault_horizon(
+    small_table, rmc1_small_fleet_inputs
+):
+    """Sorting an out-of-order list must not shrink the stochastic
+    fault horizon: the draw bound is the *latest* arrival, not the
+    caller-order last element (which here is the earliest arrival)."""
+    from repro.fleet import FaultSchedule
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, 13)
+    rotated = trace[1:] + trace[:1]  # first (earliest) arrival moved last
+
+    def run(source):
+        return _run_fleet(
+            small_table, models, workloads, allocation, source,
+            faults=FaultSchedule.parse("random:crash_mtbf=1.5,mttr=0.3"),
+            retries=1,
+        )[1]
+
+    base = run(trace)
+    shuffled = run(rotated)
+    assert base.fault_events  # the schedule actually fired
+    assert shuffled.fault_events == base.fault_events
+    assert shuffled.per_model == base.per_model
+    assert shuffled.availability == base.availability
+
+
+def test_streamed_arrivals_bit_identical_with_autoscaler(
+    small_table, rmc1_small_fleet_inputs
+):
+    """Lazy tick scheduling preserves the materialized path's decisions."""
+    from repro.cluster.state import Allocation as _Alloc
+    from repro.fleet import ReactiveAutoscaler
+    from repro.traces import FleetArrivals, PiecewisePoissonProcess
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation = _Alloc()
+    allocation.add("T2", "DLRM-RMC1", 1)
+    standby = _Alloc()
+    standby.add("T2", "DLRM-RMC1", 2)
+    tup = small_table.get("T2", "DLRM-RMC1")
+    segments = {"DLRM-RMC1": [(2.0 * tup.qps, 3.0)]}
+    trace = build_fleet_trace(workloads, segments, seed=23)
+    stream = FleetArrivals(
+        {
+            "DLRM-RMC1": PiecewisePoissonProcess(
+                workloads["DLRM-RMC1"], segments["DLRM-RMC1"]
+            )
+        },
+        seed=23,
+    )
+
+    def run(source):
+        servers = build_fleet(
+            allocation, small_table, models, workloads, standby=standby
+        )
+        scaler = ReactiveAutoscaler({"DLRM-RMC1": 20.0}, window_s=0.25, cooldown_s=0.5)
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms={"DLRM-RMC1": 20.0},
+            autoscaler=scaler,
+        )
+        return sim.run(source, warmup_s=0.3)
+
+    base = run(trace)
+    streamed = run(stream)
+    assert streamed.per_model == base.per_model
+    assert streamed.avg_power_w == base.avg_power_w
+    assert streamed.events == base.events
+    assert [(e.time_s, e.model, e.action) for e in streamed.scale_events] == [
+        (e.time_s, e.model, e.action) for e in base.scale_events
+    ]
+
+
 def test_idle_fault_loop_matches_with_autoscaler(
     small_table, rmc1_small_fleet_inputs
 ):
