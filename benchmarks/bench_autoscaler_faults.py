@@ -1,0 +1,229 @@
+"""Reactive vs predictive autoscaling under faults, window by window.
+
+``bench_predictive_autoscaling.py`` draws the power/SLA frontier on a
+clean diurnal day; this bench asks the harder operational question:
+when replicas *crash mid-ramp*, which autoscaler recovers the tail
+faster?  A rack-style outage takes every base replica down for a
+stretch of the day, and both regimes replay the identical fleet,
+traffic, faults, and retry budget.
+
+The comparison leans on the observability layer instead of run-wide
+aggregates: a :class:`repro.obs.FleetProbe` samples each replay into a
+windowed metrics series (qps, P² p99, violations, queue depth, active
+replicas), and the outage's impact is read off the windows overlapping
+the crash interval -- the violation burst the ``FleetResult``
+percentiles average away.
+
+Asserted: the probe's series conserves the engine's own counts, the
+outage windows carry the violation burst (each regime's in-outage
+violation rate and queue peak are at least those of the equally loaded
+stretch just before the crash), both regimes scale, and the
+control-plane timeline records the crashes.
+
+Marked ``slow``: two full fault-injected fleet replays plus profiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _shared import model, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster.state import Allocation
+from repro.fleet import (
+    FleetSimulator,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    build_fleet,
+)
+from repro.fleet.faults import FaultSchedule
+from repro.hardware import SERVER_TYPES
+from repro.obs import FleetProbe
+from repro.scheduling import OfflineProfiler
+from repro.traces import DiurnalProcess, FleetArrivals
+
+MODEL = "DLRM-RMC1"
+DURATION_S = 16.0
+WINDOW_S = 0.25
+SEED = 3
+BASE_REPLICAS = 3
+STANDBY_REPLICAS = 6
+PEAK_FRACTION = 0.65
+# All three base replicas die together at the peak and come back 2 s
+# later -- a correlated outage the autoscaler must absorb with the
+# standbys alone while queries retry off the crashed attempts.
+OUTAGE_START_S = 8.0
+OUTAGE_DUR_S = 2.0
+FAULTS = ",".join(
+    f"crash@{OUTAGE_START_S}:{i}+{OUTAGE_DUR_S}" for i in range(BASE_REPLICAS)
+)
+
+
+def _build():
+    m = model(MODEL)
+    models = {MODEL: m}
+    workloads = {MODEL: workload(MODEL)}
+    table = OfflineProfiler().profile([SERVER_TYPES["T2"]], [m])
+    qps1 = table.qps("T2", MODEL)
+    total = BASE_REPLICAS + STANDBY_REPLICAS
+    arrivals = FleetArrivals(
+        {
+            MODEL: DiurnalProcess(
+                workloads[MODEL],
+                PEAK_FRACTION * total * qps1,
+                DURATION_S,
+                steps=64,
+                trough_ratio=0.15,
+                peak_position=0.5,
+                sharpness=2.0,
+                noise=0.05,
+            )
+        },
+        seed=SEED,
+    )
+    return models, workloads, table, arrivals
+
+
+def _run_regimes():
+    models, workloads, table, arrivals = _build()
+    sla = {MODEL: models[MODEL].sla_ms}
+
+    base = Allocation()
+    base.add("T2", MODEL, BASE_REPLICAS)
+    standby = Allocation()
+    standby.add("T2", MODEL, STANDBY_REPLICAS)
+
+    def replay(autoscaler):
+        servers = build_fleet(
+            base, table, models, workloads, standby=standby
+        )
+        probe = FleetProbe(window_s=WINDOW_S, metrics=True)
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms=sla,
+            autoscaler=autoscaler,
+            faults=FaultSchedule.parse(FAULTS),
+            retries=2,
+            seed=1,
+            observer=probe,
+        )
+        return sim.run(arrivals, warmup_s=DURATION_S * 0.04), probe
+
+    return {
+        "reactive": replay(
+            ReactiveAutoscaler(sla, window_s=WINDOW_S, cooldown_s=2 * WINDOW_S)
+        ),
+        "predictive": replay(
+            PredictiveAutoscaler(
+                sla,
+                window_s=WINDOW_S,
+                lead_windows=2,
+                history_windows=8,
+                target_utilization=0.9,
+                drain_utilization=0.7,
+            )
+        ),
+    }
+
+
+def _window_split(probe):
+    """Outage windows vs the equally long stretch just before them.
+
+    Comparing against the immediately preceding windows isolates the
+    crash's own burst from the ramp's scaling lag: traffic level is
+    near-identical on both sides of the cut, only the outage differs.
+    """
+    lo = OUTAGE_START_S
+    hi = OUTAGE_START_S + OUTAGE_DUR_S + 2 * WINDOW_S
+    outage, before = [], []
+    for row in probe.metrics_rows:
+        if lo <= row["t"] < hi:
+            outage.append(row)
+        elif lo - (hi - lo) <= row["t"] < lo:
+            before.append(row)
+    return outage, before
+
+
+def _rate(rows):
+    arrivals = sum(r["arrivals"] for r in rows)
+    violations = sum(r["violations"] for r in rows)
+    return violations / arrivals if arrivals else 0.0
+
+
+@pytest.mark.slow
+def test_autoscalers_under_faults(benchmark, show, record):
+    results = run_once(benchmark, _run_regimes)
+    rows = []
+    doc = {}
+    for regime, (res, probe) in results.items():
+        stats = res.per_model[MODEL]
+        outage, before = _window_split(probe)
+        burst, calm = _rate(outage), _rate(before)
+        peak_queue = max(r["queue_depth"] for r in probe.metrics_rows)
+        rows.append(
+            [
+                regime,
+                stats.completed,
+                stats.failed,
+                round(stats.p99_ms, 1),
+                f"{calm * 100:.2f}%",
+                f"{burst * 100:.2f}%",
+                peak_queue,
+                round(res.avg_power_w, 1),
+                len(res.scale_events),
+            ]
+        )
+        doc[regime] = {
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "p99_ms": stats.p99_ms,
+            "violation_rate": stats.violation_rate,
+            "violation_rate_outage": burst,
+            "violation_rate_before": calm,
+            "peak_queue_depth": peak_queue,
+            "avg_power_w": res.avg_power_w,
+            "scale_events": len(res.scale_events),
+            "availability": res.availability,
+        }
+    show(
+        format_table(
+            ["regime", "served", "failed", "p99 ms", "viol (before)",
+             "viol (outage)", "peak queue", "avg power W", "scale events"],
+            rows,
+            title=(
+                f"Autoscalers vs a {OUTAGE_DUR_S:.0f}s "
+                f"{BASE_REPLICAS}-replica outage "
+                f"at t={OUTAGE_START_S:.0f}s (windowed metrics series)"
+            ),
+        )
+    )
+    record(doc)
+
+    for regime, (res, probe) in results.items():
+        stats = res.per_model[MODEL]
+        # The metrics series conserves the engine's own accounting:
+        # windowed arrivals cover every query the run resolved.
+        series_arrivals = sum(r["arrivals"] for r in probe.metrics_rows)
+        resolved = stats.completed + stats.dropped + stats.failed
+        assert series_arrivals >= resolved, regime
+        # The crashes landed, reached the control-plane timeline, and
+        # the run saw real unavailability.
+        assert len(res.fault_events) >= 2, regime
+        assert any(ev["kind"] == "fault" for ev in probe.control_events), regime
+        assert res.availability < 1.0, regime
+        # Both regimes actually scaled under the outage+ramp.
+        assert res.scale_events, regime
+        # The violation burst is where the metrics series says it is:
+        # killing every base replica at the peak must hurt at least as
+        # much inside the outage windows as in the equally loaded
+        # stretch just before them -- and the queue visibly backs up.
+        outage, before = _window_split(probe)
+        assert outage and before, regime
+        assert _rate(outage) >= _rate(before), regime
+        assert (
+            max(r["queue_depth"] for r in outage)
+            >= max(r["queue_depth"] for r in before)
+        ), regime

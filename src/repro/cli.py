@@ -16,8 +16,16 @@ Subcommands:
   fault-injected fleet replays to the smallest over-provision rate
   ``R`` meeting a target service availability, and report the power
   delta against the fault-blind provisioner.
+- ``observe``  -- summarize (or diff) telemetry files exported by
+  ``fleet --metrics-out/--trace-out``: windowed metrics series
+  (CSV/JSONL), tagged span traces (JSONL), and Chrome trace-event
+  JSON.
 - ``bench``    -- perf-regression harness over the hot paths; writes
   machine-readable ``BENCH_perf.json``.
+
+``fleet`` and ``provision-fault-aware`` accept ``--json`` for
+machine-readable results (floats serialized with ``repr``, so they
+round-trip exactly); progress chatter then moves to stderr.
 
 Subcommands that fan out over (server type, model) pairs accept
 ``--jobs`` for process-parallel profiling and thread ``--seed`` through
@@ -30,6 +38,7 @@ Installed as ``hercules-repro`` (see pyproject) or run with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -270,6 +279,8 @@ def _fleet_inputs(args: argparse.Namespace, target_utilization: float):
     print(
         f"Profiling {len(server_types)} server types x {len(models)} models ...",
         flush=True,
+        # --json owns stdout; progress chatter moves to stderr.
+        file=sys.stderr if getattr(args, "json", False) else sys.stdout,
     )
     table = OfflineProfiler().profile(
         server_types, list(models.values()), jobs=args.jobs
@@ -353,11 +364,21 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             autoscaler = ReactiveAutoscaler(
                 sla, window_s=window, cooldown_s=2.0 * window
             )
+    chatter = sys.stderr if args.json else sys.stdout
     if peak_allocation.has_shortfall:
-        print("warning: fleet cannot cover the requested peak load")
+        print("warning: fleet cannot cover the requested peak load", file=chatter)
 
     servers = build_fleet(allocation, table, models, workloads, standby=standby)
     faults = FaultSchedule.parse(args.faults) if args.faults else None
+    probe = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import FleetProbe
+
+        probe = FleetProbe(
+            window_s=args.metrics_window_s,
+            metrics=args.metrics_out is not None,
+            trace=args.trace_out is not None,
+        )
     sim = FleetSimulator(
         servers,
         policy=args.policy,
@@ -367,29 +388,45 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         faults=faults,
         retries=args.retries,
         hedge_ms=args.hedge_ms,
+        observer=probe,
     )
     result = sim.run(source, warmup_s=span * 0.05)
-    print()
-    print(
-        result.format(
-            title=(
-                f"{args.policy} routing, {len(servers)} provisioned of "
-                f"{args.servers} fleet servers "
-                + (
-                    f"({span:.0f}s recorded trace)"
-                    if args.trace
-                    else f"({span:.0f}s compressed diurnal day)"
-                )
-            )
-        )
-    )
+    if probe is not None:
+        if args.metrics_out:
+            probe.export_metrics(args.metrics_out)
+            print(f"wrote metrics series to {args.metrics_out}", file=chatter)
+        if args.trace_out:
+            probe.export_trace(args.trace_out)
+            print(f"wrote query trace to {args.trace_out}", file=chatter)
     avg_loads = {m: t.average_load() for m, t in traces.items()}
     drawn = allocation_drawn_power_w(peak_allocation, table, avg_loads, models)
     provisioned = peak_allocation.provisioned_power_w(table)
-    print(
-        f"analytic check: provisioned {provisioned / 1e3:.2f} kW, "
-        f"drawn at average load {drawn / 1e3:.2f} kW"
-    )
+    if args.json:
+        payload = result.to_dict()
+        payload["analytic"] = {
+            "provisioned_power_w": provisioned,
+            "drawn_power_w": drawn,
+        }
+        print(json.dumps(payload))
+    else:
+        print()
+        print(
+            result.format(
+                title=(
+                    f"{args.policy} routing, {len(servers)} provisioned of "
+                    f"{args.servers} fleet servers "
+                    + (
+                        f"({span:.0f}s recorded trace)"
+                        if args.trace
+                        else f"({span:.0f}s compressed diurnal day)"
+                    )
+                )
+            )
+        )
+        print(
+            f"analytic check: provisioned {provisioned / 1e3:.2f} kW, "
+            f"drawn at average load {drawn / 1e3:.2f} kW"
+        )
     # Drops are an error only when nothing (autoscaler, fault injection)
     # could legitimately leave a stream without replicas.
     return 1 if result.total_dropped and not (args.autoscale or faults) else 0
@@ -407,16 +444,19 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
     scheduler = HerculesClusterScheduler(table, fleet_counts)
     peak_loads = {m: t.peak_qps for m, t in traces.items()}
     faults = FaultSchedule.parse(args.faults)
+    chatter = sys.stderr if args.json else sys.stdout
     if faults.is_empty:
         print(
             "warning: empty fault schedule -- the loop will trivially pick "
-            "the smallest R meeting the SLA"
+            "the smallest R meeting the SLA",
+            file=chatter,
         )
     print(
         f"Searching R in [{args.r_min:.2f}, {args.r_max:.2f}] for "
         f"{args.target_availability * 100:.2f}% service availability "
         f"({len(trace)} queries per replay) ...",
         flush=True,
+        file=chatter,
     )
     outcome = provision_fault_aware(
         scheduler,
@@ -439,20 +479,86 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
         r_tol=args.r_tol,
         max_evals=args.max_evals,
     )
-    print()
-    print(outcome.format())
-    if outcome.converged:
+    if args.json:
+        print(json.dumps(_provision_outcome_dict(outcome)))
+    else:
         print()
-        print(
-            outcome.result.format(
-                title=(
-                    f"fleet replay at chosen R={outcome.chosen_r:.3f} "
-                    f"({args.policy} routing, "
-                    f"{outcome.allocation.total_servers} replicas)"
+        print(outcome.format())
+        if outcome.converged:
+            print()
+            print(
+                outcome.result.format(
+                    title=(
+                        f"fleet replay at chosen R={outcome.chosen_r:.3f} "
+                        f"({args.policy} routing, "
+                        f"{outcome.allocation.total_servers} replicas)"
+                    )
                 )
             )
-        )
     return 0 if outcome.converged else 1
+
+
+def _provision_outcome_dict(outcome) -> dict:
+    """JSON view of a fault-aware provisioning search outcome.
+
+    Floats pass through untouched (``json.dumps`` renders them with
+    ``repr``, so values round-trip exactly); allocations flatten to
+    ``"server:model" -> replicas`` count maps.
+    """
+
+    def _alloc(allocation) -> dict:
+        return {
+            f"{srv}:{model}": count
+            for (srv, model), count in sorted(allocation.counts.items())
+        }
+
+    return {
+        "target_availability": outcome.target_availability,
+        "converged": outcome.converged,
+        "chosen_r": outcome.chosen_r,
+        "baseline_r": outcome.baseline_r,
+        "replays": outcome.replays,
+        "provisioned_power_w": outcome.provisioned_power_w,
+        "baseline_power_w": outcome.baseline_power_w,
+        "standby_power_w": outcome.standby_power_w,
+        "power_delta_w": outcome.power_delta_w,
+        "allocation": _alloc(outcome.allocation),
+        "baseline_allocation": _alloc(outcome.baseline_allocation),
+        "evaluations": [
+            {
+                "r": ev.r,
+                "servers": ev.servers,
+                "provisioned_power_w": ev.provisioned_power_w,
+                "service_availability": ev.service_availability,
+                "uptime_availability": ev.uptime_availability,
+                "worst_violation_rate": ev.worst_violation_rate,
+                "meets_target": ev.meets_target,
+                "shortfall_qps": ev.shortfall_qps,
+            }
+            for ev in outcome.evaluations
+        ],
+        "result": outcome.result.to_dict(),
+        "baseline_result": outcome.baseline_result.to_dict(),
+    }
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.obs import diff_summaries, format_diff, format_summary, summarize_file
+
+    summary = summarize_file(args.file)
+    if args.other is None:
+        if args.json:
+            print(json.dumps(summary))
+        else:
+            print(format_summary(summary))
+        return 0
+    other = summarize_file(args.other)
+    delta = diff_summaries(summary, other)
+    if args.json:
+        print(json.dumps({"a": summary, "b": other, "diff": delta}))
+    else:
+        print(format_diff(delta))
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -672,6 +778,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fleet.add_argument("--over-provision", type=float, default=0.05)
+    fleet.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "attach the streaming-metrics probe and export its windowed "
+            "time series (qps, p50/p95/p99, queue depth, active replicas, "
+            "power, violation rate per model) to PATH (.csv or .jsonl)"
+        ),
+    )
+    fleet.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "attach the query tracer and export per-query spans with "
+            "retry/hedge child attempts to PATH: .jsonl for tagged lines, "
+            ".json for Chrome trace-event format (Perfetto-loadable)"
+        ),
+    )
+    fleet.add_argument(
+        "--metrics-window-s",
+        type=_positive_float,
+        default=0.25,
+        help="simulated seconds per metrics sample window (default 0.25)",
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the run result as one JSON object (repr-exact floats) "
+            "on stdout; progress chatter moves to stderr"
+        ),
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     provision = sub.add_parser(
@@ -729,7 +869,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=12,
         help="cap on fault-injected evaluation replays",
     )
+    provision.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the search outcome as one JSON object (repr-exact "
+            "floats) on stdout; progress chatter moves to stderr"
+        ),
+    )
     provision.set_defaults(func=_cmd_provision_fault_aware)
+
+    observe = sub.add_parser(
+        "observe",
+        help="summarize or diff exported telemetry files",
+        description=(
+            "Inspect files written by 'fleet --metrics-out/--trace-out': "
+            "summarize one metrics series (CSV/JSONL), trace (JSONL or "
+            "Chrome trace-event JSON), or diff two files of the same "
+            "family.  Formats are sniffed from extension and content."
+        ),
+    )
+    observe.add_argument("file", help="telemetry file to summarize")
+    observe.add_argument(
+        "other",
+        nargs="?",
+        default=None,
+        help="second file of the same family to diff against",
+    )
+    observe.add_argument(
+        "--json", action="store_true", help="emit the summary/diff as JSON"
+    )
+    observe.set_defaults(func=_cmd_observe)
 
     bench = sub.add_parser(
         "bench",

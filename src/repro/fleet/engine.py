@@ -270,6 +270,12 @@ class FleetSimulator:
         hedge_ms: If set, a duplicate attempt is dispatched to a second
             replica once a query has been outstanding this long; the
             query completes at its fastest attempt.
+        observer: Optional :class:`~repro.obs.FleetProbe`.  ``None``
+            (the default) keeps every loop hook dark -- zero extra
+            float operations, pinned bit-identical by
+            ``tests/test_perf_equivalence.py``.  A probe with
+            ``trace=True`` forces the tracked fault loop so per-query
+            spans can be materialized from ``last_query_log``.
     """
 
     def __init__(
@@ -282,6 +288,7 @@ class FleetSimulator:
         faults=None,
         retries: int = 0,
         hedge_ms: float | None = None,
+        observer=None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one fleet server")
@@ -297,6 +304,7 @@ class FleetSimulator:
         self.faults = faults
         self.retries = int(retries)
         self.hedge_ms = hedge_ms
+        self.observer = observer
         self.last_query_log: tuple = ()
         if faults is not None and getattr(faults, "domains", None) is not None:
             # Stamp the schedule's rack/power-domain assignment onto the
@@ -365,6 +373,10 @@ class FleetSimulator:
             window_failures=window_failures,
             dead_domains=dead_domains,
         )
+        if self.observer is not None:
+            # Decision point + forecast inputs for the control-plane
+            # timeline; cold path, fires once per window.
+            self.observer.on_autoscaler_tick(now, decisions, self.autoscaler)
         for event in decisions:
             scale_events.append(event)
             scaled = event.server
@@ -395,10 +407,15 @@ class FleetSimulator:
 
         True as soon as any fault machinery could fire: a non-``None``
         schedule (even an empty one forces the fault loop, which the
-        differential tests exploit), a retry budget, or hedging.
+        differential tests exploit), a retry budget, or hedging.  A
+        tracing observer also forces it -- spans are built from the
+        tracked loop's per-query log.
         """
         return (
-            self.faults is not None or self.retries > 0 or self.hedge_ms is not None
+            self.faults is not None
+            or self.retries > 0
+            or self.hedge_ms is not None
+            or (self.observer is not None and self.observer.trace)
         )
 
     # ------------------------------------------------------------------
@@ -494,6 +511,8 @@ class FleetSimulator:
         import gc
 
         fault_info = None
+        if self.observer is not None:
+            self.observer.bind(self)
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -524,10 +543,13 @@ class FleetSimulator:
         self.last_event_count = count + heap.seq + ticks
         self.last_query_log = fault_info.pop("log") if fault_info else ()
 
-        return self._summarize(
+        result = self._summarize(
             completions, dropped, warmup_s, horizon, tuple(scale_events),
             fault_info,
         )
+        if self.observer is not None:
+            self.observer.finish(horizon, warmup_s, result, self)
+        return result
 
     def _run_loop(
         self, arrivals, first, streams, events, dead, finished, heap,
@@ -548,6 +570,11 @@ class FleetSimulator:
         count = 0
         ticks = 0
         window_s = self.autoscaler.window_s if scaling else 0.0
+        # Observability hooks: one pre-bound bool guards every site, so
+        # an unobserved run adds no float operations (bit-identical,
+        # pinned by tests/test_perf_equivalence.py).
+        probe = self.observer
+        probe_on = probe is not None and probe.metrics
         nxt = first
         nxt_t = first[1][1]  # arrival_s via the namedtuple fast path
         while True:
@@ -568,6 +595,8 @@ class FleetSimulator:
                             )
                         nxt_t = t
                     count += 1
+                    if probe_on:
+                        probe.on_arrival(model, now)
                     stream = streams.get(model)
                     if not stream or not stream[0]:
                         # Warmup drops stay out of the stats (mirroring
@@ -578,6 +607,8 @@ class FleetSimulator:
                             dropped[model] = dropped.get(model, 0) + 1
                         if scaling:
                             window_drops[model] = window_drops.get(model, 0) + 1
+                        if probe_on:
+                            probe.on_drop(model, now)
                         continue
                     candidates, policy = stream
                     server = policy.choose(candidates)
@@ -637,6 +668,8 @@ class FleetSimulator:
                 completions[model].append((now, latency))
                 if scaling:
                     window_lat[model].append(latency * 1e3)
+                if probe_on:
+                    probe.on_completion(model, latency, now)
                 if server.draining and server.outstanding == 0:
                     server.settle(now)
                     server.active = False
@@ -655,6 +688,8 @@ class FleetSimulator:
                     completions[qs.model].append((now, latency))
                     if scaling:
                         window_lat[qs.model].append(latency * 1e3)
+                    if probe_on:
+                        probe.on_completion(qs.model, latency, now)
                     if server.draining and server.outstanding == 0:
                         server.settle(now)
                         server.active = False

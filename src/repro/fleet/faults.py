@@ -725,8 +725,10 @@ class TrackedQuery:
     Every query ends the run in exactly one terminal ``outcome`` --
     completed, failed, or dropped (the conservation invariant the
     property tests pin).  ``attempts`` holds ``[server, dispatch_s,
-    finish_s | None, status]`` lists with status 0 = in flight, 1 =
-    completed, 2 = killed by a crash.  Exposed as
+    end_s | None, status]`` lists with status 0 = in flight, 1 =
+    completed, 2 = killed by a crash; completed attempts end at their
+    finish time, killed attempts at the crash that killed them (the
+    tracer's attempt-span end).  Exposed as
     ``FleetSimulator.last_query_log``.
 
     The packed ``outcome`` / ``hedge_state`` ints keep the per-arrival
@@ -956,8 +958,9 @@ def run_fault_loop(
 
     Two variants share this entry point:
 
-    - With ``retries == 0`` and hedging off, the *light* loop runs: per
-      query it is the fault-free hot loop verbatim (no per-query
+    - With ``retries == 0``, hedging off, and no tracing observer, the
+      *light* loop runs: per query it is the fault-free hot loop verbatim
+      (no per-query
       records -- crash victims simply fail), so an empty or sparse
       schedule costs almost nothing.  ``last_query_log`` stays empty.
     - Otherwise the *tracked* loop runs: every query gets a
@@ -969,12 +972,17 @@ def run_fault_loop(
     atomic events, the fleet availability, the per-query log, and the
     stream accounting (``arrivals``/``horizon``/``ticks``).
     """
-    if sim.retries == 0 and sim.hedge_ms is None:
+    probe = sim.observer
+    trace_on = probe is not None and probe.trace
+    if sim.retries == 0 and sim.hedge_ms is None and not trace_on:
         return _run_light_loop(
             sim, arrivals, first, streams, heap, warmup_s, end_hint,
             scaling, completions, dropped, window_lat, window_arrivals,
             window_drops, scale_events,
         )
+    # One pre-bound bool guards every metrics hook; trace-only probes
+    # keep it False (spans are built post-run from the query log).
+    probe_on = probe is not None and probe.metrics
     events = heap.items
     dead = heap.dead
     finished: list = []
@@ -1046,6 +1054,8 @@ def run_fault_loop(
             completions[tracked.model].append((now, latency))
             if scaling:
                 window_lat[tracked.model].append(latency * 1e3)
+            if probe_on:
+                probe.on_completion(tracked.model, latency, now)
         if server.draining and server.outstanding == 0:
             server.settle(now)
             server.active = False
@@ -1077,6 +1087,8 @@ def run_fault_loop(
                 failed[model] = failed.get(model, 0) + 1
             if scaling:
                 window_failures[model] = window_failures.get(model, 0) + 1
+            if probe_on:
+                probe.on_failure(model, now)
 
     def fire_hedge(tracked: TrackedQuery, now: float) -> None:
         tracked.hedge_state = 0  # timer consumed (re-armed on a retry)
@@ -1126,6 +1138,7 @@ def run_fault_loop(
             server.direct.reset()
         server.outstanding = 0
         for tr, at in victims.values():
+            at[2] = now  # kill timestamp (the tracer's attempt end)
             at[3] = 2  # killed
         for tr, at in victims.values():
             if tr.outcome != 0:
@@ -1156,6 +1169,8 @@ def run_fault_loop(
                         )
                     nxt_t = t
                 count += 1
+                if probe_on:
+                    probe.on_arrival(model, now)
                 stream = streams.get(model)
                 if not stream or not stream[0]:
                     tracked = TrackedQuery(query, model)
@@ -1167,6 +1182,8 @@ def run_fault_loop(
                         dropped[model] = dropped.get(model, 0) + 1
                     if scaling:
                         window_drops[model] = window_drops.get(model, 0) + 1
+                    if probe_on:
+                        probe.on_drop(model, now)
                     continue
                 candidates, policy = stream
                 server = policy.choose(candidates)
@@ -1219,6 +1236,8 @@ def run_fault_loop(
                 completions[tracked.model].append((now, latency))
                 if scaling:
                     window_lat[tracked.model].append(latency * 1e3)
+                if probe_on:
+                    probe.on_completion(tracked.model, latency, now)
             if server.draining and server.outstanding == 0:
                 server.settle(now)
                 server.active = False
@@ -1278,6 +1297,11 @@ def _run_light_loop(
     count = 0
     ticks = 0
     window_s = sim.autoscaler.window_s if scaling else 0.0
+    # Same single-bool hook guard as the fault-free loop; a tracing
+    # observer never reaches here (run_fault_loop forces the tracked
+    # twin), so only metrics hooks exist.
+    probe = sim.observer
+    probe_on = probe is not None and probe.metrics
 
     failed: dict[str, int] = {m: 0 for m in completions}
     window_failures: dict[str, int] = {m: 0 for m in window_drops}
@@ -1316,6 +1340,8 @@ def _run_light_loop(
                 failed[model] = failed.get(model, 0) + 1
             if scaling:
                 window_failures[model] = window_failures.get(model, 0) + 1
+            if probe_on:
+                probe.on_failure(model, now)
 
     # -- the loop (the fault-free hot loop plus sentinel branches) -----
     nxt = first
@@ -1337,6 +1363,8 @@ def _run_light_loop(
                         )
                     nxt_t = t
                 count += 1
+                if probe_on:
+                    probe.on_arrival(model, now)
                 stream = streams.get(model)
                 if not stream or not stream[0]:
                     if model not in completions:
@@ -1345,6 +1373,8 @@ def _run_light_loop(
                         dropped[model] = dropped.get(model, 0) + 1
                     if scaling:
                         window_drops[model] = window_drops.get(model, 0) + 1
+                    if probe_on:
+                        probe.on_drop(model, now)
                     continue
                 candidates, policy = stream
                 server = policy.choose(candidates)
@@ -1404,6 +1434,8 @@ def _run_light_loop(
             completions[model].append((now, latency))
             if scaling:
                 window_lat[model].append(latency * 1e3)
+            if probe_on:
+                probe.on_completion(model, latency, now)
             if server.draining and server.outstanding == 0:
                 server.settle(now)
                 server.active = False
@@ -1421,6 +1453,8 @@ def _run_light_loop(
                 completions[qs.model].append((now, latency))
                 if scaling:
                     window_lat[qs.model].append(latency * 1e3)
+                if probe_on:
+                    probe.on_completion(qs.model, latency, now)
                 if server.draining and server.outstanding == 0:
                     server.settle(now)
                     server.active = False

@@ -12,6 +12,7 @@ events.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.analysis import format_table
@@ -65,6 +66,9 @@ class ModelStats:
         demand = self.completed + self.failed + self.dropped
         return self.completed / demand if demand else 1.0
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
 
 @dataclass(frozen=True)
 class PhaseStats:
@@ -74,6 +78,9 @@ class PhaseStats:
     end_s: float
     completed: int
     p99_ms: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 def phase_breakdown(
@@ -130,6 +137,9 @@ class ServerStats:
     active_s: float
     ever_active: bool
     domain: int = -1
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 @dataclass(frozen=True)
@@ -198,6 +208,56 @@ class FleetResult:
     def active_servers(self) -> int:
         """Replicas that served traffic at any point of the run."""
         return sum(1 for s in self.servers if s.ever_active)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the whole result.
+
+        Floats are carried verbatim (``json.dumps`` renders them with
+        ``repr``, so the output round-trips exactly); the autoscaler's
+        ``ScaleEvent.server`` object is flattened to its fleet index.
+        Empty models report ``Infinity`` percentiles -- Python's JSON
+        dialect, accepted back by ``json.loads``.
+        """
+        return {
+            "policy": self.policy,
+            "duration_s": self.duration_s,
+            "avg_power_w": self.avg_power_w,
+            "events": self.events,
+            "availability": self.availability,
+            "per_model": {
+                m: stats.to_dict() for m, stats in sorted(self.per_model.items())
+            },
+            "servers": [s.to_dict() for s in self.servers],
+            "scale_events": [
+                {
+                    "time_s": ev.time_s,
+                    "model": ev.model,
+                    "action": ev.action,
+                    "server": getattr(ev.server, "index", None),
+                    "reason": ev.reason,
+                }
+                for ev in self.scale_events
+            ],
+            "fault_events": [
+                {
+                    "time_s": ev.time_s,
+                    "kind": ev.kind,
+                    "server": ev.server_index,
+                    "factor": ev.factor,
+                }
+                for ev in self.fault_events
+            ],
+            "phases": [ph.to_dict() for ph in self.phases],
+            "totals": {
+                "completed": self.total_completed,
+                "dropped": self.total_dropped,
+                "failed": self.total_failed,
+                "retried": self.total_retried,
+                "hedged": self.total_hedged,
+            },
+            "worst_violation_rate": self.worst_violation_rate,
+            "active_servers": self.active_servers,
+        }
 
     def format(self, title: str = "") -> str:
         """Render the per-model SLA table plus the fleet summary line."""

@@ -1,0 +1,54 @@
+"""Opt-in observability for the fleet simulator.
+
+The engine runs dark by default -- ``FleetSimulator(observer=None)``
+performs zero observability work and its float sequence is pinned
+bit-identical to the pre-observability engine.  Attaching a
+:class:`FleetProbe` turns on any of three capture planes:
+
+- **streaming metrics** (:mod:`repro.obs.probe`): a windowed time
+  series of qps / p50 / p99 / queue depth / active replicas / power /
+  violation rate per model, computed with O(1)-memory P² quantile
+  sketches (:mod:`repro.obs.sketch`) -- no stored sample lists;
+- **per-query tracing** (:mod:`repro.obs.trace`): arrival-to-
+  resolution spans with retry/hedge child attempts and crash/straggler
+  annotations, exportable as tagged JSONL or Chrome trace-event JSON
+  (Perfetto-loadable);
+- **control-plane timeline**: autoscaler decisions with their forecast
+  inputs, fault events, and phase boundaries merged on one clock.
+
+``repro.cli observe`` (:mod:`repro.obs.inspect`) summarizes and diffs
+the exported files.
+"""
+
+from repro.obs.inspect import (
+    diff_summaries,
+    format_diff,
+    format_summary,
+    sniff_format,
+    summarize_file,
+)
+from repro.obs.probe import METRIC_FIELDS, FleetProbe, MetricsRegistry
+from repro.obs.sketch import P2Quantile, QuantileSketch
+from repro.obs.trace import (
+    build_spans,
+    chrome_trace,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "FleetProbe",
+    "MetricsRegistry",
+    "METRIC_FIELDS",
+    "P2Quantile",
+    "QuantileSketch",
+    "build_spans",
+    "chrome_trace",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "sniff_format",
+    "summarize_file",
+    "format_summary",
+    "diff_summaries",
+    "format_diff",
+]

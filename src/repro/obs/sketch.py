@@ -1,0 +1,173 @@
+"""Streaming quantile estimation for the observability layer.
+
+The fleet engine's end-of-run report computes exact percentiles from
+the full latency list; the metrics *time series* cannot afford that --
+at the ROADMAP's million-user scale a per-window sample list is the
+exact memory blow-up the streaming-ingestion work removed.  This
+module provides the P² (piecewise-parabolic) estimator of Jain &
+Chlamtac (CACM 1985): five markers per tracked quantile, O(1) memory
+and O(1) update, no stored samples.
+
+Accuracy is statistical, not exact -- the property tests pin the
+estimates to a rank band around ``numpy.percentile`` rather than to
+equality.  Exact run-level percentiles still come from the engine's
+:class:`~repro.fleet.report.FleetResult`.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+__all__ = ["P2Quantile", "QuantileSketch"]
+
+
+class P2Quantile:
+    """Single-quantile P² estimator (Jain & Chlamtac, 1985).
+
+    Five markers track the running min, max, the target quantile ``p``
+    and the two intermediate quantiles ``p/2`` and ``(1+p)/2``; marker
+    heights move by a piecewise-parabolic (falling back to linear)
+    interpolation as observations arrive.  The first five observations
+    are buffered and sorted; until then :meth:`value` interpolates the
+    sorted buffer directly, so small windows still report something
+    sensible.
+    """
+
+    __slots__ = ("p", "_count", "_buf", "_q", "_n", "_desired", "_inc")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p!r}")
+        self.p = p
+        self._count = 0
+        self._buf: list[float] = []  # startup buffer, sorted
+        self._q: list[float] | None = None  # marker heights once primed
+        self._n: list[float] = []  # marker positions (1-based)
+        self._desired: list[float] = []
+        self._inc = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        x = float(x)
+        self._count += 1
+        q = self._q
+        if q is None:
+            insort(self._buf, x)
+            if len(self._buf) == 5:
+                p = self.p
+                self._q = self._buf
+                self._buf = []
+                self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0,
+                ]
+            return
+
+        n = self._n
+        # Locate the marker cell (extending the extremes if needed).
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        elif x < q[1]:
+            k = 0
+        elif x < q[2]:
+            k = 1
+        elif x < q[3]:
+            k = 2
+        else:
+            k = 3
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        desired = self._desired
+        inc = self._inc
+        for i in range(1, 5):
+            desired[i] += inc[i]
+
+        # Nudge the three interior markers toward their desired ranks.
+        for i in (1, 2, 3):
+            d = desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d > 0.0 else -1.0
+                cand = self._parabolic(i, step)
+                if not q[i - 1] < cand < q[i + 1]:
+                    cand = self._linear(i, step)
+                q[i] = cand
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate (``nan`` before the first observation).
+
+        Below five observations the sorted startup buffer is
+        interpolated directly (linear, matching ``numpy.percentile``'s
+        default); afterwards the middle marker's height is the
+        estimate.
+        """
+        if self._q is not None:
+            return self._q[2]
+        buf = self._buf
+        if not buf:
+            return float("nan")
+        if len(buf) == 1:
+            return buf[0]
+        rank = self.p * (len(buf) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(buf) - 1)
+        frac = rank - lo
+        return buf[lo] + (buf[hi] - buf[lo]) * frac
+
+
+class QuantileSketch:
+    """A bundle of P² estimators plus count/min/max/mean accounting.
+
+    One sketch summarizes one stream of observations (e.g. one model's
+    completion latencies within one metrics window) in O(1) memory.
+    """
+
+    __slots__ = ("quantiles", "_estimators", "count", "_sum", "min", "max")
+
+    def __init__(self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)) -> None:
+        self.quantiles = tuple(quantiles)
+        self._estimators = {p: P2Quantile(p) for p in self.quantiles}
+        self.count = 0
+        self._sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self._sum += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for est in self._estimators.values():
+            est.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else float("nan")
+
+    def quantile(self, p: float) -> float:
+        """Estimate for one of the tracked quantiles."""
+        return self._estimators[p].value()

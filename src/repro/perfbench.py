@@ -20,12 +20,18 @@ repo's four hot paths:
   fault-aware loop with an empty schedule, reporting its wall-time
   ratio against the fault-free loop (CI bounds it at < 1.2x) and
   asserting the two agree exactly.
+- ``fleet_replay_observed`` -- the same replay with the observability
+  probe off vs plain construction (CI bounds the dormant-guard ratio
+  at < 1.05x), with per-query tracing vs the tracked loop it rides on
+  (< 1.5x), and with streaming metrics (ratio recorded for trend),
+  asserting every leg agrees float-for-float.
 - ``fault_aware_provisioning`` -- the availability -> ``R`` fixpoint
   search under a scripted rack-outage schedule (several fault-injected
   replays per run); wall time tracks the cost of closing the loop.
 
 Every scenario runs on fixed seeds and reports machine-readable
-metrics (wall seconds, queries/sec, events/sec) so each future PR has
+metrics (wall seconds, queries/sec, events/sec, and the process RSS
+high-water mark after the scenario) so each future PR has
 a trajectory to defend.  ``python -m repro.cli bench`` drives it and
 writes ``BENCH_perf.json``; ``benchmarks/bench_perf_core.py`` wraps it
 for the pytest-benchmark lane.
@@ -64,6 +70,7 @@ SCENARIOS: tuple[str, ...] = (
     "fleet_replay",
     "fleet_replay_streaming",
     "fleet_replay_faultpath",
+    "fleet_replay_observed",
     "fault_aware_provisioning",
 )
 
@@ -108,6 +115,23 @@ def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
     start = time.perf_counter()
     out = fn()
     return time.perf_counter() - start, out
+
+
+def _max_rss_kb() -> int | None:
+    """Process RSS high-water mark in KiB (None where unsupported).
+
+    ``ru_maxrss`` is monotone over the process lifetime, so the value
+    recorded after each scenario is a running peak: the scenario whose
+    reading jumps is the one that grew it.  A cheap OS counter is used
+    instead of ``tracemalloc`` so the wall-time numbers stay honest.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return rss // 1024 if platform.system() == "Darwin" else rss
 
 
 class _Context:
@@ -462,6 +486,103 @@ def _scenario_fleet_replay_streaming(ctx: _Context) -> dict[str, Any]:
     }
 
 
+def _scenario_fleet_replay_observed(ctx: _Context) -> dict[str, Any]:
+    """Observer cost: dark engine vs metrics probe vs tracing probe.
+
+    Replays the identical fleet/trace five ways: the plain engine
+    exactly as every pre-observability caller constructs it (no
+    ``observer`` argument); explicitly observer-off (the dormant-guard
+    path); with a streaming-metrics :class:`~repro.obs.FleetProbe`;
+    through the tracked fault loop without an observer (empty schedule
+    plus a retry budget -- the loop tracing rides on); and with a
+    trace-only probe.  All five must agree float-for-float on
+    per-model stats -- the bit-identical observer-off contract,
+    checked differentially on every bench run.
+
+    Two ratios feed CI gates.  ``ratio_off_vs_plain`` (< 1.05) bounds
+    the observer-off path against the no-observer construction: the
+    dormant hook guards must stay within measurement noise of the
+    plain engine (the true no-hooks comparison is cross-checkout, via
+    the baseline/speedup mechanism on ``wall_s``).
+    ``ratio_traced_vs_tracked`` (< 1.5) bounds tracing against the
+    tracked loop it rides on: span capture reads the loop's own
+    per-query records and defers span construction to export, so a
+    traced run must stay close to the tracked loop's cost.
+    ``ratio_metrics_vs_off`` is recorded ungated: live windowed
+    metrics pay ~1-2 microseconds of Python hook per event on a loop
+    that processes events in about that time -- a documented 2-3x,
+    tracked for trend.
+    """
+    from repro.fleet import FleetSimulator
+
+    try:
+        from repro.fleet import FaultSchedule
+        from repro.obs import FleetProbe
+    except ImportError:  # pre-observability checkout (baseline measurements)
+        return {"skipped": "observability absent"}
+
+    make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
+    window_s = max(duration / 32.0, 1e-3)  # ~32 samples regardless of mode
+
+    def replay(make_probe=None, **kwargs):
+        # Best of two runs: the ratios feed CI gates, so single-sample
+        # scheduler noise (the quick replay is tens of ms) must not flake.
+        walls, result, probe = [], None, None
+        for _ in range(2):
+            if make_probe is not None:
+                probe = make_probe()
+                kwargs["observer"] = probe
+            sim = FleetSimulator(
+                make_servers(), policy="p2c", sla_ms=sla, seed=ctx.seed, **kwargs
+            )
+            wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+            walls.append(wall)
+        return min(walls), result, probe
+
+    wall_plain, result_plain, _ = replay()
+    wall_off, result_off, _ = replay(lambda: None)
+    wall_metrics, result_metrics, probe_m = replay(
+        lambda: FleetProbe(window_s=window_s, metrics=True)
+    )
+    wall_tracked, result_tracked, _ = replay(faults=FaultSchedule(), retries=2)
+    wall_traced, result_traced, probe_t = replay(
+        lambda: FleetProbe(window_s=window_s, metrics=False, trace=True)
+    )
+    for label, result in (
+        ("observer-off", result_off),
+        ("metrics", result_metrics),
+        ("tracked", result_tracked),
+        ("traced", result_traced),
+    ):
+        if result.per_model != result_plain.per_model:
+            raise AssertionError(
+                f"{label} replay perturbed the simulation: per-model stats "
+                "diverged from the plain run"
+            )
+
+    events = getattr(result_plain, "events", None)
+    return {
+        "wall_s": wall_off,
+        "wall_plain_s": wall_plain,
+        "wall_metrics_s": wall_metrics,
+        "wall_tracked_s": wall_tracked,
+        "wall_traced_s": wall_traced,
+        "ratio_off_vs_plain": wall_off / wall_plain if wall_plain > 0 else None,
+        "ratio_traced_vs_tracked": (
+            wall_traced / wall_tracked if wall_tracked > 0 else None
+        ),
+        "ratio_metrics_vs_off": wall_metrics / wall_off if wall_off > 0 else None,
+        "ratio_traced_vs_off": wall_traced / wall_off if wall_off > 0 else None,
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_off if wall_off > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall_off) if (events and wall_off > 0) else None,
+        "completed": result_plain.total_completed,
+        "metric_rows": len(probe_m.metrics_rows),
+        "trace_spans": len(probe_t.spans),
+    }
+
+
 def _scenario_fault_aware_provisioning(ctx: _Context) -> dict[str, Any]:
     """Time one availability -> R fixpoint search (several replays).
 
@@ -543,6 +664,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "fleet_replay": _scenario_fleet_replay,
     "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
+    "fleet_replay_observed": _scenario_fleet_replay_observed,
     "fault_aware_provisioning": _scenario_fault_aware_provisioning,
 }
 
@@ -553,7 +675,9 @@ def run_scenario(
     """Run one scenario standalone (used by the pytest bench wrapper)."""
     if name not in _SCENARIO_FNS:
         raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIOS}")
-    return _SCENARIO_FNS[name](_Context(quick, seed, jobs))
+    metrics = _SCENARIO_FNS[name](_Context(quick, seed, jobs))
+    metrics.setdefault("max_rss_kb", _max_rss_kb())
+    return metrics
 
 
 def run_bench(
@@ -576,6 +700,8 @@ def run_bench(
         if progress is not None:
             progress(name)
         results[name] = _SCENARIO_FNS[name](ctx)
+        # Running peak: the scenario whose reading jumps grew it.
+        results[name].setdefault("max_rss_kb", _max_rss_kb())
     return {
         "schema": 1,
         "suite": "repro-perf-core",

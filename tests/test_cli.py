@@ -177,3 +177,116 @@ class TestBench:
         with pytest.raises(SystemExit):
             main(["bench", "--quick", "--scenarios", "nope",
                   "--output", str(tmp_path / "x.json")])
+
+
+class TestObservabilityCLI:
+    """`--json`, telemetry export flags, and the `observe` subcommand."""
+
+    FLEET = [
+        "fleet",
+        "--servers", "4",
+        "--server-types", "T2",
+        "--models", "DLRM-RMC1",
+        "--policy", "p2c",
+        "--duration", "2",
+        "--segments", "8",
+    ]
+
+    def test_fleet_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main([*self.FLEET, "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # stdout is exactly one JSON document
+        stats = payload["per_model"]["DLRM-RMC1"]
+        assert stats["completed"] > 0
+        assert payload["totals"]["completed"] == stats["completed"]
+        assert payload["policy"] == "p2c"
+        assert set(payload["analytic"]) == {
+            "provisioned_power_w", "drawn_power_w"
+        }
+        # Floats are emitted via repr, so a dump/parse cycle is lossless.
+        assert json.loads(json.dumps(payload)) == payload
+        assert isinstance(stats["p99_ms"], float)
+
+    def test_fleet_json_matches_table_run(self, capsys):
+        import json
+
+        assert main(self.FLEET) == 0
+        table = capsys.readouterr().out
+        assert main([*self.FLEET, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Same seed, same run: the table's served count appears verbatim.
+        assert f"queries served {payload['totals']['completed']}" in table
+
+    def test_fleet_metrics_out_writes_csv(self, tmp_path, capsys):
+        from repro.obs.probe import METRIC_FIELDS
+
+        out = tmp_path / "metrics.csv"
+        assert main([*self.FLEET, "--metrics-out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == ",".join(METRIC_FIELDS)
+        assert len(lines) > 1
+        assert "wrote metrics series" in capsys.readouterr().out
+
+    def test_fleet_trace_out_chrome_counts_match_result(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        code = main([*self.FLEET, "--json", "--trace-out", str(trace)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+
+        assert main(["observe", str(trace), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format"] == "chrome-trace"
+        assert summary["balanced"]
+        for key in ("completed", "dropped", "failed", "retried", "hedged"):
+            assert summary["measured"][key] == payload["totals"][key], key
+
+    def test_fleet_trace_out_jsonl_summarizes(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([*self.FLEET, "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["observe", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace-jsonl" in out
+
+    def test_observe_diff_same_file_is_zero(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.jsonl"
+        assert main([*self.FLEET, "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["observe", str(metrics), str(metrics), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        for group in doc["diff"]["deltas"].values():
+            for cell in group.values():
+                assert cell["delta"] == 0
+
+    def test_provision_fault_aware_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "provision-fault-aware",
+                "--servers", "6",
+                "--server-types", "T2",
+                "--models", "DLRM-RMC1",
+                "--duration", "1",
+                "--segments", "4",
+                "--faults", "crash@0.4:0+0.3",
+                "--max-evals", "2",
+                "--r-tol", "0.5",
+                "--json",
+            ]
+        )
+        assert code in (0, 1)  # exit mirrors convergence, not JSON health
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] == (code == 0)
+        assert payload["chosen_r"] >= 0.0
+        assert payload["evaluations"]
+        assert "provisioned_power_w" in payload
+        assert "per_model" in payload["result"]
+        assert all(":" in key for key in payload["allocation"])
+        assert json.loads(json.dumps(payload)) == payload

@@ -94,14 +94,16 @@ def test_every_subcommand_documented():
             "fleet",
             ["--faults", "--retries", "--hedge-ms", "--autoscale",
              "--autoscale-mode", "--arrivals", "--trace",
-             "--over-provision", "--policy", "--seed"],
+             "--over-provision", "--policy", "--seed",
+             "--metrics-out", "--trace-out", "--metrics-window-s", "--json"],
         ),
         (
             "provision-fault-aware",
             ["--faults", "--retries", "--hedge-ms", "--arrivals", "--trace",
              "--target-availability", "--baseline-r", "--r-min", "--r-max",
-             "--r-tol", "--max-evals"],
+             "--r-tol", "--max-evals", "--json"],
         ),
+        ("observe", ["--json"]),
         ("bench", ["--quick", "--scenarios", "--baseline", "--output"]),
     ],
 )

@@ -743,3 +743,94 @@ def test_idle_fault_loop_matches_with_autoscaler(
     assert [(e.time_s, e.model, e.action) for e in idle.scale_events] == [
         (e.time_s, e.model, e.action) for e in base.scale_events
     ]
+
+
+# ----------------------------------------------------------------------
+# Observability attached or absent == the dark engine, float for float
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+def test_observer_none_bit_identical(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """``observer=None`` (the default) must reproduce the pre-
+    observability engine exactly: the dormant hook guards perform no
+    float operations, so every percentile, counter, and power figure
+    matches ``==`` with no tolerances.
+    """
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    _, dark = _run_fleet(
+        small_table, models, workloads, allocation, trace, observer=None
+    )
+    assert dark.per_model == base.per_model
+    assert dark.avg_power_w == base.avg_power_w
+    assert dark.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in dark.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+def test_metrics_probe_does_not_perturb(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """A live metrics probe only *reads* the simulation (counters and
+    latency copies); the observed run's result must equal the dark
+    run's float for float, on both the fault-free and fault loops.
+    """
+    from repro.fleet import FaultSchedule
+    from repro.obs import FleetProbe
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    probe = FleetProbe(window_s=0.25)
+    _, observed = _run_fleet(
+        small_table, models, workloads, allocation, trace, observer=probe
+    )
+    assert observed.per_model == base.per_model
+    assert observed.avg_power_w == base.avg_power_w
+    assert observed.events == base.events
+    assert probe.metrics_rows
+
+    faults = "crash@0.8:0+0.5"
+    _, base_f = _run_fleet(
+        small_table, models, workloads, allocation, trace,
+        faults=FaultSchedule.parse(faults), retries=2,
+    )
+    probe_f = FleetProbe(window_s=0.25)
+    _, observed_f = _run_fleet(
+        small_table, models, workloads, allocation, trace,
+        faults=FaultSchedule.parse(faults), retries=2, observer=probe_f,
+    )
+    assert observed_f.per_model == base_f.per_model
+    assert observed_f.avg_power_w == base_f.avg_power_w
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+def test_tracing_probe_does_not_perturb(
+    small_table, rmc1_small_fleet_inputs, seed
+):
+    """Tracing forces the tracked fault loop, which is bit-identical to
+    the fault-free loop when idle; a traced fault-free run must
+    therefore equal the dark run exactly, while producing one span per
+    arrival.
+    """
+    from repro.obs import FleetProbe
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace)
+    probe = FleetProbe(metrics=False, trace=True)
+    sim, traced = _run_fleet(
+        small_table, models, workloads, allocation, trace, observer=probe
+    )
+    assert traced.per_model == base.per_model
+    assert traced.avg_power_w == base.avg_power_w
+    assert len(probe.spans) == len(sim.last_query_log) == len(trace)
