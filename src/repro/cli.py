@@ -389,6 +389,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         retries=args.retries,
         hedge_ms=args.hedge_ms,
         observer=probe,
+        core=args.core,
     )
     result = sim.run(source, warmup_s=span * 0.05)
     if probe is not None:
@@ -473,6 +474,7 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
         retries=args.retries,
         hedge_ms=args.hedge_ms,
         seed=args.seed,
+        core=args.core,
         warmup_s=span * 0.05,
         r_min=args.r_min,
         r_max=args.r_max,
@@ -569,6 +571,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         scenarios=tuple(args.scenarios) if args.scenarios else None,
+        core=args.core,
         progress=lambda name: print(f"bench: {name} ...", flush=True),
     )
     if args.baseline:
@@ -662,6 +665,19 @@ def _add_fleet_shared_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--core",
+        choices=("auto", "python", "vector"),
+        default="auto",
+        help=(
+            "event-core selection: 'auto' uses the vectorized batch core "
+            "when eligible (rr/weighted routing, no faults/observer) and "
+            "falls back to the exact per-event core otherwise; 'python' "
+            "forces the per-event core; 'vector' demands the vectorized "
+            "core and errors with the reason when ineligible (see "
+            "docs/performance.md)"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -917,6 +933,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI-sized scenarios (seconds instead of minutes)",
     )
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--core",
+        choices=("auto", "python", "vector"),
+        default="python",
+        help=(
+            "event core for the fleet_replay scenario (default 'python' "
+            "so its trajectory stays comparable across checkouts; the "
+            "fleet_replay_fastcore scenario always times both cores)"
+        ),
+    )
     bench.add_argument(
         "--jobs",
         type=int,

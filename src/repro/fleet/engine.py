@@ -37,6 +37,7 @@ stay interactive):
 
 from __future__ import annotations
 
+import logging
 from heapq import heappop, heappush
 from typing import Sequence
 
@@ -52,6 +53,11 @@ from repro.sim.evaluator import PlanTimings
 from repro.sim.event_core import DirectStage, EventHeap, Pipeline, QueryState
 from repro.sim.queries import Query, QueryWorkload
 from repro.traces.arrivals import FleetArrivals, PiecewisePoissonProcess
+
+_LOG = logging.getLogger(__name__)
+
+#: Valid ``FleetSimulator(core=...)`` selections.
+FLEET_CORES = ("auto", "python", "vector")
 
 __all__ = [
     "FleetServer",
@@ -276,6 +282,16 @@ class FleetSimulator:
             ``tests/test_perf_equivalence.py``.  A probe with
             ``trace=True`` forces the tracked fault loop so per-query
             spans can be materialized from ``last_query_log``.
+        core: Event-core selection.  ``"auto"`` (the default) uses the
+            vectorized batch core (:mod:`repro.sim.fast_core`) when the
+            run is eligible -- outstanding-oblivious routing (rr /
+            weighted), no fault machinery, no observer, numpy importable
+            -- and otherwise falls back to the exact per-event python
+            core, logging why.  ``"python"`` forces the per-event core;
+            ``"vector"`` demands the vectorized core and raises
+            ``ValueError`` with the ineligibility reason instead of
+            silently degrading.  See ``docs/performance.md`` for the
+            selection matrix and the float-reordering caveat.
     """
 
     def __init__(
@@ -289,9 +305,14 @@ class FleetSimulator:
         retries: int = 0,
         hedge_ms: float | None = None,
         observer=None,
+        core: str = "auto",
     ) -> None:
         if not servers:
             raise ValueError("need at least one fleet server")
+        if core not in FLEET_CORES:
+            raise ValueError(
+                f"unknown core {core!r}; choose from {list(FLEET_CORES)}"
+            )
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if hedge_ms is not None and hedge_ms <= 0.0:
@@ -305,6 +326,7 @@ class FleetSimulator:
         self.retries = int(retries)
         self.hedge_ms = hedge_ms
         self.observer = observer
+        self.core = core
         self.last_query_log: tuple = ()
         if faults is not None and getattr(faults, "domains", None) is not None:
             # Stamp the schedule's rack/power-domain assignment onto the
@@ -418,6 +440,30 @@ class FleetSimulator:
             or (self.observer is not None and self.observer.trace)
         )
 
+    def _vector_fallback_reason(self) -> str | None:
+        """Why this run cannot use the vectorized core (``None`` = it can).
+
+        The vectorized core pre-routes whole arrival segments and
+        delivers completions in per-replica batches, which is exact
+        only when nothing observes or perturbs the per-event
+        interleaving: fault machinery, live observers, and queue-aware
+        routing all force the per-event python core.
+        """
+        if self._fault_mode:
+            return (
+                "fault injection, retries, hedging, or tracing requires "
+                "the per-event core"
+            )
+        if self.observer is not None:
+            return "a live observer requires per-event completion hooks"
+        for model, policy in self._policies.items():
+            if not policy.outstanding_oblivious:
+                return (
+                    f"policy {policy.name!r} (model {model!r}) is "
+                    "queue-aware: it reads live outstanding counts"
+                )
+        return None
+
     # ------------------------------------------------------------------
 
     def run(self, trace, warmup_s: float = 0.0) -> FleetResult:
@@ -443,6 +489,24 @@ class FleetSimulator:
                 bit-identical across both shapes.
             warmup_s: Initial window excluded from the statistics.
         """
+        if self.core != "python":
+            reason = self._vector_fallback_reason()
+            if reason is None:
+                try:
+                    from repro.sim import fast_core
+                except ImportError:
+                    reason = "numpy is unavailable (the vectorized core needs it)"
+            if reason is None:
+                return fast_core.run_vectorized(self, trace, warmup_s)
+            if self.core == "vector":
+                raise ValueError(
+                    f"core='vector' is unavailable for this run: {reason}; "
+                    "use core='python' or core='auto'"
+                )
+            _LOG.info(
+                "core='auto': falling back to the python event core (%s)",
+                reason,
+            )
         heap = EventHeap()
         if isinstance(trace, (list, tuple)):
             if not trace:
@@ -719,17 +783,24 @@ class FleetSimulator:
             # Measure the window [warmup, horizon]: arrivals before the
             # warmup cut are excluded, and so are completions draining
             # after the last arrival -- otherwise an overloaded fleet
-            # would report more than its sustainable throughput.
-            measured = [
-                lat
-                for finish, lat in samples
-                if finish - lat >= warmup_s and finish <= horizon
-            ]
+            # would report more than its sustainable throughput.  The
+            # vectorized core hands samples as a finish-sorted
+            # ``(finish, latency)`` array pair instead of a tuple list;
+            # the filter performs the same float comparison either way.
+            if type(samples) is tuple:
+                fin, lats = samples
+                measured = lats[(fin - lats >= warmup_s) & (fin <= horizon)]
+            else:
+                measured = [
+                    lat
+                    for finish, lat in samples
+                    if finish - lat >= warmup_s and finish <= horizon
+                ]
             sla = self.sla_ms.get(model, float("inf"))
             drops = dropped.get(model, 0)
             fails = failed_by.get(model, 0)
             lost = drops + fails
-            if measured:
+            if len(measured):
                 arr = np.asarray(measured) * 1e3
                 violations = int((arr > sla).sum()) + lost
                 per_model[model] = ModelStats(

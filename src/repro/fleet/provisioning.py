@@ -236,6 +236,7 @@ def provision_fault_aware(
     retries: int = 2,
     hedge_ms: float | None = None,
     seed: int = 0,
+    core: str = "auto",
     warmup_s: float = 0.0,
     r_min: float = 0.0,
     r_max: float = 1.0,
@@ -272,8 +273,11 @@ def provision_fault_aware(
         target_availability: Service-availability target in (0, 1].
         baseline_r: The fault-blind rate to compare against (the ``R``
             you would have shipped without measuring).
-        policy / retries / hedge_ms / seed: Fleet-replay knobs, as on
-            :class:`~repro.fleet.engine.FleetSimulator`.
+        policy / retries / hedge_ms / seed / core: Fleet-replay knobs,
+            as on :class:`~repro.fleet.engine.FleetSimulator`.  Note
+            that fault-injected replays always need the per-event
+            python core: ``core="auto"`` (the default) logs the
+            fallback, ``core="vector"`` raises.
         warmup_s: Replay warmup excluded from the statistics.
         r_min / r_max: Search bounds for ``R``.
         r_tol: Bisection width at which the search stops; the chosen
@@ -329,6 +333,7 @@ def provision_fault_aware(
                 faults=faults,
                 retries=retries,
                 hedge_ms=hedge_ms,
+                core=core,
             )
             result = sim.run(trace, warmup_s=warmup_s)
             replay_cache[key] = result

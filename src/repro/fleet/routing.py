@@ -19,6 +19,11 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Callable, Sequence
 
+try:  # optional: vectorized choose_batch fast paths
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 if TYPE_CHECKING:
     from repro.fleet.engine import FleetServer
 
@@ -52,14 +57,38 @@ class RoutingPolicy:
 
     name = "base"
 
+    #: Whether ``choose`` ignores live queue depth (``outstanding``).
+    #: Oblivious policies (rr, weighted) route a whole arrival segment
+    #: identically whether or not completions interleave, which is what
+    #: lets the vectorized fast core pre-route batches; queue-aware
+    #: policies (least, p2c) force the exact per-event engine.
+    outstanding_oblivious = False
+
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
         raise NotImplementedError
+
+    def choose_batch(self, candidates: Sequence["FleetServer"], n: int):
+        """Route ``n`` consecutive arrivals; returns indices into ``candidates``
+        (a list or, where an override vectorizes, a numpy integer array).
+
+        The default loops :meth:`choose`, recovering each pick's
+        position by identity -- exact for any policy, but only
+        *meaningful* when the policy is outstanding-oblivious (the loop
+        sees a frozen queue-depth snapshot; no completions interleave).
+        Subclasses override it to hoist per-call overhead -- sequence
+        length lookups, RNG method binds, weight reads -- out of the
+        per-query path.
+        """
+        pos = {id(s): i for i, s in enumerate(candidates)}
+        choose = self.choose
+        return [pos[id(choose(candidates))] for _ in range(n)]
 
 
 class RoundRobinPolicy(RoutingPolicy):
     """Cycle through replicas regardless of their speed or backlog."""
 
     name = "rr"
+    outstanding_oblivious = True
 
     def __init__(self, seed: int = 0) -> None:
         self._cursor = 0
@@ -70,6 +99,17 @@ class RoundRobinPolicy(RoutingPolicy):
         pick = candidates[self._cursor % len(candidates)]
         self._cursor += 1
         return pick
+
+    def choose_batch(self, candidates: Sequence["FleetServer"], n: int):
+        """Pure cursor arithmetic: pick ``i`` is ``(cursor + i) % k``."""
+        k = len(candidates)
+        if not k:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        cursor = self._cursor
+        self._cursor = cursor + n
+        if _np is not None:
+            return (cursor + _np.arange(n)) % k
+        return [(cursor + i) % k for i in range(n)]
 
 
 class LeastOutstandingPolicy(RoutingPolicy):
@@ -100,6 +140,34 @@ class LeastOutstandingPolicy(RoutingPolicy):
                 best_out = out
                 best_w = server.weight
         return best
+
+    def choose_batch(self, candidates: Sequence["FleetServer"], n: int) -> list[int]:
+        """Batched least-outstanding with the argmin scan kept local.
+
+        Shares :meth:`choose`'s frozen-snapshot caveat; the sequence
+        length and attribute reads of the running minimum are hoisted
+        out of the per-query path.
+        """
+        k = len(candidates)
+        if k == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        out = []
+        append = out.append
+        rng = range(k)
+        for _ in range(n):
+            best_i = 0
+            best = candidates[0]
+            best_out = best.outstanding
+            best_w = best.weight
+            for i in rng:
+                server = candidates[i]
+                o = server.outstanding
+                if o < best_out or (o == best_out and server.weight > best_w):
+                    best_i = i
+                    best_out = o
+                    best_w = server.weight
+            append(best_i)
+        return out
 
 
 class PowerOfTwoPolicy(RoutingPolicy):
@@ -136,6 +204,40 @@ class PowerOfTwoPolicy(RoutingPolicy):
             return b
         return a
 
+    def choose_batch(self, candidates: Sequence["FleetServer"], n: int) -> list[int]:
+        """Batched p2c with the length lookup and RNG bind hoisted.
+
+        ``len(candidates)`` and the ``Random.random`` method bind happen
+        once per batch instead of once per query.  Queue-aware like
+        :meth:`choose`, so picks reflect a frozen ``outstanding``
+        snapshot -- callers that interleave completions must stay on the
+        scalar path (the fleet engine does; see ``outstanding_oblivious``).
+        """
+        k = len(candidates)
+        if k == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        if k == 1:
+            return [0] * n
+        rand = self._random
+        out = []
+        append = out.append
+        for _ in range(n):
+            i = int(rand() * k)
+            j = int(rand() * k)
+            if i >= k:
+                i = k - 1
+            if j >= k:
+                j = k - 1
+            a = candidates[i]
+            b = candidates[j]
+            b_out = b.outstanding
+            a_out = a.outstanding
+            if b_out < a_out or (b_out == a_out and b.weight > a.weight):
+                append(j)
+            else:
+                append(i)
+        return out
+
 
 class WeightedPolicy(RoutingPolicy):
     """Smooth weighted round-robin by profiled throughput.
@@ -147,6 +249,7 @@ class WeightedPolicy(RoutingPolicy):
     """
 
     name = "weighted"
+    outstanding_oblivious = True
 
     def __init__(self, seed: int = 0) -> None:
         pass
@@ -164,6 +267,42 @@ class WeightedPolicy(RoutingPolicy):
                 best = server
         best.wrr_current -= total
         return best
+
+    def choose_batch(self, candidates: Sequence["FleetServer"], n: int) -> list[int]:
+        """Smooth-WRR over local credit lists, written back once.
+
+        Replays :meth:`choose`'s float sequence exactly -- same clamped
+        weights added in the same order, same strict-``>`` argmax over
+        already-updated credits, same ``total`` subtraction -- but the
+        weights are clamped once per batch and the per-server
+        ``wrr_current`` attribute traffic happens at the boundaries
+        instead of per query.
+        """
+        k = len(candidates)
+        if k == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        weights = [max(s.weight, 1e-9) for s in candidates]
+        credits = [s.wrr_current for s in candidates]
+        # choose() accumulates `total` per call in candidate order; the
+        # candidate set is frozen across the batch, so the sum is the
+        # same float every iteration.
+        total = 0.0
+        for w in weights:
+            total += w
+        out = []
+        append = out.append
+        rng = range(k)
+        for _ in range(n):
+            best = 0
+            for i in rng:
+                credits[i] += weights[i]
+                if credits[i] > credits[best]:
+                    best = i
+            credits[best] -= total
+            append(best)
+        for server, credit in zip(candidates, credits):
+            server.wrr_current = credit
+        return out
 
 
 def prefer_other_domains(

@@ -103,6 +103,126 @@ class P2Quantile:
                 q[i] = cand
                 n[i] += step
 
+    def add_many(self, values) -> None:
+        """Fold a batch of observations; identical state to repeated :meth:`add`.
+
+        The windowed-metrics path buffers a window's latencies and
+        flushes them through here: the marker lists, desired-rank
+        increments, and interpolation helpers are bound once per batch
+        instead of once per observation, which is most of the per-event
+        hook cost the live-metrics overhead gate bounds.
+        """
+        q = self._q
+        start = 0
+        if q is None:
+            nv = len(values)
+            while start < nv:
+                self.add(values[start])
+                start += 1
+                if self._q is not None:
+                    break
+            q = self._q
+            if q is None or start >= nv:
+                return
+        n = self._n
+        desired = self._desired
+        inc = self._inc
+        i1 = inc[1]
+        i2 = inc[2]
+        i3 = inc[3]
+        count = self._count
+        # Marker heights, positions, and desired ranks live in scalar
+        # registers for the batch: the per-value work is pure local
+        # float arithmetic (the list round-trips of add() dominate its
+        # cost).  Marker 0's position is pinned at 1.0 -- cell updates
+        # never advance it -- so it needs no register.  Every
+        # expression below replays add()'s exact float sequence,
+        # including the inlined parabolic/linear interpolations.
+        q0, q1, q2, q3, q4 = q
+        n1, n2, n3, n4 = n[1], n[2], n[3], n[4]
+        d1, d2, d3, d4 = desired[1], desired[2], desired[3], desired[4]
+        for x in values[start:] if start else values:
+            x = float(x)
+            count += 1
+            # Same cell location as add(), restructured as a branch
+            # tree; the cell index folds directly into the position
+            # increments (cell k advances markers k+1..4).
+            if x < q1:
+                if x < q0:
+                    q0 = x
+                n1 += 1.0
+                n2 += 1.0
+                n3 += 1.0
+            elif x < q2:
+                n2 += 1.0
+                n3 += 1.0
+            elif x < q3:
+                n3 += 1.0
+            elif x >= q4:
+                q4 = x
+            n4 += 1.0
+            d1 += i1
+            d2 += i2
+            d3 += i3
+            d4 += 1.0
+
+            d = d1 - n1
+            if (d >= 1.0 and n2 - n1 > 1.0) or (d <= -1.0 and 1.0 - n1 < -1.0):
+                step = 1.0 if d > 0.0 else -1.0
+                cand = q1 + step / (n2 - 1.0) * (
+                    (n1 - 1.0 + step) * (q2 - q1) / (n2 - n1)
+                    + (n2 - n1 - step) * (q1 - q0) / (n1 - 1.0)
+                )
+                if not q0 < cand < q2:
+                    if step > 0.0:
+                        cand = q1 + step * (q2 - q1) / (n2 - n1)
+                    else:
+                        cand = q1 + step * (q0 - q1) / (1.0 - n1)
+                q1 = cand
+                n1 += step
+            d = d2 - n2
+            if (d >= 1.0 and n3 - n2 > 1.0) or (d <= -1.0 and n1 - n2 < -1.0):
+                step = 1.0 if d > 0.0 else -1.0
+                cand = q2 + step / (n3 - n1) * (
+                    (n2 - n1 + step) * (q3 - q2) / (n3 - n2)
+                    + (n3 - n2 - step) * (q2 - q1) / (n2 - n1)
+                )
+                if not q1 < cand < q3:
+                    if step > 0.0:
+                        cand = q2 + step * (q3 - q2) / (n3 - n2)
+                    else:
+                        cand = q2 + step * (q1 - q2) / (n1 - n2)
+                q2 = cand
+                n2 += step
+            d = d3 - n3
+            if (d >= 1.0 and n4 - n3 > 1.0) or (d <= -1.0 and n2 - n3 < -1.0):
+                step = 1.0 if d > 0.0 else -1.0
+                cand = q3 + step / (n4 - n2) * (
+                    (n3 - n2 + step) * (q4 - q3) / (n4 - n3)
+                    + (n4 - n3 - step) * (q3 - q2) / (n3 - n2)
+                )
+                if not q2 < cand < q4:
+                    if step > 0.0:
+                        cand = q3 + step * (q4 - q3) / (n4 - n3)
+                    else:
+                        cand = q3 + step * (q2 - q3) / (n2 - n3)
+                q3 = cand
+                n3 += step
+        q[0] = q0
+        q[1] = q1
+        q[2] = q2
+        q[3] = q3
+        q[4] = q4
+        n[1] = n1
+        n[2] = n2
+        n[3] = n3
+        n[4] = n4
+        desired[1] = d1
+        desired[2] = d2
+        desired[3] = d3
+        desired[4] = d4
+        self._count = count
+
     def _parabolic(self, i: int, d: float) -> float:
         q, n = self._q, self._n
         return q[i] + d / (n[i + 1] - n[i - 1]) * (
@@ -163,6 +283,34 @@ class QuantileSketch:
             self.max = x
         for est in self._estimators.values():
             est.add(x)
+
+    def add_many(self, values) -> None:
+        """Batch :meth:`add`: bit-identical state, one pass per estimator.
+
+        The running sum accumulates sequentially from the current
+        ``_sum`` (not via a local subtotal), so mixing ``add`` and
+        ``add_many`` calls still lands on the exact floats repeated
+        ``add`` would produce.
+        """
+        if not values:
+            return
+        count = self.count
+        s = self._sum
+        mn = self.min
+        mx = self.max
+        for x in values:
+            count += 1
+            s += x
+            if x < mn:
+                mn = x
+            if x > mx:
+                mx = x
+        self.count = count
+        self._sum = s
+        self.min = mn
+        self.max = mx
+        for est in self._estimators.values():
+            est.add_many(values)
 
     @property
     def mean(self) -> float:

@@ -12,6 +12,11 @@ repo's four hot paths:
 - ``single_node_des`` -- the single-server discrete-event simulation;
 - ``fleet_replay``  -- the request-level fleet replay (50 servers x
   100k queries in the full configuration);
+- ``fleet_replay_fastcore`` -- the same replay under round-robin
+  routing through the vectorized batch core vs the per-event python
+  core (CI gates ``speedup_vector_vs_python`` > 3.0 on the full
+  configuration), asserting both cores agree on every per-model
+  statistic;
 - ``fleet_replay_streaming`` -- the same replay fed by a lazily
   streamed arrival process instead of the materialized list, reporting
   the wall-time ratio against the list path (CI bounds it at < 1.1)
@@ -68,6 +73,7 @@ SCENARIOS: tuple[str, ...] = (
     "loadgen",
     "single_node_des",
     "fleet_replay",
+    "fleet_replay_fastcore",
     "fleet_replay_streaming",
     "fleet_replay_faultpath",
     "fleet_replay_observed",
@@ -137,10 +143,13 @@ def _max_rss_kb() -> int | None:
 class _Context:
     """Artifacts shared across scenarios of one bench run."""
 
-    def __init__(self, quick: bool, seed: int, jobs: int) -> None:
+    def __init__(
+        self, quick: bool, seed: int, jobs: int, core: str = "python"
+    ) -> None:
         self.quick = quick
         self.seed = seed
         self.jobs = jobs
+        self.core = core
         self.cfg = _config(quick)
         self.table = None  # classification table, set by profile_table
 
@@ -350,7 +359,16 @@ def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
 
     make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
     servers = make_servers()
-    sim = FleetSimulator(servers, policy="p2c", sla_ms=sla, seed=ctx.seed)
+    try:
+        # Pinned to ctx.core (default "python") so the scenario's
+        # trajectory keeps measuring the per-event loop across
+        # checkouts; `bench --core` overrides.  Note p2c is queue-aware,
+        # so "auto" falls back to the python core here anyway.
+        sim = FleetSimulator(
+            servers, policy="p2c", sla_ms=sla, seed=ctx.seed, core=ctx.core
+        )
+    except TypeError:  # pre-core checkout (baseline measurements)
+        sim = FleetSimulator(servers, policy="p2c", sla_ms=sla, seed=ctx.seed)
     wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
     events = getattr(result, "events", None)
     return {
@@ -361,6 +379,69 @@ def _scenario_fleet_replay(ctx: _Context) -> dict[str, Any]:
         "events": events,
         "events_per_s": (events / wall) if (events and wall > 0) else None,
         "completed": result.total_completed,
+    }
+
+
+def _scenario_fleet_replay_fastcore(ctx: _Context) -> dict[str, Any]:
+    """Vectorized batch core vs the exact per-event core, same traffic.
+
+    Replays the identical fleet/trace under round-robin routing (the
+    measurement configuration the vectorized core targets) through
+    both cores.  ``speedup_vector_vs_python`` is the number CI's
+    perf-smoke job gates at > 3.0 on the full configuration, and the
+    two replays must agree on every per-model statistic -- a built-in
+    differential smoke check of the batched delivery.  Best-of-three
+    walls per side keep single-sample scheduler noise out of the gate
+    (one repetition more than the ratio scenarios: this gate is the
+    tightest in CI).
+    """
+    from repro.fleet import FleetSimulator
+
+    try:
+        import numpy  # noqa: F401  (the vectorized core requires it)
+    except ImportError:
+        return {"skipped": "numpy absent (core='vector' unavailable)"}
+
+    make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
+
+    def replay(core):
+        walls, result = [], None
+        for _ in range(3):
+            try:
+                sim = FleetSimulator(
+                    make_servers(), policy="rr", sla_ms=sla, seed=ctx.seed,
+                    core=core,
+                )
+            except TypeError:  # pre-core checkout (baseline measurements)
+                return None, None
+            wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+            walls.append(wall)
+        return min(walls), result
+
+    wall_py, result_py = replay("python")
+    if result_py is None:
+        return {"skipped": "core selection absent"}
+    wall_vec, result_vec = replay("vector")
+    if result_vec.per_model != result_py.per_model:
+        raise AssertionError(
+            "vectorized core diverged from the python core on per-model stats"
+        )
+    if result_vec.events != result_py.events:
+        raise AssertionError(
+            "vectorized core event count diverged from the python core"
+        )
+
+    events = getattr(result_vec, "events", None)
+    return {
+        "wall_s": wall_vec,
+        "wall_python_s": wall_py,
+        "speedup_vector_vs_python": wall_py / wall_vec if wall_vec > 0 else None,
+        "servers": ctx.cfg["fleet_servers"],
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_vec if wall_vec > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall_vec) if (events and wall_vec > 0) else None,
+        "completed": result_vec.total_completed,
     }
 
 
@@ -662,6 +743,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "loadgen": _scenario_loadgen,
     "single_node_des": _scenario_single_node_des,
     "fleet_replay": _scenario_fleet_replay,
+    "fleet_replay_fastcore": _scenario_fleet_replay_fastcore,
     "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
     "fleet_replay_observed": _scenario_fleet_replay_observed,
@@ -670,12 +752,13 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
 
 
 def run_scenario(
-    name: str, quick: bool = True, seed: int = 0, jobs: int = 1
+    name: str, quick: bool = True, seed: int = 0, jobs: int = 1,
+    core: str = "python",
 ) -> dict[str, Any]:
     """Run one scenario standalone (used by the pytest bench wrapper)."""
     if name not in _SCENARIO_FNS:
         raise ValueError(f"unknown scenario {name!r}; choose from {SCENARIOS}")
-    metrics = _SCENARIO_FNS[name](_Context(quick, seed, jobs))
+    metrics = _SCENARIO_FNS[name](_Context(quick, seed, jobs, core))
     metrics.setdefault("max_rss_kb", _max_rss_kb())
     return metrics
 
@@ -685,6 +768,7 @@ def run_bench(
     seed: int = 0,
     jobs: int = 1,
     scenarios: tuple[str, ...] | None = None,
+    core: str = "python",
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Run the harness and return the BENCH_perf document (no baseline)."""
@@ -692,7 +776,7 @@ def run_bench(
     unknown = [s for s in selected if s not in _SCENARIO_FNS]
     if unknown:
         raise ValueError(f"unknown scenarios {unknown}; choose from {SCENARIOS}")
-    ctx = _Context(quick, seed, jobs)
+    ctx = _Context(quick, seed, jobs, core)
     results: dict[str, Any] = {}
     for name in SCENARIOS:  # registry order so artifacts flow downstream
         if name not in selected:

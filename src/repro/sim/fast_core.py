@@ -1,0 +1,751 @@
+"""Vectorized fleet-replay core: batched routing and completion delivery.
+
+The pure-Python fleet engine (:mod:`repro.fleet.engine`) processes one
+event at a time through a global heap.  For the common measurement
+configuration -- outstanding-oblivious routing (rr / weighted), no
+fault injection, no live observer -- per-event interleaving is
+unnecessary: routing decisions depend only on arrival order within a
+model stream, and replicas never interact except through the router.
+This module exploits that:
+
+- Arrivals are ingested into flat numpy arrays and **pre-routed in
+  batches** per model via :meth:`RoutingPolicy.choose_batch` (round-
+  robin collapses to modular index arithmetic, smooth-WRR to a tight
+  local credit loop).
+- Queries routed to a :class:`~repro.sim.event_core.DirectStage`
+  replica (every CPU placement) are delivered as **per-replica batches**:
+  chunk service times are expanded vectorized, then a compact
+  ``heapreplace`` recurrence over the replica's persistent unit-
+  availability heap reproduces the event core's float sequence exactly.
+- FUSE-bearing (accelerator) replicas run a **per-replica local event
+  loop** -- batch formation there genuinely depends on queue state --
+  but with plain-tuple query states and the global heap replaced by a
+  replica-private one, which preserves within-replica event order (the
+  only order that matters for an isolated replica).
+- Only **segment boundaries** go through global coordination: when an
+  autoscaler is attached, the trace is cut at its tick times and the
+  engine's own :meth:`FleetSimulator._apply_autoscaler_tick` is invoked
+  between segments with identically-ordered window feeds, so scaling
+  decisions (and their seeds of divergence) cannot drift from the
+  python core.
+
+Exactness: per-replica completion floats are bit-identical to the
+python core (the recurrences perform the same operations in the same
+order; ``tests/test_fast_core.py`` pins representative configurations
+and fuzzes the rest).  The one caveat is *cross-replica ties*: two
+completions with byte-equal finish timestamps on different replicas may
+enter per-model statistics in a different order than the global heap
+would pop them, which can move ``mean_ms`` by one ulp.  Continuous-time
+arrival processes make such ties vanishingly rare; percentiles are
+order-insensitive either way (see ``docs/performance.md``).
+
+This module imports numpy at module scope: environments without numpy
+must stay on the python core (``FleetSimulator(core="auto")`` degrades
+automatically; ``core="vector"`` raises an actionable error).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush, heapreplace
+
+import numpy as np
+
+__all__ = ["run_vectorized"]
+
+#: Per-ServicedStage dense service tables, shared across replicas (the
+#: stage objects themselves are shared via plan_cache).  Keyed by id()
+#: with the stage kept referenced so a recycled id cannot alias.
+_SERVICE_TABLES: dict[int, tuple[object, int, np.ndarray]] = {}
+
+
+def _service_table(stage, maxsz: int) -> np.ndarray:
+    """Dense ``items -> base service seconds`` table for a SPLIT stage.
+
+    Reads the stage's memo where populated and calls ``latency_fn``
+    for the rest -- the same floats the python core's on-demand memo
+    would produce (the memo itself is left untouched).
+    """
+    key = id(stage)
+    cached = _SERVICE_TABLES.get(key)
+    if cached is not None and cached[0] is stage and cached[1] >= maxsz:
+        return cached[2]
+    memo = stage._base_s
+    fn = stage.latency_fn
+    tab = np.empty(maxsz + 1)
+    tab[0] = 0.0
+    for sz in range(1, maxsz + 1):
+        base = memo.get(sz)
+        if base is None:
+            base = fn(sz)
+        tab[sz] = base
+    _SERVICE_TABLES[key] = (stage, maxsz, tab)
+    return tab
+
+
+class _State:
+    """Local stand-in for :class:`QueryState` in generic pipelines."""
+
+    __slots__ = ("pooling", "pending_units", "size", "idx")
+
+    def __init__(self, pooling: float, size: int, idx: int) -> None:
+        self.pooling = pooling
+        self.size = size
+        self.idx = idx
+        self.pending_units = 0
+
+
+class _LocalReplicaSim:
+    """Resumable private event loop for one FUSE-bearing replica.
+
+    Mirrors :class:`~repro.sim.event_core.Pipeline` semantics exactly --
+    including ``on_finish``'s per-query enqueue-then-dispatch order,
+    which batch formation at the next stage observes -- but against a
+    replica-private heap.  ``pump`` feeds a sorted arrival slice and
+    runs local events with ``time < limit``; events at or past the
+    limit stay queued so the replica can resume after an autoscaler
+    tick.  ``seq`` counts batch events exactly as the global heap's
+    sequence would for this replica.
+    """
+
+    __slots__ = (
+        "queues", "free", "last", "fuse_only",
+        "stages", "forms", "chunk_memos", "is_fuse",
+        "fuse_of", "memo_of", "fn_of", "ps_of",
+        "events", "seq", "completions",
+    )
+
+    def __init__(self, pipeline) -> None:
+        stages = pipeline.stages
+        self.queues = pipeline.queues
+        self.free = pipeline.free
+        self.last = len(stages) - 1
+        self.fuse_only = all(s.is_fuse for s in stages)
+        self.stages = stages
+        self.forms = [s.form_and_time for s in stages]
+        self.chunk_memos = [s._chunks for s in stages]
+        self.is_fuse = [s.is_fuse for s in stages]
+        self.fuse_of = [s.fuse_items for s in stages]
+        self.memo_of = [s._base_s for s in stages]
+        self.fn_of = [s.latency_fn for s in stages]
+        self.ps_of = [s.pooling_sensitivity for s in stages]
+        self.events: list[tuple] = []
+        self.seq = 0
+        self.completions: list[tuple[float, int]] = []
+
+    def pump(self, tl, sl, pl, il, limit, finish, track: bool) -> None:
+        if self.fuse_only:
+            self._pump_fuse(tl, sl, pl, il, limit, finish, track)
+        else:
+            self._pump_generic(tl, sl, pl, il, limit, finish, track)
+
+    def _pump_fuse(self, tl, sl, pl, il, limit, finish, track) -> None:
+        """All-FUSE pipelines: query state is a plain (pooling, size,
+        global-arrival-index) tuple and every dispatch is inlined."""
+        queues = self.queues
+        free = self.free
+        last = self.last
+        fuse_of = self.fuse_of
+        memo_of = self.memo_of
+        fn_of = self.fn_of
+        ps_of = self.ps_of
+        events = self.events
+        seq = self.seq
+        comp = self.completions.append
+        nn = len(tl)
+        i = 0
+        while True:
+            if i < nn:
+                now = tl[i]
+                if not events or now <= events[0][0]:
+                    queues[0].append((pl[i], sl[i], il[i]))
+                    i += 1
+                    nfree = free[0]
+                    q = queues[0]
+                    if nfree > 0 and q:
+                        fuse = fuse_of[0]
+                        memo = memo_of[0]
+                        fn = fn_of[0]
+                        ps = ps_of[0]
+                        popleft = q.popleft
+                        while nfree > 0 and q:
+                            unit = popleft()
+                            items = unit[1]
+                            batch = [unit]
+                            total = items
+                            while q and total + q[0][1] <= fuse:
+                                extra = popleft()
+                                total += extra[1]
+                                batch.append(extra)
+                            if len(batch) > 1:
+                                pooled = 0.0
+                                for tup in batch:
+                                    pooled += tup[0] * tup[1]
+                                items = total
+                                pooling = pooled / items
+                            else:
+                                pooling = (unit[0] * items) / items
+                            base = memo.get(items)
+                            if base is None:
+                                base = fn(items)
+                                memo[items] = base
+                            if ps > 0.0:
+                                base = base * (1.0 - ps + ps * pooling)
+                            heappush(events, (now + base, seq, 0, batch))
+                            seq += 1
+                            nfree -= 1
+                        free[0] = nfree
+                    continue
+            elif not events or events[0][0] >= limit:
+                break
+            entry = heappop(events)
+            now = entry[0]
+            idx = entry[2]
+            free[idx] += 1
+            if idx < last:
+                # Mirror Pipeline.on_finish: each finished query is
+                # enqueued and the next stage dispatched before the next
+                # query lands, so batch formation sees them one at a time.
+                nxt = idx + 1
+                q = queues[nxt]
+                fuse = fuse_of[nxt]
+                memo = memo_of[nxt]
+                fn = fn_of[nxt]
+                ps = ps_of[nxt]
+                popleft = q.popleft
+                for tup in entry[3]:
+                    q.append(tup)
+                    nfree = free[nxt]
+                    while nfree > 0 and q:
+                        unit = popleft()
+                        items = unit[1]
+                        batch = [unit]
+                        total = items
+                        while q and total + q[0][1] <= fuse:
+                            extra = popleft()
+                            total += extra[1]
+                            batch.append(extra)
+                        if len(batch) > 1:
+                            pooled = 0.0
+                            for t2 in batch:
+                                pooled += t2[0] * t2[1]
+                            items = total
+                            pooling = pooled / items
+                        else:
+                            pooling = (unit[0] * items) / items
+                        base = memo.get(items)
+                        if base is None:
+                            base = fn(items)
+                            memo[items] = base
+                        if ps > 0.0:
+                            base = base * (1.0 - ps + ps * pooling)
+                        heappush(events, (now + base, seq, nxt, batch))
+                        seq += 1
+                        nfree -= 1
+                    free[nxt] = nfree
+            else:
+                for tup in entry[3]:
+                    finish[tup[2]] = now
+                    if track:
+                        comp((now, tup[2]))
+            # refill the stage that just freed a unit
+            nfree = free[idx]
+            q = queues[idx]
+            if nfree > 0 and q:
+                fuse = fuse_of[idx]
+                memo = memo_of[idx]
+                fn = fn_of[idx]
+                ps = ps_of[idx]
+                popleft = q.popleft
+                while nfree > 0 and q:
+                    unit = popleft()
+                    items = unit[1]
+                    batch = [unit]
+                    total = items
+                    while q and total + q[0][1] <= fuse:
+                        extra = popleft()
+                        total += extra[1]
+                        batch.append(extra)
+                    if len(batch) > 1:
+                        pooled = 0.0
+                        for t2 in batch:
+                            pooled += t2[0] * t2[1]
+                        items = total
+                        pooling = pooled / items
+                    else:
+                        pooling = (unit[0] * items) / items
+                    base = memo.get(items)
+                    if base is None:
+                        base = fn(items)
+                        memo[items] = base
+                    if ps > 0.0:
+                        base = base * (1.0 - ps + ps * pooling)
+                    heappush(events, (now + base, seq, idx, batch))
+                    seq += 1
+                    nfree -= 1
+                free[idx] = nfree
+        self.seq = seq
+
+    def _pump_generic(self, tl, sl, pl, il, limit, finish, track) -> None:
+        """Mixed SPLIT/FUSE pipelines: slotted query states with
+        ``pending_units`` accounting, exactly like ``Pipeline``."""
+        stages = self.stages
+        queues = self.queues
+        free = self.free
+        last = self.last
+        forms = self.forms
+        chunk_memos = self.chunk_memos
+        is_fuse = self.is_fuse
+        events = self.events
+        seq = self.seq
+        comp = self.completions.append
+        nn = len(tl)
+        i = 0
+        while True:
+            if i < nn:
+                now = tl[i]
+                if not events or now <= events[0][0]:
+                    st = _State(pl[i], sl[i], il[i])
+                    i += 1
+                    if is_fuse[0]:
+                        st.pending_units = 1
+                        queues[0].append((st, st.size))
+                    else:
+                        chunks = chunk_memos[0].get(st.size)
+                        if chunks is None:
+                            chunks = stages[0].chunks_for(st.size)
+                        st.pending_units = len(chunks)
+                        q0 = queues[0]
+                        for chunk in chunks:
+                            q0.append((st, chunk))
+                    nfree = free[0]
+                    q0 = queues[0]
+                    form = forms[0]
+                    while nfree > 0 and q0:
+                        batch, service = form(q0)
+                        heappush(events, (now + service, seq, 0, batch))
+                        seq += 1
+                        nfree -= 1
+                    free[0] = nfree
+                    continue
+            elif not events or events[0][0] >= limit:
+                break
+            now, _, idx, batch = heappop(events)
+            free[idx] += 1
+            for unit in batch:
+                st = unit[0]
+                pending = st.pending_units - 1
+                st.pending_units = pending
+                if pending == 0:
+                    if idx < last:
+                        nxt = idx + 1
+                        if is_fuse[nxt]:
+                            st.pending_units = 1
+                            queues[nxt].append((st, st.size))
+                        else:
+                            chunks = chunk_memos[nxt].get(st.size)
+                            if chunks is None:
+                                chunks = stages[nxt].chunks_for(st.size)
+                            st.pending_units = len(chunks)
+                            qn = queues[nxt]
+                            for chunk in chunks:
+                                qn.append((st, chunk))
+                        nfree = free[nxt]
+                        qn = queues[nxt]
+                        form = forms[nxt]
+                        while nfree > 0 and qn:
+                            b2, service = form(qn)
+                            heappush(events, (now + service, seq, nxt, b2))
+                            seq += 1
+                            nfree -= 1
+                        free[nxt] = nfree
+                    else:
+                        finish[st.idx] = now
+                        if track:
+                            comp((now, st.idx))
+            nfree = free[idx]
+            q = queues[idx]
+            if nfree > 0 and q:
+                form = forms[idx]
+                while nfree > 0 and q:
+                    b2, service = form(q)
+                    heappush(events, (now + service, seq, idx, b2))
+                    seq += 1
+                    nfree -= 1
+                free[idx] = nfree
+        self.seq = seq
+
+
+def _ingest(sim, trace):
+    """Materialize the trace into flat arrays (sorted by arrival).
+
+    Lists/tuples are stably sorted like the python core; streamed
+    sources must already be sorted (same error text as the engine's
+    lazy check).  Returns ``(arr_t, arr_size, arr_pool, arr_m,
+    model_names, codes)`` where ``codes`` maps model name -> row code
+    (routable models first, in sorted order, then unknown models in
+    first-arrival order).
+    """
+    is_list = isinstance(trace, (list, tuple))
+    pairs = list(trace)
+    if not pairs:
+        raise ValueError("empty fleet trace")
+    n = len(pairs)
+    arr_t = np.fromiter((q[1] for _, q in pairs), np.float64, count=n)
+    arr_size = np.fromiter((q[2] for _, q in pairs), np.int64, count=n)
+    arr_pool = np.fromiter((q[3] for _, q in pairs), np.float64, count=n)
+    codes = {m: i for i, m in enumerate(sorted(sim._routable))}
+    try:
+        arr_m = np.fromiter((codes[m] for m, _ in pairs), np.int64, count=n)
+    except KeyError:
+        # Rare: the trace names models with no replica anywhere.  They
+        # surface as dropped streams, coded in first-arrival order.
+        for m, _ in pairs:
+            if m not in codes:
+                codes[m] = len(codes)
+        arr_m = np.fromiter((codes[m] for m, _ in pairs), np.int64, count=n)
+    if n > 1:
+        deltas = np.diff(arr_t)
+        if bool((deltas < 0.0).any()):
+            if not is_list:
+                bad = int(np.nonzero(deltas < 0.0)[0][0])
+                raise ValueError(
+                    "arrival stream is not sorted by time "
+                    f"(t={arr_t[bad + 1]!r} after t={arr_t[bad]!r})"
+                )
+            order = np.argsort(arr_t, kind="stable")
+            arr_t = arr_t[order]
+            arr_size = arr_size[order]
+            arr_pool = arr_pool[order]
+            arr_m = arr_m[order]
+    model_names = [None] * len(codes)
+    for m, c in codes.items():
+        model_names[c] = m
+    return arr_t, arr_size, arr_pool, arr_m, model_names, codes
+
+
+def run_vectorized(sim, trace, warmup_s: float = 0.0):
+    """Play ``trace`` through ``sim``'s fleet on the vectorized core.
+
+    The caller (:meth:`FleetSimulator.run`) has already verified
+    eligibility: outstanding-oblivious routing, no fault machinery, no
+    observer.  Results -- per-model stats, server counters, scale
+    events, event counts -- reproduce the python core exactly (modulo
+    the cross-replica tie caveat in the module docstring).
+    """
+    # The local replica loops allocate event tuples and batch lists and
+    # never build cycles; keep the generational GC out of them, exactly
+    # as the python core's hot loop does.
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_vectorized(sim, trace, warmup_s)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_vectorized(sim, trace, warmup_s: float):
+    servers = sim.servers
+    n_servers = len(servers)
+    arr_t, arr_size, arr_pool, arr_m, model_names, codes = _ingest(sim, trace)
+    n = len(arr_t)
+    horizon = float(arr_t[-1])
+    scaling = sim.autoscaler is not None
+
+    finish = np.empty(n, dtype=np.float64)
+    server_of = np.full(n, -1, dtype=np.int64)
+    routable = sim._routable
+    policies = sim._policies
+
+    # Windowed autoscaler feeds (same shapes the python loop maintains).
+    window_lat: dict[str, list[float]] = {m: [] for m in routable}
+    window_arrivals: dict[str, int] = {m: 0 for m in routable}
+    window_drops: dict[str, int] = {m: 0 for m in routable}
+    scale_events: list = []
+    dropped: dict[str, int] = {m: 0 for m in routable}
+    drop_order: list[str] = []  # unknown models, first-drop order
+
+    runners: dict[int, _LocalReplicaSim] = {}
+    direct_pushes = 0
+    ticks = 0
+    if scaling:
+        outstanding_vec = np.zeros(n_servers, dtype=np.int64)
+        last_finish = np.zeros(n_servers, dtype=np.float64)
+        pool: list[tuple] = []  # (fin_arr, lat_arr, code, server_index)
+        pending_settles: dict = {}
+        window_s = sim.autoscaler.window_s
+
+    def deliver_segment(lo: int, hi: int, limit: float) -> None:
+        """Route and deliver arrivals [lo, hi); local fuse loops run
+        events strictly below ``limit`` (the next tick time)."""
+        nonlocal direct_pushes
+        if lo >= hi:
+            return
+        seg_m = arr_m[lo:hi]
+        seg_t = arr_t[lo:hi]
+        for code in np.unique(seg_m).tolist():
+            model = model_names[code]
+            sel = np.nonzero(seg_m == code)[0]
+            candidates = routable.get(model)
+            if not candidates:
+                # Same accounting as the python loop's drop path.
+                n_drop = int((seg_t[sel] >= warmup_s).sum())
+                if n_drop:
+                    dropped[model] = dropped.get(model, 0) + n_drop
+                if model not in dropped:
+                    dropped[model] = dropped.get(model, 0)
+                if model not in window_lat and model not in drop_order:
+                    drop_order.append(model)
+                if scaling:
+                    window_drops[model] = window_drops.get(model, 0) + len(sel)
+                continue
+            picks = policies[model].choose_batch(candidates, len(sel))
+            cand_idx = np.fromiter(
+                (s.index for s in candidates), np.int64, count=len(candidates)
+            )
+            server_of[lo + sel] = cand_idx[np.asarray(picks)]
+            if scaling:
+                window_arrivals[model] += len(sel)
+        seg_srv = server_of[lo:hi]
+        order = np.argsort(seg_srv, kind="stable")
+        sorted_srv = seg_srv[order]
+        uniq, starts = np.unique(sorted_srv, return_index=True)
+        bounds = starts.tolist() + [hi - lo]
+        for j, srv_i in enumerate(uniq.tolist()):
+            if srv_i < 0:
+                continue  # dropped arrivals
+            gidx = lo + order[bounds[j]:bounds[j + 1]]
+            s = servers[srv_i]
+            ts = arr_t[gidx]
+            szs = arr_size[gidx]
+            pls = arr_pool[gidx]
+            if scaling:
+                outstanding_vec[srv_i] += len(gidx)
+            if s.direct is not None:
+                st = s.direct.stage
+                c = st.chunk_items
+                ps = st.pooling_sensitivity
+                maxsz = int(szs.max())
+                base_tab = _service_table(st, maxsz if maxsz > c else c)
+                full, rem = np.divmod(szs, c)
+                has_rem = rem > 0
+                nch = full + has_rem
+                csf = float(c)
+                if ps > 0.0:
+                    svc_full = base_tab[c] * (
+                        1.0 - ps + ps * ((pls * csf) / csf)
+                    )
+                    remf = rem.astype(np.float64)
+                    svc_rem = base_tab[rem] * (
+                        1.0 - ps
+                        + ps * ((pls * remf) / np.where(has_rem, remf, 1.0))
+                    )
+                else:
+                    svc_full = np.full(len(ts), base_tab[c])
+                    svc_rem = base_tab[rem]
+                ends = np.cumsum(nch)
+                rep_t = np.repeat(ts, nch)
+                rep_svc = np.repeat(svc_full, nch)
+                rep_svc[ends[has_rem] - 1] = svc_rem[has_rem]
+                starts_q = np.concatenate(([0], ends[:-1]))
+                # The exact DirectStage recurrence against the replica's
+                # persistent unit-availability heap.
+                avail = s.direct.avail
+                done = []
+                ap = done.append
+                for now, sv in zip(rep_t.tolist(), rep_svc.tolist()):
+                    tf = avail[0]
+                    d = (tf if tf > now else now) + sv
+                    heapreplace(avail, d)
+                    ap(d)
+                fin = np.maximum.reduceat(np.asarray(done), starts_q)
+                finish[gidx] = fin
+                direct_pushes += len(gidx)
+                if scaling:
+                    fmax = float(fin.max())
+                    if fmax > last_finish[srv_i]:
+                        last_finish[srv_i] = fmax
+                    pool.append((fin, fin - ts, codes[s.model_name], srv_i))
+            else:
+                runner = runners.get(srv_i)
+                if runner is None:
+                    runner = runners[srv_i] = _LocalReplicaSim(s.pipeline)
+                runner.pump(
+                    ts.tolist(), szs.tolist(), pls.tolist(), gidx.tolist(),
+                    limit, finish, scaling,
+                )
+
+    def collect_fuse(limit: float) -> None:
+        """Run every local loop up to ``limit`` and bank completions."""
+        for srv_i, runner in runners.items():
+            if runner.events:
+                runner.pump((), (), (), (), limit, finish, scaling)
+            comps = runner.completions
+            if comps:
+                fin = np.fromiter(
+                    (c[0] for c in comps), np.float64, count=len(comps)
+                )
+                aidx = np.fromiter(
+                    (c[1] for c in comps), np.int64, count=len(comps)
+                )
+                runner.completions = []
+                s = servers[srv_i]
+                fmax = float(fin.max())
+                if fmax > last_finish[srv_i]:
+                    last_finish[srv_i] = fmax
+                pool.append((fin, fin - arr_t[aidx], codes[s.model_name], srv_i))
+
+    def harvest(tick_t: float) -> None:
+        """Feed the window ending at ``tick_t`` from the pool.
+
+        Completions with ``finish < tick_t`` pop before the tick in the
+        python loop (the tick's seq -1 wins ties), so strict less-than
+        matches its window membership exactly.  Within a window the
+        feed is finish-sorted; both built-in autoscalers are
+        order-insensitive (they count latencies, not fold them).
+        """
+        nonlocal pool
+        if not pool:
+            return
+        kept: list[tuple] = []
+        per_code: dict[int, list[tuple]] = {}
+        for fin, lats, code, srv_i in pool:
+            mask = fin < tick_t
+            n_in = int(mask.sum())
+            if n_in == 0:
+                kept.append((fin, lats, code, srv_i))
+                continue
+            if n_in == len(fin):
+                taken = (fin, lats)
+            else:
+                keep = ~mask
+                kept.append((fin[keep], lats[keep], code, srv_i))
+                taken = (fin[mask], lats[mask])
+            outstanding_vec[srv_i] -= n_in
+            per_code.setdefault(code, []).append(taken)
+        pool = kept
+        for code, chunks in per_code.items():
+            if len(chunks) == 1:
+                fin_c, lat_c = chunks[0]
+            else:
+                fin_c = np.concatenate([c[0] for c in chunks])
+                lat_c = np.concatenate([c[1] for c in chunks])
+            o = np.argsort(fin_c, kind="stable")
+            window_lat[model_names[code]] = (lat_c[o] * 1e3).tolist()
+
+    if scaling:
+        tick_t = window_s
+        prev_lo = 0
+        while tick_t < horizon:
+            hi = int(np.searchsorted(arr_t, tick_t, side="right"))
+            deliver_segment(prev_lo, hi, tick_t)
+            prev_lo = hi
+            collect_fuse(tick_t)
+            harvest(tick_t)
+            if pending_settles:
+                for drained, settle_t in list(pending_settles.items()):
+                    if settle_t < tick_t:
+                        drained.settle(settle_t)
+                        drained.active = False
+                        drained.draining = False
+                        del pending_settles[drained]
+            for s, out in zip(servers, outstanding_vec.tolist()):
+                s.outstanding = out
+            ticks += 1
+            before = len(scale_events)
+            sim._apply_autoscaler_tick(
+                tick_t, window_lat, window_arrivals, window_drops, scale_events
+            )
+            for ev in scale_events[before:]:
+                drained = ev.server
+                if ev.action == "drain" and drained.draining:
+                    # Outstanding work remains: the python loop settles
+                    # the replica when its last completion pops.  A
+                    # draining replica receives no new arrivals, so its
+                    # local loop can run dry now and the settle applies
+                    # lazily before the first later tick.
+                    runner = runners.get(drained.index)
+                    if runner is not None and runner.events:
+                        runner.pump(
+                            (), (), (), (), float("inf"), finish, True
+                        )
+                        comps = runner.completions
+                        if comps:
+                            fin = np.fromiter(
+                                (c[0] for c in comps), np.float64,
+                                count=len(comps),
+                            )
+                            aidx = np.fromiter(
+                                (c[1] for c in comps), np.int64,
+                                count=len(comps),
+                            )
+                            runner.completions = []
+                            fmax = float(fin.max())
+                            if fmax > last_finish[drained.index]:
+                                last_finish[drained.index] = fmax
+                            pool.append((
+                                fin, fin - arr_t[aidx],
+                                codes[drained.model_name], drained.index,
+                            ))
+                    pending_settles[drained] = float(last_finish[drained.index])
+            tick_t += window_s
+        deliver_segment(prev_lo, n, float("inf"))
+    else:
+        deliver_segment(0, n, float("inf"))
+
+    # Drain phase: no further ticks fire past the last arrival.
+    for runner in runners.values():
+        if runner.events:
+            runner.pump((), (), (), (), float("inf"), finish, False)
+        runner.completions = []
+    if scaling:
+        for drained, settle_t in pending_settles.items():
+            drained.settle(settle_t)
+            drained.active = False
+            drained.draining = False
+
+    # ---- final counters and summary ---------------------------------
+    routed = server_of >= 0
+    srv_routed = server_of[routed]
+    counts = np.bincount(srv_routed, minlength=n_servers)
+    items = np.bincount(
+        srv_routed,
+        weights=arr_size[routed].astype(np.float64),
+        minlength=n_servers,
+    )
+    inwin_mask = routed & (arr_t >= warmup_s)
+    inwin_mask[inwin_mask] &= finish[inwin_mask] <= horizon
+    inwin = np.bincount(server_of[inwin_mask], minlength=n_servers)
+    for i, s in enumerate(servers):
+        s.completed = int(counts[i])
+        s.items_done = int(items[i])
+        s.completed_in_window = int(inwin[i])
+        s.outstanding = 0
+        s.settle(horizon)
+
+    lat_all = finish - arr_t
+    completions: dict[str, tuple] = {}
+    empty = (np.empty(0), np.empty(0))
+    for m in routable:
+        completions[m] = empty
+    for m in drop_order:
+        completions.setdefault(m, empty)
+    for model, code in codes.items():
+        sel = routed & (arr_m == code)
+        if not bool(sel.any()):
+            continue
+        fin_m = finish[sel]
+        lat_m = lat_all[sel]
+        o = np.argsort(fin_m, kind="stable")
+        completions[model] = (fin_m[o], lat_m[o])
+
+    local_pushes = sum(r.seq for r in runners.values())
+    sim.last_event_count = n + direct_pushes + local_pushes + ticks
+    sim.last_query_log = ()
+    result = sim._summarize(
+        completions, dropped, warmup_s, horizon, tuple(scale_events), None
+    )
+    return result

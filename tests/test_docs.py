@@ -94,17 +94,18 @@ def test_every_subcommand_documented():
             "fleet",
             ["--faults", "--retries", "--hedge-ms", "--autoscale",
              "--autoscale-mode", "--arrivals", "--trace",
-             "--over-provision", "--policy", "--seed",
+             "--over-provision", "--policy", "--seed", "--core",
              "--metrics-out", "--trace-out", "--metrics-window-s", "--json"],
         ),
         (
             "provision-fault-aware",
             ["--faults", "--retries", "--hedge-ms", "--arrivals", "--trace",
              "--target-availability", "--baseline-r", "--r-min", "--r-max",
-             "--r-tol", "--max-evals", "--json"],
+             "--r-tol", "--max-evals", "--core", "--json"],
         ),
         ("observe", ["--json"]),
-        ("bench", ["--quick", "--scenarios", "--baseline", "--output"]),
+        ("bench", ["--quick", "--scenarios", "--baseline", "--output",
+                   "--core"]),
     ],
 )
 def test_documented_flags_exist(subcommand, flags):

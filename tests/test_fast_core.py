@@ -1,0 +1,367 @@
+"""Differential lane: the vectorized event core vs the python core.
+
+``core="vector"`` promises *bit-identical* results to ``core="python"``
+for every run it accepts (outstanding-oblivious routing, no faults, no
+live observer): the per-replica float recurrences are evaluated in the
+same order, so summaries are compared with ``==`` -- no tolerances.
+The only reordering the design permits is cross-replica finish-time
+ties inside one model's completion stream (documented in
+``docs/performance.md``); none of the traffic here produces one, so the
+pins below are exact.
+
+The lane sweeps the eligibility surface -- routing policies (rr,
+weighted), arrival shapes (piecewise Poisson, MMPP bursts, diurnal
+ramps, recorded replay), and autoscaler modes (none, reactive,
+predictive) -- and then asserts the *other* half of the contract: every
+ineligible configuration falls back (``auto`` logs why, ``vector``
+raises), so queue-aware policies, fault loops, tracking, and live
+observers always get the exact per-event core.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.cluster.state import Allocation
+from repro.fleet import FleetSimulator, build_fleet, build_fleet_trace
+from repro.sim import QueryWorkload
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+_ENGINE_LOGGER = "repro.fleet.engine"
+
+
+@pytest.fixture(scope="module")
+def two_model_inputs():
+    from repro.models import build_model
+
+    models = {name: build_model(name) for name in ("DLRM-RMC1", "DLRM-RMC2")}
+    workloads = {
+        name: QueryWorkload.for_model(model.config.mean_query_size)
+        for name, model in models.items()
+    }
+    return models, workloads
+
+
+def _mixed_allocation(extra_t7: int = 1) -> Allocation:
+    """3 direct-path T2 replicas + T7 event-path replicas, RMC1 only."""
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 3)
+    if extra_t7:
+        allocation.add("T7", "DLRM-RMC1", extra_t7)
+    return allocation
+
+
+def _rmc1_trace(small_table, workloads, load: float, seed: int, duration=2.5):
+    capacity = 3 * small_table.qps("T2", "DLRM-RMC1") + small_table.qps(
+        "T7", "DLRM-RMC1"
+    )
+    return build_fleet_trace(
+        {"DLRM-RMC1": workloads["DLRM-RMC1"]},
+        {"DLRM-RMC1": [(load * capacity, duration)]},
+        seed=seed,
+    )
+
+
+def _replay(small_table, inputs, allocation, trace, core, **kwargs):
+    """Build a fresh fleet (servers are mutated by a run) and replay."""
+    models, workloads = inputs
+    servers = build_fleet(
+        allocation, small_table, models, workloads,
+        standby=kwargs.pop("standby", None),
+    )
+    sim = FleetSimulator(
+        servers,
+        policy=kwargs.pop("policy", "rr"),
+        sla_ms={name: 20.0 for name in models},
+        seed=kwargs.pop("seed", 7),
+        core=core,
+        **kwargs,
+    )
+    result = sim.run(trace, warmup_s=kwargs.get("warmup_s", 0.0) or 0.3)
+    return sim, result
+
+
+def _assert_identical(vec, base):
+    """The full exactness contract: summaries, counters, power, events."""
+    assert vec.per_model == base.per_model
+    assert vec.avg_power_w == base.avg_power_w
+    assert vec.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in vec.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+    # ScaleEvent embeds the FleetServer object, and the two replays build
+    # separate fleets -- compare decisions field for field, not by object.
+    assert [
+        (e.time_s, e.model, e.action, e.server.index, e.reason)
+        for e in vec.scale_events
+    ] == [
+        (e.time_s, e.model, e.action, e.server.index, e.reason)
+        for e in base.scale_events
+    ]
+
+
+# ----------------------------------------------------------------------
+# Exact pins across the eligibility surface
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["rr", "weighted"])
+@pytest.mark.parametrize("seed", [13, 41])
+def test_vector_bit_identical_mixed_fleet(
+    small_table, two_model_inputs, policy, seed
+):
+    """Direct + FUSE replicas, both oblivious policies, ``==`` floats."""
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.65, seed)
+    _, base = _replay(
+        small_table, two_model_inputs, allocation, trace, "python", policy=policy
+    )
+    _, vec = _replay(
+        small_table, two_model_inputs, allocation, trace, "vector", policy=policy
+    )
+    _assert_identical(vec, base)
+
+
+def test_vector_bit_identical_two_models(small_table, two_model_inputs):
+    """Two model streams routed independently stay exact per model."""
+    models, workloads = two_model_inputs
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 2)
+    allocation.add("T3", "DLRM-RMC2", 2)
+    segments = {
+        "DLRM-RMC1": [(0.7 * 2 * small_table.qps("T2", "DLRM-RMC1"), 2.0)],
+        "DLRM-RMC2": [(0.6 * 2 * small_table.qps("T3", "DLRM-RMC2"), 2.0)],
+    }
+    trace = build_fleet_trace(workloads, segments, seed=17)
+    _, base = _replay(small_table, two_model_inputs, allocation, trace, "python")
+    _, vec = _replay(small_table, two_model_inputs, allocation, trace, "vector")
+    _assert_identical(vec, base)
+    assert set(vec.per_model) == {"DLRM-RMC1", "DLRM-RMC2"}
+
+
+@pytest.mark.parametrize("mode", ["reactive", "predictive"])
+def test_vector_bit_identical_with_autoscaler(
+    small_table, two_model_inputs, mode
+):
+    """Segmented delivery reproduces every autoscaler decision exactly:
+    the vector core replays arrivals window by window, hands the scaler
+    the same outstanding counts and window sketches at every tick, and
+    honours drain settles identically."""
+    from repro.fleet import PredictiveAutoscaler, ReactiveAutoscaler
+
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 1)
+    standby = Allocation()
+    standby.add("T2", "DLRM-RMC1", 2)
+    tup = small_table.get("T2", "DLRM-RMC1")
+    trace = build_fleet_trace(
+        {"DLRM-RMC1": two_model_inputs[1]["DLRM-RMC1"]},
+        {"DLRM-RMC1": [(2.0 * tup.qps, 3.0)]},
+        seed=23,
+    )
+
+    def scaler():
+        if mode == "reactive":
+            return ReactiveAutoscaler(
+                {"DLRM-RMC1": 20.0}, window_s=0.25, cooldown_s=0.5
+            )
+        return PredictiveAutoscaler({"DLRM-RMC1": 20.0}, window_s=0.25)
+
+    def run(core):
+        return _replay(
+            small_table, two_model_inputs, allocation, trace, core,
+            standby=standby, autoscaler=scaler(),
+        )[1]
+
+    base, vec = run("python"), run("vector")
+    _assert_identical(vec, base)
+    assert base.scale_events  # the scaler actually acted
+
+
+@pytest.mark.parametrize("shape", ["mmpp", "diurnal", "recorded"])
+def test_vector_bit_identical_arrival_shapes(
+    small_table, two_model_inputs, tmp_path, shape
+):
+    """Bursty, ramping, and file-replayed traffic all replay exactly."""
+    from repro.traces import (
+        DiurnalProcess,
+        FleetArrivals,
+        MMPPProcess,
+        RecordedTrace,
+        save_trace,
+    )
+
+    workload = two_model_inputs[1]["DLRM-RMC1"]
+    qps = small_table.qps("T2", "DLRM-RMC1")
+    allocation = _mixed_allocation(extra_t7=0)
+
+    if shape == "mmpp":
+        process = MMPPProcess(
+            workload, rates=(0.8 * qps, 2.4 * qps), dwell_s=(0.6, 0.2),
+            duration_s=2.5,
+        )
+        source = FleetArrivals({"DLRM-RMC1": process}, seed=5)
+    elif shape == "diurnal":
+        process = DiurnalProcess(
+            workload, peak_qps=2.0 * qps, duration_s=2.5, steps=8
+        )
+        source = FleetArrivals({"DLRM-RMC1": process}, seed=5)
+    else:
+        trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=9)
+        path = tmp_path / "replay.jsonl"
+        save_trace(str(path), trace)
+        source = RecordedTrace(str(path), default_model="DLRM-RMC1")
+
+    _, base = _replay(small_table, two_model_inputs, allocation, source, "python")
+    _, vec = _replay(small_table, two_model_inputs, allocation, source, "vector")
+    _assert_identical(vec, base)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    policy=st.sampled_from(["rr", "weighted"]),
+    load=st.floats(0.3, 0.95),
+)
+def test_vector_matches_python_property(
+    small_table, two_model_inputs, seed, policy, load
+):
+    """Property sweep: any oblivious replay is exact, load and seed free."""
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], load, seed, duration=1.5)
+    _, base = _replay(
+        small_table, two_model_inputs, allocation, trace, "python", policy=policy
+    )
+    _, vec = _replay(
+        small_table, two_model_inputs, allocation, trace, "vector", policy=policy
+    )
+    _assert_identical(vec, base)
+
+
+def test_auto_selects_vector_without_logging(
+    small_table, two_model_inputs, caplog
+):
+    """``core="auto"`` on an eligible run takes the fast path silently
+    and still matches the python core exactly."""
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+    _, base = _replay(small_table, two_model_inputs, allocation, trace, "python")
+    with caplog.at_level(logging.INFO, logger=_ENGINE_LOGGER):
+        _, auto = _replay(small_table, two_model_inputs, allocation, trace, "auto")
+    assert not [
+        r for r in caplog.records if "falling back" in r.getMessage()
+    ]
+    _assert_identical(auto, base)
+
+
+# ----------------------------------------------------------------------
+# Fallback surface: ineligible runs log (auto) or raise (vector)
+# ----------------------------------------------------------------------
+
+
+def _ineligible_kwargs(kind):
+    from repro.fleet import FaultSchedule
+    from repro.obs import FleetProbe
+
+    if kind == "least":
+        return {"policy": "least"}, "queue-aware"
+    if kind == "p2c":
+        return {"policy": "p2c"}, "queue-aware"
+    if kind == "faults":
+        return {"faults": FaultSchedule()}, "per-event core"
+    if kind == "tracked":
+        return {"faults": FaultSchedule(), "retries": 2}, "per-event core"
+    assert kind == "observer"
+    return {"observer": FleetProbe(window_s=0.25)}, "live observer"
+
+
+@pytest.mark.parametrize(
+    "kind", ["least", "p2c", "faults", "tracked", "observer"]
+)
+def test_auto_falls_back_and_logs(small_table, two_model_inputs, caplog, kind):
+    """Every ineligible configuration degrades to the python core under
+    ``auto``, logging the reason, and the result is the python result."""
+    kwargs, reason_fragment = _ineligible_kwargs(kind)
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+    _, base = _replay(
+        small_table, two_model_inputs, allocation, trace, "python",
+        **_ineligible_kwargs(kind)[0],
+    )
+    with caplog.at_level(logging.INFO, logger=_ENGINE_LOGGER):
+        _, auto = _replay(
+            small_table, two_model_inputs, allocation, trace, "auto", **kwargs
+        )
+    fallbacks = [
+        r for r in caplog.records if "falling back" in r.getMessage()
+    ]
+    assert fallbacks, "auto must log why it refused the vector core"
+    assert reason_fragment in fallbacks[0].getMessage()
+    assert auto.per_model == base.per_model
+    assert auto.events == base.events
+
+
+@pytest.mark.parametrize(
+    "kind", ["least", "p2c", "faults", "tracked", "observer"]
+)
+def test_vector_raises_when_ineligible(small_table, two_model_inputs, kind):
+    """Forcing ``core="vector"`` on an ineligible run is an actionable
+    error, not a silent degrade."""
+    kwargs, reason_fragment = _ineligible_kwargs(kind)
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+    with pytest.raises(ValueError, match="core='vector' is unavailable") as exc:
+        _replay(
+            small_table, two_model_inputs, allocation, trace, "vector", **kwargs
+        )
+    assert reason_fragment in str(exc.value)
+    assert "core='auto'" in str(exc.value)  # the error names the way out
+
+
+def test_unknown_core_name_rejected(small_table, two_model_inputs):
+    models, workloads = two_model_inputs
+    servers = build_fleet(_mixed_allocation(), small_table, models, workloads)
+    with pytest.raises(ValueError, match="unknown core"):
+        FleetSimulator(servers, policy="rr", sla_ms={"DLRM-RMC1": 20.0},
+                       core="numba")
+
+
+# ----------------------------------------------------------------------
+# Input validation parity with the python core
+# ----------------------------------------------------------------------
+
+
+def test_vector_empty_trace_raises(small_table, two_model_inputs):
+    with pytest.raises(ValueError, match="empty fleet trace"):
+        _replay(small_table, two_model_inputs, _mixed_allocation(), [], "vector")
+
+
+def test_vector_unsorted_stream_raises(small_table, two_model_inputs):
+    """A lazily-streamed source with regressing timestamps fails with
+    the same message the python core produces."""
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.5, seed=3)
+    rotated = trace[1:] + trace[:1]  # earliest arrival moved last
+    stream = iter(rotated)  # a generator cannot be re-sorted silently
+    with pytest.raises(ValueError, match="not sorted by time"):
+        _replay(
+            small_table, two_model_inputs, _mixed_allocation(), stream, "vector"
+        )
+
+
+def test_vector_unsorted_list_sorted_like_python(small_table, two_model_inputs):
+    """Out-of-order *lists* are sorted by both cores before replay."""
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.5, seed=3)
+    rotated = trace[1:] + trace[:1]
+    _, base = _replay(
+        small_table, two_model_inputs, _mixed_allocation(), rotated, "python"
+    )
+    _, vec = _replay(
+        small_table, two_model_inputs, _mixed_allocation(), rotated, "vector"
+    )
+    _assert_identical(vec, base)

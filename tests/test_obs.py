@@ -150,6 +150,72 @@ class TestQuantileSketch:
             QuantileSketch().quantile(0.42)
 
 
+class TestAddManyBitIdentity:
+    """Batched insertion is the scalar path, float for float.
+
+    ``add_many`` is the metrics-hook hot path (windows flush buffered
+    observations in one call); it must leave *exactly* the state a
+    one-at-a-time ``add`` loop would -- marker heights, positions,
+    desired positions, startup buffer, running sum -- or the batched
+    probe would drift from the documented estimator.
+    """
+
+    @staticmethod
+    def _p2_state(sk):
+        return (sk._count, sk._buf, sk._q, sk._n, sk._desired)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=0, max_size=120
+        ),
+        cuts=st.lists(st.integers(0, 120), max_size=6),
+        q=st.sampled_from([0.5, 0.95, 0.99]),
+    )
+    def test_p2_chunked_equals_scalar(self, data, cuts, q):
+        scalar = P2Quantile(q)
+        for x in data:
+            scalar.add(x)
+        batched = P2Quantile(q)
+        bounds = sorted({0, len(data), *[c % (len(data) + 1) for c in cuts]})
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi - lo == 1:
+                batched.add(data[lo])  # interleave scalar adds too
+            else:
+                batched.add_many(data[lo:hi])
+        assert self._p2_state(batched) == self._p2_state(scalar)
+        assert (batched.value() == scalar.value()) or (
+            math.isnan(batched.value()) and math.isnan(scalar.value())
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(0.0, 1e4, allow_nan=False), min_size=0, max_size=80
+        ),
+        cut=st.integers(0, 80),
+    )
+    def test_sketch_chunked_equals_scalar(self, data, cut):
+        scalar = QuantileSketch()
+        for x in data:
+            scalar.add(x)
+        batched = QuantileSketch()
+        cut = cut % (len(data) + 1)
+        batched.add_many(data[:cut])
+        batched.add_many(data[cut:])
+        assert batched.count == scalar.count
+        assert batched._sum == scalar._sum
+        for p in scalar.quantiles:
+            a, b = batched.quantile(p), scalar.quantile(p)
+            assert a == b or (math.isnan(a) and math.isnan(b))
+        assert (batched.min == scalar.min) or (
+            math.isnan(batched.min) and math.isnan(scalar.min)
+        )
+        assert (batched.max == scalar.max) or (
+            math.isnan(batched.max) and math.isnan(scalar.max)
+        )
+
+
 # ----------------------------------------------------------------------
 # probe construction and fleet fixtures
 # ----------------------------------------------------------------------

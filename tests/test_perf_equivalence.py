@@ -834,3 +834,40 @@ def test_tracing_probe_does_not_perturb(
     assert traced.per_model == base.per_model
     assert traced.avg_power_w == base.avg_power_w
     assert len(probe.spans) == len(sim.last_query_log) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# Vectorized core == python core, float for float
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["rr", "weighted"])
+@pytest.mark.parametrize("seed", [13, 41])
+def test_vector_core_bit_identical(
+    small_table, rmc1_small_fleet_inputs, policy, seed
+):
+    """``core="vector"`` replays an oblivious-routing fleet with the
+    exact per-replica float recurrences of the python core: summaries,
+    per-replica counters, power, and the event count all compare ``==``
+    with no tolerances.  (Queue-aware policies and fault loops fall
+    back to the python core; tests/test_fast_core.py covers that
+    surface.)
+    """
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    def run(core):
+        servers = build_fleet(allocation, small_table, models, workloads)
+        sim = FleetSimulator(
+            servers, policy=policy, sla_ms={"DLRM-RMC1": 20.0}, seed=7, core=core
+        )
+        return sim.run(trace, warmup_s=0.3)
+
+    base = run("python")
+    vec = run("vector")
+    assert vec.per_model == base.per_model
+    assert vec.avg_power_w == base.avg_power_w
+    assert vec.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in vec.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
