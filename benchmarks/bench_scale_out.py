@@ -1,0 +1,345 @@
+"""Scale-out scenario pack: sharded replay and sketch-backed reports.
+
+Three operational stories the scale-out machinery of PR 8 exists for,
+each replayed end to end (all slow lane):
+
+1. **Flash crowd** — MMPP storms hammer a four-model fleet at twice
+   the steady rate.  The replay runs sharded by model across a
+   process pool (`repro.fleet.run_fleet_sharded`) and the merged
+   report is asserted equal, float for float, to the single-process
+   engine — the bit-identity contract at bench scale, with the shard
+   speedup recorded for multi-core hosts.
+2. **Model-launch day** — a new model ramps from a trickle to full
+   capacity while the rest of the fleet serves its normal day; a
+   reactive autoscaler activates standbys along the ramp.  Sharded
+   and single-process replays must agree on the full scale-event
+   timeline, not just the aggregates.
+3. **Multi-day diurnal with faults** — three compressed days of
+   diurnal traffic under stochastic crashes.  Fault injection cannot
+   shard (cross-model dead domains), so this replay runs
+   single-process with ``percentile_mode="sketch"``: the light fault
+   loop plus P² report sketches keep memory O(models) where exact
+   mode would hold every completion — the bench asserts the RSS
+   growth stays under a budget a (~180 MB) exact-mode sample list
+   would blow through, which is why this replay only *completes*
+   (within the budget) in sketch mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from _shared import SLA_MS, model, profile_table, workload
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.cluster.state import Allocation
+from repro.fleet import (
+    FaultSchedule,
+    FleetSimulator,
+    ReactiveAutoscaler,
+    build_fleet,
+)
+from repro.fleet.sharded import run_fleet_sharded
+from repro.traces import (
+    DiurnalProcess,
+    FleetArrivals,
+    MMPPProcess,
+    PiecewisePoissonProcess,
+)
+
+SEED = 5
+MODELS = ("DIN", "DLRM-RMC1", "DLRM-RMC2", "DLRM-RMC3")
+SERVER_TYPES_USED = ("T2", "T3", "T7")
+#: Replicas per (server type, model) — every model on two types so a
+#: domain has somewhere to scale, four models so four shards are real.
+REPLICAS = {
+    ("T2", "DLRM-RMC1"): 3,
+    ("T3", "DLRM-RMC1"): 2,
+    ("T2", "DLRM-RMC2"): 3,
+    ("T3", "DLRM-RMC2"): 2,
+    ("T3", "DLRM-RMC3"): 2,
+    ("T7", "DLRM-RMC3"): 2,
+    ("T2", "DIN"): 2,
+    ("T7", "DIN"): 2,
+}
+
+
+def _fleet():
+    table = profile_table(SERVER_TYPES_USED, MODELS)
+    models = {m: model(m) for m in MODELS}
+    workloads = {m: workload(m) for m in MODELS}
+    allocation = Allocation()
+    for (srv, name), count in sorted(REPLICAS.items()):
+        allocation.add(srv, name, count)
+    capacity = {
+        n: sum(
+            c * table.qps(srv, m)
+            for (srv, m), c in allocation.counts.items()
+            if m == n
+        )
+        for n in MODELS
+    }
+    sla = {m: SLA_MS[m] for m in MODELS}
+    return table, models, workloads, allocation, capacity, sla
+
+
+def _walltime(fn):
+    import time
+
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+@pytest.mark.slow
+def test_flash_crowd_sharded_replay(benchmark, show, record):
+    """Storm traffic, 4 shards vs 1 process: reports must be equal."""
+    table, models, workloads, allocation, capacity, sla = _fleet()
+    duration = 6.0
+    stream = FleetArrivals(
+        {
+            # Quiet at 40% of capacity, storms at 120% — the crowd
+            # briefly exceeds what the fleet can serve.
+            n: MMPPProcess(
+                workloads[n],
+                [0.4 * capacity[n], 1.2 * capacity[n]],
+                [1.2, 0.3],
+                duration,
+            )
+            for n in MODELS
+        },
+        seed=SEED,
+    )
+
+    def replay(shards):
+        return _walltime(
+            lambda: run_fleet_sharded(
+                allocation, table, models, workloads, stream,
+                shards=shards, policy="rr", sla_ms=sla, seed=SEED,
+                warmup_s=duration * 0.05, core="python",
+            )
+        )
+
+    def run():
+        single = replay(1)
+        sharded = replay(4)
+        return single, sharded
+
+    (wall_1, result_1), (wall_4, result_4) = run_once(benchmark, run)
+
+    assert result_4.to_dict() == result_1.to_dict(), (
+        "sharded flash-crowd replay diverged from the single process"
+    )
+
+    rows = [
+        [
+            s.model,
+            s.completed,
+            s.dropped,
+            round(s.p99_ms, 1),
+            round(s.sla_ms),
+            f"{s.violation_rate * 100:.2f}%",
+        ]
+        for s in sorted(result_4.per_model.values(), key=lambda s: s.model)
+    ]
+    show(
+        "Flash crowd, 4 shards == 1 process (bit-identical)\n"
+        + format_table(
+            ["model", "served", "dropped", "p99 ms", "SLA ms", "viol"], rows
+        )
+        + f"\nwall: single {wall_1:.2f}s, 4 shards {wall_4:.2f}s "
+        f"(speedup {wall_1 / wall_4:.2f}x on {os.cpu_count()} cpus)"
+    )
+    record(
+        {
+            "flash_crowd": {
+                "sharded_merge_equal": True,
+                "wall_single_s": wall_1,
+                "wall_sharded_s": wall_4,
+                "speedup_shards": wall_1 / wall_4,
+                "cpus": os.cpu_count(),
+                "completed": result_4.total_completed,
+                "dropped": result_4.total_dropped,
+            }
+        }
+    )
+
+
+@pytest.mark.slow
+def test_model_launch_day_sharded(benchmark, show, record):
+    """A model ramps from a trickle to beyond its base capacity while
+    the fleet serves a normal day; the autoscaler's activation
+    timeline must interleave identically sharded and unsharded."""
+    table, models, workloads, allocation, capacity, sla = _fleet()
+    duration = 8.0
+    launched = "DIN"
+    # The launch ramp: 5% -> 30% -> 70% -> 120% of base capacity in
+    # equal quarters.  Established models run a steady diurnal day.
+    ramp = [
+        (level * capacity[launched], duration / 4)
+        for level in (0.05, 0.3, 0.7, 1.2)
+    ]
+    processes = {
+        n: DiurnalProcess(
+            workloads[n], 0.8 * capacity[n], duration, steps=32, noise=0.05
+        )
+        for n in MODELS
+        if n != launched
+    }
+    processes[launched] = PiecewisePoissonProcess(workloads[launched], ramp)
+    stream = FleetArrivals(processes, seed=SEED)
+
+    standby = Allocation()
+    standby.add("T2", launched, 2)
+    standby.add("T7", launched, 1)
+    standby.add("T2", "DLRM-RMC1", 1)
+
+    def replay(shards):
+        return run_fleet_sharded(
+            allocation, table, models, workloads, stream,
+            shards=shards, policy="least", sla_ms=sla,
+            autoscaler=ReactiveAutoscaler(sla, window_s=0.25, cooldown_s=0.5),
+            seed=SEED, warmup_s=duration * 0.02, standby=standby,
+            core="python",
+        )
+
+    def run():
+        return replay(1), replay(4)
+
+    result_1, result_4 = run_once(benchmark, run)
+
+    assert result_4.to_dict() == result_1.to_dict(), (
+        "sharded launch-day replay diverged from the single process"
+    )
+    activations = [
+        ev for ev in result_4.scale_events
+        if ev.model == launched and ev.action == "activate"
+    ]
+    assert activations, "the launch ramp must activate standby capacity"
+    timeline = [
+        (round(ev.time_s, 2), ev.model, ev.action)
+        for ev in result_4.scale_events
+    ]
+    assert timeline == [
+        (round(ev.time_s, 2), ev.model, ev.action)
+        for ev in result_1.scale_events
+    ]
+
+    launched_stats = result_4.per_model[launched]
+    show(
+        f"Model-launch day ({launched}): {len(activations)} standby "
+        f"activation(s), {len(result_4.scale_events)} scale events total\n"
+        f"{launched} served {launched_stats.completed} "
+        f"(p99 {launched_stats.p99_ms:.1f} ms vs SLA "
+        f"{launched_stats.sla_ms:.0f} ms)\n"
+        "sharded timeline == single-process timeline: yes"
+    )
+    record(
+        {
+            "model_launch_day": {
+                "sharded_merge_equal": True,
+                "launch_activations": len(activations),
+                "scale_events": len(result_4.scale_events),
+                "launched_completed": launched_stats.completed,
+            }
+        }
+    )
+
+
+@pytest.mark.slow
+def test_multiday_diurnal_faults_sketch_mode(benchmark, show, record):
+    """Three compressed days under stochastic crashes, sketch reports.
+
+    Fault replays cannot shard, so the memory ceiling is the whole
+    point here: the light fault loop (no retries — victims fail) plus
+    ``percentile_mode="sketch"`` holds O(models) report state.  The
+    replay streams ~1.8M queries; an exact-mode report would append
+    every completion (~180 MB of tuples and list at this scale, GBs
+    at production scale) where the sketch run must stay inside a
+    64 MiB RSS-growth budget.
+    """
+    try:
+        import resource
+    except ImportError:
+        pytest.skip("resource module unavailable (non-POSIX)")
+
+    table, models, workloads, base_allocation, _, sla = _fleet()
+    # A 4x fleet and longer compressed days push the replay past a
+    # million queries — the volume where report memory starts to bite.
+    allocation = Allocation()
+    for (srv, name), count in sorted(base_allocation.counts.items()):
+        allocation.add(srv, name, count * 4)
+    capacity = {
+        n: sum(
+            c * table.qps(srv, m)
+            for (srv, m), c in allocation.counts.items()
+            if m == n
+        )
+        for n in MODELS
+    }
+    days, day_s = 3, 8.0
+    rho = 0.7
+    stream = FleetArrivals(
+        {
+            n: DiurnalProcess(
+                workloads[n], rho * capacity[n], day_s,
+                steps=48, noise=0.1, days=days,
+            )
+            for n in MODELS
+        },
+        seed=SEED,
+    )
+    faults = FaultSchedule.parse("random:crash_mtbf=18,mttr=1.5")
+    servers = build_fleet(allocation, table, models, workloads)
+    # Weighted routing splits load in proportion to replica capacity;
+    # rr would saturate the slowest server type at this utilization
+    # and the resulting backlog (in-flight queries) would dwarf the
+    # report memory this bench is measuring.
+    sim = FleetSimulator(
+        servers, policy="weighted", sla_ms=sla, seed=SEED, core="python",
+        faults=faults, percentile_mode="sketch",
+    )
+
+    def run():
+        rss_before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        result = sim.run(stream, warmup_s=day_s * 0.05)
+        rss_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return result, rss_after - rss_before
+
+    result, rss_delta_kb = run_once(benchmark, run)
+
+    budget_kb = 65_536
+    queries = result.total_completed + result.total_failed
+    exact_estimate_kb = queries * 100 // 1024  # ~100 B/completion held
+    assert rss_delta_kb <= budget_kb, (
+        f"sketch-mode multi-day replay grew RSS by {rss_delta_kb} KiB "
+        f"(budget {budget_kb} KiB)"
+    )
+    assert queries > 1_000_000, "the bench must replay a multi-day volume"
+    assert result.availability < 1.0, "crashes must cost availability"
+    assert result.phases == ()  # sketch mode skips phase breakdowns
+
+    show(
+        f"Multi-day diurnal + faults, sketch mode: {queries:,} queries "
+        f"over {days} compressed days\n"
+        f"RSS growth {rss_delta_kb:,} KiB (budget {budget_kb:,} KiB; an "
+        f"exact-mode sample list alone would hold ~{exact_estimate_kb:,} "
+        "KiB)\n"
+        f"availability {result.availability * 100:.2f}%, worst violation "
+        f"rate {result.worst_violation_rate * 100:.2f}%"
+    )
+    record(
+        {
+            "multiday_sketch": {
+                "queries": queries,
+                "rss_delta_kb": rss_delta_kb,
+                "rss_budget_kb": budget_kb,
+                "exact_mode_estimate_kb": exact_estimate_kb,
+                "availability": result.availability,
+                "fault_events": len(result.fault_events),
+            }
+        }
+    )

@@ -368,7 +368,6 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if peak_allocation.has_shortfall:
         print("warning: fleet cannot cover the requested peak load", file=chatter)
 
-    servers = build_fleet(allocation, table, models, workloads, standby=standby)
     faults = FaultSchedule.parse(args.faults) if args.faults else None
     probe = None
     if args.metrics_out or args.trace_out:
@@ -379,19 +378,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             metrics=args.metrics_out is not None,
             trace=args.trace_out is not None,
         )
-    sim = FleetSimulator(
-        servers,
-        policy=args.policy,
-        sla_ms={name: m.sla_ms for name, m in models.items()},
-        autoscaler=autoscaler,
-        seed=args.seed,
-        faults=faults,
-        retries=args.retries,
-        hedge_ms=args.hedge_ms,
-        observer=probe,
-        core=args.core,
-    )
-    result = sim.run(source, warmup_s=span * 0.05)
+    if args.shards > 1:
+        if faults is not None or args.retries or args.hedge_ms is not None:
+            raise SystemExit(
+                "--shards > 1 supports fault-free replays only: fault "
+                "injection couples shards through cross-model dead "
+                "domains; drop --faults/--retries/--hedge-ms or run "
+                "--shards 1 (add --percentile-mode sketch for the "
+                "memory ceiling)"
+            )
+        if probe is not None:
+            raise SystemExit(
+                "--shards > 1 cannot export observability (the probe "
+                "needs the single-process loop); drop "
+                "--metrics-out/--trace-out or run --shards 1"
+            )
+        from repro.fleet.sharded import run_fleet_sharded
+
+        result = run_fleet_sharded(
+            allocation,
+            table,
+            models,
+            workloads,
+            source,
+            shards=args.shards,
+            policy=args.policy,
+            sla_ms={name: m.sla_ms for name, m in models.items()},
+            autoscaler=autoscaler,
+            seed=args.seed,
+            percentile_mode=args.percentile_mode,
+            warmup_s=span * 0.05,
+            standby=standby,
+            core="python" if args.core == "vector" else args.core,
+        )
+    else:
+        servers = build_fleet(
+            allocation, table, models, workloads, standby=standby
+        )
+        sim = FleetSimulator(
+            servers,
+            policy=args.policy,
+            sla_ms={name: m.sla_ms for name, m in models.items()},
+            autoscaler=autoscaler,
+            seed=args.seed,
+            faults=faults,
+            retries=args.retries,
+            hedge_ms=args.hedge_ms,
+            observer=probe,
+            core=args.core,
+            percentile_mode=args.percentile_mode,
+        )
+        result = sim.run(source, warmup_s=span * 0.05)
     if probe is not None:
         if args.metrics_out:
             probe.export_metrics(args.metrics_out)
@@ -414,7 +451,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(
             result.format(
                 title=(
-                    f"{args.policy} routing, {len(servers)} provisioned of "
+                    f"{args.policy} routing, {len(result.servers)} provisioned of "
                     f"{args.servers} fleet servers "
                     + (
                         f"({span:.0f}s recorded trace)"
@@ -438,6 +475,13 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
     models, table, fleet_counts, traces, workloads, source = _fleet_inputs(
         args, target_utilization=0.5
     )
+    if args.shards > 1:
+        raise SystemExit(
+            "--shards > 1 is not supported by provision-fault-aware: its "
+            "replays are fault-injected, and fault injection couples "
+            "shards through cross-model dead domains; use --percentile-"
+            "mode sketch to bound replay memory instead"
+        )
     span = _replay_span_s(args, source)
     # The search replays the identical traffic at every candidate R;
     # materializing once beats re-drawing the stream a dozen times.
@@ -475,6 +519,7 @@ def _cmd_provision_fault_aware(args: argparse.Namespace) -> int:
         hedge_ms=args.hedge_ms,
         seed=args.seed,
         core=args.core,
+        percentile_mode=args.percentile_mode,
         warmup_s=span * 0.05,
         r_min=args.r_min,
         r_max=args.r_max,
@@ -683,6 +728,31 @@ def _add_fleet_shared_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes for offline profiling (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "shard the replay by model across this many worker processes "
+            "and merge the reports (seed-deterministic: exact mode merges "
+            "bit-identical to --shards 1); fault-free runs only -- "
+            "--faults/--retries/--hedge-ms and the observability exports "
+            "need the single-process loop (see docs/cli.md)"
+        ),
+    )
+    parser.add_argument(
+        "--percentile-mode",
+        choices=("exact", "sketch"),
+        default="exact",
+        help=(
+            "report percentiles: 'exact' stores every measured latency "
+            "(bit-identical, O(queries) memory); 'sketch' folds "
+            "completions into P2 quantile sketches as they retire "
+            "(O(models) memory -- week-long replays survive; "
+            "completed/qps/violation-rate stay exact, p50/p95/p99 are "
+            "estimates, phases empty)"
+        ),
     )
 
 

@@ -292,6 +292,16 @@ class FleetSimulator:
             ``ValueError`` with the ineligibility reason instead of
             silently degrading.  See ``docs/performance.md`` for the
             selection matrix and the float-reordering caveat.
+        percentile_mode: How the report's latency percentiles are
+            computed.  ``"exact"`` (the default) stores every measured
+            latency and runs ``numpy.percentile`` -- bit-identical to
+            every prior release, O(queries) memory.  ``"sketch"`` folds
+            completions into P² quantile sketches
+            (:mod:`repro.obs.sketch`) as they retire: O(1) memory per
+            model, so week-long 10⁸-query replays survive, at the cost
+            of estimated p50/p95/p99 (completed/dropped/qps/
+            violation-rate stay exact) and an empty ``phases`` tuple.
+            Sketch mode requires the per-event python core.
     """
 
     def __init__(
@@ -306,12 +316,18 @@ class FleetSimulator:
         hedge_ms: float | None = None,
         observer=None,
         core: str = "auto",
+        percentile_mode: str = "exact",
     ) -> None:
         if not servers:
             raise ValueError("need at least one fleet server")
         if core not in FLEET_CORES:
             raise ValueError(
                 f"unknown core {core!r}; choose from {list(FLEET_CORES)}"
+            )
+        if percentile_mode not in ("exact", "sketch"):
+            raise ValueError(
+                f"unknown percentile_mode {percentile_mode!r}; "
+                "choose 'exact' or 'sketch'"
             )
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -327,6 +343,8 @@ class FleetSimulator:
         self.hedge_ms = hedge_ms
         self.observer = observer
         self.core = core
+        self.percentile_mode = percentile_mode
+        self._sketch_stats: dict | None = None
         self.last_query_log: tuple = ()
         if faults is not None and getattr(faults, "domains", None) is not None:
             # Stamp the schedule's rack/power-domain assignment onto the
@@ -337,6 +355,7 @@ class FleetSimulator:
         self._routable: dict[str, list[FleetServer]] = {}
         self._policies: dict[str, RoutingPolicy] = {}
         self.last_event_count = 0
+        self.last_tick_count = 0
         model_names = sorted({s.model_name for s in self.servers})
         for i, model in enumerate(model_names):
             self._routable[model] = [
@@ -456,6 +475,11 @@ class FleetSimulator:
             )
         if self.observer is not None:
             return "a live observer requires per-event completion hooks"
+        if self.percentile_mode != "exact":
+            return (
+                "sketch-mode reports fold completions one event at a "
+                "time; the batch core would have to materialize them"
+            )
         for model, policy in self._policies.items():
             if not policy.outstanding_oblivious:
                 return (
@@ -464,9 +488,26 @@ class FleetSimulator:
                 )
         return None
 
+    def _seal_sketches(self, horizon: float) -> None:
+        """Close sketch accumulators at the measurement horizon.
+
+        Called once when the arrival stream exhausts (the moment the
+        horizon becomes known); completions draining in after it are
+        filtered at append time, mirroring exact mode's
+        ``finish <= horizon`` cut.  No-op in exact mode and for
+        accumulators already sealed by a forced ``horizon_s``.
+        """
+        sketches = self._sketch_stats
+        if sketches is not None:
+            for acc in sketches.values():
+                if type(acc) is not list:
+                    acc.seal(horizon)
+
     # ------------------------------------------------------------------
 
-    def run(self, trace, warmup_s: float = 0.0) -> FleetResult:
+    def run(
+        self, trace, warmup_s: float = 0.0, *, horizon_s: float | None = None
+    ) -> FleetResult:
         """Play a multi-model arrival source through the fleet.
 
         Args:
@@ -488,9 +529,29 @@ class FleetSimulator:
                 shape.  Scripted schedules are horizon-free and
                 bit-identical across both shapes.
             warmup_s: Initial window excluded from the statistics.
+            horizon_s: Force the measurement horizon instead of using
+                the stream's last arrival.  The sharded runner passes
+                the *fleet-wide* last arrival here so every shard
+                measures the identical window (qps denominators, tick
+                counts, and active-time accounting all match the
+                single-process run bit-for-bit).  Must be >= the
+                stream's own last arrival; fault-free runs only.
         """
+        if horizon_s is not None:
+            if self._fault_mode:
+                raise ValueError(
+                    "horizon_s is only supported for fault-free runs "
+                    "(the fault loops derive their own horizon)"
+                )
+            if horizon_s <= warmup_s:
+                raise ValueError("horizon_s must exceed warmup_s")
         if self.core != "python":
             reason = self._vector_fallback_reason()
+            if reason is None and horizon_s is not None:
+                reason = (
+                    "a forced measurement horizon requires the "
+                    "per-event core"
+                )
             if reason is None:
                 try:
                     from repro.sim import fast_core
@@ -555,9 +616,25 @@ class FleetSimulator:
 
         # Models with no replica anywhere in the fleet are added as the
         # stream names them, so they still surface as dropped/violating.
-        completions: dict[str, list[tuple[float, float]]] = {
-            m: [] for m in self._routable
-        }
+        # Sketch mode swaps the per-model sample lists for O(1)-memory
+        # accumulators exposing the same ``append((finish, lat))`` the
+        # loops call; the loops themselves are unchanged.
+        completions: dict
+        if self.percentile_mode == "sketch":
+            from repro.fleet.report import LatencySketchSeries
+
+            completions = {
+                m: LatencySketchSeries(
+                    sla_ms=self.sla_ms.get(m, float("inf")),
+                    warmup_s=warmup_s,
+                    horizon_s=horizon_s,
+                )
+                for m in self._routable
+            }
+            self._sketch_stats = completions
+        else:
+            self._sketch_stats = None
+            completions = {m: [] for m in self._routable}
         dropped: dict[str, int] = {m: 0 for m in completions}
         scaling = self.autoscaler is not None
 
@@ -597,6 +674,7 @@ class FleetSimulator:
                     arrivals, first, streams, events, dead, finished, heap,
                     warmup_s, scaling, completions, dropped,
                     window_lat, window_arrivals, window_drops, scale_events,
+                    horizon_s,
                 )
         finally:
             if gc_was_enabled:
@@ -605,6 +683,7 @@ class FleetSimulator:
         for server in self.servers:
             server.settle(horizon)
         self.last_event_count = count + heap.seq + ticks
+        self.last_tick_count = ticks
         self.last_query_log = fault_info.pop("log") if fault_info else ()
 
         result = self._summarize(
@@ -619,6 +698,7 @@ class FleetSimulator:
         self, arrivals, first, streams, events, dead, finished, heap,
         warmup_s, scaling, completions, dropped,
         window_lat, window_arrivals, window_drops, scale_events,
+        horizon_s=None,
     ) -> tuple[int, float, int]:
         """The hot event loop (split out so the GC guard stays simple).
 
@@ -627,10 +707,15 @@ class FleetSimulator:
         arrival's timestamp, discovered at stream exhaustion -- until
         then it is ``inf``, which is equivalent because any event
         popped while arrivals remain is strictly earlier than the next
-        (and hence the last) arrival.  Returns
+        (and hence the last) arrival.  A forced ``horizon_s`` replaces
+        that discovery (the sharded runner's fleet-wide horizon); it
+        behaves identically because every pre-exhaustion event is
+        earlier than the stream's last arrival <= ``horizon_s``, while
+        autoscaler ticks keep firing up to the forced horizon exactly
+        as they would in the fleet-wide run.  Returns
         ``(arrival_count, horizon, ticks_fired)``.
         """
-        horizon = float("inf")
+        horizon = float("inf") if horizon_s is None else horizon_s
         count = 0
         ticks = 0
         window_s = self.autoscaler.window_s if scaling else 0.0
@@ -649,7 +734,14 @@ class FleetSimulator:
                     model, query = nxt
                     nxt = next(arrivals, None)
                     if nxt is None:
-                        horizon = now
+                        if horizon_s is None:
+                            horizon = now
+                        elif now > horizon_s:
+                            raise ValueError(
+                                f"horizon_s={horizon_s!r} precedes the "
+                                f"stream's last arrival (t={now!r})"
+                            )
+                        self._seal_sketches(horizon)
                     else:
                         t = nxt[1][1]
                         if t < now:
@@ -787,19 +879,34 @@ class FleetSimulator:
             # vectorized core hands samples as a finish-sorted
             # ``(finish, latency)`` array pair instead of a tuple list;
             # the filter performs the same float comparison either way.
+            sla = self.sla_ms.get(model, float("inf"))
+            drops = dropped.get(model, 0)
+            fails = failed_by.get(model, 0)
+            lost = drops + fails
             if type(samples) is tuple:
                 fin, lats = samples
                 measured = lats[(fin - lats >= warmup_s) & (fin <= horizon)]
+            elif type(samples) is not list:
+                # Sketch accumulator: warmup/horizon filtering already
+                # happened at append time; emit estimated percentiles
+                # and exact counts without ever holding a sample list.
+                samples.seal(horizon)
+                per_model[model] = samples.to_stats(
+                    model=model,
+                    sla_ms=sla,
+                    dropped=drops,
+                    duration_s=duration,
+                    failed=fails,
+                    retried=retried_by.get(model, 0),
+                    hedged=hedged_by.get(model, 0),
+                )
+                continue
             else:
                 measured = [
                     lat
                     for finish, lat in samples
                     if finish - lat >= warmup_s and finish <= horizon
                 ]
-            sla = self.sla_ms.get(model, float("inf"))
-            drops = dropped.get(model, 0)
-            fails = failed_by.get(model, 0)
-            lost = drops + fails
             if len(measured):
                 arr = np.asarray(measured) * 1e3
                 violations = int((arr > sla).sum()) + lost
@@ -868,7 +975,9 @@ class FleetSimulator:
             if downtime > 0.0:
                 availability = serving / (serving + downtime)
             fault_events = fault_info["events"]
-            if fault_events:
+            if fault_events and self.percentile_mode == "exact":
+                # Sketch mode keeps no finish-stamped samples to bucket
+                # into phases; documented as empty in that mode.
                 from repro.fleet.report import phase_breakdown
 
                 phases = phase_breakdown(

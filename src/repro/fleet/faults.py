@@ -1160,6 +1160,7 @@ def run_fault_loop(
                 nxt = next(arrivals, None)
                 if nxt is None:
                     horizon = now
+                    sim._seal_sketches(now)
                 else:
                     t = nxt[1][1]
                     if t < now:
@@ -1354,6 +1355,7 @@ def _run_light_loop(
                 nxt = next(arrivals, None)
                 if nxt is None:
                     horizon = now
+                    sim._seal_sketches(now)
                 else:
                     t = nxt[1][1]
                     if t < now:

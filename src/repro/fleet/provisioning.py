@@ -237,6 +237,7 @@ def provision_fault_aware(
     hedge_ms: float | None = None,
     seed: int = 0,
     core: str = "auto",
+    percentile_mode: str = "exact",
     warmup_s: float = 0.0,
     r_min: float = 0.0,
     r_max: float = 1.0,
@@ -278,6 +279,12 @@ def provision_fault_aware(
             that fault-injected replays always need the per-event
             python core: ``core="auto"`` (the default) logs the
             fallback, ``core="vector"`` raises.
+        percentile_mode: Report percentile machinery for every replay
+            (``"exact"`` or ``"sketch"``).  The availability the search
+            thresholds on is *exact* in both modes -- it is built from
+            completion/failure counts and replica uptime, not from
+            percentiles -- so sketch mode trades only report-percentile
+            precision for O(models) replay memory on long traces.
         warmup_s: Replay warmup excluded from the statistics.
         r_min / r_max: Search bounds for ``R``.
         r_tol: Bisection width at which the search stops; the chosen
@@ -334,6 +341,7 @@ def provision_fault_aware(
                 retries=retries,
                 hedge_ms=hedge_ms,
                 core=core,
+                percentile_mode=percentile_mode,
             )
             result = sim.run(trace, warmup_s=warmup_s)
             replay_cache[key] = result

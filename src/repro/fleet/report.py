@@ -17,7 +17,14 @@ from dataclasses import dataclass
 
 from repro.analysis import format_table
 
-__all__ = ["ModelStats", "ServerStats", "PhaseStats", "FleetResult", "phase_breakdown"]
+__all__ = [
+    "ModelStats",
+    "ServerStats",
+    "PhaseStats",
+    "FleetResult",
+    "LatencySketchSeries",
+    "phase_breakdown",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,139 @@ def phase_breakdown(
         p99 = float(np.percentile(np.asarray(lats) * 1e3, 99)) if lats else float("inf")
         phases.append(PhaseStats(start_s=a, end_s=b, completed=len(lats), p99_ms=p99))
     return tuple(phases)
+
+
+class LatencySketchSeries:
+    """O(1)-memory stand-in for one model's completion sample list.
+
+    ``FleetSimulator(percentile_mode="sketch")`` puts one of these where
+    the event loops expect a ``list[(finish_s, latency_s)]``; the loops
+    call ``append`` exactly as before, and the series folds each
+    completion into a P² :class:`~repro.obs.sketch.QuantileSketch`
+    instead of storing it.  Counts, throughput, mean, and the
+    SLA-violation tally stay *exact* (the same float comparisons exact
+    mode performs); only p50/p95/p99 are estimates.
+
+    Window semantics mirror exact mode's summarize-time filter: appends
+    whose arrival (``finish - latency``) precedes ``warmup_s`` are
+    ignored, and once the horizon is known (``seal``, called by the
+    loops at arrival-stream exhaustion, or up front via ``horizon_s``)
+    appends finishing after it are ignored too.  Appends *before* the
+    seal are always in-window -- the loops process events in global
+    time order, so anything retired while arrivals remained finishes
+    no later than the last arrival.
+    """
+
+    __slots__ = ("sla_ms", "warmup_s", "violations", "_horizon", "_sketch", "_buf")
+
+    #: Completions buffered between P² batch folds (``add_many`` binds
+    #: the marker state once per batch; same trick as the live-metrics
+    #: hooks, bit-identical to per-observation ``add``).
+    FLUSH_AT = 4096
+
+    def __init__(
+        self,
+        sla_ms: float = float("inf"),
+        warmup_s: float = 0.0,
+        horizon_s: float | None = None,
+    ) -> None:
+        from repro.obs.sketch import QuantileSketch
+
+        self.sla_ms = sla_ms
+        self.warmup_s = warmup_s
+        self.violations = 0
+        self._horizon = horizon_s
+        self._sketch = QuantileSketch((0.5, 0.95, 0.99))
+        self._buf: list[float] = []
+
+    def append(self, pair: tuple[float, float]) -> None:
+        """Fold one ``(finish_s, latency_s)`` completion (hot path)."""
+        finish, lat = pair
+        if finish - lat < self.warmup_s:
+            return
+        horizon = self._horizon
+        if horizon is not None and finish > horizon:
+            return
+        buf = self._buf
+        buf.append(lat)
+        if len(buf) >= self.FLUSH_AT:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        sla = self.sla_ms
+        ms = [lat * 1e3 for lat in buf]
+        violations = 0
+        for v in ms:
+            if v > sla:
+                violations += 1
+        self.violations += violations
+        self._sketch.add_many(ms)
+        del buf[:]
+
+    def seal(self, horizon: float) -> None:
+        """Fix the measurement horizon (idempotent; first call wins)."""
+        if self._horizon is None:
+            self._horizon = horizon
+
+    @property
+    def count(self) -> int:
+        """Exact in-window completion count."""
+        return self._sketch.count + len(self._buf)
+
+    def to_stats(
+        self,
+        model: str,
+        sla_ms: float,
+        dropped: int,
+        duration_s: float,
+        failed: int = 0,
+        retried: int = 0,
+        hedged: int = 0,
+    ) -> ModelStats:
+        """Emit the :class:`ModelStats` row exact mode would shape."""
+        self._flush()
+        sketch = self._sketch
+        n = sketch.count
+        lost = dropped + failed
+        if n == 0:
+            return ModelStats(
+                model=model,
+                sla_ms=sla_ms,
+                completed=0,
+                dropped=dropped,
+                qps=0.0,
+                p50_ms=float("inf"),
+                p95_ms=float("inf"),
+                p99_ms=float("inf"),
+                mean_ms=float("inf"),
+                violation_rate=1.0 if lost else 0.0,
+                failed=failed,
+                retried=retried,
+                hedged=hedged,
+            )
+        # P² markers can momentarily invert across estimators; clamp to
+        # a monotone p50 <= p95 <= p99 like the metrics probe does.
+        p50 = sketch.quantile(0.5)
+        p95 = max(p50, sketch.quantile(0.95))
+        p99 = max(p95, sketch.quantile(0.99))
+        return ModelStats(
+            model=model,
+            sla_ms=sla_ms,
+            completed=n,
+            dropped=dropped,
+            qps=n / duration_s,
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
+            mean_ms=sketch.mean,
+            violation_rate=(self.violations + lost) / max(n + lost, 1),
+            failed=failed,
+            retried=retried,
+            hedged=hedged,
+        )
 
 
 @dataclass(frozen=True)

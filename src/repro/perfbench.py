@@ -77,6 +77,8 @@ SCENARIOS: tuple[str, ...] = (
     "fleet_replay_streaming",
     "fleet_replay_faultpath",
     "fleet_replay_observed",
+    "fleet_replay_sharded",
+    "fleet_replay_sketchmem",
     "fault_aware_provisioning",
 )
 
@@ -94,6 +96,7 @@ _QUICK = {
     "provision_fleet": {"T2": 12},
     "provision_load_units": 2.7,  # demand in T2 replica-equivalents
     "provision_duration_s": 1.5,
+    "sketch_queries": 20_000,
 }
 _FULL = {
     "profile_servers": None,  # all server types
@@ -106,6 +109,7 @@ _FULL = {
     "provision_fleet": {"T2": 28},
     "provision_load_units": 8.1,
     "provision_duration_s": 3.0,
+    "sketch_queries": 10_000_000,
 }
 
 #: Offered load for the DES scenarios as a fraction of capacity; the
@@ -664,6 +668,230 @@ def _scenario_fleet_replay_observed(ctx: _Context) -> dict[str, Any]:
     }
 
 
+#: Four-model fleet for the scale-out scenarios: the sharded replay
+#: needs at least four models for four real shards (the planner clamps
+#: to one shard per model).  Shares sum to 1.0 of ``fleet_servers``.
+_SCALE_OUT_MODELS = ("DIN", "DLRM-RMC1", "DLRM-RMC2", "DLRM-RMC3")
+_SCALE_OUT_SHARES = {
+    "DIN": {"T2": 0.12, "T7": 0.16},
+    "DLRM-RMC1": {"T2": 0.20, "T3": 0.08},
+    "DLRM-RMC2": {"T2": 0.16, "T3": 0.08},
+    "DLRM-RMC3": {"T3": 0.12, "T7": 0.08},
+}
+
+
+def _scale_out_inputs(ctx: _Context, queries: int):
+    """Fleet + lazily streamed traffic for the scale-out scenarios.
+
+    Mirrors :func:`_fleet_replay_inputs` (rho-loaded availability-shaped
+    allocation, piecewise-Poisson per-model streams) but over four
+    models, and never materializes the trace -- the sketch-memory
+    scenario streams orders of magnitude more queries than a list
+    should hold.  The profiled table is cached on the context.
+    """
+    from repro.cluster.state import Allocation
+    from repro.hardware import SERVER_TYPES
+    from repro.models import build_model
+    from repro.scheduling import OfflineProfiler
+    from repro.sim import QueryWorkload
+    from repro.traces import FleetArrivals, PiecewisePoissonProcess
+
+    table = getattr(ctx, "scale_out_table", None)
+    if table is None:
+        servers = [SERVER_TYPES[s] for s in ("T2", "T3", "T7")]
+        table = _profile(
+            OfflineProfiler(),
+            servers,
+            [build_model(m) for m in _SCALE_OUT_MODELS],
+            ctx.jobs,
+        )
+        ctx.scale_out_table = table
+
+    models = {n: build_model(n) for n in _SCALE_OUT_MODELS}
+    workloads = {
+        n: QueryWorkload.for_model(m.config.mean_query_size)
+        for n, m in models.items()
+    }
+    total = ctx.cfg["fleet_servers"]
+    allocation = Allocation()
+    for name, row in _SCALE_OUT_SHARES.items():
+        for srv, share in row.items():
+            allocation.add(srv, name, max(1, round(total * share)))
+    capacity = {
+        n: sum(
+            c * table.qps(srv, m)
+            for (srv, m), c in allocation.counts.items()
+            if m == n
+        )
+        for n in _SCALE_OUT_MODELS
+    }
+    rate = _RHO * sum(capacity.values())
+    duration = queries / rate
+    # A piecewise process materializes one segment of arrivals at a
+    # time, so a single queries-long segment would hold the whole
+    # stream (~190 B/query -- GiBs at the sketchmem scale).  Chop the
+    # constant rate into <=100k-query segments to keep generation
+    # memory flat; the rate trajectory is unchanged.
+    segments = max(1, -(-queries // 100_000))
+    stream = FleetArrivals(
+        {
+            n: PiecewisePoissonProcess(
+                workloads[n],
+                [(_RHO * capacity[n], duration / segments)] * segments,
+            )
+            for n in _SCALE_OUT_MODELS
+        },
+        seed=ctx.seed,
+    )
+    sla = {n: m.sla_ms for n, m in models.items()}
+    return {
+        "table": table,
+        "models": models,
+        "workloads": workloads,
+        "allocation": allocation,
+        "sla": sla,
+        "duration": duration,
+        "stream": stream,
+    }
+
+
+def _scenario_fleet_replay_sharded(ctx: _Context) -> dict[str, Any]:
+    """4-shard multi-process replay vs the single-process engine.
+
+    Shards the four-model fleet by model across a process pool
+    (oblivious round-robin routing, exact percentile mode) and asserts
+    the merged report equals the single-process report float for
+    float -- ``sharded_merge_equal`` is the bool CI's perf-smoke job
+    gates on.  ``speedup_shards`` is recorded ungated: CI's 1-vCPU
+    runner serializes the workers (plus pays process spawn and a
+    phase-A stream scan), so the number only means something on
+    multi-core hosts; the scaling story lives in
+    ``benchmarks/bench_scale_out.py``.
+    """
+    try:
+        from repro.fleet.sharded import run_fleet_sharded
+    except ImportError:  # pre-sharding checkout (baseline measurements)
+        return {"skipped": "sharded runner absent"}
+
+    inputs = _scale_out_inputs(ctx, ctx.cfg["fleet_queries"])
+
+    def replay(shards):
+        return _timed(
+            lambda: run_fleet_sharded(
+                inputs["allocation"],
+                inputs["table"],
+                inputs["models"],
+                inputs["workloads"],
+                inputs["stream"],
+                shards=shards,
+                # weighted splits load by replica capacity; rr's equal
+                # split saturates the slowest server type at this rho
+                # and the resulting backlog dominates wall and memory
+                policy="weighted",
+                sla_ms=inputs["sla"],
+                seed=ctx.seed,
+                warmup_s=inputs["duration"] * 0.1,
+                core="python",
+            )
+        )
+
+    wall_single, result_single = replay(1)
+    wall_sharded, result_sharded = replay(4)
+    if result_sharded.to_dict() != result_single.to_dict():
+        raise AssertionError(
+            "sharded merge diverged from the single-process replay"
+        )
+
+    queries = result_single.total_completed + result_single.total_dropped
+    events = result_sharded.events
+    return {
+        "wall_s": wall_sharded,
+        "wall_single_s": wall_single,
+        "speedup_shards": (
+            wall_single / wall_sharded if wall_sharded > 0 else None
+        ),
+        "sharded_merge_equal": True,
+        "shards": 4,
+        "servers": len(result_sharded.servers),
+        "queries": queries,
+        "queries_per_s": queries / wall_sharded if wall_sharded > 0 else 0.0,
+        "events": events,
+        "events_per_s": (
+            events / wall_sharded if (events and wall_sharded > 0) else None
+        ),
+        "completed": result_sharded.total_completed,
+    }
+
+
+def _scenario_fleet_replay_sketchmem(ctx: _Context) -> dict[str, Any]:
+    """Sketch-mode report memory: a long streamed replay on a budget.
+
+    Streams ``sketch_queries`` arrivals (10M in the slow-lane full
+    configuration) through the four-model fleet with
+    ``percentile_mode="sketch"``: the report folds completions into
+    O(models) P² sketches instead of per-query latency lists, which at
+    the full scale would hold ~10M ``(finish, latency)`` tuples --
+    close to a GiB of list -- just to compute three percentiles.  The
+    replay must finish inside a fixed RSS-growth budget (asserted
+    in-scenario; ``rss_delta_kb`` lands in BENCH_perf.json as the
+    recorded evidence).
+    """
+    from repro.fleet import FleetSimulator, build_fleet
+
+    inputs = _scale_out_inputs(ctx, ctx.cfg["sketch_queries"])
+    servers = build_fleet(
+        inputs["allocation"], inputs["table"], inputs["models"],
+        inputs["workloads"],
+    )
+    try:
+        sim = FleetSimulator(
+            servers,
+            # capacity-proportional routing keeps the in-flight backlog
+            # bounded, so measured RSS growth is report state, not queues
+            policy="weighted",
+            sla_ms=inputs["sla"],
+            seed=ctx.seed,
+            core="python",
+            percentile_mode="sketch",
+        )
+    except TypeError:  # pre-sketch checkout (baseline measurements)
+        return {"skipped": "percentile_mode absent"}
+
+    rss_before = _max_rss_kb()
+    wall, result = _timed(
+        lambda: sim.run(inputs["stream"], warmup_s=inputs["duration"] * 0.1)
+    )
+    rss_after = _max_rss_kb()
+    delta = (
+        rss_after - rss_before
+        if rss_before is not None and rss_after is not None
+        else None
+    )
+    # ~256 MiB of growth headroom: generous against allocator noise,
+    # far under the per-query lists exact mode would have appended.
+    budget_kb = 262_144
+    if delta is not None and delta > budget_kb:
+        raise AssertionError(
+            f"sketch-mode replay grew RSS by {delta} KiB "
+            f"(budget {budget_kb} KiB): the report path is holding "
+            "per-query state again"
+        )
+
+    queries = result.total_completed + result.total_dropped
+    events = getattr(result, "events", None)
+    return {
+        "wall_s": wall,
+        "queries": queries,
+        "queries_per_s": queries / wall if wall > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall) if (events and wall > 0) else None,
+        "completed": result.total_completed,
+        "rss_delta_kb": delta,
+        "rss_budget_kb": budget_kb,
+        "percentile_mode": "sketch",
+    }
+
+
 def _scenario_fault_aware_provisioning(ctx: _Context) -> dict[str, Any]:
     """Time one availability -> R fixpoint search (several replays).
 
@@ -747,6 +975,8 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
     "fleet_replay_observed": _scenario_fleet_replay_observed,
+    "fleet_replay_sharded": _scenario_fleet_replay_sharded,
+    "fleet_replay_sketchmem": _scenario_fleet_replay_sketchmem,
     "fault_aware_provisioning": _scenario_fault_aware_provisioning,
 }
 

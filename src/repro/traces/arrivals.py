@@ -466,13 +466,32 @@ class FleetArrivals:
     Each ``iter()`` call restarts the replay from scratch: the fleet
     engine consumes it lazily, and repeat-replay consumers (the
     fault-aware provisioner, A/B benchmarks) simply iterate again.
+
+    ``seeds`` pins each model's stream seed explicitly instead of the
+    positional ``seed + stride * m_idx`` schedule.  The sharded runner
+    uses this to hand a *subset* of models to a worker while keeping
+    every stream's lane exactly where the full fleet would put it
+    (``seed + stride * global_sorted_index``), so a sub-fleet draws
+    bit-identical arrivals.
     """
 
-    def __init__(self, processes: dict[str, ArrivalProcess], seed: int = 0) -> None:
+    def __init__(
+        self,
+        processes: dict[str, ArrivalProcess],
+        seed: int = 0,
+        seeds: dict[str, int] | None = None,
+    ) -> None:
         if not processes:
             raise ValueError("need at least one model process")
         self.processes = dict(sorted(processes.items()))
         self.seed = seed
+        if seeds is not None:
+            missing = sorted(set(self.processes) - set(seeds))
+            if missing:
+                raise ValueError(
+                    f"seeds= must cover every model; missing {missing}"
+                )
+        self.seeds = dict(seeds) if seeds is not None else None
 
     @property
     def end_s(self) -> float | None:
@@ -486,7 +505,11 @@ class FleetArrivals:
     def __iter__(self) -> Iterator[tuple[str, Query]]:
         tagged: list[Iterable[tuple[str, Query]]] = []
         for m_idx, (model, process) in enumerate(self.processes.items()):
-            stream = process.stream(seed=self.seed + MODEL_SEED_STRIDE * m_idx)
+            if self.seeds is not None:
+                lane = self.seeds[model]
+            else:
+                lane = self.seed + MODEL_SEED_STRIDE * m_idx
+            stream = process.stream(seed=lane)
             tagged.append(_tag_stream(model, stream))
         if len(tagged) == 1:
             return iter(tagged[0])

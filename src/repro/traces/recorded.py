@@ -68,6 +68,12 @@ def save_trace(path: str, trace: Iterable, fmt: str | None = None) -> int:
         if fmt == "csv":
             fh.write(",".join(_CSV_FIELDS) + "\n")
             for model, q in _as_pairs(trace):
+                if model and any(c in model for c in ",\n\r"):
+                    raise ValueError(
+                        f"model name {model!r} contains a comma or newline, "
+                        "which would corrupt the CSV trace; rename the model "
+                        "or save as .jsonl"
+                    )
                 fh.write(
                     f"{model or ''},{q.arrival_s!r},{q.size},{q.pooling_scale!r}\n"
                 )
@@ -108,6 +114,11 @@ def read_trace(
                 if not line:
                     continue
                 parts = line.split(",")
+                if len(parts) < len(fields):
+                    raise ValueError(
+                        f"{path}:{line_no}: row has {len(parts)} columns but "
+                        f"the header names {len(fields)} ({line!r})"
+                    )
                 model = (
                     parts[idx["model"]].strip() if "model" in idx else ""
                 ) or default_model
@@ -207,8 +218,16 @@ class RecordedTrace:
 
     @property
     def mean_qps(self) -> dict[str, float]:
+        """Per-model mean rate over the trace span.
+
+        A trace whose queries share a single timestamp has no measurable
+        span; it is treated as one second of traffic (rate = count/1s)
+        rather than dividing by an epsilon and reporting ~1e9 qps.
+        """
         first, last, counts = self._scan()
-        span = max(last - first, 1e-9)
+        span = last - first
+        if span <= 0.0:
+            span = 1.0
         return {m: c / span for m, c in sorted(counts.items())}
 
     def models(self) -> tuple[str, ...]:

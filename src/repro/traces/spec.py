@@ -70,6 +70,11 @@ def _parse_kv(section: str, body: str, allowed: set[str]) -> dict[str, str]:
                 f"bad arrivals parameter {pair!r} in section {section!r}; "
                 f"known keys: {', '.join(sorted(allowed))}"
             )
+        if key in out:
+            raise ValueError(
+                f"duplicate arrivals parameter {key!r} in section "
+                f"{section!r}; each key may appear once"
+            )
         out[key] = value
     return out
 

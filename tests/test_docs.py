@@ -95,13 +95,15 @@ def test_every_subcommand_documented():
             ["--faults", "--retries", "--hedge-ms", "--autoscale",
              "--autoscale-mode", "--arrivals", "--trace",
              "--over-provision", "--policy", "--seed", "--core",
+             "--shards", "--percentile-mode",
              "--metrics-out", "--trace-out", "--metrics-window-s", "--json"],
         ),
         (
             "provision-fault-aware",
             ["--faults", "--retries", "--hedge-ms", "--arrivals", "--trace",
              "--target-availability", "--baseline-r", "--r-min", "--r-max",
-             "--r-tol", "--max-evals", "--core", "--json"],
+             "--r-tol", "--max-evals", "--core", "--percentile-mode",
+             "--json"],
         ),
         ("observe", ["--json"]),
         ("bench", ["--quick", "--scenarios", "--baseline", "--output",

@@ -26,6 +26,7 @@ def test_examples_directory_complete():
         "fleet_serving.py",
         "fleet_faults.py",
         "fleet_bursty_trace.py",
+        "fleet_sharded_replay.py",
         "fault_aware_provisioning.py",
     } <= names
 
@@ -40,6 +41,7 @@ def test_examples_directory_complete():
         "fleet_serving.py",
         "fleet_faults.py",
         "fleet_bursty_trace.py",
+        "fleet_sharded_replay.py",
         "fault_aware_provisioning.py",
     ],
 )

@@ -210,6 +210,60 @@ class TestRecordedRoundTrip:
         with pytest.raises(ValueError, match="format"):
             save_trace("/tmp/trace.txt", [])
 
+    def test_truncated_csv_row_names_file_and_line(self):
+        """A ragged CSV row (truncated write, manual edit) must fail
+        with the file and 1-based line number, not a bare unpack
+        error deep in the scanner."""
+        path = tempfile.mktemp(suffix=".csv")
+        try:
+            save_trace(
+                path,
+                [("M", Query(0, 0.5, 10, 1.0)), ("M", Query(1, 0.9, 10, 1.0))],
+            )
+            with open(path) as fh:
+                lines = fh.readlines()
+            lines[-1] = lines[-1].rsplit(",", 2)[0] + "\n"  # truncate row
+            with open(path, "w") as fh:
+                fh.writelines(lines)
+            with pytest.raises(ValueError, match=rf"{path}:3: row has"):
+                list(read_trace(path))
+        finally:
+            os.unlink(path)
+
+    def test_csv_rejects_model_names_that_would_corrupt_rows(self):
+        """A comma or newline in a model name would silently shift every
+        column on read; the CSV writer must refuse up front (JSONL
+        handles such names fine and round-trips them)."""
+        queries = [("web,burst", Query(0, 0.5, 10, 1.0))]
+        csv_path = tempfile.mktemp(suffix=".csv")
+        try:
+            with pytest.raises(ValueError, match="comma or newline"):
+                save_trace(csv_path, queries)
+        finally:
+            if os.path.exists(csv_path):
+                os.unlink(csv_path)
+        jsonl_path = tempfile.mktemp(suffix=".jsonl")
+        try:
+            save_trace(jsonl_path, queries)
+            replayed = list(read_trace(jsonl_path))
+            assert [m for m, _ in replayed] == ["web,burst"]
+        finally:
+            os.unlink(jsonl_path)
+
+    def test_mean_qps_single_timestamp_uses_one_second_span(self):
+        """A trace whose arrivals share one timestamp has zero span;
+        ``mean_qps`` must treat it as one second (documented fallback),
+        not divide by a 1e-9 epsilon into a 10⁹x rate."""
+        path = tempfile.mktemp(suffix=".csv")
+        try:
+            save_trace(
+                path,
+                [("M", Query(0, 2.5, 10, 1.0)), ("M", Query(1, 2.5, 12, 1.0))],
+            )
+            assert RecordedTrace(path).mean_qps == {"M": pytest.approx(2.0)}
+        finally:
+            os.unlink(path)
+
 
 class TestArrivalSpecGrammar:
     @pytest.mark.parametrize(
@@ -245,6 +299,17 @@ class TestArrivalSpecGrammar:
     def test_invalid_specs_raise(self, spec):
         with pytest.raises(ValueError):
             parse_arrivals(spec)
+
+    def test_duplicate_key_raises_not_last_wins(self):
+        """``mmpp:dwell=1,dwell=2`` used to silently keep the last
+        value; a repeated key is always a typo and must raise."""
+        for spec in (
+            "mmpp:levels=1/2,dwell=1,dwell=2",
+            "poisson:level=0.5,level=0.9",
+            "diurnal:noise=0.1+mmpp:levels=0/1,dwell=3/0.2,levels=0/2",
+        ):
+            with pytest.raises(ValueError, match="duplicate"):
+                parse_arrivals(spec)
 
     def test_diurnal_days_validated_at_build(self):
         for bad in ("diurnal:days=0", "diurnal:days=-1"):
