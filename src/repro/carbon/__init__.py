@@ -1,0 +1,50 @@
+"""Carbon-aware fleet operation: traces, deferrable jobs, accounting.
+
+Grid carbon intensity as a first-class time series
+(:class:`CarbonTrace`), deadline-bound batch jobs with carbon-aware
+scheduling policies (:mod:`repro.carbon.deferrable`), and gCO2
+accounting that prices the fleet's measured energy against the grid
+(:mod:`repro.carbon.accounting`).  See ``docs/carbon.md``.
+"""
+
+from repro.carbon.accounting import (
+    attach_carbon,
+    realtime_emissions_g,
+    realtime_power_profile,
+    summarize_carbon,
+)
+from repro.carbon.deferrable import (
+    DEFERRABLE_POLICIES,
+    DeferrableJob,
+    DeferrableReport,
+    JobOutcome,
+    run_deferrable,
+)
+from repro.carbon.spec import (
+    CarbonSpec,
+    DeferrableSpec,
+    load_carbon,
+    parse_carbon,
+    parse_deferrable,
+)
+from repro.carbon.trace import CarbonTrace, read_carbon_trace, save_carbon_trace
+
+__all__ = [
+    "CarbonTrace",
+    "read_carbon_trace",
+    "save_carbon_trace",
+    "DeferrableJob",
+    "JobOutcome",
+    "DeferrableReport",
+    "DEFERRABLE_POLICIES",
+    "run_deferrable",
+    "CarbonSpec",
+    "DeferrableSpec",
+    "parse_carbon",
+    "parse_deferrable",
+    "load_carbon",
+    "attach_carbon",
+    "summarize_carbon",
+    "realtime_emissions_g",
+    "realtime_power_profile",
+]

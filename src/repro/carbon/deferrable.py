@@ -1,0 +1,551 @@
+"""Deferrable batch jobs and carbon-aware scheduling policies.
+
+The carbon-aware-computing exemplar splits datacenter work in two:
+SLA-bound **real-time** traffic that must run the moment it arrives
+(the fleet replay), and **deferrable** batch jobs (training runs,
+index builds, media pipelines) that only need to finish by a deadline.
+Time-shifting the second class into low-carbon-intensity hours is the
+cheapest decarbonization lever a fleet has; this module provides the
+job model, the four policies, and a deterministic executor that runs
+the jobs on the fleet's timeline next to the measured real-time power
+draw, under an optional fleet-wide power cap.
+
+Policies (``DEFERRABLE_POLICIES``):
+
+- ``no-wait`` -- the baseline: start at submit, run to completion.
+- ``lowest-carbon-slot`` -- pick the contiguous slot inside the job's
+  feasible window with the smallest carbon integral, then run it like
+  a no-wait job shifted to that slot.
+- ``carbon-waiting`` -- wait out above-average intensity: run during
+  the feasible window's below-mean periods (suspending across peaks),
+  topping up with the cheapest remaining seconds when the troughs
+  cannot fit the work; a policy-ladder guard falls back to the best
+  contiguous slot when waiting would cost more, so the exemplar's
+  emission ordering ``no-wait >= lowest-carbon-slot >=
+  carbon-waiting`` holds on every trace.
+- ``suspend-resume`` -- preemptive optimum: run exactly the cheapest
+  ``duration_s`` seconds of the feasible window (optimal for a step
+  trace), suspending and resuming across intensity peaks regardless
+  of when they fall.
+
+Every policy is deadline-safe by construction: a job is *forced* to
+run once ``now + remaining >= latest_finish``, so under an admitting
+power cap no policy trades a deadline for carbon.  The power cap binds
+the sum of real-time fleet power and running deferrable jobs; when
+headroom runs out, forced jobs win, then earlier deadlines, then
+submission order -- deterministic, no RNG anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.carbon.trace import CarbonTrace
+from repro.fleet.report import J_PER_KWH
+
+__all__ = [
+    "DeferrableJob",
+    "JobOutcome",
+    "DeferrableReport",
+    "DEFERRABLE_POLICIES",
+    "run_deferrable",
+]
+
+DEFERRABLE_POLICIES = (
+    "no-wait",
+    "lowest-carbon-slot",
+    "carbon-waiting",
+    "suspend-resume",
+)
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class DeferrableJob:
+    """One deadline-bound batch job.
+
+    Attributes:
+        name: Stable identifier (report key).
+        submit_s: Arrival time; the job may not run earlier.
+        duration_s: Active compute time needed to complete.
+        power_w: Power drawn while running (0 while suspended).
+        deadline_s: Absolute completion deadline.
+    """
+
+    name: str
+    submit_s: float
+    duration_s: float
+    power_w: float
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise ValueError(f"job {self.name!r}: duration_s must be > 0")
+        if self.power_w < 0.0:
+            raise ValueError(f"job {self.name!r}: power_w must be >= 0")
+        if self.submit_s < 0.0:
+            raise ValueError(f"job {self.name!r}: submit_s must be >= 0")
+        if self.deadline_s < self.submit_s:
+            raise ValueError(
+                f"job {self.name!r}: deadline_s precedes submit_s"
+            )
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Terminal accounting for one deferrable job.
+
+    ``status`` is one of ``"completed"`` (ran to completion by its
+    deadline), ``"suspended"`` (unfinished at the horizon with the
+    deadline still open), or ``"dropped"`` (deadline passed with work
+    remaining).  ``run_windows`` are the merged ``[start, end)``
+    intervals the job actually ran; ``suspensions`` counts mid-flight
+    stops (a job that starts and finishes in one window has zero).
+    """
+
+    name: str
+    status: str
+    submit_s: float
+    deadline_s: float
+    start_s: float | None
+    finish_s: float | None
+    run_s: float
+    remaining_s: float
+    suspensions: int
+    energy_kwh: float
+    gco2_g: float
+    run_windows: tuple[tuple[float, float], ...]
+
+    def to_dict(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["run_windows"] = [list(w) for w in self.run_windows]
+        return doc
+
+
+@dataclass(frozen=True)
+class DeferrableReport:
+    """Outcome of one deferrable-executor run."""
+
+    policy: str
+    power_cap_w: float | None
+    horizon_s: float
+    outcomes: tuple[JobOutcome, ...]
+
+    @property
+    def submitted(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "completed")
+
+    @property
+    def suspended(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "suspended")
+
+    @property
+    def dropped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "dropped")
+
+    @property
+    def suspension_events(self) -> int:
+        return sum(o.suspensions for o in self.outcomes)
+
+    @property
+    def total_gco2(self) -> float:
+        return sum(o.gco2_g for o in self.outcomes)
+
+    @property
+    def energy_kwh(self) -> float:
+        return sum(o.energy_kwh for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "power_cap_w": self.power_cap_w,
+            "horizon_s": self.horizon_s,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "suspended": self.suspended,
+            "dropped": self.dropped,
+            "suspension_events": self.suspension_events,
+            "total_gco2": self.total_gco2,
+            "energy_kwh": self.energy_kwh,
+            "jobs": [o.to_dict() for o in self.outcomes],
+        }
+
+
+class _JobState:
+    """Mutable execution state for one job during the sweep."""
+
+    __slots__ = (
+        "job",
+        "order",
+        "latest_finish",
+        "plan",
+        "remaining",
+        "running",
+        "started_at",
+        "finish",
+        "status",
+        "suspensions",
+        "gco2_int",
+        "windows",
+        "window_open",
+    )
+
+    def __init__(self, job: DeferrableJob, order: int, latest_finish: float):
+        self.job = job
+        self.order = order
+        self.latest_finish = latest_finish
+        self.plan: list[tuple[float, float]] = []
+        self.remaining = job.duration_s
+        self.running = False
+        self.started_at: float | None = None
+        self.finish: float | None = None
+        self.status = "pending"
+        self.suspensions = 0
+        self.gco2_int = 0.0  # ∫ intensity dt over run windows
+        self.windows: list[list[float]] = []
+        self.window_open = False
+
+    @property
+    def forced_at(self) -> float:
+        """Time past which the job must run continuously to finish."""
+        return self.latest_finish - self.remaining
+
+    def wants(self, t: float) -> bool:
+        for s, e in self.plan:
+            if s - _EPS <= t < e:
+                return True
+        return False
+
+    def plan_end_at(self, t: float) -> float:
+        """End of the plan window covering ``t`` (inf if none)."""
+        for s, e in self.plan:
+            if s - _EPS <= t < e:
+                return e
+        return float("inf")
+
+
+def _plan_windows(
+    policy: str,
+    job: DeferrableJob,
+    carbon: CarbonTrace,
+    latest_finish: float,
+    horizon_s: float,
+) -> list[tuple[float, float]]:
+    """The job's desired run intervals, before cap contention."""
+    submit = job.submit_s
+    duration = job.duration_s
+    latest_start = max(submit, latest_finish - duration)
+    inf = float("inf")
+    if policy == "no-wait":
+        return [(submit, inf)]
+    if policy == "lowest-carbon-slot":
+        start = carbon.lowest_window(duration, submit, latest_start)
+        return [(start, inf)]
+    if policy == "carbon-waiting":
+        # Wait out above-average intensity: run during the feasible
+        # window's below-mean periods chronologically (suspending
+        # across peaks), topping up with the cheapest remaining
+        # seconds when the troughs alone cannot fit the work.
+        window_end = max(latest_finish, submit + duration)
+        threshold = carbon.mean(submit, window_end)
+        bounds = [submit, *carbon.breakpoints_between(submit, window_end), window_end]
+        segs = [
+            (carbon.intensity_at(s), s, e)
+            for s, e in zip(bounds, bounds[1:])
+            if e > s
+        ]
+        chosen: list[tuple[float, float]] = []
+        need = duration
+        for g, s, e in segs:
+            if need <= _EPS:
+                break
+            if g <= threshold:
+                take = min(e - s, need)
+                # Full-segment takes keep the exact boundary: s + take
+                # can land an ulp off the breakpoint and desync the
+                # plan edge from every other job's.
+                chosen.append((s, e if take == e - s else s + take))
+                need -= take
+        if need > _EPS:
+            for g, s, e in sorted(
+                (seg for seg in segs if seg[0] > threshold),
+                key=lambda seg: (seg[0], seg[1]),
+            ):
+                if need <= _EPS:
+                    break
+                take = min(e - s, need)
+                chosen.append((s, e if take == e - s else s + take))
+                need -= take
+        chosen.sort()
+        merged: list[tuple[float, float]] = []
+        for s, e in chosen:
+            if merged and s <= merged[-1][1] + _EPS:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        # Policy-ladder guard: waiting must never cost more carbon
+        # than the best *contiguous* slot (a below-mean trough can
+        # still be pricier than a deep later one) -- so the exemplar's
+        # ordering no-wait >= lowest-carbon-slot >= carbon-waiting
+        # holds on every trace, not just friendly ones.
+        slot_start = carbon.lowest_window(duration, submit, latest_start)
+        slot_cost = carbon.integral(slot_start, slot_start + duration)
+        wait_cost = sum(carbon.integral(s, e) for s, e in merged)
+        if not merged or slot_cost < wait_cost - _EPS:
+            return [(slot_start, inf)]
+        return merged
+    if policy == "suspend-resume":
+        # Preemptive optimum on a step trace: take the cheapest
+        # duration_s seconds of the feasible window, earliest-first on
+        # intensity ties.
+        window_end = min(latest_finish, max(horizon_s, submit))
+        if window_end <= submit:
+            return [(submit, inf)]
+        bounds = [submit, *carbon.breakpoints_between(submit, window_end), window_end]
+        segments = [
+            (carbon.intensity_at(s), s, e)
+            for s, e in zip(bounds, bounds[1:])
+            if e > s
+        ]
+        segments.sort(key=lambda seg: (seg[0], seg[1]))
+        need = duration
+        chosen: list[tuple[float, float]] = []
+        for _, s, e in segments:
+            if need <= _EPS:
+                break
+            take = min(e - s, need)
+            chosen.append((s, e if take == e - s else s + take))
+            need -= take
+        if need > _EPS:
+            # Window shorter than the work: run everything available.
+            chosen = [(submit, window_end)]
+        chosen.sort()
+        # The executor's forced-run safety net covers cap-induced slip;
+        # leave the tail open so a slipped job may keep running.
+        if chosen:
+            last_s, last_e = chosen[-1]
+            chosen[-1] = (last_s, float("inf")) if last_e >= window_end - _EPS else (last_s, last_e)
+        return chosen or [(submit, inf)]
+    raise ValueError(
+        f"unknown deferrable policy {policy!r}; one of "
+        f"{', '.join(DEFERRABLE_POLICIES)}"
+    )
+
+
+def _profile_power(profile, t: float) -> float:
+    """Real-time fleet power at ``t`` from per-replica active windows."""
+    total = 0.0
+    for start, end, power in profile:
+        if start - _EPS <= t < end:
+            total += power
+    return total
+
+
+def run_deferrable(
+    jobs: Sequence[DeferrableJob],
+    carbon: CarbonTrace,
+    *,
+    policy: str = "no-wait",
+    horizon_s: float,
+    power_cap_w: float | None = None,
+    realtime_profile: Sequence[tuple[float, float, float]] = (),
+    deferral_horizon_s: float | None = None,
+) -> DeferrableReport:
+    """Execute deferrable jobs on the fleet timeline, deterministically.
+
+    Args:
+        jobs: The batch jobs to place.
+        carbon: Grid intensity series pricing every run window.
+        policy: One of :data:`DEFERRABLE_POLICIES`.
+        horizon_s: Executor horizon -- normally the fleet replay's
+            measurement horizon, so jobs and real-time traffic share
+            the window.  Work unfinished here ends ``"suspended"``
+            (deadline still open) or ``"dropped"`` (deadline passed).
+        power_cap_w: Fleet-wide power cap binding real-time draw plus
+            running jobs (None = uncapped).  Real-time traffic is
+            never throttled -- it is SLA-bound; only jobs yield.
+        realtime_profile: ``(start_s, end_s, power_w)`` activation
+            windows of the serving replicas (each replica's average
+            active power spread over its recorded windows).
+        deferral_horizon_s: Cap on how long completion may slip past
+            the no-wait finish: the effective deadline becomes
+            ``min(deadline_s, submit_s + duration_s + this)``.  None
+            leaves the job's own deadline as the only bound.
+
+    Returns:
+        A :class:`DeferrableReport`; job order follows the input.
+    """
+    if policy not in DEFERRABLE_POLICIES:
+        raise ValueError(
+            f"unknown deferrable policy {policy!r}; one of "
+            f"{', '.join(DEFERRABLE_POLICIES)}"
+        )
+    if horizon_s <= 0.0:
+        raise ValueError("horizon_s must be > 0")
+    if power_cap_w is not None and power_cap_w <= 0.0:
+        raise ValueError("power_cap_w must be > 0 (or None to disable)")
+    if deferral_horizon_s is not None and deferral_horizon_s < 0.0:
+        raise ValueError("deferral_horizon_s must be >= 0 (or None)")
+    names = [j.name for j in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError("deferrable job names must be unique")
+
+    states: list[_JobState] = []
+    for order, job in enumerate(jobs):
+        latest_finish = job.deadline_s
+        if deferral_horizon_s is not None:
+            latest_finish = min(
+                latest_finish, job.submit_s + job.duration_s + deferral_horizon_s
+            )
+        st = _JobState(job, order, latest_finish)
+        st.plan = _plan_windows(policy, job, carbon, latest_finish, horizon_s)
+        states.append(st)
+
+    # Static decision times: job submits/deadlines, planned window
+    # edges, and real-time power steps.  Completions and forced-run
+    # moments are injected dynamically as the sweep advances.
+    static = {0.0, horizon_s}
+    for st in states:
+        static.add(st.job.submit_s)
+        static.add(st.latest_finish)
+        for s, e in st.plan:
+            static.add(s)
+            if e != float("inf"):
+                static.add(e)
+    for start, end, _ in realtime_profile:
+        static.add(start)
+        static.add(end)
+    timeline = sorted(t for t in static if 0.0 <= t <= horizon_s)
+
+    def admit(t: float) -> list[_JobState]:
+        """Who runs in the segment starting at ``t``."""
+        candidates = []
+        for st in states:
+            if st.status != "pending" or st.remaining <= _EPS:
+                continue
+            if t < st.job.submit_s - _EPS or t >= st.latest_finish - _EPS:
+                continue
+            forced = t >= st.forced_at - _EPS
+            if forced or st.wants(t):
+                candidates.append((not forced, st.latest_finish, st.order, st))
+        candidates.sort(key=lambda c: c[:3])
+        if power_cap_w is None:
+            return [c[3] for c in candidates]
+        headroom = power_cap_w - _profile_power(realtime_profile, t)
+        admitted = []
+        for _, _, _, st in candidates:
+            if st.job.power_w <= headroom + _EPS:
+                admitted.append(st)
+                headroom -= st.job.power_w
+        return admitted
+
+    cursor = 0.0
+    idx = 0
+    while cursor < horizon_s - _EPS:
+        # Retire deadlines crossed at the cursor.
+        for st in states:
+            if st.status == "pending" and cursor >= st.latest_finish - _EPS:
+                if st.remaining > _EPS:
+                    st.status = "dropped"
+                    if st.window_open:
+                        st.windows[-1][1] = min(cursor, st.windows[-1][1])
+                        st.window_open = False
+        running = admit(cursor)
+        running_set = set(id(st) for st in running)
+        for st in states:
+            was = st.running
+            now_running = id(st) in running_set
+            if was and not now_running and st.remaining > _EPS:
+                if st.status == "pending":
+                    st.suspensions += 1
+                if st.window_open:
+                    st.windows[-1][1] = cursor
+                    st.window_open = False
+            if now_running and not was:
+                if st.started_at is None:
+                    st.started_at = cursor
+                st.windows.append([cursor, cursor])
+                st.window_open = True
+            st.running = now_running
+
+        # Next event: static boundary, a completion, or a forced-run
+        # moment for a job that is currently waiting.
+        while idx < len(timeline) and timeline[idx] <= cursor + _EPS:
+            idx += 1
+        nxt = timeline[idx] if idx < len(timeline) else horizon_s
+        for st in running:
+            nxt = min(nxt, cursor + st.remaining)
+            if cursor < st.forced_at - _EPS:
+                # Plan-driven run: never coast past this window's end.
+                # The static timeline holds the edge too, but edges of
+                # different jobs can sit within _EPS of each other and
+                # the dedup skip would swallow the later one.
+                nxt = min(nxt, st.plan_end_at(cursor))
+        for st in states:
+            if (
+                st.status == "pending"
+                and not st.running
+                and st.remaining > _EPS
+                and st.forced_at > cursor + _EPS
+            ):
+                nxt = min(nxt, st.forced_at)
+        nxt = min(nxt, horizon_s)
+        if nxt <= cursor + _EPS:
+            nxt = cursor + _EPS  # defensive: always advance
+        dt = nxt - cursor
+        for st in running:
+            ran = min(dt, st.remaining)
+            st.gco2_int += carbon.integral(cursor, cursor + ran)
+            st.remaining -= ran
+            st.windows[-1][1] = cursor + ran
+            if st.remaining <= _EPS:
+                st.remaining = 0.0
+                st.status = "completed"
+                st.finish = cursor + ran
+                st.running = False
+                st.window_open = False
+        cursor = nxt
+
+    # Horizon reached: close open windows, classify leftovers.
+    for st in states:
+        if st.window_open:
+            st.windows[-1][1] = min(horizon_s, st.windows[-1][1])
+            st.window_open = False
+        if st.status == "pending":
+            st.status = (
+                "dropped" if st.latest_finish <= horizon_s + _EPS else "suspended"
+            )
+
+    outcomes = []
+    for st in states:
+        job = st.job
+        run_s = sum(e - s for s, e in st.windows)
+        outcomes.append(
+            JobOutcome(
+                name=job.name,
+                status=st.status,
+                submit_s=job.submit_s,
+                deadline_s=st.latest_finish,
+                start_s=st.started_at,
+                finish_s=st.finish,
+                run_s=run_s,
+                remaining_s=st.remaining,
+                suspensions=st.suspensions,
+                energy_kwh=job.power_w * run_s / J_PER_KWH,
+                gco2_g=job.power_w * st.gco2_int / J_PER_KWH,
+                run_windows=tuple((s, e) for s, e in st.windows),
+            )
+        )
+    return DeferrableReport(
+        policy=policy,
+        power_cap_w=power_cap_w,
+        horizon_s=horizon_s,
+        outcomes=tuple(outcomes),
+    )

@@ -16,6 +16,11 @@ Subcommands:
   fault-injected fleet replays to the smallest over-provision rate
   ``R`` meeting a target service availability, and report the power
   delta against the fault-blind provisioner.
+- ``provision-carbon-aware`` -- find the lowest-carbon operating
+  point: bisect ``R`` to the smallest fleet meeting a target service
+  availability, then sweep deferrable-job (policy, power cap,
+  deferral horizon) plans on its measured activation profile and pick
+  the least-gCO2 feasible one.
 - ``observe``  -- summarize (or diff) telemetry files exported by
   ``fleet --metrics-out/--trace-out``: windowed metrics series
   (CSV/JSONL), tagged span traces (JSONL), and Chrome trace-event
@@ -23,7 +28,8 @@ Subcommands:
 - ``bench``    -- perf-regression harness over the hot paths; writes
   machine-readable ``BENCH_perf.json``.
 
-``fleet`` and ``provision-fault-aware`` accept ``--json`` for
+``fleet``, ``provision-fault-aware``, and ``provision-carbon-aware``
+accept ``--json`` for
 machine-readable results (floats serialized with ``repr``, so they
 round-trip exactly); progress chatter then moves to stderr.
 
@@ -43,6 +49,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.analysis import format_series, format_table
+from repro.carbon import DEFERRABLE_POLICIES, load_carbon, parse_deferrable
 from repro.cluster import (
     Allocation,
     ClusterManager,
@@ -61,6 +68,7 @@ from repro.fleet import (
     ReactiveAutoscaler,
     build_fleet,
     diurnal_segments,
+    provision_carbon_aware,
     provision_fault_aware,
 )
 from repro.hardware import SERVER_AVAILABILITY, SERVER_TYPES
@@ -369,6 +377,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print("warning: fleet cannot cover the requested peak load", file=chatter)
 
     faults = FaultSchedule.parse(args.faults) if args.faults else None
+    carbon = load_carbon(args.carbon) if args.carbon else None
+    deferrable_jobs = ()
+    if args.deferrable:
+        if carbon is None:
+            raise SystemExit("--deferrable needs --carbon (jobs are "
+                             "scheduled against the grid's intensity)")
+        deferrable_jobs = parse_deferrable(args.deferrable).build(span)
+    if carbon is None and (
+        args.power_cap is not None or args.deferral_horizon is not None
+    ):
+        raise SystemExit(
+            "--power-cap/--deferral-horizon shape the deferrable plan; "
+            "they need --carbon and --deferrable"
+        )
     probe = None
     if args.metrics_out or args.trace_out:
         from repro.obs import FleetProbe
@@ -392,6 +414,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 "--shards > 1 cannot export observability (the probe "
                 "needs the single-process loop); drop "
                 "--metrics-out/--trace-out or run --shards 1"
+            )
+        if carbon is not None:
+            raise SystemExit(
+                "--shards > 1 cannot account carbon (activation windows "
+                "live in the single-process loop); drop --carbon or run "
+                "--shards 1"
             )
         from repro.fleet.sharded import run_fleet_sharded
 
@@ -427,6 +455,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             observer=probe,
             core=args.core,
             percentile_mode=args.percentile_mode,
+            carbon=carbon,
+            deferrable=deferrable_jobs,
+            deferrable_policy=args.deferrable_policy,
+            power_cap_w=args.power_cap,
+            deferral_horizon_s=args.deferral_horizon,
         )
         result = sim.run(source, warmup_s=span * 0.05)
     if probe is not None:
@@ -587,6 +620,132 @@ def _provision_outcome_dict(outcome) -> dict:
         "result": outcome.result.to_dict(),
         "baseline_result": outcome.baseline_result.to_dict(),
     }
+
+
+def _cmd_provision_carbon_aware(args: argparse.Namespace) -> int:
+    # 50% aggregate utilization: leaves fleet headroom to grow R into.
+    models, table, fleet_counts, traces, workloads, source = _fleet_inputs(
+        args, target_utilization=0.5
+    )
+    if args.shards > 1:
+        raise SystemExit(
+            "--shards > 1 is not supported by provision-carbon-aware: "
+            "carbon accounting needs the single-process loop's "
+            "activation windows; use --percentile-mode sketch to bound "
+            "replay memory instead"
+        )
+    span = _replay_span_s(args, source)
+    trace = list(source)
+    scheduler = HerculesClusterScheduler(table, fleet_counts)
+    peak_loads = {m: t.peak_qps for m, t in traces.items()}
+    carbon = load_carbon(args.carbon)
+    jobs = (
+        parse_deferrable(args.deferrable).build(span)
+        if args.deferrable
+        else ()
+    )
+    chatter = sys.stderr if args.json else sys.stdout
+    print(
+        f"Searching R in [{args.r_min:.2f}, {args.r_max:.2f}] for "
+        f"{args.target_availability * 100:.2f}% service availability, "
+        f"then sweeping {len(jobs)} deferrable jobs over "
+        f"{len(args.policies)} policies x {len(args.power_caps)} caps x "
+        f"{len(args.deferral_horizons)} horizons ...",
+        flush=True,
+        file=chatter,
+    )
+    outcome = provision_carbon_aware(
+        scheduler,
+        table,
+        models,
+        workloads,
+        trace,
+        peak_loads,
+        carbon,
+        sla_ms={name: m.sla_ms for name, m in models.items()},
+        jobs=jobs,
+        policies=args.policies,
+        power_caps=args.power_caps,
+        deferral_horizons=args.deferral_horizons,
+        target_availability=args.target_availability,
+        policy=args.policy,
+        seed=args.seed,
+        core=args.core,
+        percentile_mode=args.percentile_mode,
+        warmup_s=span * 0.05,
+        r_min=args.r_min,
+        r_max=args.r_max,
+        r_tol=args.r_tol,
+        max_evals=args.max_evals,
+    )
+    if args.json:
+        print(json.dumps(_carbon_outcome_dict(outcome)))
+    else:
+        print()
+        print(outcome.format())
+        if outcome.converged:
+            print()
+            print(
+                outcome.result.format(
+                    title=(
+                        f"fleet replay at chosen R={outcome.chosen_r:.3f} "
+                        f"({args.policy} routing, "
+                        f"{outcome.allocation.total_servers} replicas)"
+                    )
+                )
+            )
+    return 0 if outcome.converged else 1
+
+
+def _carbon_outcome_dict(outcome) -> dict:
+    """JSON view of a carbon-aware provisioning search outcome."""
+
+    def _plan(pt) -> dict:
+        return {
+            "policy": pt.policy,
+            "power_cap_w": pt.power_cap_w,
+            "deferral_horizon_s": pt.deferral_horizon_s,
+            "completed": pt.completed,
+            "dropped": pt.dropped,
+            "suspended": pt.suspended,
+            "deferrable_g": pt.deferrable_g,
+            "feasible": pt.feasible,
+        }
+
+    doc = {
+        "target_availability": outcome.target_availability,
+        "converged": outcome.converged,
+        "chosen_r": outcome.chosen_r,
+        "replays": outcome.replays,
+        "provisioned_power_w": outcome.provisioned_power_w,
+        "total_g": outcome.total_g,
+        "no_wait_g": outcome.no_wait_g,
+        "deferral_savings_g": outcome.deferral_savings_g,
+        "evaluations": [
+            {
+                "r": ev.r,
+                "servers": ev.servers,
+                "provisioned_power_w": ev.provisioned_power_w,
+                "service_availability": ev.service_availability,
+                "meets_target": ev.meets_target,
+                "shortfall_qps": ev.shortfall_qps,
+            }
+            for ev in outcome.evaluations
+        ],
+        "plan": [_plan(pt) for pt in outcome.plan],
+        "chosen_plan": (
+            _plan(outcome.chosen_plan)
+            if outcome.chosen_plan is not None
+            else None
+        ),
+    }
+    if outcome.converged:
+        doc["allocation"] = {
+            f"{srv}:{model}": count
+            for (srv, model), count in sorted(outcome.allocation.counts.items())
+        }
+        doc["result"] = outcome.result.to_dict()
+    return doc
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
@@ -865,6 +1024,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--over-provision", type=float, default=0.05)
     fleet.add_argument(
+        "--carbon",
+        default=None,
+        metavar="SPEC|PATH",
+        help=(
+            "attach a grid carbon-intensity trace and report gCO2: a "
+            "recorded .csv/.jsonl file (time_s,gco2_per_kwh rows), or a "
+            "'+'-superposed synthetic spec with shapes "
+            "constant:intensity=, diurnal:base=,swing=,period=, "
+            "step:levels=400/120,at=0/3600 (see docs/carbon.md)"
+        ),
+    )
+    fleet.add_argument(
+        "--deferrable",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deadline-bound batch jobs run next to the real-time traffic "
+            "(needs --carbon): jobs:count=4,duration=120,power=800,"
+            "slack=2.0[,start=0,every=600] sections joined with '+' "
+            "(see docs/carbon.md)"
+        ),
+    )
+    fleet.add_argument(
+        "--deferrable-policy",
+        choices=DEFERRABLE_POLICIES,
+        default="no-wait",
+        help=(
+            "when the deferrable jobs run: immediately (no-wait), in the "
+            "lowest-carbon contiguous slot before each deadline "
+            "(lowest-carbon-slot), split across below-average-intensity "
+            "periods (carbon-waiting), or preemptively in the cheapest "
+            "seconds (suspend-resume)"
+        ),
+    )
+    fleet.add_argument(
+        "--power-cap",
+        type=_positive_float,
+        default=None,
+        metavar="WATTS",
+        help=(
+            "fleet power cap the deferrable executor honors: jobs only "
+            "run when cap minus the serving replicas' measured draw "
+            "leaves headroom (needs --deferrable)"
+        ),
+    )
+    fleet.add_argument(
+        "--deferral-horizon",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "cap how far past its natural finish (submit + duration) a "
+            "deferrable job may slip, tightening deadlines that allow "
+            "more slack (needs --deferrable)"
+        ),
+    )
+    fleet.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -964,6 +1180,117 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     provision.set_defaults(func=_cmd_provision_fault_aware)
+
+    def _sweep_values(text: str) -> tuple:
+        """Slash-separated sweep list; 'none' = the uncapped/unbounded
+        point (e.g. 'none/2000/3000')."""
+        values = []
+        for token in text.split("/"):
+            token = token.strip().lower()
+            if token in ("none", "-"):
+                values.append(None)
+            else:
+                try:
+                    values.append(float(token))
+                except ValueError:
+                    raise argparse.ArgumentTypeError(
+                        f"bad sweep value {token!r}; use numbers or 'none'"
+                    )
+        return tuple(values)
+
+    carbon_prov = sub.add_parser(
+        "provision-carbon-aware",
+        parents=[_fleet_shared_flags()],
+        help="find the lowest-carbon fleet meeting an availability target",
+        description=(
+            "Bisect the over-provision rate R to the smallest fleet whose "
+            "fault-free replay meets a target service availability, then "
+            "sweep deferrable-job (policy, power cap, deferral horizon) "
+            "plans on that fleet's measured activation profile and pick "
+            "the feasible plan emitting the least gCO2.  Every candidate "
+            "R replays identical traffic; the plan sweep re-prices the "
+            "deferrable executor only.  Deterministic given --seed."
+        ),
+    )
+    carbon_prov.set_defaults(servers=24, models=["DLRM-RMC1"])
+    carbon_prov.add_argument(
+        "--carbon",
+        required=True,
+        metavar="SPEC|PATH",
+        help=(
+            "grid carbon-intensity trace pricing every joule; same "
+            "mini-language as 'fleet --carbon' (see docs/carbon.md)"
+        ),
+    )
+    carbon_prov.add_argument(
+        "--deferrable",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deferrable batch jobs to place; same mini-language as "
+            "'fleet --deferrable' (omit for a realtime-only search)"
+        ),
+    )
+    carbon_prov.add_argument(
+        "--policies",
+        nargs="+",
+        choices=DEFERRABLE_POLICIES,
+        default=list(DEFERRABLE_POLICIES),
+        help="deferrable policies the plan sweep compares",
+    )
+    carbon_prov.add_argument(
+        "--power-caps",
+        type=_sweep_values,
+        default=(None,),
+        metavar="W/W/...",
+        help=(
+            "slash-separated fleet power caps (watts) to sweep; 'none' "
+            "= uncapped (default: uncapped only)"
+        ),
+    )
+    carbon_prov.add_argument(
+        "--deferral-horizons",
+        type=_sweep_values,
+        default=(None,),
+        metavar="S/S/...",
+        help=(
+            "slash-separated deferral horizons (seconds) to sweep; "
+            "'none' = deadline-bound only (default)"
+        ),
+    )
+    carbon_prov.add_argument(
+        "--target-availability",
+        type=float,
+        default=0.999,
+        help="service-availability target in (0, 1] (default 0.999)",
+    )
+    carbon_prov.add_argument(
+        "--r-min", type=float, default=0.0, help="search lower bound for R"
+    )
+    carbon_prov.add_argument(
+        "--r-max", type=float, default=1.0, help="search upper bound for R"
+    )
+    carbon_prov.add_argument(
+        "--r-tol",
+        type=_positive_float,
+        default=0.02,
+        help="bisection width at which the search stops",
+    )
+    carbon_prov.add_argument(
+        "--max-evals",
+        type=_positive_int,
+        default=12,
+        help="cap on fleet evaluation replays",
+    )
+    carbon_prov.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the search outcome as one JSON object (repr-exact "
+            "floats) on stdout; progress chatter moves to stderr"
+        ),
+    )
+    carbon_prov.set_defaults(func=_cmd_provision_carbon_aware)
 
     observe = sub.add_parser(
         "observe",

@@ -31,12 +31,22 @@ from repro.fleet.faults import (
     slowdown,
 )
 from repro.fleet.provisioning import (
+    CarbonAwareProvisioning,
+    CarbonPlanPoint,
     FaultAwareProvisioning,
     ProvisionEval,
+    provision_carbon_aware,
     provision_fault_aware,
     service_availability,
 )
-from repro.fleet.report import FleetResult, ModelStats, PhaseStats, ServerStats
+from repro.fleet.report import (
+    CarbonStats,
+    FleetResult,
+    ModelStats,
+    PhaseStats,
+    ServerStats,
+    fleet_power_summary,
+)
 from repro.fleet.routing import (
     ROUTING_POLICIES,
     LeastOutstandingPolicy,
@@ -66,14 +76,19 @@ __all__ = [
     "domain_crash",
     "domain_slowdown",
     "slowdown",
+    "CarbonAwareProvisioning",
+    "CarbonPlanPoint",
     "FaultAwareProvisioning",
     "ProvisionEval",
+    "provision_carbon_aware",
     "provision_fault_aware",
     "service_availability",
+    "CarbonStats",
     "FleetResult",
     "ModelStats",
     "PhaseStats",
     "ServerStats",
+    "fleet_power_summary",
     "ROUTING_POLICIES",
     "LeastOutstandingPolicy",
     "PowerOfTwoPolicy",

@@ -42,7 +42,12 @@ from heapq import heappop, heappush
 from typing import Sequence
 
 from repro.cluster.state import Allocation
-from repro.fleet.report import FleetResult, ModelStats, ServerStats
+from repro.fleet.report import (
+    FleetResult,
+    ModelStats,
+    ServerStats,
+    fleet_power_summary,
+)
 from repro.fleet.routing import RoutingPolicy, make_policy
 from repro.hardware.power import ComponentUtilization
 from repro.hardware.server import ServerType, get_server_type
@@ -98,6 +103,7 @@ class FleetServer:
         "domain",
         "active_s",
         "_active_since",
+        "active_windows",
         "wrr_current",
     )
 
@@ -136,12 +142,21 @@ class FleetServer:
         self.domain = index  # fault domain (singleton unless declared)
         self.active_s = 0.0
         self._active_since = 0.0 if active else None
+        self.active_windows: list[tuple[float, float]] | None = None
         self.wrr_current = 0.0
 
     def settle(self, now: float) -> None:
-        """Fold any open activation window into ``active_s``."""
+        """Fold any open activation window into ``active_s``.
+
+        When window recording is on (carbon accounting; enabled by the
+        simulator) the closed ``[start, now]`` interval is also kept,
+        so emissions can price each replica's power over the intervals
+        it was actually active.
+        """
         if self._active_since is not None:
             self.active_s += now - self._active_since
+            if self.active_windows is not None:
+                self.active_windows.append((self._active_since, now))
             self._active_since = None
 
     def power_w(self) -> float:
@@ -302,6 +317,22 @@ class FleetSimulator:
             of estimated p50/p95/p99 (completed/dropped/qps/
             violation-rate stay exact) and an empty ``phases`` tuple.
             Sketch mode requires the per-event python core.
+        carbon: Optional :class:`~repro.carbon.CarbonTrace`.  ``None``
+            (the default) keeps the engine exactly as before -- no
+            window recording, no carbon field, pinned bit-identical by
+            ``tests/test_perf_equivalence.py``.  A trace prices the
+            run's measured energy in gCO2 (``result.carbon``) and
+            requires the per-event python core.
+        deferrable: Optional :class:`~repro.carbon.DeferrableJob`
+            batch executed on the run's timeline next to the real-time
+            traffic (requires ``carbon``); see ``docs/carbon.md``.
+        deferrable_policy: Scheduling policy for those jobs, one of
+            :data:`~repro.carbon.DEFERRABLE_POLICIES`.
+        power_cap_w: Fleet-wide power cap the deferrable executor
+            honors (real-time + running jobs; real-time traffic is
+            never throttled).  ``None`` = uncapped.
+        deferral_horizon_s: Cap on completion slip past each job's
+            no-wait finish time (``None`` = the job deadline alone).
     """
 
     def __init__(
@@ -317,6 +348,11 @@ class FleetSimulator:
         observer=None,
         core: str = "auto",
         percentile_mode: str = "exact",
+        carbon=None,
+        deferrable: Sequence = (),
+        deferrable_policy: str = "no-wait",
+        power_cap_w: float | None = None,
+        deferral_horizon_s: float | None = None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one fleet server")
@@ -333,7 +369,46 @@ class FleetSimulator:
             raise ValueError("retries must be >= 0")
         if hedge_ms is not None and hedge_ms <= 0.0:
             raise ValueError("hedge_ms must be > 0 (or None to disable)")
+        deferrable = tuple(deferrable)
+        if carbon is None:
+            if deferrable:
+                raise ValueError(
+                    "deferrable jobs need a carbon trace (pass carbon=); "
+                    "their policies price run windows against it"
+                )
+            if power_cap_w is not None:
+                raise ValueError(
+                    "power_cap_w binds deferrable jobs; pass carbon= and "
+                    "deferrable= (real-time traffic is never capped)"
+                )
+            if deferral_horizon_s is not None:
+                raise ValueError(
+                    "deferral_horizon_s needs deferrable jobs (and carbon=)"
+                )
+        else:
+            from repro.carbon.deferrable import DEFERRABLE_POLICIES
+
+            if deferrable_policy not in DEFERRABLE_POLICIES:
+                raise ValueError(
+                    f"unknown deferrable policy {deferrable_policy!r}; "
+                    f"one of {', '.join(DEFERRABLE_POLICIES)}"
+                )
+            if power_cap_w is not None and power_cap_w <= 0.0:
+                raise ValueError("power_cap_w must be > 0 (or None)")
+            if deferral_horizon_s is not None and deferral_horizon_s < 0.0:
+                raise ValueError("deferral_horizon_s must be >= 0 (or None)")
+        self.carbon = carbon
+        self.deferrable = deferrable
+        self.deferrable_policy = deferrable_policy
+        self.power_cap_w = power_cap_w
+        self.deferral_horizon_s = deferral_horizon_s
+        self.last_deferrable_report = None
         self.servers = list(servers)
+        if carbon is not None:
+            # Record per-replica activation windows so emissions can
+            # price each replica's power over the time it was on.
+            for s in self.servers:
+                s.active_windows = []
         self.sla_ms = dict(sla_ms or {})
         self.autoscaler = autoscaler
         self._policy_spec = policy
@@ -475,6 +550,11 @@ class FleetSimulator:
             )
         if self.observer is not None:
             return "a live observer requires per-event completion hooks"
+        if self.carbon is not None:
+            return (
+                "carbon accounting records per-replica activation "
+                "windows, which only the per-event core maintains"
+            )
         if self.percentile_mode != "exact":
             return (
                 "sketch-mode reports fold completions one event at a "
@@ -690,6 +770,32 @@ class FleetSimulator:
             completions, dropped, warmup_s, horizon, tuple(scale_events),
             fault_info,
         )
+        if self.carbon is not None:
+            # Price the measured energy with the grid and execute any
+            # deferrable jobs on the same timeline -- purely additive:
+            # every real-time float above is already final.
+            from repro.carbon.accounting import (
+                attach_carbon,
+                realtime_power_profile,
+            )
+
+            deferrable_report = None
+            if self.deferrable:
+                from repro.carbon.deferrable import run_deferrable
+
+                deferrable_report = run_deferrable(
+                    self.deferrable,
+                    self.carbon,
+                    policy=self.deferrable_policy,
+                    horizon_s=horizon,
+                    power_cap_w=self.power_cap_w,
+                    realtime_profile=realtime_power_profile(self.servers),
+                    deferral_horizon_s=self.deferral_horizon_s,
+                )
+            self.last_deferrable_report = deferrable_report
+            result = attach_carbon(
+                result, self.servers, self.carbon, horizon, deferrable_report
+            )
         if self.observer is not None:
             self.observer.finish(horizon, warmup_s, result, self)
         return result
@@ -943,10 +1049,8 @@ class FleetSimulator:
                 )
 
         server_stats = []
-        total_energy = 0.0
         for s in self.servers:
             power = s.power_w()
-            total_energy += power * s.active_s
             server_stats.append(
                 ServerStats(
                     index=s.index,
@@ -986,12 +1090,15 @@ class FleetSimulator:
                     warmup_s,
                     horizon,
                 )
+        _, avg_power_w = fleet_power_summary(
+            ((row.power_w, row.active_s) for row in server_stats), horizon
+        )
         return FleetResult(
             policy=self.policy_name,
             duration_s=duration,
             per_model=per_model,
             servers=tuple(server_stats),
-            avg_power_w=total_energy / max(horizon, 1e-9),
+            avg_power_w=avg_power_w,
             scale_events=scale_events,
             events=self.last_event_count,
             availability=availability,

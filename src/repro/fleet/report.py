@@ -21,10 +21,35 @@ __all__ = [
     "ModelStats",
     "ServerStats",
     "PhaseStats",
+    "CarbonStats",
     "FleetResult",
     "LatencySketchSeries",
     "phase_breakdown",
+    "fleet_power_summary",
 ]
+
+#: Joules per kilowatt-hour -- the unit bridge between the replica
+#: energy accounting (W x s) and grid carbon intensity (gCO2/kWh).
+J_PER_KWH = 3.6e6
+
+
+def fleet_power_summary(
+    rows, horizon_s: float
+) -> tuple[float, float]:
+    """Fold replica ``(power_w, active_s)`` rows into fleet energy/power.
+
+    The single seam for fleet energy accounting: the engine's
+    summarizer and the sharded merge both fold their replica rows
+    through this helper, in fleet-index order -- float addition order
+    is part of the bit-identity contract, so callers must pass rows
+    already in that order.  Returns ``(total_energy_j, avg_power_w)``
+    where the average is taken over the full horizon (a zero or
+    negative horizon is clamped to 1e-9 rather than dividing by zero).
+    """
+    total_energy = 0.0
+    for power_w, active_s in rows:
+        total_energy += power_w * active_s
+    return total_energy, total_energy / max(horizon_s, 1e-9)
 
 
 @dataclass(frozen=True)
@@ -283,6 +308,56 @@ class ServerStats:
 
 
 @dataclass(frozen=True)
+class CarbonStats:
+    """gCO2 accounting for one fleet run against a carbon trace.
+
+    Emissions integrate the existing per-replica energy model against
+    the grid's carbon-intensity time series: each replica's average
+    active power is spread over its recorded activation windows, and
+    every window is priced by the trace's step-function intensity over
+    that window (``docs/carbon.md``).  Deferrable batch jobs executed
+    next to the real-time traffic contribute their own energy and
+    emissions plus completion accounting.
+
+    Attributes:
+        total_g: Fleet-wide emissions, real-time plus deferrable.
+        realtime_g: Emissions of the SLA-bound serving replicas.
+        deferrable_g: Emissions of the deferrable batch jobs.
+        energy_kwh / deferrable_energy_kwh: The energies behind the
+            two emission numbers.
+        mean_intensity: Trace mean intensity (gCO2/kWh) over the
+            measured horizon -- the what-if-every-joule-were-average
+            denominator for judging time-shifting gains.
+        policy: Deferrable scheduling policy name (None when the run
+            carried no deferrable jobs).
+        power_cap_w: Fleet power cap the deferrable executor honored
+            (None = uncapped).
+        jobs_submitted / jobs_completed / jobs_suspended /
+        jobs_dropped: Terminal job accounting; submitted ==
+            completed + suspended (unfinished, deadline still open at
+            the horizon) + dropped (deadline passed).
+        job_suspensions: Mid-flight suspend events across all jobs.
+    """
+
+    total_g: float
+    realtime_g: float
+    deferrable_g: float
+    energy_kwh: float
+    deferrable_energy_kwh: float
+    mean_intensity: float
+    policy: str | None = None
+    power_cap_w: float | None = None
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_suspended: int = 0
+    jobs_dropped: int = 0
+    job_suspensions: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Outcome of one fleet simulation.
 
@@ -305,6 +380,8 @@ class FleetResult:
         fault_events: Atomic fault events actually applied, in order.
         phases: Per-phase latency breakdown between fault events
             (empty for fault-free runs).
+        carbon: gCO2 accounting against the run's carbon trace
+            (None for runs without one -- the dormant default).
     """
 
     policy: str
@@ -317,6 +394,7 @@ class FleetResult:
     availability: float = 1.0
     fault_events: tuple = ()
     phases: tuple = ()
+    carbon: CarbonStats | None = None
 
     @property
     def total_completed(self) -> int:
@@ -356,9 +434,11 @@ class FleetResult:
         ``repr``, so the output round-trips exactly); the autoscaler's
         ``ScaleEvent.server`` object is flattened to its fleet index.
         Empty models report ``Infinity`` percentiles -- Python's JSON
-        dialect, accepted back by ``json.loads``.
+        dialect, accepted back by ``json.loads``.  The ``carbon`` key
+        appears only when the run carried a carbon trace, so the
+        dormant payload is byte-identical to a pre-carbon run.
         """
-        return {
+        doc = {
             "policy": self.policy,
             "duration_s": self.duration_s,
             "avg_power_w": self.avg_power_w,
@@ -398,6 +478,9 @@ class FleetResult:
             "worst_violation_rate": self.worst_violation_rate,
             "active_servers": self.active_servers,
         }
+        if self.carbon is not None:
+            doc["carbon"] = self.carbon.to_dict()
+        return doc
 
     def format(self, title: str = "") -> str:
         """Render the per-model SLA table plus the fleet summary line."""
@@ -446,5 +529,26 @@ class FleetResult:
                 summary += (
                     f"\n  phase [{ph.start_s:.2f}s, {ph.end_s:.2f}s): "
                     f"p99 {p99} over {ph.completed} queries"
+                )
+        carbon = self.carbon
+        if carbon is not None:
+            summary += (
+                f"\ncarbon {carbon.total_g:.2f} gCO2 "
+                f"(realtime {carbon.realtime_g:.2f} g, deferrable "
+                f"{carbon.deferrable_g:.2f} g, grid mean "
+                f"{carbon.mean_intensity:.0f} gCO2/kWh)"
+            )
+            if carbon.jobs_submitted:
+                cap = (
+                    "uncapped"
+                    if carbon.power_cap_w is None
+                    else f"cap {carbon.power_cap_w / 1e3:.2f} kW"
+                )
+                summary += (
+                    f"\ndeferrable jobs ({carbon.policy}, {cap}): "
+                    f"{carbon.jobs_completed}/{carbon.jobs_submitted} "
+                    f"completed, {carbon.jobs_suspended} suspended, "
+                    f"{carbon.jobs_dropped} dropped, "
+                    f"{carbon.job_suspensions} suspend events"
                 )
         return f"{table}\n{summary}"

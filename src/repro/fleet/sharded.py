@@ -47,7 +47,7 @@ from dataclasses import dataclass
 
 from repro.cluster.state import Allocation
 from repro.fleet.engine import FleetSimulator, build_fleet
-from repro.fleet.report import FleetResult
+from repro.fleet.report import FleetResult, fleet_power_summary
 from repro.fleet.routing import RoutingPolicy, make_policy
 from repro.traces.arrivals import MODEL_SEED_STRIDE, FleetArrivals
 from repro.traces.recorded import RecordedTrace
@@ -279,9 +279,9 @@ def merge_shard_results(
     )
     # Re-accumulate fleet energy in global index order: float addition
     # order is part of the bit-identity contract.
-    total_energy = 0.0
-    for row in rows:
-        total_energy += row.power_w * row.active_s
+    _, avg_power_w = fleet_power_summary(
+        ((row.power_w, row.active_s) for row in rows), horizon
+    )
     rank = {m: i for i, m in enumerate(model_order)}
     scale_events = sorted(
         (ev for r in results for ev in r.scale_events),
@@ -292,7 +292,7 @@ def merge_shard_results(
         duration_s=results[0].duration_s,
         per_model=per_model,
         servers=tuple(rows),
-        avg_power_w=total_energy / max(horizon, 1e-9),
+        avg_power_w=avg_power_w,
         scale_events=tuple(scale_events),
         events=sum(r.events - t for r, t in payloads) + ticks,
         availability=1.0,

@@ -25,6 +25,11 @@ repo's four hot paths:
   fault-aware loop with an empty schedule, reporting its wall-time
   ratio against the fault-free loop (CI bounds it at < 1.2x) and
   asserting the two agree exactly.
+- ``fleet_replay_carbonpath`` -- the same replay with a carbon trace
+  attached (activation-window recording plus post-run gCO2 pricing)
+  vs carbon-off, reporting the ratio CI bounds at < 1.1x and
+  asserting the realtime report agrees float-for-float; a third leg
+  adds deferrable jobs for trend inspection.
 - ``fleet_replay_observed`` -- the same replay with the observability
   probe off vs plain construction (CI bounds the dormant-guard ratio
   at < 1.05x), with per-query tracing vs the tracked loop it rides on
@@ -76,6 +81,7 @@ SCENARIOS: tuple[str, ...] = (
     "fleet_replay_fastcore",
     "fleet_replay_streaming",
     "fleet_replay_faultpath",
+    "fleet_replay_carbonpath",
     "fleet_replay_observed",
     "fleet_replay_sharded",
     "fleet_replay_sketchmem",
@@ -509,6 +515,91 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
         "events": events,
         "events_per_s": (events / wall_light) if (events and wall_light > 0) else None,
         "completed": result_light.total_completed,
+    }
+
+
+def _scenario_fleet_replay_carbonpath(ctx: _Context) -> dict[str, Any]:
+    """Carbon accounting attached vs the untouched engine.
+
+    Replays the identical fleet/trace three ways: carbon off (the
+    engine exactly as every pre-carbon caller runs it); carbon on
+    (activation-window recording in ``settle`` plus one post-run
+    pricing pass -- what a replay pays for a gCO2 report); and carbon
+    on with a batch of deferrable jobs (window recording plus the
+    deferrable planner/executor).
+
+    ``ratio_vs_carbon_off`` (carbon-on/off, no jobs) is the number
+    CI's perf-smoke job bounds at < 1.1; the jobs ratio is recorded
+    for trend inspection.  The realtime report must agree
+    float-for-float across all three legs -- a built-in differential
+    smoke check of the dormant guarantee the equivalence-test lane
+    pins.
+    """
+    from repro.fleet import FleetSimulator
+
+    try:
+        from repro.carbon import CarbonTrace, DeferrableJob
+    except ImportError:  # pre-carbon checkout (baseline measurements)
+        return {"skipped": "carbon layer absent"}
+
+    make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
+    carbon = CarbonTrace.diurnal(period_s=duration, steps=24)
+    jobs = tuple(
+        DeferrableJob(
+            name=f"batch-{i}",
+            submit_s=i * duration / 8.0,
+            duration_s=duration / 16.0,
+            power_w=800.0,
+            deadline_s=i * duration / 8.0 + duration / 4.0,
+        )
+        for i in range(4)
+    )
+
+    def replay(**kwargs):
+        # Best of two runs: the ratio feeds a CI gate, so single-sample
+        # scheduler noise must not flake it.
+        walls, result = [], None
+        for _ in range(2):
+            sim = FleetSimulator(
+                make_servers(), policy="p2c", sla_ms=sla, seed=ctx.seed, **kwargs
+            )
+            wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+            walls.append(wall)
+        return min(walls), result
+
+    wall_off, result_off = replay()
+    wall_on, result_on = replay(carbon=carbon)
+    wall_jobs, result_jobs = replay(
+        carbon=carbon, deferrable=jobs, deferrable_policy="carbon-waiting"
+    )
+    for label, result in (("carbon", result_on), ("deferrable", result_jobs)):
+        if result.per_model != result_off.per_model:
+            raise AssertionError(
+                f"{label} run diverged from the carbon-off replay on "
+                "per-model stats"
+            )
+        if result.avg_power_w != result_off.avg_power_w:
+            raise AssertionError(
+                f"{label} run diverged from the carbon-off replay on power"
+            )
+    if result_on.carbon is None or result_on.carbon.total_g <= 0.0:
+        raise AssertionError("carbon-on replay produced no emissions")
+
+    events = getattr(result_on, "events", None)
+    return {
+        "wall_s": wall_on,
+        "wall_carbon_off_s": wall_off,
+        "wall_deferrable_s": wall_jobs,
+        "ratio_vs_carbon_off": wall_on / wall_off if wall_off > 0 else None,
+        "ratio_deferrable_vs_carbon_off": (
+            wall_jobs / wall_off if wall_off > 0 else None
+        ),
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_on if wall_on > 0 else 0.0,
+        "events": events,
+        "events_per_s": (events / wall_on) if (events and wall_on > 0) else None,
+        "completed": result_on.total_completed,
+        "total_g": result_on.carbon.total_g,
     }
 
 
@@ -974,6 +1065,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "fleet_replay_fastcore": _scenario_fleet_replay_fastcore,
     "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
+    "fleet_replay_carbonpath": _scenario_fleet_replay_carbonpath,
     "fleet_replay_observed": _scenario_fleet_replay_observed,
     "fleet_replay_sharded": _scenario_fleet_replay_sharded,
     "fleet_replay_sketchmem": _scenario_fleet_replay_sketchmem,

@@ -290,3 +290,167 @@ class TestObservabilityCLI:
         assert "per_model" in payload["result"]
         assert all(":" in key for key in payload["allocation"])
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCarbonCLI:
+    FLEET = [
+        "fleet",
+        "--servers", "4",
+        "--server-types", "T2",
+        "--models", "DLRM-RMC1",
+        "--duration", "2",
+        "--segments", "8",
+    ]
+    CARBON = ["--carbon", "diurnal:base=350,swing=150,period=2,steps=12"]
+    JOBS = ["--deferrable", "jobs:count=2,duration=0.3,power=600,slack=1.5"]
+
+    def test_fleet_carbon_only_prints_emissions(self, capsys):
+        assert main([*self.FLEET, *self.CARBON]) == 0
+        out = capsys.readouterr().out
+        assert "gCO2" in out and "grid mean" in out
+        assert "deferrable jobs" not in out
+
+    def test_fleet_carbon_with_jobs_prints_plan_line(self, capsys):
+        assert main(
+            [
+                *self.FLEET, *self.CARBON, *self.JOBS,
+                "--deferrable-policy", "carbon-waiting",
+                "--power-cap", "6000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gCO2" in out
+        assert "deferrable jobs" in out and "carbon-waiting" in out
+
+    def test_fleet_carbon_json_block(self, capsys):
+        import json
+
+        assert main([*self.FLEET, *self.CARBON, *self.JOBS, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        carbon = doc["carbon"]
+        assert carbon["realtime_g"] > 0.0
+        assert carbon["total_g"] == pytest.approx(
+            carbon["realtime_g"] + carbon["deferrable_g"]
+        )
+        assert carbon["jobs_submitted"] == 2
+        assert carbon["jobs_completed"] + carbon["jobs_suspended"] + (
+            carbon["jobs_dropped"]
+        ) == 2
+        assert carbon["policy"] == "no-wait"  # the CLI default
+
+    def test_fleet_json_has_no_carbon_key_when_off(self, capsys):
+        import json
+
+        assert main([*self.FLEET, "--json"]) == 0
+        assert "carbon" not in json.loads(capsys.readouterr().out)
+
+    def test_fleet_deferrable_requires_carbon(self):
+        with pytest.raises(SystemExit, match="--carbon"):
+            main([*self.FLEET, *self.JOBS])
+
+    def test_fleet_cap_requires_carbon_and_jobs(self):
+        with pytest.raises(SystemExit, match="--carbon"):
+            main([*self.FLEET, "--power-cap", "5000"])
+
+    def test_fleet_shards_refuse_carbon(self):
+        with pytest.raises(SystemExit, match="shards"):
+            main([*self.FLEET, *self.CARBON, "--shards", "2"])
+
+    def test_fleet_carbon_file_roundtrip(self, tmp_path, capsys):
+        from repro.carbon import CarbonTrace
+
+        path = tmp_path / "grid.csv"
+        CarbonTrace.step((0.0, 1.0), (500.0, 100.0)).save(str(path))
+        assert main([*self.FLEET, "--carbon", str(path)]) == 0
+        assert "gCO2" in capsys.readouterr().out
+
+    def test_fleet_bad_carbon_spec_fails(self):
+        # Grammar errors surface as ValueError with the offending
+        # shape named, matching the --faults mini-language convention.
+        with pytest.raises(ValueError, match="unknown carbon shape"):
+            main([*self.FLEET, "--carbon", "sawtooth:x=1"])
+
+    def test_provision_carbon_aware_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "provision-carbon-aware",
+                "--servers", "6",
+                "--server-types", "T2",
+                "--models", "DLRM-RMC1",
+                "--duration", "1",
+                "--segments", "4",
+                *self.CARBON,
+                "--deferrable", "jobs:count=2,duration=0.2,power=400,slack=2",
+                "--policies", "no-wait", "carbon-waiting",
+                "--power-caps", "none/8000",
+                "--deferral-horizons", "none/1.0",
+                "--max-evals", "2",
+                "--r-tol", "0.5",
+                "--json",
+            ]
+        )
+        assert code in (0, 1)  # exit mirrors convergence, not JSON health
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] == (code == 0)
+        assert payload["chosen_r"] >= 0.0
+        assert payload["evaluations"]
+        assert "total_g" in payload and "no_wait_g" in payload
+        if payload["converged"]:
+            assert payload["result"]["carbon"]["realtime_g"] > 0.0
+            # 2 policies x 2 caps x 2 horizons = 8 sweep points.
+            assert len(payload["plan"]) == 8
+            assert payload["chosen_plan"]["feasible"] is True
+            assert payload["deferral_savings_g"] >= 0.0
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_provision_carbon_aware_table(self, capsys):
+        code = main(
+            [
+                "provision-carbon-aware",
+                "--servers", "6",
+                "--server-types", "T2",
+                "--models", "DLRM-RMC1",
+                "--duration", "1",
+                "--segments", "4",
+                *self.CARBON,
+                "--max-evals", "2",
+                "--r-tol", "0.5",
+            ]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "gCO2" in out
+
+    def test_provision_carbon_aware_refuses_shards(self):
+        with pytest.raises(SystemExit, match="shards"):
+            main(
+                [
+                    "provision-carbon-aware",
+                    "--servers", "4",
+                    "--server-types", "T2",
+                    "--models", "DLRM-RMC1",
+                    *self.CARBON,
+                    "--shards", "2",
+                ]
+            )
+
+    def test_sweep_value_grammar(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "provision-carbon-aware",
+                *self.CARBON,
+                "--power-caps", "none/3000/4500.5",
+                "--deferral-horizons", "-",
+            ]
+        )
+        assert args.power_caps == (None, 3000.0, 4500.5)
+        assert args.deferral_horizons == (None,)
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["provision-carbon-aware", *self.CARBON, "--power-caps", "abc"]
+            )
+        capsys.readouterr()

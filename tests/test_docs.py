@@ -96,6 +96,8 @@ def test_every_subcommand_documented():
              "--autoscale-mode", "--arrivals", "--trace",
              "--over-provision", "--policy", "--seed", "--core",
              "--shards", "--percentile-mode",
+             "--carbon", "--deferrable", "--deferrable-policy",
+             "--power-cap", "--deferral-horizon",
              "--metrics-out", "--trace-out", "--metrics-window-s", "--json"],
         ),
         (
@@ -104,6 +106,13 @@ def test_every_subcommand_documented():
              "--target-availability", "--baseline-r", "--r-min", "--r-max",
              "--r-tol", "--max-evals", "--core", "--percentile-mode",
              "--json"],
+        ),
+        (
+            "provision-carbon-aware",
+            ["--carbon", "--deferrable", "--policies", "--power-caps",
+             "--deferral-horizons", "--target-availability", "--r-min",
+             "--r-max", "--r-tol", "--max-evals", "--core",
+             "--percentile-mode", "--json"],
         ),
         ("observe", ["--json"]),
         ("bench", ["--quick", "--scenarios", "--baseline", "--output",
@@ -160,6 +169,45 @@ def test_arrivals_grammar_docs_match_parser():
     ):
         assert example in cli_md, f"docs/cli.md lost the example {example!r}"
         parse_arrivals(example).build(workload, 1000.0, 4.0)  # must stay valid
+
+
+def test_carbon_grammar_docs_match_parser():
+    """Every carbon shape and every deferrable-spec key the grammar
+    accepts is taught in docs/carbon.md, every deferrable policy is
+    named, and the doc's canonical examples actually parse and build."""
+    from repro.carbon import DEFERRABLE_POLICIES, parse_carbon, parse_deferrable
+    from repro.carbon.spec import _CARBON_SHAPES, _JOBS_KEYS
+
+    carbon_md = (REPO / "docs" / "carbon.md").read_text()
+    cli_md = (REPO / "docs" / "cli.md").read_text()
+    for shape in _CARBON_SHAPES:
+        assert f"`{shape}`" in carbon_md, (
+            f"docs/carbon.md misses carbon shape {shape}"
+        )
+    for key in _JOBS_KEYS:
+        assert f"{key}=" in carbon_md, (
+            f"docs/carbon.md misses deferrable key {key}"
+        )
+    for policy in DEFERRABLE_POLICIES:
+        assert f"`{policy}`" in carbon_md, (
+            f"docs/carbon.md misses policy {policy}"
+        )
+    for example in (
+        "diurnal:base=350,swing=150",
+        "step:levels=400/120/400,at=0/3600/7200",
+        "constant:intensity=100+diurnal:base=200,swing=180",
+    ):
+        for doc, name in ((carbon_md, "docs/carbon.md"), (cli_md, "docs/cli.md")):
+            assert example in doc, f"{name} lost the example {example!r}"
+        parse_carbon(example).build()  # must stay valid grammar
+    for example in (
+        "jobs:count=4,duration=600,power=800,slack=2",
+        "jobs:count=2,duration=300,power=500,start=600,every=1800",
+    ):
+        assert example in carbon_md, (
+            f"docs/carbon.md lost the example {example!r}"
+        )
+        parse_deferrable(example).build(86400.0)
 
 
 def test_no_compiled_artifacts_tracked():

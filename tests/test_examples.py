@@ -28,6 +28,7 @@ def test_examples_directory_complete():
         "fleet_bursty_trace.py",
         "fleet_sharded_replay.py",
         "fault_aware_provisioning.py",
+        "carbon_aware_fleet.py",
     } <= names
 
 
@@ -43,6 +44,7 @@ def test_examples_directory_complete():
         "fleet_bursty_trace.py",
         "fleet_sharded_replay.py",
         "fault_aware_provisioning.py",
+        "carbon_aware_fleet.py",
     ],
 )
 def test_examples_compile(name):

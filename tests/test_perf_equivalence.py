@@ -841,6 +841,173 @@ def test_tracing_probe_does_not_perturb(
 # ----------------------------------------------------------------------
 
 
+# ----------------------------------------------------------------------
+# Carbon accounting attached or absent == the dark engine, float for float
+# ----------------------------------------------------------------------
+
+
+def _carbon_trace():
+    from repro.carbon import CarbonTrace
+
+    return CarbonTrace.diurnal(base=350.0, swing=150.0, period_s=3.0, steps=12)
+
+
+def _deferrable_jobs():
+    from repro.carbon import DeferrableJob
+
+    return (
+        DeferrableJob("batch-0", 0.2, 0.4, 700.0, 2.6),
+        DeferrableJob("batch-1", 0.9, 0.3, 500.0, 2.8),
+    )
+
+
+@pytest.mark.parametrize("seed", [13, 41])
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"faults": "empty"},
+        {"faults": "empty", "retries": 2},
+        {"deferrable": True},
+    ],
+    ids=["fault-free", "light", "tracked", "with-jobs"],
+)
+def test_carbon_attached_bit_identical(
+    small_table, rmc1_small_fleet_inputs, seed, kwargs
+):
+    """Attaching a carbon trace (and even deferrable jobs under a cap)
+    must not perturb the replay: carbon accounting prices recorded
+    activation windows *after* ``_summarize``, and jobs run beside the
+    fleet, not on it.  Every realtime figure -- percentiles, counters,
+    power, the event count, the JSON document minus its ``carbon``
+    block -- compares ``==`` against the carbon-off run, across the
+    fault-free, light, and tracked loops.
+    """
+    from repro.fleet import FaultSchedule
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation, trace = _mixed_fleet_and_trace(small_table, models, workloads, seed)
+
+    kwargs = dict(kwargs)
+    carbon_kwargs = {"carbon": _carbon_trace()}
+    if kwargs.pop("deferrable", False):
+        carbon_kwargs.update(
+            deferrable=_deferrable_jobs(),
+            deferrable_policy="carbon-waiting",
+            power_cap_w=8000.0,
+        )
+    if kwargs.get("faults") == "empty":
+        kwargs["faults"] = FaultSchedule()
+
+    _, base = _run_fleet(small_table, models, workloads, allocation, trace, **kwargs)
+    _, priced = _run_fleet(
+        small_table, models, workloads, allocation, trace, **kwargs, **carbon_kwargs
+    )
+    assert priced.per_model == base.per_model
+    assert priced.avg_power_w == base.avg_power_w
+    assert priced.events == base.events
+    assert [
+        (s.completed, s.qps, s.power_w, s.active_s) for s in priced.servers
+    ] == [(s.completed, s.qps, s.power_w, s.active_s) for s in base.servers]
+    # JSON-level pin: the carbon-on document is the carbon-off document
+    # plus one extra block.
+    doc = priced.to_dict()
+    assert doc.pop("carbon")["realtime_g"] > 0.0
+    assert doc == base.to_dict()
+    assert base.carbon is None
+
+
+def test_carbon_attached_bit_identical_with_autoscaler(
+    small_table, rmc1_small_fleet_inputs
+):
+    """Scale events land on the same ticks with carbon attached: the
+    activation-window append rides ``settle()``, which the autoscaler
+    path already calls at every transition."""
+    from repro.cluster.state import Allocation as _Alloc
+    from repro.fleet import ReactiveAutoscaler
+
+    models, workloads = rmc1_small_fleet_inputs
+    allocation = _Alloc()
+    allocation.add("T2", "DLRM-RMC1", 1)
+    standby = _Alloc()
+    standby.add("T2", "DLRM-RMC1", 2)
+    tup = small_table.get("T2", "DLRM-RMC1")
+    trace = build_fleet_trace(
+        workloads, {"DLRM-RMC1": [(2.0 * tup.qps, 3.0)]}, seed=23
+    )
+
+    def run(**kwargs):
+        servers = build_fleet(
+            allocation, small_table, models, workloads, standby=standby
+        )
+        scaler = ReactiveAutoscaler({"DLRM-RMC1": 20.0}, window_s=0.25, cooldown_s=0.5)
+        sim = FleetSimulator(
+            servers,
+            policy="least",
+            sla_ms={"DLRM-RMC1": 20.0},
+            autoscaler=scaler,
+            **kwargs,
+        )
+        return sim.run(trace, warmup_s=0.3)
+
+    base = run()
+    priced = run(carbon=_carbon_trace())
+    assert priced.per_model == base.per_model
+    assert priced.avg_power_w == base.avg_power_w
+    assert priced.events == base.events
+    assert [(e.time_s, e.model, e.action) for e in priced.scale_events] == [
+        (e.time_s, e.model, e.action) for e in base.scale_events
+    ]
+    assert priced.carbon is not None and priced.carbon.realtime_g > 0.0
+
+
+def test_carbon_attached_matches_sharded_realtime(small_table):
+    """The sharded leg: the multi-process merge (now folding energy
+    through the shared ``fleet_power_summary`` seam) still equals the
+    single-process replay, and the single-process replay with carbon
+    attached reports the same realtime figures as both."""
+    from repro.fleet.sharded import run_fleet_sharded
+    from repro.models import build_model
+    from repro.traces import FleetArrivals, PoissonProcess
+
+    names = ("DLRM-RMC1", "DLRM-RMC2")
+    sla = {"DLRM-RMC1": 20.0, "DLRM-RMC2": 50.0}
+    models = {m: build_model(m) for m in names}
+    workloads = {
+        m: QueryWorkload.for_model(models[m].config.mean_query_size)
+        for m in names
+    }
+    allocation = Allocation()
+    allocation.add("T2", "DLRM-RMC1", 2)
+    allocation.add("T3", "DLRM-RMC2", 2)
+
+    def source():
+        return FleetArrivals(
+            {
+                "DLRM-RMC1": PoissonProcess(workloads["DLRM-RMC1"], 300.0, 1.2),
+                "DLRM-RMC2": PoissonProcess(workloads["DLRM-RMC2"], 200.0, 1.2),
+            },
+            seed=17,
+        )
+
+    def run_single(**kwargs):
+        servers = build_fleet(allocation, small_table, models, workloads)
+        sim = FleetSimulator(servers, policy="rr", sla_ms=sla, seed=0, **kwargs)
+        return sim.run(source(), warmup_s=0.1)
+
+    base = run_single()
+    priced = run_single(carbon=_carbon_trace())
+    sharded = run_fleet_sharded(
+        allocation, small_table, models, workloads, source(),
+        shards=2, policy="rr", sla_ms=sla, seed=0, warmup_s=0.1,
+        core="python", max_workers=2,
+    )
+    assert priced.per_model == base.per_model == sharded.per_model
+    assert priced.avg_power_w == base.avg_power_w == sharded.avg_power_w
+    assert priced.events == base.events == sharded.events
+    assert priced.carbon is not None and sharded.carbon is None
+
+
 @pytest.mark.parametrize("policy", ["rr", "weighted"])
 @pytest.mark.parametrize("seed", [13, 41])
 def test_vector_core_bit_identical(
