@@ -437,7 +437,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             percentile_mode=args.percentile_mode,
             warmup_s=span * 0.05,
             standby=standby,
-            core="python" if args.core == "vector" else args.core,
+            core=(
+                "python"
+                if args.core in ("vector", "vector-epoch")
+                else args.core
+            ),
         )
     else:
         servers = build_fleet(
@@ -454,6 +458,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             hedge_ms=args.hedge_ms,
             observer=probe,
             core=args.core,
+            epoch_ms=args.epoch_ms,
             percentile_mode=args.percentile_mode,
             carbon=carbon,
             deferrable=deferrable_jobs,
@@ -770,6 +775,17 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import perfbench
 
+    if args.compare:
+        import json
+
+        with open(args.compare[0]) as fh:
+            old_doc = json.load(fh)
+        with open(args.compare[1]) as fh:
+            new_doc = json.load(fh)
+        text, regressed = perfbench.compare_bench(old_doc, new_doc)
+        print(text)
+        return 1 if regressed else 0
+
     doc = perfbench.run_bench(
         quick=args.quick,
         seed=args.seed,
@@ -871,15 +887,27 @@ def _add_fleet_shared_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--core",
-        choices=("auto", "python", "vector"),
+        choices=("auto", "python", "vector", "vector-epoch"),
         default="auto",
         help=(
             "event-core selection: 'auto' uses the vectorized batch core "
-            "when eligible (rr/weighted routing, no faults/observer) and "
-            "falls back to the exact per-event core otherwise; 'python' "
-            "forces the per-event core; 'vector' demands the vectorized "
-            "core and errors with the reason when ineligible (see "
-            "docs/performance.md)"
+            "when eligible (rr/weighted routing, plain fault schedules) "
+            "and falls back to the exact per-event core otherwise; "
+            "'python' forces the per-event core; 'vector' demands the "
+            "vectorized core and errors with every blocking reason when "
+            "ineligible; 'vector-epoch' batches queue-aware routing "
+            "(least/p2c) into arrival micro-epochs -- statistically "
+            "equivalent, never picked by 'auto' (see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--epoch-ms",
+        type=_positive_float,
+        default=5.0,
+        help=(
+            "micro-epoch length for --core vector-epoch: arrivals within "
+            "this window route against one queue snapshot (larger = faster "
+            "but more drift; ignored by the other cores; default 5.0)"
         ),
     )
     parser.add_argument(
@@ -1332,12 +1360,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
         "--core",
-        choices=("auto", "python", "vector"),
+        choices=("auto", "python", "vector", "vector-epoch"),
         default="python",
         help=(
             "event core for the fleet_replay scenario (default 'python' "
             "so its trajectory stays comparable across checkouts; the "
-            "fleet_replay_fastcore scenario always times both cores)"
+            "fleet_replay_fastcore and fleet_replay_queueaware scenarios "
+            "always time their own core pairs)"
         ),
     )
     bench.add_argument(
@@ -1365,6 +1394,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default=None,
         help="earlier BENCH_perf.json to embed and compute speedups against",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help=(
+            "compare two existing BENCH_perf.json documents instead of "
+            "running the harness: per-scenario wall deltas plus the CI "
+            "gate table applied to NEW; exits nonzero when a gate fails"
+        ),
     )
     bench.set_defaults(func=_cmd_bench)
     return parser

@@ -62,7 +62,7 @@ from repro.traces.arrivals import FleetArrivals, PiecewisePoissonProcess
 _LOG = logging.getLogger(__name__)
 
 #: Valid ``FleetSimulator(core=...)`` selections.
-FLEET_CORES = ("auto", "python", "vector")
+FLEET_CORES = ("auto", "python", "vector", "vector-epoch")
 
 __all__ = [
     "FleetServer",
@@ -300,13 +300,28 @@ class FleetSimulator:
         core: Event-core selection.  ``"auto"`` (the default) uses the
             vectorized batch core (:mod:`repro.sim.fast_core`) when the
             run is eligible -- outstanding-oblivious routing (rr /
-            weighted), no fault machinery, no observer, numpy importable
-            -- and otherwise falls back to the exact per-event python
-            core, logging why.  ``"python"`` forces the per-event core;
+            weighted), no retries/hedging/tracing (plain fault
+            schedules are fine: they run the segmented vectorized
+            fault path, bit-identical to the python light loop), no
+            observer, numpy importable -- and otherwise falls back to
+            the exact per-event python core, logging every applicable
+            reason once.  ``"python"`` forces the per-event core;
             ``"vector"`` demands the vectorized core and raises
-            ``ValueError`` with the ineligibility reason instead of
-            silently degrading.  See ``docs/performance.md`` for the
-            selection matrix and the float-reordering caveat.
+            ``ValueError`` listing *all* ineligibility reasons instead
+            of silently degrading.  ``"vector-epoch"`` additionally
+            admits queue-aware routing (least / p2c) by routing
+            arrival micro-epochs against per-replica queue snapshots
+            (see ``epoch_ms``); its reports are *statistically* --
+            not bit-for-bit -- equivalent to the python core, so
+            ``"auto"`` never selects it.  See ``docs/performance.md``
+            for the selection matrix and the float-reordering caveat.
+        epoch_ms: Micro-epoch width for ``core="vector-epoch"``, in
+            milliseconds (default 5.0).  Arrivals within one epoch of
+            the epoch's first unrouted arrival are routed together
+            against a queue snapshot refreshed at the epoch start;
+            epochs never span an autoscaler tick.  Smaller epochs
+            track the python core more closely at lower speedup.
+            Ignored by every other core.
         percentile_mode: How the report's latency percentiles are
             computed.  ``"exact"`` (the default) stores every measured
             latency and runs ``numpy.percentile`` -- bit-identical to
@@ -335,6 +350,10 @@ class FleetSimulator:
             no-wait finish time (``None`` = the job deadline alone).
     """
 
+    #: Sharded workers set this so the auto-core fallback is logged
+    #: once by the parent process instead of once per shard.
+    _quiet_core_fallback = False
+
     def __init__(
         self,
         servers: Sequence[FleetServer],
@@ -347,6 +366,7 @@ class FleetSimulator:
         hedge_ms: float | None = None,
         observer=None,
         core: str = "auto",
+        epoch_ms: float = 5.0,
         percentile_mode: str = "exact",
         carbon=None,
         deferrable: Sequence = (),
@@ -367,6 +387,8 @@ class FleetSimulator:
             )
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if not epoch_ms > 0.0:
+            raise ValueError("epoch_ms must be > 0")
         if hedge_ms is not None and hedge_ms <= 0.0:
             raise ValueError("hedge_ms must be > 0 (or None to disable)")
         deferrable = tuple(deferrable)
@@ -418,6 +440,7 @@ class FleetSimulator:
         self.hedge_ms = hedge_ms
         self.observer = observer
         self.core = core
+        self.epoch_ms = float(epoch_ms)
         self.percentile_mode = percentile_mode
         self._sketch_stats: dict | None = None
         self.last_query_log: tuple = ()
@@ -534,39 +557,69 @@ class FleetSimulator:
             or (self.observer is not None and self.observer.trace)
         )
 
-    def _vector_fallback_reason(self) -> str | None:
-        """Why this run cannot use the vectorized core (``None`` = it can).
+    def _vector_fallback_reasons(self, epoch: bool = False) -> list[str]:
+        """Every reason this run cannot use the vectorized core.
 
         The vectorized core pre-routes whole arrival segments and
         delivers completions in per-replica batches, which is exact
         only when nothing observes or perturbs the per-event
-        interleaving: fault machinery, live observers, and queue-aware
-        routing all force the per-event python core.
+        interleaving: retries/hedging/tracing, live observers, and
+        queue-aware routing all force the per-event python core.
+        Plain fault schedules (``retries == 0``, no hedging/tracing)
+        are eligible -- they run the segmented vectorized fault path.
+        With ``epoch=True`` (``core="vector-epoch"``), queue-aware
+        routing is also admitted, but fault schedules are not
+        (mid-epoch kills would invalidate the queue snapshots).
+
+        Returns the empty list when the run is eligible; otherwise
+        *all* applicable reasons, so a forced ``core="vector"`` error
+        (and the ``auto`` fallback log line) names everything the
+        caller would have to change, not just the first obstacle.
         """
-        if self._fault_mode:
-            return (
-                "fault injection, retries, hedging, or tracing requires "
-                "the per-event core"
+        reasons: list[str] = []
+        if (
+            self.retries > 0
+            or self.hedge_ms is not None
+            or (self.observer is not None and self.observer.trace)
+        ):
+            reasons.append(
+                "retries, hedging, or tracing requires the per-event core"
+            )
+        elif self.faults is not None and epoch:
+            reasons.append(
+                "fault injection under epoch routing would kill queries "
+                "mid-epoch; use core='auto' for the segmented fault path"
             )
         if self.observer is not None:
-            return "a live observer requires per-event completion hooks"
+            reasons.append(
+                "a live observer requires per-event completion hooks"
+            )
         if self.carbon is not None:
-            return (
+            reasons.append(
                 "carbon accounting records per-replica activation "
                 "windows, which only the per-event core maintains"
             )
         if self.percentile_mode != "exact":
-            return (
+            reasons.append(
                 "sketch-mode reports fold completions one event at a "
                 "time; the batch core would have to materialize them"
             )
-        for model, policy in self._policies.items():
-            if not policy.outstanding_oblivious:
-                return (
-                    f"policy {policy.name!r} (model {model!r}) is "
-                    "queue-aware: it reads live outstanding counts"
-                )
-        return None
+        if not epoch:
+            for model, policy in self._policies.items():
+                if not policy.outstanding_oblivious:
+                    reasons.append(
+                        f"policy {policy.name!r} (model {model!r}) is "
+                        "queue-aware: it reads live outstanding counts "
+                        "(core='vector-epoch' batches them statistically)"
+                    )
+        return reasons
+
+    def _vector_fallback_reason(self) -> str | None:
+        """All refusal reasons joined (``None`` = vector-eligible)."""
+        reasons = self._vector_fallback_reasons(
+            epoch=self.core == "vector-epoch"
+        )
+        return "; ".join(reasons) if reasons else None
 
     def _seal_sketches(self, horizon: float) -> None:
         """Close sketch accumulators at the measurement horizon.
@@ -626,28 +679,39 @@ class FleetSimulator:
             if horizon_s <= warmup_s:
                 raise ValueError("horizon_s must exceed warmup_s")
         if self.core != "python":
-            reason = self._vector_fallback_reason()
-            if reason is None and horizon_s is not None:
-                reason = (
+            epoch = self.core == "vector-epoch"
+            reasons = self._vector_fallback_reasons(epoch=epoch)
+            if horizon_s is not None:
+                reasons.append(
                     "a forced measurement horizon requires the "
                     "per-event core"
                 )
-            if reason is None:
+            if not reasons:
                 try:
                     from repro.sim import fast_core
                 except ImportError:
-                    reason = "numpy is unavailable (the vectorized core needs it)"
-            if reason is None:
+                    reasons.append(
+                        "numpy is unavailable (the vectorized core needs it)"
+                    )
+            if not reasons:
+                if epoch:
+                    return fast_core.run_epoch(self, trace, warmup_s)
+                if self.faults is not None:
+                    return fast_core.run_vectorized_faults(
+                        self, trace, warmup_s
+                    )
                 return fast_core.run_vectorized(self, trace, warmup_s)
-            if self.core == "vector":
+            reason = "; ".join(reasons)
+            if self.core != "auto":
                 raise ValueError(
-                    f"core='vector' is unavailable for this run: {reason}; "
-                    "use core='python' or core='auto'"
+                    f"core='{self.core}' is unavailable for this run: "
+                    f"{reason}; use core='python' or core='auto'"
                 )
-            _LOG.info(
-                "core='auto': falling back to the python event core (%s)",
-                reason,
-            )
+            if not self._quiet_core_fallback:
+                _LOG.info(
+                    "core='auto': falling back to the python event core (%s)",
+                    reason,
+                )
         heap = EventHeap()
         if isinstance(trace, (list, tuple)):
             if not trace:

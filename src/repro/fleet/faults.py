@@ -932,6 +932,40 @@ def _materialized_faults(sim, num_servers: int, end_hint: float | None):
     )
 
 
+def iter_boundaries(fault_events, window_s: float, last_t: float):
+    """Merge fault events with the autoscaler tick grid, in pop order.
+
+    Yields ``("tick", time)`` and ``("fault", event)`` items exactly as
+    the per-event loop would pop them: ticks live at ``window_s``
+    multiples (built by repeated addition, the same float sequence the
+    re-push produces) and fire only while strictly before the last
+    arrival (the tick that pops at or past it is skipped and never
+    re-pushed); fault events keep their materialized order, including
+    equal-time groups; on an exact time tie the tick wins (its heap
+    sequence number is -1, below every fault's).  Fault events *after*
+    the last arrival still fire -- the heap drains past the horizon.
+
+    ``window_s <= 0`` disables the tick grid (no autoscaler).  This is
+    the segment skeleton of the vectorized fault path
+    (:func:`repro.sim.fast_core.run_vectorized_faults`): everything
+    between two yielded items is fault-free and tick-free, so whole
+    arrival spans can be routed and delivered in batches.
+    """
+    tick_t = window_s if window_s > 0.0 else float("inf")
+    fi = 0
+    nf = len(fault_events)
+    while True:
+        ft = fault_events[fi].time_s if fi < nf else float("inf")
+        if tick_t < last_t and tick_t <= ft:
+            yield ("tick", tick_t)
+            tick_t += window_s
+        elif fi < nf:
+            yield ("fault", fault_events[fi])
+            fi += 1
+        else:
+            return
+
+
 def run_fault_loop(
     sim,
     arrivals,

@@ -83,6 +83,23 @@ class RoutingPolicy:
         choose = self.choose
         return [pos[id(choose(candidates))] for _ in range(n)]
 
+    def snapshot_batch(
+        self, candidates: Sequence["FleetServer"], outstanding: list[int], n: int
+    ):
+        """Route ``n`` arrivals against an epoch queue-depth snapshot.
+
+        ``outstanding`` is a caller-owned list aligned with
+        ``candidates``: the in-flight count of each replica as of the
+        epoch start.  Queue-aware policies override this to read the
+        snapshot (incrementing it in place per pick, so arrivals inside
+        one epoch still see each other); the base implementation simply
+        delegates to :meth:`choose_batch`, which is correct for
+        outstanding-oblivious policies -- the snapshot cannot change
+        their picks.  Used by the ``core="vector-epoch"`` fleet runner
+        (see ``docs/performance.md``).
+        """
+        return self.choose_batch(candidates, n)
+
 
 class RoundRobinPolicy(RoutingPolicy):
     """Cycle through replicas regardless of their speed or backlog."""
@@ -127,18 +144,27 @@ class LeastOutstandingPolicy(RoutingPolicy):
     def choose(self, candidates: Sequence["FleetServer"]) -> "FleetServer":
         # Manual argmin over (outstanding, -weight): same pick as
         # min(key=...) -- first minimum wins -- without building a key
-        # tuple per replica on the per-arrival hot path.
+        # tuple per replica on the per-arrival hot path.  The scan
+        # starts past the seeded first candidate and only touches a
+        # replica's ``weight`` on an outstanding tie, so the common
+        # no-tie arrival costs one attribute read per replica.
         if not candidates:
             raise RoutingError("no routable replicas (all replicas down?)")
-        best = candidates[0]
+        it = iter(candidates)
+        best = next(it)
         best_out = best.outstanding
         best_w = best.weight
-        for server in candidates:
+        for server in it:
             out = server.outstanding
-            if out < best_out or (out == best_out and server.weight > best_w):
+            if out < best_out:
                 best = server
                 best_out = out
                 best_w = server.weight
+            elif out == best_out:
+                w = server.weight
+                if w > best_w:
+                    best = server
+                    best_w = w
         return best
 
     def choose_batch(self, candidates: Sequence["FleetServer"], n: int) -> list[int]:
@@ -169,6 +195,71 @@ class LeastOutstandingPolicy(RoutingPolicy):
             append(best_i)
         return out
 
+    def snapshot_batch(
+        self, candidates: Sequence["FleetServer"], outstanding: list[int], n: int
+    ) -> list[int]:
+        """Epoch-batched least-outstanding over a local snapshot.
+
+        The argmin runs over the caller's ``outstanding`` list instead
+        of live replica attributes; each pick increments its slot in
+        place, so arrivals within one epoch observe each other while
+        completions are only folded in at epoch boundaries.  Weights
+        are read once per epoch.
+        """
+        k = len(candidates)
+        if k == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        if _np is not None and 256 <= n * k <= 2_000_000:
+            # Sequential argmin over a snapshot that only ever grows by
+            # its own picks is a k-way merge: replica ``i``'s ``t``-th
+            # assignment carries key ``(outstanding[i] + t, rank_i)``
+            # (rank orders the weight-desc/index-asc tie-break), heads
+            # only increase, so the first ``n`` keys of the sorted
+            # union ARE the pick sequence -- computed here without the
+            # per-pick python scan.
+            order = sorted(
+                range(k), key=lambda i: (-candidates[i].weight, i)
+            )
+            rank = [0] * k
+            for r, i in enumerate(order):
+                rank[i] = r
+            levels = _np.asarray(outstanding, dtype=_np.int64)[:, None] + (
+                _np.arange(n, dtype=_np.int64)[None, :]
+            )
+            enc = (
+                levels * k + _np.asarray(rank, dtype=_np.int64)[:, None]
+            ).ravel()
+            take = _np.argpartition(enc, n - 1)[:n]
+            take = take[_np.argsort(enc[take], kind="stable")]
+            picks = take // n
+            for i, c in enumerate(
+                _np.bincount(picks, minlength=k).tolist()
+            ):
+                if c:
+                    outstanding[i] += c
+            return picks
+        weights = [s.weight for s in candidates]
+        out = outstanding
+        picks_l: list[int] = []
+        append = picks_l.append
+        tail = range(1, k)
+        for _ in range(n):
+            best = 0
+            best_out = out[0]
+            best_w = weights[0]
+            for i in tail:
+                o = out[i]
+                if o < best_out:
+                    best = i
+                    best_out = o
+                    best_w = weights[i]
+                elif o == best_out and weights[i] > best_w:
+                    best = i
+                    best_w = weights[i]
+            out[best] = best_out + 1
+            append(best)
+        return picks_l
+
 
 class PowerOfTwoPolicy(RoutingPolicy):
     """Sample two replicas, send to the less-loaded one.
@@ -196,8 +287,16 @@ class PowerOfTwoPolicy(RoutingPolicy):
         rand = self._random
         i = int(rand() * n)
         j = int(rand() * n)
-        a = candidates[i if i < n else n - 1]
-        b = candidates[j if j < n else n - 1]
+        if i >= n:
+            i = n - 1
+        if j >= n:
+            j = n - 1
+        a = candidates[i]
+        if i == j:
+            # Same replica drawn twice: comparing it to itself always
+            # returns it, so skip the queue-depth reads entirely.
+            return a
+        b = candidates[j]
         b_out = b.outstanding
         a_out = a.outstanding
         if b_out < a_out or (b_out == a_out and b.weight > a.weight):
@@ -237,6 +336,44 @@ class PowerOfTwoPolicy(RoutingPolicy):
             else:
                 append(i)
         return out
+
+    def snapshot_batch(
+        self, candidates: Sequence["FleetServer"], outstanding: list[int], n: int
+    ) -> list[int]:
+        """Epoch-batched p2c: two draws compared on the snapshot list.
+
+        Seed-deterministic (the same ``Random`` stream as the scalar
+        path, though the pick *sequence* differs because queue depths
+        are only refreshed at epoch boundaries); each pick increments
+        its snapshot slot so intra-epoch arrivals pile up realistically
+        instead of all landing on the epoch-start minimum.
+        """
+        k = len(candidates)
+        if k == 0:
+            raise RoutingError("no routable replicas (all replicas down?)")
+        out = outstanding
+        if k == 1:
+            out[0] += n
+            return [0] * n
+        rand = self._random
+        weights = [s.weight for s in candidates]
+        picks: list[int] = []
+        append = picks.append
+        for _ in range(n):
+            i = int(rand() * k)
+            j = int(rand() * k)
+            if i >= k:
+                i = k - 1
+            if j >= k:
+                j = k - 1
+            if i != j:
+                o_i = out[i]
+                o_j = out[j]
+                if o_j < o_i or (o_j == o_i and weights[j] > weights[i]):
+                    i = j
+            out[i] += 1
+            append(i)
+        return picks
 
 
 class WeightedPolicy(RoutingPolicy):

@@ -42,6 +42,7 @@ optionally with ``percentile_mode="sketch"`` for the memory ceiling.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
 from dataclasses import dataclass
 
@@ -51,6 +52,8 @@ from repro.fleet.report import FleetResult, fleet_power_summary
 from repro.fleet.routing import RoutingPolicy, make_policy
 from repro.traces.arrivals import MODEL_SEED_STRIDE, FleetArrivals
 from repro.traces.recorded import RecordedTrace
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = ["run_fleet_sharded", "merge_shard_results", "plan_shards"]
 
@@ -219,6 +222,9 @@ def _run_shard_task(task: tuple):
         core=core,
         percentile_mode=percentile_mode,
     )
+    # The parent already logged the auto-core fallback once for the
+    # whole run; don't repeat it from every worker.
+    sim._quiet_core_fallback = True
     # Reseed each model's policy to its fleet-wide sorted index: the
     # engine numbered them within the shard.
     for model in sim._policies:
@@ -356,7 +362,7 @@ def run_fleet_sharded(
             "policies hold per-stream state that cannot be split "
             "across worker processes"
         )
-    if core == "vector":
+    if core in ("vector", "vector-epoch"):
         raise ValueError(
             "sharded workers run against a forced fleet-wide horizon, "
             "which requires the per-event core; use core='auto' or "
@@ -376,6 +382,14 @@ def run_fleet_sharded(
             percentile_mode=percentile_mode,
         )
         return sim.run(source, warmup_s=warmup_s)
+
+    if core != "python":
+        # Logged once here for the whole run; workers are quieted.
+        _LOG.info(
+            "core='auto': sharded workers fall back to the python event "
+            "core (a forced fleet-wide measurement horizon requires "
+            "per-event accounting)"
+        )
 
     rows = _global_rows(allocation, standby)
     if not rows:

@@ -63,9 +63,11 @@ from typing import Any, Callable
 
 __all__ = [
     "SCENARIOS",
+    "BENCH_GATES",
     "run_scenario",
     "run_bench",
     "attach_baseline",
+    "compare_bench",
     "format_bench",
     "write_bench_json",
 ]
@@ -79,6 +81,7 @@ SCENARIOS: tuple[str, ...] = (
     "single_node_des",
     "fleet_replay",
     "fleet_replay_fastcore",
+    "fleet_replay_queueaware",
     "fleet_replay_streaming",
     "fleet_replay_faultpath",
     "fleet_replay_carbonpath",
@@ -103,6 +106,8 @@ _QUICK = {
     "provision_load_units": 2.7,  # demand in T2 replica-equivalents
     "provision_duration_s": 1.5,
     "sketch_queries": 20_000,
+    "queueaware_servers": 24,
+    "queueaware_queries": 20_000,
 }
 _FULL = {
     "profile_servers": None,  # all server types
@@ -116,6 +121,12 @@ _FULL = {
     "provision_load_units": 8.1,
     "provision_duration_s": 3.0,
     "sketch_queries": 10_000_000,
+    # The queue-aware scenario runs one model fleet-wide: the python
+    # least-outstanding scan is O(replicas) per arrival, so the full
+    # configuration doubles the fleet to size the gap the epoch core
+    # closes (and doubles the queries so the walls are not sub-100ms).
+    "queueaware_servers": 100,
+    "queueaware_queries": 200_000,
 }
 
 #: Offered load for the DES scenarios as a fraction of capacity; the
@@ -455,6 +466,111 @@ def _scenario_fleet_replay_fastcore(ctx: _Context) -> dict[str, Any]:
     }
 
 
+def _scenario_fleet_replay_queueaware(ctx: _Context) -> dict[str, Any]:
+    """Epoch-batched queue-aware routing vs the per-event python core.
+
+    One model spread fleet-wide under least-outstanding routing -- the
+    configuration where the python core pays an O(replicas) scan per
+    arrival and ``core='vector-epoch'`` routes whole arrival
+    micro-epochs against one queue snapshot (a k-way merge, see
+    ``LeastOutstandingPolicy.snapshot_batch``).
+    ``speedup_vector_epoch_vs_python`` is the number CI gates at > 2.0
+    on the full configuration, best-of-three walls per side.  Unlike
+    the exact-core scenarios the two replays are *statistically*
+    equivalent, not bit-identical (queue depths refresh at epoch
+    boundaries); the scenario bounds the drift in-process: completed
+    counts within 1%, average power within 2%, p50 within 2x.
+    """
+    # repro.fleet first: importing repro.cluster.state before it trips
+    # the cluster -> scheduling -> fleet -> cluster import cycle.
+    from repro.fleet import FleetSimulator, build_fleet, build_fleet_trace
+    from repro.cluster.state import Allocation
+    from repro.models import build_model
+    from repro.sim import QueryWorkload
+
+    try:
+        import numpy  # noqa: F401  (the epoch core requires it)
+    except ImportError:
+        return {"skipped": "numpy absent (core='vector-epoch' unavailable)"}
+
+    table = ctx.classification_table()
+    model = "DLRM-RMC1"
+    models = {model: build_model(model)}
+    workloads = {
+        model: QueryWorkload.for_model(models[model].config.mean_query_size)
+    }
+    total = ctx.cfg["queueaware_servers"]
+    allocation = Allocation()
+    for srv, share in (("T2", 0.60), ("T3", 0.24), ("T7", 0.16)):
+        allocation.add(srv, model, max(1, round(total * share)))
+    capacity = sum(
+        c * table.qps(srv, m) for (srv, m), c in allocation.counts.items()
+    )
+    rate = _RHO * capacity
+    queries = ctx.cfg["queueaware_queries"]
+    duration = queries / rate
+    trace = build_fleet_trace(workloads, {model: [(rate, duration)]}, seed=ctx.seed)
+    sla = {model: models[model].sla_ms}
+
+    def replay(core):
+        walls, result = [], None
+        for _ in range(3):
+            try:
+                sim = FleetSimulator(
+                    build_fleet(allocation, table, models, workloads),
+                    policy="least", sla_ms=sla, seed=ctx.seed, core=core,
+                )
+            except (TypeError, ValueError):
+                # pre-core or pre-epoch checkout (baseline measurements)
+                return None, None
+            wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
+            walls.append(wall)
+        return min(walls), result
+
+    wall_py, result_py = replay("python")
+    if result_py is None:
+        return {"skipped": "core selection absent"}
+    wall_epoch, result_epoch = replay("vector-epoch")
+    if result_epoch is None:
+        return {"skipped": "core='vector-epoch' absent"}
+
+    stats_py = result_py.per_model[model]
+    stats_epoch = result_epoch.per_model[model]
+    if abs(stats_epoch.completed - stats_py.completed) > 0.01 * stats_py.completed:
+        raise AssertionError(
+            "epoch core completed-count drifted beyond 1%: "
+            f"{stats_epoch.completed} vs {stats_py.completed}"
+        )
+    if abs(result_epoch.avg_power_w - result_py.avg_power_w) > (
+        0.02 * result_py.avg_power_w
+    ):
+        raise AssertionError(
+            "epoch core average power drifted beyond 2%: "
+            f"{result_epoch.avg_power_w:.1f} vs {result_py.avg_power_w:.1f} W"
+        )
+    if not 0.5 * stats_py.p50_ms <= stats_epoch.p50_ms <= 2.0 * stats_py.p50_ms:
+        raise AssertionError(
+            "epoch core p50 drifted beyond 2x: "
+            f"{stats_epoch.p50_ms:.3f} vs {stats_py.p50_ms:.3f} ms"
+        )
+
+    return {
+        "wall_s": wall_epoch,
+        "wall_python_s": wall_py,
+        "speedup_vector_epoch_vs_python": (
+            wall_py / wall_epoch if wall_epoch > 0 else None
+        ),
+        "servers": sum(allocation.counts.values()),
+        "queries": len(trace),
+        "queries_per_s": len(trace) / wall_epoch if wall_epoch > 0 else 0.0,
+        "p50_ms_python": stats_py.p50_ms,
+        "p50_ms_epoch": stats_epoch.p50_ms,
+        "p99_ms_python": stats_py.p99_ms,
+        "p99_ms_epoch": stats_epoch.p99_ms,
+        "completed": stats_epoch.completed,
+    }
+
+
 def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
     """Fault machinery engaged but idle vs the tuned fault-free loop.
 
@@ -469,6 +585,13 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
     trend inspection only (per-query records are documented overhead).
     All three runs must agree exactly on completions -- a built-in
     differential smoke check.
+
+    A fourth and fifth leg replay a *scripted* schedule (two recovering
+    crashes, a slowdown episode, a permanent crash) under round-robin
+    through the python core and the segmented vectorized fault path.
+    ``speedup_vector_fault_vs_python`` is the number CI gates at > 2.5
+    on the full configuration, best-of-three walls per side, and the
+    two legs must agree float-for-float on every report field.
     """
     from repro.fleet import FleetSimulator
 
@@ -479,14 +602,22 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
 
     make_servers, trace, duration, sla, _ = _fleet_replay_inputs(ctx)
 
-    def replay(**kwargs):
-        # Best of two runs: the ratio feeds a CI gate, so single-sample
+    def replay(policy="p2c", reps=2, core=None, **kwargs):
+        # Best of N runs: the ratios feed CI gates, so single-sample
         # scheduler noise (the quick replay is tens of ms) must not flake it.
+        if core is not None:
+            kwargs["core"] = core
         walls, result = [], None
-        for _ in range(2):
-            sim = FleetSimulator(
-                make_servers(), policy="p2c", sla_ms=sla, seed=ctx.seed, **kwargs
-            )
+        for _ in range(reps):
+            try:
+                sim = FleetSimulator(
+                    make_servers(), policy=policy, sla_ms=sla, seed=ctx.seed,
+                    **kwargs,
+                )
+            except (TypeError, ValueError):
+                # pre-core checkout, or a checkout whose vector core
+                # still refuses fault schedules (baseline measurements)
+                return None, None
             wall, result = _timed(lambda: sim.run(trace, warmup_s=duration * 0.1))
             walls.append(wall)
         return min(walls), result
@@ -501,6 +632,50 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
                 "fault-free loop"
             )
 
+    # Scripted-schedule legs: the vectorized fault path partitions the
+    # horizon at fault boundaries and must stay bit-identical.
+    n_srv = len(make_servers())
+
+    def scripted():
+        from repro.fleet.faults import crash, slowdown
+
+        # Targets scale with the fleet so quick mode stays in range.
+        return FaultSchedule([
+            crash(duration * 0.30, 0, recover_after=duration * 0.15),
+            crash(duration * 0.55, max(1, n_srv // 4),
+                  recover_after=duration * 0.10),
+            slowdown(duration * 0.20, max(2, n_srv // 3), 2.5,
+                     duration=duration * 0.30),
+            crash(duration * 0.80, n_srv - 1),
+        ])
+
+    speedup_vector_fault = None
+    wall_fault_py = wall_fault_vec = None
+    try:
+        scripted()
+    except ImportError:
+        pass
+    else:
+        wall_fault_py, result_fault_py = replay(
+            policy="rr", reps=3, core="python", faults=scripted()
+        )
+        wall_fault_vec, result_fault_vec = replay(
+            policy="rr", reps=3, core="vector", faults=scripted()
+        )
+        if result_fault_py is not None and result_fault_vec is not None:
+            for field in ("per_model", "fault_events", "availability",
+                          "phases", "events", "avg_power_w"):
+                if getattr(result_fault_vec, field, None) != getattr(
+                    result_fault_py, field, None
+                ):
+                    raise AssertionError(
+                        "vectorized fault path diverged from the python "
+                        f"core on {field}"
+                    )
+            speedup_vector_fault = (
+                wall_fault_py / wall_fault_vec if wall_fault_vec > 0 else None
+            )
+
     events = getattr(result_light, "events", None)
     return {
         "wall_s": wall_light,
@@ -510,6 +685,9 @@ def _scenario_fleet_replay_faultpath(ctx: _Context) -> dict[str, Any]:
         "ratio_tracked_vs_fault_off": (
             wall_tracked / wall_off if wall_off > 0 else None
         ),
+        "wall_fault_python_s": wall_fault_py,
+        "wall_fault_vector_s": wall_fault_vec,
+        "speedup_vector_fault_vs_python": speedup_vector_fault,
         "queries": len(trace),
         "queries_per_s": len(trace) / wall_light if wall_light > 0 else 0.0,
         "events": events,
@@ -1063,6 +1241,7 @@ _SCENARIO_FNS: dict[str, Callable[[_Context], dict[str, Any]]] = {
     "single_node_des": _scenario_single_node_des,
     "fleet_replay": _scenario_fleet_replay,
     "fleet_replay_fastcore": _scenario_fleet_replay_fastcore,
+    "fleet_replay_queueaware": _scenario_fleet_replay_queueaware,
     "fleet_replay_streaming": _scenario_fleet_replay_streaming,
     "fleet_replay_faultpath": _scenario_fleet_replay_faultpath,
     "fleet_replay_carbonpath": _scenario_fleet_replay_carbonpath,
@@ -1160,6 +1339,85 @@ def format_bench(doc: dict[str, Any]) -> str:
         extra = f" | {speedups[name]:.2f}x vs baseline" if name in speedups else ""
         lines.append(f"  {name:<22} {wall:8.3f} s{rate_txt}{extra}")
     return "\n".join(lines)
+
+
+#: CI's perf gates as data: (scenario, metric, op, threshold).  ``<``
+#: metrics are overhead ratios bounded from above; ``>`` metrics are
+#: speedups bounded from below.  ``bench --compare`` re-applies these
+#: to any two BENCH_perf documents so a regression is visible locally
+#: before CI sees it.
+BENCH_GATES: tuple[tuple[str, str, str, float], ...] = (
+    ("fleet_replay_faultpath", "ratio_vs_fault_off", "<", 1.20),
+    ("fleet_replay_carbonpath", "ratio_vs_carbon_off", "<", 1.10),
+    ("fleet_replay_streaming", "ratio_vs_materialized", "<", 1.10),
+    ("fleet_replay_observed", "ratio_off_vs_plain", "<", 1.05),
+    ("fleet_replay_observed", "ratio_traced_vs_tracked", "<", 1.50),
+    ("fleet_replay_observed", "ratio_metrics_vs_off", "<", 1.60),
+    ("fleet_replay_fastcore", "speedup_vector_vs_python", ">", 3.0),
+    ("fleet_replay_faultpath", "speedup_vector_fault_vs_python", ">", 2.5),
+    ("fleet_replay_queueaware", "speedup_vector_epoch_vs_python", ">", 2.0),
+)
+
+
+def compare_bench(
+    old: dict[str, Any], new: dict[str, Any]
+) -> tuple[str, bool]:
+    """Diff two BENCH_perf documents and apply the CI gates to the new one.
+
+    Returns ``(report, regressed)``: a human-readable table of
+    per-scenario wall times (old vs new, ungated -- wall deltas across
+    machines are noise) followed by one row per :data:`BENCH_GATES`
+    entry present in either document, and a flag that is True when any
+    gated metric in the *new* document fails its threshold.  Metrics
+    absent from the new document (scenario skipped or an older schema)
+    are reported but never fail the comparison.
+    """
+    old_sc = old.get("scenarios", {})
+    new_sc = new.get("scenarios", {})
+    lines = [
+        f"bench compare: old={old.get('mode')}/seed {old.get('seed')} "
+        f"vs new={new.get('mode')}/seed {new.get('seed')}"
+    ]
+    if old.get("mode") != new.get("mode"):
+        lines.append(
+            "  note: documents were produced in different modes; wall "
+            "times and gated metrics are not directly comparable"
+        )
+    lines.append(f"  {'scenario':<26} {'old wall':>10} {'new wall':>10} {'delta':>8}")
+    names = [n for n in SCENARIOS if n in old_sc or n in new_sc]
+    names += [n for n in sorted(set(old_sc) | set(new_sc)) if n not in names]
+    for name in names:
+        o = old_sc.get(name, {}).get("wall_s")
+        nw = new_sc.get(name, {}).get("wall_s")
+        o_txt = f"{o:9.3f}s" if isinstance(o, (int, float)) else "      --  "
+        n_txt = f"{nw:9.3f}s" if isinstance(nw, (int, float)) else "      --  "
+        if isinstance(o, (int, float)) and isinstance(nw, (int, float)) and o > 0:
+            d_txt = f"{(nw - o) / o * 100.0:+7.1f}%"
+        else:
+            d_txt = "     --"
+        lines.append(f"  {name:<26} {o_txt:>10} {n_txt:>10} {d_txt:>8}")
+    lines.append("")
+    lines.append(
+        f"  {'gate':<58} {'old':>8} {'new':>8}  verdict"
+    )
+    regressed = False
+    for scenario, metric, op, threshold in BENCH_GATES:
+        o = old_sc.get(scenario, {}).get(metric)
+        nw = new_sc.get(scenario, {}).get(metric)
+        if o is None and nw is None:
+            continue
+        label = f"{scenario}.{metric} {op} {threshold}"
+        o_txt = f"{o:7.3f}" if isinstance(o, (int, float)) else "    -- "
+        n_txt = f"{nw:7.3f}" if isinstance(nw, (int, float)) else "    -- "
+        if not isinstance(nw, (int, float)):
+            verdict = "SKIP (not in new document)"
+        elif (nw < threshold) if op == "<" else (nw > threshold):
+            verdict = "PASS"
+        else:
+            verdict = "FAIL"
+            regressed = True
+        lines.append(f"  {label:<58} {o_txt:>8} {n_txt:>8}  {verdict}")
+    return "\n".join(lines), regressed
 
 
 def write_bench_json(path: str, doc: dict[str, Any]) -> None:

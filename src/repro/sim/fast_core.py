@@ -50,12 +50,21 @@ from heapq import heappop, heappush, heapreplace
 
 import numpy as np
 
-__all__ = ["run_vectorized"]
+__all__ = ["run_vectorized", "run_vectorized_faults", "run_epoch"]
 
 #: Per-ServicedStage dense service tables, shared across replicas (the
 #: stage objects themselves are shared via plan_cache).  Keyed by id()
 #: with the stage kept referenced so a recycled id cannot alias.
 _SERVICE_TABLES: dict[int, tuple[object, int, np.ndarray]] = {}
+
+#: Python-list views of the same tables for the scalar-indexed loops
+#: (the FUSE drains and the epoch core): indexing a list of floats is
+#: ~3x cheaper than indexing a numpy array element-wise.
+_SERVICE_LISTS: dict[int, tuple[object, int, list]] = {}
+
+#: FUSE stages with fusion limits above this keep the dict-memo lookup
+#: (a dense table would mostly hold service times no batch ever forms).
+_FUSE_TABLE_CAP = 4096
 
 
 def _service_table(stage, maxsz: int) -> np.ndarray:
@@ -79,6 +88,17 @@ def _service_table(stage, maxsz: int) -> np.ndarray:
             base = fn(sz)
         tab[sz] = base
     _SERVICE_TABLES[key] = (stage, maxsz, tab)
+    return tab
+
+
+def _service_list(stage, maxsz: int) -> list:
+    """Plain-list view of :func:`_service_table` for scalar loops."""
+    key = id(stage)
+    cached = _SERVICE_LISTS.get(key)
+    if cached is not None and cached[0] is stage and cached[1] >= maxsz:
+        return cached[2]
+    tab = _service_table(stage, maxsz).tolist()
+    _SERVICE_LISTS[key] = (stage, len(tab) - 1, tab)
     return tab
 
 
@@ -108,14 +128,15 @@ class _LocalReplicaSim:
     """
 
     __slots__ = (
-        "queues", "free", "last", "fuse_only",
+        "pipeline", "queues", "free", "last", "fuse_only",
         "stages", "forms", "chunk_memos", "is_fuse",
-        "fuse_of", "memo_of", "fn_of", "ps_of",
+        "fuse_of", "tab_of", "memo_of", "fn_of", "ps_of",
         "events", "seq", "completions",
     )
 
     def __init__(self, pipeline) -> None:
         stages = pipeline.stages
+        self.pipeline = pipeline
         self.queues = pipeline.queues
         self.free = pipeline.free
         self.last = len(stages) - 1
@@ -125,12 +146,53 @@ class _LocalReplicaSim:
         self.chunk_memos = [s._chunks for s in stages]
         self.is_fuse = [s.is_fuse for s in stages]
         self.fuse_of = [s.fuse_items for s in stages]
+        # Dense service tables replace the dict-memo lookup in the FUSE
+        # drains: any batch a stage with fusion limit F can form totals
+        # at most F items (a single oversize query keeps the memo path).
+        self.tab_of = [
+            _service_list(s, s.fuse_items)
+            if s.is_fuse and 0 < s.fuse_items <= _FUSE_TABLE_CAP
+            else None
+            for s in stages
+        ]
         self.memo_of = [s._base_s for s in stages]
         self.fn_of = [s.latency_fn for s in stages]
         self.ps_of = [s.pooling_sensitivity for s in stages]
         self.events: list[tuple] = []
         self.seq = 0
         self.completions: list[tuple[float, int]] = []
+
+    def kill(self) -> set:
+        """Cancel all in-flight work after a crash.
+
+        Returns the global arrival indices of every query currently in
+        the local heap or the stage queues, then resets to an empty
+        pipeline.  ``Pipeline.reset`` clears the queue deques in place
+        but *replaces* ``free``, so the alias is re-synced here; ``seq``
+        is preserved (the python core's global heap sequence keeps
+        counting across crashes).
+        """
+        vict: set = set()
+        add = vict.add
+        if self.fuse_only:
+            for entry in self.events:
+                for tup in entry[3]:
+                    add(tup[2])
+            for q in self.queues:
+                for tup in q:
+                    add(tup[2])
+        else:
+            for entry in self.events:
+                for unit in entry[3]:
+                    add(unit[0].idx)
+            for q in self.queues:
+                for unit in q:
+                    add(unit[0].idx)
+        self.events = []
+        self.completions = []
+        self.pipeline.reset()
+        self.free = self.pipeline.free
+        return vict
 
     def pump(self, tl, sl, pl, il, limit, finish, track: bool) -> None:
         if self.fuse_only:
@@ -140,16 +202,27 @@ class _LocalReplicaSim:
 
     def _pump_fuse(self, tl, sl, pl, il, limit, finish, track) -> None:
         """All-FUSE pipelines: query state is a plain (pooling, size,
-        global-arrival-index) tuple and every dispatch is inlined."""
+        global-arrival-index) tuple and every dispatch is inlined.
+
+        Service times come from the dense per-stage tables where built
+        (``total <= fuse`` always holds for multi-unit batches; a lone
+        oversize query falls back to the dict memo), the pooled-average
+        loop runs only for pooling-sensitive stages, and batches started
+        under a fault-scaled pipeline are stretched exactly like
+        ``Pipeline.dispatch`` (the scale is constant within a pump: the
+        fault path only changes it at segment boundaries).
+        """
         queues = self.queues
         free = self.free
         last = self.last
         fuse_of = self.fuse_of
+        tab_of = self.tab_of
         memo_of = self.memo_of
         fn_of = self.fn_of
         ps_of = self.ps_of
         events = self.events
         seq = self.seq
+        scale = self.pipeline.service_scale
         comp = self.completions.append
         nn = len(tl)
         i = 0
@@ -163,33 +236,37 @@ class _LocalReplicaSim:
                     q = queues[0]
                     if nfree > 0 and q:
                         fuse = fuse_of[0]
+                        tab = tab_of[0]
                         memo = memo_of[0]
                         fn = fn_of[0]
                         ps = ps_of[0]
                         popleft = q.popleft
                         while nfree > 0 and q:
                             unit = popleft()
-                            items = unit[1]
+                            total = unit[1]
                             batch = [unit]
-                            total = items
                             while q and total + q[0][1] <= fuse:
                                 extra = popleft()
                                 total += extra[1]
                                 batch.append(extra)
-                            if len(batch) > 1:
-                                pooled = 0.0
-                                for tup in batch:
-                                    pooled += tup[0] * tup[1]
-                                items = total
-                                pooling = pooled / items
+                            if tab is not None and total <= fuse:
+                                base = tab[total]
                             else:
-                                pooling = (unit[0] * items) / items
-                            base = memo.get(items)
-                            if base is None:
-                                base = fn(items)
-                                memo[items] = base
+                                base = memo.get(total)
+                                if base is None:
+                                    base = fn(total)
+                                    memo[total] = base
                             if ps > 0.0:
+                                if len(batch) > 1:
+                                    pooled = 0.0
+                                    for tup in batch:
+                                        pooled += tup[0] * tup[1]
+                                    pooling = pooled / total
+                                else:
+                                    pooling = (unit[0] * total) / total
                                 base = base * (1.0 - ps + ps * pooling)
+                            if scale != 1.0:
+                                base = base * scale
                             heappush(events, (now + base, seq, 0, batch))
                             seq += 1
                             nfree -= 1
@@ -208,6 +285,7 @@ class _LocalReplicaSim:
                 nxt = idx + 1
                 q = queues[nxt]
                 fuse = fuse_of[nxt]
+                tab = tab_of[nxt]
                 memo = memo_of[nxt]
                 fn = fn_of[nxt]
                 ps = ps_of[nxt]
@@ -217,27 +295,30 @@ class _LocalReplicaSim:
                     nfree = free[nxt]
                     while nfree > 0 and q:
                         unit = popleft()
-                        items = unit[1]
+                        total = unit[1]
                         batch = [unit]
-                        total = items
                         while q and total + q[0][1] <= fuse:
                             extra = popleft()
                             total += extra[1]
                             batch.append(extra)
-                        if len(batch) > 1:
-                            pooled = 0.0
-                            for t2 in batch:
-                                pooled += t2[0] * t2[1]
-                            items = total
-                            pooling = pooled / items
+                        if tab is not None and total <= fuse:
+                            base = tab[total]
                         else:
-                            pooling = (unit[0] * items) / items
-                        base = memo.get(items)
-                        if base is None:
-                            base = fn(items)
-                            memo[items] = base
+                            base = memo.get(total)
+                            if base is None:
+                                base = fn(total)
+                                memo[total] = base
                         if ps > 0.0:
+                            if len(batch) > 1:
+                                pooled = 0.0
+                                for t2 in batch:
+                                    pooled += t2[0] * t2[1]
+                                pooling = pooled / total
+                            else:
+                                pooling = (unit[0] * total) / total
                             base = base * (1.0 - ps + ps * pooling)
+                        if scale != 1.0:
+                            base = base * scale
                         heappush(events, (now + base, seq, nxt, batch))
                         seq += 1
                         nfree -= 1
@@ -252,33 +333,37 @@ class _LocalReplicaSim:
             q = queues[idx]
             if nfree > 0 and q:
                 fuse = fuse_of[idx]
+                tab = tab_of[idx]
                 memo = memo_of[idx]
                 fn = fn_of[idx]
                 ps = ps_of[idx]
                 popleft = q.popleft
                 while nfree > 0 and q:
                     unit = popleft()
-                    items = unit[1]
+                    total = unit[1]
                     batch = [unit]
-                    total = items
                     while q and total + q[0][1] <= fuse:
                         extra = popleft()
                         total += extra[1]
                         batch.append(extra)
-                    if len(batch) > 1:
-                        pooled = 0.0
-                        for t2 in batch:
-                            pooled += t2[0] * t2[1]
-                        items = total
-                        pooling = pooled / items
+                    if tab is not None and total <= fuse:
+                        base = tab[total]
                     else:
-                        pooling = (unit[0] * items) / items
-                    base = memo.get(items)
-                    if base is None:
-                        base = fn(items)
-                        memo[items] = base
+                        base = memo.get(total)
+                        if base is None:
+                            base = fn(total)
+                            memo[total] = base
                     if ps > 0.0:
+                        if len(batch) > 1:
+                            pooled = 0.0
+                            for t2 in batch:
+                                pooled += t2[0] * t2[1]
+                            pooling = pooled / total
+                        else:
+                            pooling = (unit[0] * total) / total
                         base = base * (1.0 - ps + ps * pooling)
+                    if scale != 1.0:
+                        base = base * scale
                     heappush(events, (now + base, seq, idx, batch))
                     seq += 1
                     nfree -= 1
@@ -297,6 +382,7 @@ class _LocalReplicaSim:
         is_fuse = self.is_fuse
         events = self.events
         seq = self.seq
+        scale = self.pipeline.service_scale
         comp = self.completions.append
         nn = len(tl)
         i = 0
@@ -322,6 +408,8 @@ class _LocalReplicaSim:
                     form = forms[0]
                     while nfree > 0 and q0:
                         batch, service = form(q0)
+                        if scale != 1.0:
+                            service *= scale
                         heappush(events, (now + service, seq, 0, batch))
                         seq += 1
                         nfree -= 1
@@ -354,6 +442,8 @@ class _LocalReplicaSim:
                         form = forms[nxt]
                         while nfree > 0 and qn:
                             b2, service = form(qn)
+                            if scale != 1.0:
+                                service *= scale
                             heappush(events, (now + service, seq, nxt, b2))
                             seq += 1
                             nfree -= 1
@@ -368,6 +458,8 @@ class _LocalReplicaSim:
                 form = forms[idx]
                 while nfree > 0 and q:
                     b2, service = form(q)
+                    if scale != 1.0:
+                        service *= scale
                     heappush(events, (now + service, seq, idx, b2))
                     seq += 1
                     nfree -= 1
@@ -749,3 +841,833 @@ def _run_vectorized(sim, trace, warmup_s: float):
         completions, dropped, warmup_s, horizon, tuple(scale_events), None
     )
     return result
+
+
+def run_vectorized_faults(sim, trace, warmup_s: float = 0.0):
+    """Play a faulted ``trace`` through the vectorized core, exactly.
+
+    Crash/blip/slow schedules only perturb the simulation at their
+    event timestamps, so the horizon partitions into fault-free
+    segments: each segment routes and delivers arrivals exactly like
+    :func:`run_vectorized`, and at every segment boundary -- an
+    autoscaler tick or a fault event, merged in heap pop order by
+    :func:`repro.fleet.faults.iter_boundaries` -- the shared
+    :class:`~repro.fleet.faults._FaultState` applies role changes,
+    heap cancellation (killed in-flight queries), and service
+    rescaling.  Results are bit-identical to the python *light* fault
+    loop (``retries == 0``, no hedging, no observer -- the caller has
+    verified eligibility), so ``core="auto"`` can take this path.
+    """
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_vectorized_faults(sim, trace, warmup_s)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_vectorized_faults(sim, trace, warmup_s: float):
+    from repro.fleet.faults import (
+        _FaultState,
+        _materialized_faults,
+        iter_boundaries,
+    )
+
+    servers = sim.servers
+    n_servers = len(servers)
+    # Stochastic schedules draw against the stream's nominal end; fetch
+    # it before ingest consumes the source (mirrors the engine's lazy
+    # end_hint).  Materialized traces use their exact last arrival.
+    end_hint = None
+    if not isinstance(trace, (list, tuple)) and (
+        sim.faults is not None
+        and getattr(sim.faults, "stochastic_params", None) is not None
+    ):
+        end_hint = getattr(trace, "end_s", None)
+    arr_t, arr_size, arr_pool, arr_m, model_names, codes = _ingest(sim, trace)
+    n = len(arr_t)
+    last_t = float(arr_t[-1])
+    if isinstance(trace, (list, tuple)):
+        end_hint = last_t
+    fault_evs = tuple(_materialized_faults(sim, n_servers, end_hint))
+    scaling = sim.autoscaler is not None
+    window_s = sim.autoscaler.window_s if scaling else 0.0
+
+    finish = np.empty(n, dtype=np.float64)
+    server_of = np.full(n, -1, dtype=np.int64)
+    killed = np.zeros(n, dtype=bool)
+    routable = sim._routable
+    policies = sim._policies
+
+    window_lat: dict[str, list[float]] = {m: [] for m in routable}
+    window_arrivals: dict[str, int] = {m: 0 for m in routable}
+    window_drops: dict[str, int] = {m: 0 for m in routable}
+    window_failures: dict[str, int] = {m: 0 for m in routable}
+    failed: dict[str, int] = {m: 0 for m in routable}
+    scale_events: list = []
+    dropped: dict[str, int] = {m: 0 for m in routable}
+    drop_order: list[str] = []
+
+    runners: dict[int, _LocalReplicaSim] = {}
+    # Per-server delivered direct-query index chunks: the crash-victim
+    # lookback (finish >= crash time) needs to find them.
+    delivered: dict[int, list] = {}
+    outstanding_vec = np.zeros(n_servers, dtype=np.int64)
+    last_finish = np.zeros(n_servers, dtype=np.float64)
+    pool: list[tuple] = []  # (fin_arr, lat_arr, code, server_index)
+    pending_settles: dict = {}
+    draining_fuse: set = set()
+    direct_pushes = 0
+    ticks = 0
+    fstate = _FaultState(servers, routable)
+
+    def deliver(lo: int, hi: int, limit: float) -> None:
+        """Route and deliver arrivals [lo, hi) -- the fault-free
+        segment body.  Identical to run_vectorized's deliver_segment
+        except for the victim-lookback bookkeeping and the slowed
+        direct branch (a slow fault sets ``server.slow_factor``; the
+        python loop then takes ``completion_time_slowed`` per query)."""
+        nonlocal direct_pushes
+        if lo >= hi:
+            return
+        seg_m = arr_m[lo:hi]
+        seg_t = arr_t[lo:hi]
+        for code in np.unique(seg_m).tolist():
+            model = model_names[code]
+            sel = np.nonzero(seg_m == code)[0]
+            candidates = routable.get(model)
+            if not candidates:
+                n_drop = int((seg_t[sel] >= warmup_s).sum())
+                if n_drop:
+                    dropped[model] = dropped.get(model, 0) + n_drop
+                if model not in dropped:
+                    dropped[model] = dropped.get(model, 0)
+                if model not in window_lat and model not in drop_order:
+                    drop_order.append(model)
+                if scaling:
+                    window_drops[model] = window_drops.get(model, 0) + len(sel)
+                continue
+            picks = policies[model].choose_batch(candidates, len(sel))
+            cand_idx = np.fromiter(
+                (s.index for s in candidates), np.int64, count=len(candidates)
+            )
+            server_of[lo + sel] = cand_idx[np.asarray(picks)]
+            if scaling:
+                window_arrivals[model] += len(sel)
+        seg_srv = server_of[lo:hi]
+        order = np.argsort(seg_srv, kind="stable")
+        sorted_srv = seg_srv[order]
+        uniq, starts = np.unique(sorted_srv, return_index=True)
+        bounds = starts.tolist() + [hi - lo]
+        for j, srv_i in enumerate(uniq.tolist()):
+            if srv_i < 0:
+                continue
+            gidx = lo + order[bounds[j]:bounds[j + 1]]
+            s = servers[srv_i]
+            ts = arr_t[gidx]
+            szs = arr_size[gidx]
+            pls = arr_pool[gidx]
+            outstanding_vec[srv_i] += len(gidx)
+            if s.direct is not None:
+                factor = s.slow_factor
+                if factor != 1.0:
+                    # Slowed episode: the python loop calls the exact
+                    # scalar recurrence per query; replicate it.
+                    ct = s.direct.completion_time_slowed
+                    fin = np.fromiter(
+                        (
+                            ct(t, sz, p, factor)
+                            for t, sz, p in zip(
+                                ts.tolist(), szs.tolist(), pls.tolist()
+                            )
+                        ),
+                        np.float64,
+                        count=len(gidx),
+                    )
+                else:
+                    st = s.direct.stage
+                    c = st.chunk_items
+                    ps = st.pooling_sensitivity
+                    maxsz = int(szs.max())
+                    base_tab = _service_table(st, maxsz if maxsz > c else c)
+                    full, rem = np.divmod(szs, c)
+                    has_rem = rem > 0
+                    nch = full + has_rem
+                    csf = float(c)
+                    if ps > 0.0:
+                        svc_full = base_tab[c] * (
+                            1.0 - ps + ps * ((pls * csf) / csf)
+                        )
+                        remf = rem.astype(np.float64)
+                        svc_rem = base_tab[rem] * (
+                            1.0 - ps
+                            + ps * ((pls * remf) / np.where(has_rem, remf, 1.0))
+                        )
+                    else:
+                        svc_full = np.full(len(ts), base_tab[c])
+                        svc_rem = base_tab[rem]
+                    ends = np.cumsum(nch)
+                    rep_t = np.repeat(ts, nch)
+                    rep_svc = np.repeat(svc_full, nch)
+                    rep_svc[ends[has_rem] - 1] = svc_rem[has_rem]
+                    starts_q = np.concatenate(([0], ends[:-1]))
+                    avail = s.direct.avail
+                    done = []
+                    ap = done.append
+                    for now, sv in zip(rep_t.tolist(), rep_svc.tolist()):
+                        tf = avail[0]
+                        d = (tf if tf > now else now) + sv
+                        heapreplace(avail, d)
+                        ap(d)
+                    fin = np.maximum.reduceat(np.asarray(done), starts_q)
+                finish[gidx] = fin
+                direct_pushes += len(gidx)
+                fmax = float(fin.max())
+                if fmax > last_finish[srv_i]:
+                    last_finish[srv_i] = fmax
+                chunks = delivered.get(srv_i)
+                if chunks is None:
+                    delivered[srv_i] = [gidx]
+                else:
+                    chunks.append(gidx)
+                if scaling:
+                    pool.append((fin, fin - ts, codes[s.model_name], srv_i))
+            else:
+                runner = runners.get(srv_i)
+                if runner is None:
+                    runner = runners[srv_i] = _LocalReplicaSim(s.pipeline)
+                runner.pump(
+                    ts.tolist(), szs.tolist(), pls.tolist(), gidx.tolist(),
+                    limit, finish, scaling,
+                )
+
+    def collect(limit: float) -> None:
+        """Run every local loop up to ``limit`` and bank completions."""
+        for srv_i, runner in runners.items():
+            if runner.events:
+                runner.pump((), (), (), (), limit, finish, scaling)
+            if scaling:
+                comps = runner.completions
+                if comps:
+                    fin = np.fromiter(
+                        (c[0] for c in comps), np.float64, count=len(comps)
+                    )
+                    aidx = np.fromiter(
+                        (c[1] for c in comps), np.int64, count=len(comps)
+                    )
+                    runner.completions = []
+                    s = servers[srv_i]
+                    fmax = float(fin.max())
+                    if fmax > last_finish[srv_i]:
+                        last_finish[srv_i] = fmax
+                    pool.append(
+                        (fin, fin - arr_t[aidx], codes[s.model_name], srv_i)
+                    )
+
+    def harvest(tick_t: float) -> None:
+        """Feed the window ending at ``tick_t`` from the pool (same
+        strict ``finish < tick_t`` membership as run_vectorized)."""
+        nonlocal pool
+        if not pool:
+            return
+        kept: list[tuple] = []
+        per_code: dict[int, list[tuple]] = {}
+        for fin, lats, code, srv_i in pool:
+            mask = fin < tick_t
+            n_in = int(mask.sum())
+            if n_in == 0:
+                kept.append((fin, lats, code, srv_i))
+                continue
+            if n_in == len(fin):
+                taken = (fin, lats)
+            else:
+                keep = ~mask
+                kept.append((fin[keep], lats[keep], code, srv_i))
+                taken = (fin[mask], lats[mask])
+            outstanding_vec[srv_i] -= n_in
+            per_code.setdefault(code, []).append(taken)
+        pool = kept
+        for code, chunks in per_code.items():
+            if len(chunks) == 1:
+                fin_c, lat_c = chunks[0]
+            else:
+                fin_c = np.concatenate([c[0] for c in chunks])
+                lat_c = np.concatenate([c[1] for c in chunks])
+            o = np.argsort(fin_c, kind="stable")
+            window_lat[model_names[code]] = (lat_c[o] * 1e3).tolist()
+
+    def kill_in_flight(server, now: float) -> None:
+        """Cancel a crashed replica's work (the light loop's victim
+        semantics): every query with an outstanding attempt -- direct
+        finishes at or past the crash, local heap batches, queued
+        units -- fails at the crash timestamp."""
+        nonlocal pool
+        srv_i = server.index
+        vict = None
+        if server.direct is not None:
+            chunks = delivered.get(srv_i)
+            if chunks:
+                gidx = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                vict = gidx[finish[gidx] >= now]
+                delivered[srv_i] = []
+            server.direct.reset()
+        else:
+            runner = runners.get(srv_i)
+            if runner is not None:
+                vict_idx = runner.kill()
+                if vict_idx:
+                    vict = np.fromiter(
+                        vict_idx, np.int64, count=len(vict_idx)
+                    )
+            else:
+                server.pipeline.reset()
+        if vict is not None and len(vict):
+            killed[vict] = True
+            # failed counts use the completions measurement window
+            # (arrival after warmup, crash at or before the horizon);
+            # the autoscaler's failure feed stays unfiltered.
+            in_horizon = now <= last_t
+            for code, at in zip(arr_m[vict].tolist(), arr_t[vict].tolist()):
+                model = model_names[code]
+                if in_horizon and at >= warmup_s:
+                    failed[model] = failed.get(model, 0) + 1
+                if scaling:
+                    window_failures[model] = (
+                        window_failures.get(model, 0) + 1
+                    )
+        if scaling:
+            # Completed-but-unharvested samples survive the crash (the
+            # python loop already decremented outstanding for them when
+            # they popped); victims must never reach a window feed.
+            kept_count = 0
+            if pool:
+                new_pool = []
+                for entry in pool:
+                    if entry[3] != srv_i:
+                        new_pool.append(entry)
+                        continue
+                    fin, lats = entry[0], entry[1]
+                    keep = fin < now
+                    n_keep = int(keep.sum())
+                    if n_keep:
+                        if n_keep == len(fin):
+                            new_pool.append(entry)
+                        else:
+                            new_pool.append(
+                                (fin[keep], lats[keep], entry[2], srv_i)
+                            )
+                        kept_count += n_keep
+                pool = new_pool
+            # Harvest will still decrement for the kept samples, so
+            # park outstanding exactly that far above the python zero.
+            outstanding_vec[srv_i] = kept_count
+        else:
+            outstanding_vec[srv_i] = 0
+        server.outstanding = 0
+        last_finish[srv_i] = 0.0
+        draining_fuse.discard(server)
+        pending_settles.pop(server, None)
+
+    # -- boundary loop -------------------------------------------------
+    pos = 0
+    for kind, item in iter_boundaries(
+        fault_evs, window_s if scaling else 0.0, last_t
+    ):
+        bt = item if kind == "tick" else item.time_s
+        hi = int(np.searchsorted(arr_t, bt, side="right"))
+        deliver(pos, hi, bt)
+        pos = hi
+        collect(bt)
+        if scaling:
+            if draining_fuse:
+                for s in list(draining_fuse):
+                    runner = runners.get(s.index)
+                    if runner is None or (
+                        not runner.events and not any(runner.queues)
+                    ):
+                        pending_settles[s] = float(last_finish[s.index])
+                        draining_fuse.discard(s)
+            if pending_settles:
+                for drained, settle_t in list(pending_settles.items()):
+                    if settle_t < bt:
+                        drained.settle(settle_t)
+                        drained.active = False
+                        drained.draining = False
+                        del pending_settles[drained]
+        if kind == "tick":
+            harvest(bt)
+            for s, out in zip(servers, outstanding_vec.tolist()):
+                s.outstanding = out
+            ticks += 1
+            before = len(scale_events)
+            sim._apply_autoscaler_tick(
+                bt, window_lat, window_arrivals, window_drops, scale_events,
+                window_failures=window_failures,
+            )
+            for ev in scale_events[before:]:
+                drained = ev.server
+                if ev.action == "drain" and drained.draining:
+                    if drained.direct is not None:
+                        # All its finishes are already known.
+                        pending_settles[drained] = float(
+                            last_finish[drained.index]
+                        )
+                    else:
+                        # A fault boundary may land before this runner
+                        # empties, so it cannot be pumped dry here; the
+                        # settle is discovered at the boundary where it
+                        # runs out of work.
+                        draining_fuse.add(drained)
+        else:
+            hz = float("inf") if bt < last_t else last_t
+            fstate.apply(item, bt, hz, kill_in_flight)
+
+    # -- final fault-free stretch --------------------------------------
+    deliver(pos, n, float("inf"))
+    collect(float("inf"))
+    if scaling:
+        for s in list(draining_fuse):
+            pending_settles[s] = float(last_finish[s.index])
+        draining_fuse.clear()
+        for drained, settle_t in pending_settles.items():
+            drained.settle(settle_t)
+            drained.active = False
+            drained.draining = False
+
+    # -- final counters and summary ------------------------------------
+    routed = (server_of >= 0) & ~killed
+    srv_routed = server_of[routed]
+    counts = np.bincount(srv_routed, minlength=n_servers)
+    items = np.bincount(
+        srv_routed,
+        weights=arr_size[routed].astype(np.float64),
+        minlength=n_servers,
+    )
+    inwin_mask = routed & (arr_t >= warmup_s)
+    inwin_mask[inwin_mask] &= finish[inwin_mask] <= last_t
+    inwin = np.bincount(server_of[inwin_mask], minlength=n_servers)
+    for i, s in enumerate(servers):
+        s.completed = int(counts[i])
+        s.items_done = int(items[i])
+        s.completed_in_window = int(inwin[i])
+        s.outstanding = 0
+        s.settle(last_t)
+
+    lat_all = finish - arr_t
+    completions: dict[str, tuple] = {}
+    empty = (np.empty(0), np.empty(0))
+    for m in routable:
+        completions[m] = empty
+    for m in drop_order:
+        completions.setdefault(m, empty)
+    for model, code in codes.items():
+        sel = routed & (arr_m == code)
+        if not bool(sel.any()):
+            continue
+        fin_m = finish[sel]
+        lat_m = lat_all[sel]
+        o = np.argsort(fin_m, kind="stable")
+        completions[model] = (fin_m[o], lat_m[o])
+
+    local_pushes = sum(r.seq for r in runners.values())
+    sim.last_event_count = (
+        n + len(fault_evs) + direct_pushes + local_pushes + ticks
+    )
+    sim.last_tick_count = ticks
+    sim.last_query_log = ()
+    fault_info = {
+        "failed": failed,
+        "retried": {m: 0 for m in completions},
+        "hedged": {m: 0 for m in completions},
+        "events": tuple(fstate.applied),
+        "downtime_s": fstate.close(last_t),
+        "arrivals": n,
+        "horizon": last_t,
+        "ticks": ticks,
+    }
+    result = sim._summarize(
+        completions, dropped, warmup_s, last_t, tuple(scale_events),
+        fault_info,
+    )
+    return result
+
+
+def run_epoch(sim, trace, warmup_s: float = 0.0):
+    """Play ``trace`` through the fleet on the epoch-batched core.
+
+    Queue-aware policies (``least`` / ``p2c``) read live outstanding
+    counts per arrival, which the batch core cannot reproduce exactly.
+    This core routes arrival *micro-epochs* instead: all arrivals
+    within ``sim.epoch_ms`` of the epoch's first unrouted arrival are
+    routed together against a queue-depth snapshot refreshed at the
+    epoch start (completions retire strictly-earlier finishes from
+    per-replica pending heaps), via
+    :meth:`RoutingPolicy.snapshot_batch`.  Epochs never span an
+    autoscaler tick.
+
+    Individual routing draws therefore differ from the python core --
+    this is a *statistically* equivalent leg, never chosen by
+    ``core="auto"`` (the user opts in with ``core="vector-epoch"``);
+    ``tests/test_fast_core.py``'s calibrated lane bounds the per-model
+    p50/p99/violation/power drift.  Fault machinery is refused by the
+    caller (mid-epoch kills would invalidate the snapshot contract).
+    """
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_epoch(sim, trace, warmup_s)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+
+
+def _run_epoch(sim, trace, warmup_s: float):
+    servers = sim.servers
+    n_servers = len(servers)
+    arr_t, arr_size, arr_pool, arr_m, model_names, codes = _ingest(sim, trace)
+    n = len(arr_t)
+    horizon = float(arr_t[-1])
+    eps = sim.epoch_ms * 1e-3
+    scaling = sim.autoscaler is not None
+    window_s = sim.autoscaler.window_s if scaling else 0.0
+    routable = sim._routable
+    policies = sim._policies
+
+    # The delivery loop is scalar per arrival (epoch buckets average a
+    # handful of queries, far below numpy's fixed-overhead break-even),
+    # so plain python lists back every per-arrival read and write; the
+    # routing picks are the one per-arrival cost that vectorizes well
+    # (see LeastOutstandingPolicy.snapshot_batch's k-way merge).
+    tl = arr_t.tolist()
+    szl = arr_size.tolist()
+    pll = arr_pool.tolist()
+    ml = arr_m.tolist()
+    fin_l = [0.0] * n
+    server_of = np.full(n, -1, dtype=np.int64)
+    max_sz = int(arr_size.max())
+
+    # Per-replica queue state for the snapshots: ``out_ct`` is the
+    # routed-minus-retired count the router reads; ``pend`` holds the
+    # known finish timestamps of that backlog (unsorted -- backlogs are
+    # queue-depth sized), filtered strictly-before-the-cut whenever a
+    # snapshot or tick needs the live count (strict: the python core
+    # pops an arrival before a completion with the same timestamp).
+    pend: list[list[float]] = [[] for _ in range(n_servers)]
+    out_ct = [0] * n_servers
+    last_finish = [0.0] * n_servers
+
+    window_lat: dict[str, list[float]] = {m: [] for m in routable}
+    window_arrivals: dict[str, int] = {m: 0 for m in routable}
+    window_drops: dict[str, int] = {m: 0 for m in routable}
+    win: dict[str, list] = {m: [] for m in routable}  # pending samples
+    scale_events: list = []
+    dropped: dict[str, int] = {m: 0 for m in routable}
+    drop_order: list[str] = []
+    pending_settles: dict = {}
+    runners: dict[int, _LocalReplicaSim] = {}
+    # Per-server (avail, table, chunk_items, ps, chunks_for) for the
+    # scalar DirectStage recurrence, built on first routing.  Epoch
+    # mode never injects faults, so caching ``avail`` is safe (only
+    # ``DirectStage.reset`` replaces the list).
+    direct_info: list = [None] * n_servers
+    direct_pushes = 0
+    ticks = 0
+
+    def bank(srv_i: int, runner) -> None:
+        """Move a runner's banked completions into the queue state."""
+        comps = runner.completions
+        if not comps:
+            return
+        runner.completions = []
+        h = pend[srv_i]
+        lf = last_finish[srv_i]
+        w = win[servers[srv_i].model_name] if scaling else None
+        for fin, gi in comps:
+            h.append(fin)
+            if fin > lf:
+                lf = fin
+            if w is not None:
+                w.append((fin, fin - tl[gi]))
+        last_finish[srv_i] = lf
+
+    def prune(srv_i: int, cut: float) -> None:
+        """Retire finishes strictly before ``cut`` from one backlog."""
+        h = pend[srv_i]
+        kept = [f for f in h if f >= cut]
+        if len(kept) != len(h):
+            out_ct[srv_i] -= len(h) - len(kept)
+            pend[srv_i] = kept
+
+    def do_tick(T: float) -> None:
+        nonlocal ticks
+        for srv_i, runner in runners.items():
+            if runner.events:
+                runner.pump((), (), (), (), T, fin_l, True)
+            bank(srv_i, runner)
+        for srv_i in range(n_servers):
+            if pend[srv_i]:
+                prune(srv_i, T)
+        if pending_settles:
+            for drained, settle_t in list(pending_settles.items()):
+                if settle_t < T:
+                    drained.settle(settle_t)
+                    drained.active = False
+                    drained.draining = False
+                    del pending_settles[drained]
+        for s, o in zip(servers, out_ct):
+            s.outstanding = o
+        for m, samples in win.items():
+            if not samples:
+                continue
+            taken = [sm for sm in samples if sm[0] < T]
+            if not taken:
+                continue
+            if len(taken) == len(samples):
+                win[m] = []
+            else:
+                win[m] = [sm for sm in samples if sm[0] >= T]
+            taken.sort()
+            window_lat[m] = [lat * 1e3 for _, lat in taken]
+        ticks += 1
+        before = len(scale_events)
+        sim._apply_autoscaler_tick(
+            T, window_lat, window_arrivals, window_drops, scale_events
+        )
+        for ev in scale_events[before:]:
+            drained = ev.server
+            if ev.action == "drain" and drained.draining:
+                # No new arrivals can land here: run it dry and settle
+                # lazily at its last completion, before a later tick.
+                srv_i = drained.index
+                runner = runners.get(srv_i)
+                if runner is not None and runner.events:
+                    runner.pump((), (), (), (), float("inf"), fin_l, True)
+                    bank(srv_i, runner)
+                pending_settles[drained] = last_finish[srv_i]
+
+    # -- the epoch loop ------------------------------------------------
+    tick_t = window_s if scaling else float("inf")
+    pos = 0
+    while pos < n:
+        t0 = tl[pos]
+        while tick_t <= t0 and tick_t < horizon:
+            do_tick(tick_t)
+            tick_t += window_s
+        t1 = t0 + eps
+        if tick_t < t1:
+            t1 = tick_t  # epochs never span a tick
+        hi = int(np.searchsorted(arr_t, t1, side="left"))
+        if hi <= pos:
+            hi = pos + 1  # degenerate epoch (eps underflow): one arrival
+        # Bucket the epoch's arrivals by model in bulk: epochs hold
+        # hundreds of arrivals at fleet scale, so numpy masks beat a
+        # python scan here (unlike the per-server delivery buckets,
+        # which stay a handful of queries each and remain scalar).
+        seg = arr_m[pos:hi]
+        code0 = ml[pos]
+        if bool((seg == code0).all()):
+            groups = ((code0, None),)
+        else:
+            groups = tuple(
+                (int(c), np.nonzero(seg == c)[0] + pos)
+                for c in np.unique(seg).tolist()
+            )
+        buckets: dict[int, list[int]] = {}
+        for code, idxs_np in groups:
+            model = model_names[code]
+            candidates = routable.get(model)
+            cnt = hi - pos if idxs_np is None else len(idxs_np)
+            if not candidates:
+                if idxs_np is None:
+                    nd = int(np.count_nonzero(arr_t[pos:hi] >= warmup_s))
+                else:
+                    nd = int(np.count_nonzero(arr_t[idxs_np] >= warmup_s))
+                if nd:
+                    dropped[model] = dropped.get(model, 0) + nd
+                if model not in dropped:
+                    dropped[model] = dropped.get(model, 0)
+                if model not in window_lat and model not in drop_order:
+                    drop_order.append(model)
+                if scaling:
+                    window_drops[model] = window_drops.get(model, 0) + cnt
+                continue
+            # Refresh this stream's queue snapshot at the epoch start:
+            # pump candidate runners to t0 and retire finishes < t0.
+            outs = []
+            cil = []
+            ap = outs.append
+            for s_c in candidates:
+                ci = s_c.index
+                cil.append(ci)
+                runner = runners.get(ci)
+                if runner is not None:
+                    if runner.events:
+                        runner.pump((), (), (), (), t0, fin_l, True)
+                    bank(ci, runner)
+                if pend[ci]:
+                    prune(ci, t0)
+                ap(out_ct[ci])
+            picks = policies[model].snapshot_batch(candidates, outs, cnt)
+            if type(picks) is list:
+                picks = np.asarray(picks, dtype=np.int64)
+            if scaling:
+                window_arrivals[model] += cnt
+            if idxs_np is None:
+                idxs_np = np.arange(pos, hi, dtype=np.int64)
+            sis = np.asarray(cil, dtype=np.int64)[picks]
+            server_of[idxs_np] = sis
+            for j, c_add in enumerate(
+                np.bincount(picks, minlength=len(cil)).tolist()
+            ):
+                if c_add:
+                    out_ct[cil[j]] += c_add
+            # Group picks by server: a stable sort keeps each server's
+            # slice in arrival order, matching the scalar apply loop.
+            order = np.argsort(sis, kind="stable")
+            gs = idxs_np[order].tolist()
+            ss = sis[order]
+            bounds = (np.nonzero(ss[1:] != ss[:-1])[0] + 1).tolist()
+            bounds.append(cnt)
+            a = 0
+            for b_end in bounds:
+                si = int(ss[a])
+                chunk = gs[a:b_end]
+                prev = buckets.get(si)
+                if prev is None:
+                    buckets[si] = chunk
+                else:
+                    prev.extend(chunk)
+                a = b_end
+        for si, idxs in buckets.items():
+            s = servers[si]
+            if s.direct is not None:
+                info = direct_info[si]
+                if info is None:
+                    st = s.direct.stage
+                    c = st.chunk_items
+                    info = direct_info[si] = (
+                        s.direct.avail,
+                        _service_list(st, max_sz if max_sz > c else c),
+                        c,
+                        st.pooling_sensitivity,
+                        st.chunks_for,
+                    )
+                avail, tab, c, ps, chunks_for = info
+                h = pend[si]
+                hap = h.append
+                lf = last_finish[si]
+                w = win[s.model_name] if scaling else None
+                for i in idxs:
+                    t = tl[i]
+                    sz = szl[i]
+                    # The exact DirectStage recurrence, scalar.
+                    if sz <= c:
+                        base = tab[sz]
+                        if ps > 0.0:
+                            pl = pll[i]
+                            base = base * (1.0 - ps + ps * ((pl * sz) / sz))
+                        tf = avail[0]
+                        d = (tf if tf > t else t) + base
+                        heapreplace(avail, d)
+                    else:
+                        pl = pll[i]
+                        d = t
+                        for chunk in chunks_for(sz):
+                            base = tab[chunk]
+                            if ps > 0.0:
+                                base = base * (
+                                    1.0 - ps + ps * ((pl * chunk) / chunk)
+                                )
+                            tf = avail[0]
+                            dd = (tf if tf > t else t) + base
+                            heapreplace(avail, dd)
+                            if dd > d:
+                                d = dd
+                    fin_l[i] = d
+                    hap(d)
+                    if d > lf:
+                        lf = d
+                    if w is not None:
+                        w.append((d, d - t))
+                last_finish[si] = lf
+                direct_pushes += len(idxs)
+            else:
+                runner = runners.get(si)
+                if runner is None:
+                    runner = runners[si] = _LocalReplicaSim(s.pipeline)
+                runner.pump(
+                    [tl[i] for i in idxs],
+                    [szl[i] for i in idxs],
+                    [pll[i] for i in idxs],
+                    idxs, t1, fin_l, True,
+                )
+                bank(si, runner)
+        pos = hi
+
+    # Ticks between the last arrival's epoch and the horizon.
+    while tick_t < horizon:
+        do_tick(tick_t)
+        tick_t += window_s
+
+    # -- drain ---------------------------------------------------------
+    for srv_i, runner in runners.items():
+        if runner.events:
+            runner.pump((), (), (), (), float("inf"), fin_l, True)
+        bank(srv_i, runner)
+    for drained, settle_t in pending_settles.items():
+        drained.settle(settle_t)
+        drained.active = False
+        drained.draining = False
+
+    # -- final counters and summary ------------------------------------
+    finish = np.asarray(fin_l)
+    routed = server_of >= 0
+    srv_routed = server_of[routed]
+    counts = np.bincount(srv_routed, minlength=n_servers)
+    items = np.bincount(
+        srv_routed,
+        weights=arr_size[routed].astype(np.float64),
+        minlength=n_servers,
+    )
+    inwin_mask = routed & (arr_t >= warmup_s)
+    inwin_mask[inwin_mask] &= finish[inwin_mask] <= horizon
+    inwin = np.bincount(server_of[inwin_mask], minlength=n_servers)
+    for i, s in enumerate(servers):
+        s.completed = int(counts[i])
+        s.items_done = int(items[i])
+        s.completed_in_window = int(inwin[i])
+        s.outstanding = 0
+        s.settle(horizon)
+
+    lat_all = finish - arr_t
+    completions: dict[str, tuple] = {}
+    empty = (np.empty(0), np.empty(0))
+    for m in routable:
+        completions[m] = empty
+    for m in drop_order:
+        completions.setdefault(m, empty)
+    for model, code in codes.items():
+        msel = routed & (arr_m == code)
+        if not bool(msel.any()):
+            continue
+        fin_m = finish[msel]
+        lat_m = lat_all[msel]
+        o = np.argsort(fin_m, kind="stable")
+        completions[model] = (fin_m[o], lat_m[o])
+
+    local_pushes = sum(r.seq for r in runners.values())
+    sim.last_event_count = n + direct_pushes + local_pushes + ticks
+    sim.last_tick_count = ticks
+    sim.last_query_log = ()
+    return sim._summarize(
+        completions, dropped, warmup_s, horizon, tuple(scale_events), None
+    )

@@ -95,7 +95,7 @@ def test_every_subcommand_documented():
             ["--faults", "--retries", "--hedge-ms", "--autoscale",
              "--autoscale-mode", "--arrivals", "--trace",
              "--over-provision", "--policy", "--seed", "--core",
-             "--shards", "--percentile-mode",
+             "--epoch-ms", "--shards", "--percentile-mode",
              "--carbon", "--deferrable", "--deferrable-policy",
              "--power-cap", "--deferral-horizon",
              "--metrics-out", "--trace-out", "--metrics-window-s", "--json"],
@@ -116,7 +116,7 @@ def test_every_subcommand_documented():
         ),
         ("observe", ["--json"]),
         ("bench", ["--quick", "--scenarios", "--baseline", "--output",
-                   "--core"]),
+                   "--core", "--compare"]),
     ],
 )
 def test_documented_flags_exist(subcommand, flags):

@@ -260,6 +260,247 @@ def test_auto_selects_vector_without_logging(
     _assert_identical(auto, base)
 
 
+def test_auto_takes_vector_fault_path_silently(
+    small_table, two_model_inputs, caplog
+):
+    """A plain fault schedule (no retries/hedging/tracing) no longer
+    forces the python core: ``auto`` runs the segmented vectorized
+    fault path, silently, and the result is bit-identical."""
+    from repro.fleet import FaultSchedule
+    from repro.fleet.faults import crash, slowdown
+
+    allocation = _mixed_allocation()
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+
+    def schedule():
+        return FaultSchedule(
+            [crash(0.6, 0, recover_after=0.4), slowdown(0.3, 1, 2.0, duration=0.5)]
+        )
+
+    _, base = _replay(
+        small_table, two_model_inputs, allocation, trace, "python",
+        faults=schedule(),
+    )
+    with caplog.at_level(logging.INFO, logger=_ENGINE_LOGGER):
+        _, auto = _replay(
+            small_table, two_model_inputs, allocation, trace, "auto",
+            faults=schedule(),
+        )
+    assert not [
+        r for r in caplog.records if "falling back" in r.getMessage()
+    ]
+    _assert_identical(auto, base)
+    assert auto.fault_events == base.fault_events
+
+
+# ----------------------------------------------------------------------
+# Scripted-fault differential lane: the segmented vector fault path
+# ----------------------------------------------------------------------
+
+
+def _fault_schedule(kind, n_replicas):
+    """Scripted schedules scaled to the fleet: a hard crash, a blip
+    (crash + recovery), a transient slowdown, and a storm of all three."""
+    from repro.fleet import FaultSchedule
+    from repro.fleet.faults import crash, slowdown
+
+    last = n_replicas - 1
+    if kind == "crash":
+        return FaultSchedule([crash(0.5, 0)])
+    if kind == "blip":
+        return FaultSchedule([crash(0.4, min(1, last), recover_after=0.3)])
+    if kind == "slow":
+        return FaultSchedule([slowdown(0.3, 0, 2.5, duration=0.6)])
+    assert kind == "storm"
+    return FaultSchedule(
+        [
+            crash(0.35, 0, recover_after=0.4),
+            slowdown(0.25, min(1, last), 2.0, duration=0.5),
+            crash(0.8, last),
+        ]
+    )
+
+
+class TestVectorFaultDifferential:
+    """The segmented fault path promises the same ``==`` contract as the
+    fault-free vector core: kills, recoveries, and slowdowns partition
+    the horizon into fault-free segments replayed through the vector
+    machinery, and every per-query float, fault event, availability
+    ratio, and phase-breakdown percentile must match the python light
+    fault loop exactly."""
+
+    def _run(self, small_table, inputs, kind, core, **kwargs):
+        allocation = _mixed_allocation()
+        trace = _rmc1_trace(small_table, inputs[1], 0.6, seed=11)
+        return _replay(
+            small_table, inputs, allocation, trace, core,
+            faults=_fault_schedule(kind, 4), **kwargs,
+        )[1]
+
+    def _assert_fault_identical(self, vec, base):
+        _assert_identical(vec, base)
+        assert vec.fault_events == base.fault_events
+        assert vec.availability == base.availability
+        assert vec.phases == base.phases
+
+    @pytest.mark.parametrize("policy", ["rr", "weighted"])
+    @pytest.mark.parametrize("kind", ["crash", "blip", "slow", "storm"])
+    def test_fault_legs_bit_identical(
+        self, small_table, two_model_inputs, kind, policy
+    ):
+        base = self._run(small_table, two_model_inputs, kind, "python",
+                         policy=policy)
+        vec = self._run(small_table, two_model_inputs, kind, "vector",
+                        policy=policy)
+        self._assert_fault_identical(vec, base)
+        assert base.fault_events  # the schedule actually fired
+
+    def test_fault_with_reactive_autoscaler_bit_identical(
+        self, small_table, two_model_inputs
+    ):
+        """Fault segmentation and autoscaler tick segmentation compose:
+        the scaler reacts to the crash-induced backlog identically on
+        both cores, down to the scale-event timestamps."""
+        from repro.fleet import ReactiveAutoscaler
+
+        def run(core):
+            standby = Allocation()
+            standby.add("T2", "DLRM-RMC1", 2)
+            return self._run(
+                small_table, two_model_inputs, "storm", core,
+                standby=standby,
+                autoscaler=ReactiveAutoscaler(
+                    {"DLRM-RMC1": 20.0}, window_s=0.25, cooldown_s=0.5
+                ),
+            )
+
+        base, vec = run("python"), run("vector")
+        self._assert_fault_identical(vec, base)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**6), policy=st.sampled_from(["rr", "weighted"]))
+    def test_fault_property_sweep(
+        self, small_table, two_model_inputs, seed, policy
+    ):
+        """Any seed, either oblivious policy: the storm schedule replays
+        exactly."""
+        allocation = _mixed_allocation()
+        trace = _rmc1_trace(
+            small_table, two_model_inputs[1], 0.6, seed, duration=1.5
+        )
+
+        def run(core):
+            return _replay(
+                small_table, two_model_inputs, allocation, trace, core,
+                policy=policy, faults=_fault_schedule("storm", 4),
+            )[1]
+
+        base, vec = run("python"), run("vector")
+        self._assert_fault_identical(vec, base)
+
+
+# ----------------------------------------------------------------------
+# Statistical-equivalence lane: core="vector-epoch" on queue-aware runs
+# ----------------------------------------------------------------------
+
+
+class TestEpochStatisticalLane:
+    """``vector-epoch`` trades per-event queue freshness for batching,
+    so its reports are *statistically* equivalent, never ``==``.  The
+    bands below were calibrated offline over 2,000 seeded trials
+    (seeds x loads 0.4/0.65/0.85 x least/p2c on this fleet shape) with
+    zero violations -- worst cases: completed 0.34%, power 1.8%, p50
+    ratio 2.05, p99 ratio (0.96, 1.97) -- then widened for headroom; a
+    failure here means the epoch core's drift regime changed, not bad
+    luck."""
+    COMPLETED_REL = 0.02
+    POWER_REL = 0.04
+    P50_BAND = (0.45, 3.0)
+    P99_BAND = (0.45, 3.0)
+
+    def _pair(self, small_table, inputs, seed, load, policy, epoch_ms=5.0):
+        allocation = _mixed_allocation()
+        trace = _rmc1_trace(
+            small_table, inputs[1], load, seed, duration=1.5
+        )
+
+        def run(core):
+            return _replay(
+                small_table, inputs, allocation, trace, core,
+                policy=policy, epoch_ms=epoch_ms,
+            )[1]
+
+        return run("python"), run("vector-epoch")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        load=st.floats(0.4, 0.85),
+        policy=st.sampled_from(["least", "p2c"]),
+    )
+    def test_epoch_aggregates_within_calibrated_band(
+        self, small_table, two_model_inputs, seed, load, policy
+    ):
+        base, vec = self._pair(
+            small_table, two_model_inputs, seed, load, policy
+        )
+        b = base.per_model["DLRM-RMC1"]
+        v = vec.per_model["DLRM-RMC1"]
+        assert abs(v.completed - b.completed) <= max(
+            1, self.COMPLETED_REL * b.completed
+        )
+        assert abs(vec.avg_power_w - base.avg_power_w) <= (
+            self.POWER_REL * base.avg_power_w
+        )
+        lo, hi = self.P50_BAND
+        assert lo * b.p50_ms <= v.p50_ms <= hi * b.p50_ms
+        lo, hi = self.P99_BAND
+        assert lo * b.p99_ms <= v.p99_ms <= hi * b.p99_ms
+
+    def test_oblivious_policies_stay_exact_under_epoch(
+        self, small_table, two_model_inputs
+    ):
+        """rr under ``vector-epoch`` takes the same exact pre-routed
+        path as ``vector`` -- epochs only change queue-aware routing."""
+        allocation = _mixed_allocation()
+        trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+        _, base = _replay(
+            small_table, two_model_inputs, allocation, trace, "python"
+        )
+        _, vec = _replay(
+            small_table, two_model_inputs, allocation, trace, "vector-epoch"
+        )
+        _assert_identical(vec, base)
+
+    def test_epoch_ms_must_be_positive(self, small_table, two_model_inputs):
+        models, workloads = two_model_inputs
+        servers = build_fleet(
+            _mixed_allocation(), small_table, models, workloads
+        )
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="epoch_ms must be > 0"):
+                FleetSimulator(
+                    servers, policy="least", sla_ms={"DLRM-RMC1": 20.0},
+                    core="vector-epoch", epoch_ms=bad,
+                )
+
+    def test_epoch_refuses_fault_schedules(
+        self, small_table, two_model_inputs
+    ):
+        """Mid-epoch kills would invalidate the queue snapshots, so
+        ``vector-epoch`` + faults is a hard error pointing at ``auto``."""
+        from repro.fleet import FaultSchedule
+        from repro.fleet.faults import crash
+
+        trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+        with pytest.raises(ValueError, match="mid-epoch"):
+            _replay(
+                small_table, two_model_inputs, _mixed_allocation(), trace,
+                "vector-epoch", policy="least",
+                faults=FaultSchedule([crash(0.5, 0)]),
+            )
+
+
 # ----------------------------------------------------------------------
 # Fallback surface: ineligible runs log (auto) or raise (vector)
 # ----------------------------------------------------------------------
@@ -273,8 +514,6 @@ def _ineligible_kwargs(kind):
         return {"policy": "least"}, "queue-aware"
     if kind == "p2c":
         return {"policy": "p2c"}, "queue-aware"
-    if kind == "faults":
-        return {"faults": FaultSchedule()}, "per-event core"
     if kind == "tracked":
         return {"faults": FaultSchedule(), "retries": 2}, "per-event core"
     assert kind == "observer"
@@ -282,7 +521,7 @@ def _ineligible_kwargs(kind):
 
 
 @pytest.mark.parametrize(
-    "kind", ["least", "p2c", "faults", "tracked", "observer"]
+    "kind", ["least", "p2c", "tracked", "observer"]
 )
 def test_auto_falls_back_and_logs(small_table, two_model_inputs, caplog, kind):
     """Every ineligible configuration degrades to the python core under
@@ -308,7 +547,7 @@ def test_auto_falls_back_and_logs(small_table, two_model_inputs, caplog, kind):
 
 
 @pytest.mark.parametrize(
-    "kind", ["least", "p2c", "faults", "tracked", "observer"]
+    "kind", ["least", "p2c", "tracked", "observer"]
 )
 def test_vector_raises_when_ineligible(small_table, two_model_inputs, kind):
     """Forcing ``core="vector"`` on an ineligible run is an actionable
@@ -322,6 +561,25 @@ def test_vector_raises_when_ineligible(small_table, two_model_inputs, kind):
         )
     assert reason_fragment in str(exc.value)
     assert "core='auto'" in str(exc.value)  # the error names the way out
+
+
+def test_vector_error_lists_every_reason(small_table, two_model_inputs):
+    """A run blocked for several reasons reports them all, ``;``-joined,
+    so the configuration is fixed once instead of whack-a-mole."""
+    from repro.obs import FleetProbe
+
+    trace = _rmc1_trace(small_table, two_model_inputs[1], 0.6, seed=3)
+    with pytest.raises(ValueError) as exc:
+        _replay(
+            small_table, two_model_inputs, _mixed_allocation(), trace,
+            "vector", policy="least",
+            observer=FleetProbe(window_s=0.25), retries=1,
+        )
+    msg = str(exc.value)
+    assert "retries, hedging, or tracing" in msg
+    assert "live observer" in msg
+    assert "queue-aware" in msg
+    assert msg.count(";") >= 2  # the reasons arrive joined, not truncated
 
 
 def test_unknown_core_name_rejected(small_table, two_model_inputs):
